@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper's Section 8 and
+prints the corresponding rows (run pytest with ``-s`` to see them; they
+are also asserted structurally).  Sizes are scaled to laptop-Python from
+the paper's 100K-row testbed; the *shape* of each result — who wins, by
+roughly what factor, how curves move with each knob — is what is checked.
+"""
+
+import pytest
+
+#: Scaled-down workload sizes (the paper uses 100K/400K rows; pure-Python
+#: benchmarks use hundreds so the full suite stays in minutes).
+SIZE = 240
+MASTER = 120
+NOISE_RATES = (0.02, 0.06, 0.10)
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The common knobs, as one dict for the experiment functions."""
+    return dict(size=SIZE, master_size=MASTER)

@@ -1,0 +1,56 @@
+"""Ablation: suffix-tree LCS blocking vs full master scans (Section 5.2).
+
+Paper: "Without the suffix tree blocking, it scales much worse.  Indeed,
+when |D| or |Dm| is 20K, it took more than 5 hours" (vs ~11 minutes with
+blocking).  At our scale the effect is milliseconds-vs-seconds; the bench
+asserts blocking does not lose quality and reports both runtimes.
+"""
+
+import time
+
+import pytest
+
+from repro.core import UniCleanConfig
+from repro.datasets import generate_hosp
+from repro.evaluation import repair_metrics, run_uniclean
+
+SIZE, MASTER = 160, 300
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    # A similarity-heavy workload: large master, similarity-only MDs get
+    # exercised through the hosp geo/identity rules.
+    return generate_hosp(size=SIZE, master_size=MASTER, noise_rate=0.06)
+
+
+def test_blocking_quality_preserved(benchmark, dataset):
+    """Blocking must not change what gets fixed (same F-measure ballpark)."""
+
+    def run_both():
+        with_blocking = run_uniclean(
+            dataset, UniCleanConfig(eta=1.0, use_suffix_tree=True)
+        )
+        without = run_uniclean(
+            dataset, UniCleanConfig(eta=1.0, use_suffix_tree=False)
+        )
+        return with_blocking, without
+
+    with_blocking, without = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    m_with = repair_metrics(dataset.dirty, with_blocking.repaired, dataset.clean)
+    m_without = repair_metrics(dataset.dirty, without.repaired, dataset.clean)
+    print()
+    print(f"with blocking:    {m_with}   time={with_blocking.total_time:.3f}s")
+    print(f"without blocking: {m_without}   time={without.total_time:.3f}s")
+    assert abs(m_with.f1 - m_without.f1) <= 0.05
+
+
+def test_blocking_speed(benchmark, dataset):
+    """Time one blocked pipeline run (the fast configuration)."""
+    result = benchmark.pedantic(
+        run_uniclean,
+        args=(dataset, UniCleanConfig(eta=1.0, use_suffix_tree=True)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.clean

@@ -1,0 +1,37 @@
+"""Exp-1 (Fig. 10a/b): matching helps repairing.
+
+Paper: "Uni clearly outperforms Uni(CFD) and quaid by up to 15% and 30%
+respectively ... The F-measure typically decreases when noi% increases
+for all three approaches.  However, Uni with matching is less sensitive."
+
+The benchmark regenerates the F-measure-vs-noise curves for HOSP and DBLP
+and asserts the ordering Uni ≥ Uni(CFD) ≥ quaid (small tolerance), with a
+strict win for Uni somewhere on the curve.
+"""
+
+import pytest
+
+from repro.evaluation import exp1_matching_helps_repairing, format_table
+
+from .conftest import MASTER, NOISE_RATES, SIZE
+
+
+def _run(dataset: str):
+    return exp1_matching_helps_repairing(
+        dataset, noise_rates=NOISE_RATES, size=SIZE, master_size=MASTER
+    )
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "dblp"])
+def test_exp1_fig10(benchmark, dataset):
+    rows = benchmark.pedantic(_run, args=(dataset,), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, f"Exp-1 / Fig. 10 ({dataset}): repairing F-measure"))
+    for row in rows:
+        assert row["uni_f1"] >= row["uni_cfd_f1"] - 0.03, row
+        assert row["uni_f1"] >= row["quaid_f1"] - 0.03, row
+    # Matching must strictly help somewhere on the curve.
+    assert any(r["uni_f1"] > r["uni_cfd_f1"] + 0.01 for r in rows)
+    # F-measure does not collapse as noise grows (paper: Uni is the least
+    # noise-sensitive system).
+    assert rows[-1]["uni_f1"] >= 0.4

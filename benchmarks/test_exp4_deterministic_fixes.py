@@ -1,0 +1,40 @@
+"""Exp-4 (Fig. 13a/b): impact of dup% and asr% on deterministic fixes.
+
+Paper: "the larger dup% is, the more deterministic fixes are found" and
+"the number of deterministic fixes found by cRepair highly depends on
+asr%" (cleaning rules only fire from asserted attributes).
+"""
+
+import pytest
+
+from repro.evaluation import exp4_deterministic_fixes, format_table
+
+from .conftest import MASTER, SIZE
+
+DUP_RATES = (0.2, 0.6, 1.0)
+ASR_RATES = (0.0, 0.4, 0.8)
+
+
+def _run(dataset: str):
+    return exp4_deterministic_fixes(
+        dataset,
+        duplicate_rates=DUP_RATES,
+        asserted_rates=ASR_RATES,
+        size=SIZE,
+        master_size=MASTER,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "dblp"])
+def test_exp4_fig13(benchmark, dataset):
+    out = benchmark.pedantic(_run, args=(dataset,), rounds=1, iterations=1)
+    print()
+    print(format_table(out["by_dup"], f"Exp-4 / Fig. 13a ({dataset}): det%% vs dup%%"))
+    print(format_table(out["by_asr"], f"Exp-4 / Fig. 13b ({dataset}): det%% vs asr%%"))
+    by_dup = [row["det_pct"] for row in out["by_dup"]]
+    by_asr = [row["det_pct"] for row in out["by_asr"]]
+    # Fig. 13a: broadly non-decreasing in dup% (small sampling wiggle ok).
+    assert by_dup[-1] >= by_dup[0] - 5.0
+    # Fig. 13b: strongly increasing in asr%.
+    assert by_asr[0] <= by_asr[1] <= by_asr[2] + 5.0
+    assert by_asr[2] > by_asr[0]

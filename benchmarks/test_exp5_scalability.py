@@ -1,0 +1,92 @@
+"""Exp-5 (Fig. 14a–h): scalability with |D|, |Dm|, |Σ| and |Γ|.
+
+Paper: "Uni scales reasonably well with |D| and |Dm| ... Uni scales well
+with both |Σ| and |Γ|."  The paper's figures plot cRepair, cRepair+eRepair
+and the full pipeline; so do these rows.  pytest-benchmark times one full
+pipeline run per dataset; the printed sweeps carry the per-phase numbers.
+"""
+
+import pytest
+
+from repro.core import UniCleanConfig
+from repro.evaluation import exp5_scalability, format_table, generate, run_uniclean
+
+from .conftest import MASTER, SIZE
+
+D_VALUES = (80, 160, 240)
+DM_VALUES = (60, 120, 180)
+SIGMA_VALUES = (15, 35, 55)
+GAMMA_VALUES = (2, 6, 10)
+
+
+def _assert_no_blowup(rows, factor=40.0):
+    """Runtime growth should stay in the same order as input growth —
+    far below quadratic blow-up at these scales."""
+    lo, hi = rows[0]["total_s"], rows[-1]["total_s"]
+    assert hi <= max(lo, 1e-3) * factor, rows
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "dblp", "tpch"])
+def test_exp5_vary_d(benchmark, dataset):
+    """Figs. 14a/14c/14e: runtime vs |D|."""
+    rows = benchmark.pedantic(
+        exp5_scalability,
+        args=(dataset,),
+        kwargs=dict(vary="D", values=D_VALUES, master_size=MASTER),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, f"Exp-5 / Fig. 14 ({dataset}): time vs |D|"))
+    _assert_no_blowup(rows)
+
+
+@pytest.mark.parametrize("dataset", ["hosp", "dblp", "tpch"])
+def test_exp5_vary_dm(benchmark, dataset):
+    """Figs. 14b/14d/14f: runtime vs |Dm|."""
+    rows = benchmark.pedantic(
+        exp5_scalability,
+        args=(dataset,),
+        kwargs=dict(vary="Dm", values=DM_VALUES, size=SIZE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, f"Exp-5 / Fig. 14 ({dataset}): time vs |Dm|"))
+    _assert_no_blowup(rows)
+
+
+def test_exp5_vary_sigma(benchmark):
+    """Fig. 14g: runtime vs |Σ| on TPC-H."""
+    rows = benchmark.pedantic(
+        exp5_scalability,
+        args=("tpch",),
+        kwargs=dict(vary="Sigma", values=SIGMA_VALUES, size=SIZE, master_size=MASTER),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, "Exp-5 / Fig. 14g (tpch): time vs |Sigma|"))
+    _assert_no_blowup(rows)
+
+
+def test_exp5_vary_gamma(benchmark):
+    """Fig. 14h: runtime vs |Γ| on TPC-H."""
+    rows = benchmark.pedantic(
+        exp5_scalability,
+        args=("tpch",),
+        kwargs=dict(vary="Gamma", values=GAMMA_VALUES, size=SIZE, master_size=MASTER),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(rows, "Exp-5 / Fig. 14h (tpch): time vs |Gamma|"))
+    _assert_no_blowup(rows)
+
+
+def test_exp5_single_run_timing(benchmark):
+    """A directly benchmarked single pipeline run (HOSP default size) —
+    the headline number pytest-benchmark reports for regressions."""
+    ds = generate("hosp", size=SIZE, master_size=MASTER, noise_rate=0.06)
+    result = benchmark(run_uniclean, ds, UniCleanConfig(eta=1.0))
+    assert result.clean

@@ -1,0 +1,57 @@
+"""Repairing helps matching: deduplicating a DBLP-style bibliography.
+
+The Exp-2 story: matching dirty publication records against a clean master
+bibliography with MDs alone misses duplicates whose premise attributes are
+corrupted.  Running UniClean first repairs those attributes, and the same
+MD premises then find the matches — "repairing helps matching".
+
+Run:  python examples/bibliography_dedup.py
+"""
+
+from repro.core import UniCleanConfig
+from repro.datasets import generate_dblp
+from repro.evaluation import matching_metrics, run_uniclean
+from repro.matching import MDMatcher, SortedNeighborhood
+
+dataset = generate_dblp(
+    size=300,
+    master_size=150,
+    noise_rate=0.08,
+    duplicate_rate=0.5,
+    asserted_rate=0.4,
+    seed=11,
+)
+
+print(f"dataset: {len(dataset.dirty)} records, {len(dataset.master)} master "
+      f"publications, {len(dataset.true_matches)} true matches")
+
+matcher = MDMatcher(dataset.mds, dataset.master)
+
+# 1. Match the dirty data directly (no repairing).
+dirty_matches = matcher.match(dataset.dirty)
+dirty_quality = matching_metrics(dirty_matches.pairs, dataset.true_matches)
+
+# 2. The classic sorted-neighborhood baseline on the dirty data.
+sortn = SortedNeighborhood(dataset.mds, dataset.master, window=10)
+sortn_matches = sortn.match(dataset.dirty)
+sortn_quality = matching_metrics(sortn_matches.pairs, dataset.true_matches)
+
+# 3. UniClean: repair first, then match with the same MDs.
+result = run_uniclean(dataset, UniCleanConfig(eta=1.0))
+uni_matches = matcher.match(result.repaired)
+uni_quality = matching_metrics(uni_matches.pairs, dataset.true_matches)
+
+print()
+print("=== Match quality (precision / recall / F-measure) ===")
+print(f"MDs on dirty data:      {dirty_quality}")
+print(f"SortN(MD) baseline:     {sortn_quality}")
+print(f"UniClean (repair+match): {uni_quality}")
+
+recovered = uni_matches.pairs - dirty_matches.pairs
+print()
+print(f"matches recovered by repairing: {len(recovered & dataset.true_matches)}")
+for tid, sid in sorted(recovered & dataset.true_matches)[:5]:
+    dirty_title = dataset.dirty.by_tid(tid)["title"]
+    master_title = dataset.master.by_tid(sid)["title"]
+    print(f"  t{tid} {dirty_title!r}")
+    print(f"     == s{sid} {master_title!r}")

@@ -1,0 +1,57 @@
+"""repro — a from-scratch reproduction of UniClean.
+
+UniClean (Fan, Ma, Tang, Yu: *Interaction between Record Matching and Data
+Repairing*, SIGMOD 2011 / JDIQ 2014) cleans a dirty relation ``D`` against
+master data ``Dm`` by treating conditional functional dependencies (CFDs)
+and matching dependencies (MDs) uniformly as *cleaning rules* and
+interleaving repairing with matching.  Fixes come in three accuracy
+classes: deterministic (confidence-based), reliable (entropy-based) and
+possible (heuristic).
+
+Public surface
+--------------
+The most commonly used names are re-exported here; subpackages provide the
+full API (``repro.relational``, ``repro.constraints``, ``repro.core``,
+``repro.matching``, ``repro.datasets``, ``repro.evaluation``, ...).
+"""
+
+from repro.relational import NULL, Attribute, CTuple, Domain, Relation, Schema
+from repro.constraints import (
+    CFD,
+    MD,
+    MDClause,
+    NegativeMD,
+    WILDCARD,
+    derive_rules,
+    embed_negative,
+    parse_rules,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "CFD",
+    "CTuple",
+    "Domain",
+    "MD",
+    "MDClause",
+    "NULL",
+    "NegativeMD",
+    "Relation",
+    "Schema",
+    "WILDCARD",
+    "derive_rules",
+    "embed_negative",
+    "parse_rules",
+    "__version__",
+]
+
+# Cleaning pipeline exports are appended once repro.core exists; guarded so
+# partially built trees (during development) still import.
+try:  # pragma: no cover - trivial re-export
+    from repro.core import CleaningResult, UniClean, UniCleanConfig  # noqa: F401
+
+    __all__ += ["UniClean", "UniCleanConfig", "CleaningResult"]
+except ImportError:
+    pass

@@ -1,0 +1,43 @@
+"""Static analyses of data quality rules (Section 4 of the paper).
+
+* Consistency of ``Σ ∪ Γ`` — NP-complete; exact small-model search
+  (:mod:`repro.analysis.consistency`).
+* Implication ``Θ ⊨ ξ`` — coNP-complete; exact two-tuple/one-tuple
+  counterexample search (:mod:`repro.analysis.implication`).
+* Termination / determinism of rule-based cleaning — PSPACE-complete;
+  exact bounded state-graph exploration
+  (:mod:`repro.analysis.termination`).
+* The rule dependency graph and eRepair ordering
+  (:mod:`repro.analysis.dependency_graph`).
+"""
+
+from repro.analysis.consistency import (
+    active_domains,
+    assert_consistent,
+    find_witness,
+    is_consistent,
+)
+from repro.analysis.dependency_graph import (
+    build_dependency_graph,
+    degree_ratios,
+    order_rules,
+    strongly_connected_components,
+)
+from repro.analysis.implication import implies, redundant_rules
+from repro.analysis.termination import ExplorationResult, explore, snapshot
+
+__all__ = [
+    "ExplorationResult",
+    "active_domains",
+    "assert_consistent",
+    "build_dependency_graph",
+    "degree_ratios",
+    "explore",
+    "find_witness",
+    "implies",
+    "is_consistent",
+    "order_rules",
+    "redundant_rules",
+    "snapshot",
+    "strongly_connected_components",
+]

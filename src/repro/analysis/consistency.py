@@ -1,0 +1,208 @@
+"""Consistency analysis of ``Σ ∪ Γ`` (Theorem 4.1).
+
+The consistency problem — given master data ``Dm`` and ``Θ = Σ ∪ Γ``, is
+there a *nonempty* instance ``D`` of ``R`` with ``D ⊨ Σ`` and
+``(D, Dm) ⊨ Γ``? — is NP-complete.  The proof establishes a small-model
+property: it suffices to look for a **single-tuple** instance ``D = {t}``
+whose attribute values are drawn from the active domains
+
+    ``adom(A)`` = constants of ``A`` in Σ  ∪  values of ``Dm`` attributes
+    identified with ``A`` by Γ  ∪  at most one extra fresh value of
+    ``dom(A)`` (if one exists).
+
+This module implements that NP search exactly, by backtracking over
+attribute assignments with incremental pruning on constant CFDs.  It is
+exponential in the worst case — as any correct algorithm must be unless
+P = NP — but fast on realistic rule sets, whose constants are sparse.
+
+Single-tuple semantics (what the checker enforces on ``{t}``):
+
+* every CFD with ``t[X] ≍ tp[X]`` requires ``t[Y] ≍ tp[Y]`` (only the
+  constant pattern entries constrain a single tuple);
+* every MD with a premise that holds against some master tuple ``s``
+  requires ``t[E] = s[F]``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.cfd import CFD, is_wildcard
+from repro.constraints.md import MD
+from repro.relational.attribute import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import CTuple
+from repro.exceptions import InconsistentRulesError
+
+
+def active_domains(
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD],
+    master: Optional[Relation],
+    extra_fresh: int = 1,
+) -> Dict[str, List[Any]]:
+    """The per-attribute candidate value sets of the small-model search.
+
+    For each attribute ``A`` of *schema*: all constants that Σ mentions
+    for ``A``, all master values of attributes that Γ compares with or
+    writes into ``A``, plus up to *extra_fresh* values outside that set
+    when the domain permits.  The consistency search (single tuple) needs
+    one fresh value per attribute ("at most an extra distinct value drawn
+    from dom(Ai)", proof of Theorem 4.1); the implication search uses two
+    — its two-tuple counterexample may need the tuples to *differ* on an
+    attribute no constant mentions.
+    """
+    domains: Dict[str, Set[Any]] = {name: set() for name in schema.names}
+    for cfd in cfds:
+        for attr, values in cfd.constants().items():
+            domains[attr].update(values)
+    if master is not None:
+        for md in mds:
+            pairs = [(c.attr, c.master_attr) for c in md.premise]
+            pairs.extend(md.rhs)
+            for attr, master_attr in pairs:
+                for s in master:
+                    domains[attr].add(s[master_attr])
+    out: Dict[str, List[Any]] = {}
+    for name in schema.names:
+        values = set(domains[name])
+        ordered = sorted(values, key=repr)
+        for _ in range(extra_fresh):
+            fresh = schema.domain(name).fresh_value(values)
+            if fresh is None:
+                break
+            values.add(fresh)
+            ordered.append(fresh)
+        if not ordered:
+            ordered = [NULL]  # degenerate: no constraint ever mentions it
+        out[name] = ordered
+    return out
+
+
+def _single_tuple_ok(
+    t: CTuple,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD],
+    master: Optional[Relation],
+    assigned: Set[str],
+) -> bool:
+    """Check the constraints decidable from the *assigned* attributes.
+
+    Partial assignments are pruned with constant CFDs whose scope is fully
+    assigned; MDs are checked once every premise and RHS attribute is
+    assigned.
+    """
+    for cfd in cfds:
+        scope = set(cfd.lhs) | set(cfd.rhs)
+        if not scope <= assigned:
+            continue
+        if cfd.lhs_matches(t) and not cfd.rhs_matches(t):
+            return False
+    if master is not None:
+        for md in mds:
+            needed = set(md.lhs_attrs()) | set(md.rhs_attrs())
+            if not needed <= assigned:
+                continue
+            for s in master:
+                if md.premise_holds(t, s) and not md.identified(t, s):
+                    return False
+    return True
+
+
+def find_witness(
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+    max_assignments: int = 2_000_000,
+) -> Optional[CTuple]:
+    """Search for a single-tuple witness of consistency.
+
+    Returns a tuple ``t`` with ``{t} ⊨ Σ`` and ``({t}, Dm) ⊨ Γ``, or
+    ``None`` when no witness exists (Σ ∪ Γ inconsistent).
+
+    Parameters
+    ----------
+    max_assignments:
+        Budget on explored (partial) assignments; exceeded budgets raise
+        ``RecursionError``-free ``InconsistentRulesError`` is *not* raised
+        — instead a ``RuntimeError`` signals the search was inconclusive.
+    """
+    normalized_cfds: List[CFD] = []
+    for cfd in cfds:
+        normalized_cfds.extend(cfd.normalize())
+    normalized_mds: List[MD] = []
+    for md in mds:
+        normalized_mds.extend(md.normalize())
+    domains = active_domains(schema, normalized_cfds, normalized_mds, master)
+    # Assign most-constrained attributes first: attributes mentioned by
+    # many constant patterns come early so pruning bites.
+    mention_count: Dict[str, int] = {name: 0 for name in schema.names}
+    for cfd in normalized_cfds:
+        for attr in cfd.attributes():
+            mention_count[attr] += 1
+    for md in normalized_mds:
+        for attr in md.lhs_attrs() + md.rhs_attrs():
+            mention_count[attr] += 1
+    order = sorted(schema.names, key=lambda a: (-mention_count[a], a))
+
+    t = CTuple(schema, {})
+    t.tid = 0
+    budget = max_assignments
+
+    def backtrack(position: int, assigned: Set[str]) -> bool:
+        nonlocal budget
+        if budget <= 0:
+            raise RuntimeError("consistency search exceeded its assignment budget")
+        if position == len(order):
+            return True
+        attr = order[position]
+        for value in domains[attr]:
+            budget -= 1
+            t[attr] = value
+            assigned.add(attr)
+            if _single_tuple_ok(t, normalized_cfds, normalized_mds, master, assigned):
+                if backtrack(position + 1, assigned):
+                    return True
+            assigned.discard(attr)
+            t[attr] = NULL
+        return False
+
+    if backtrack(0, set()):
+        return t
+    return None
+
+
+def is_consistent(
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+) -> bool:
+    """Whether ``Σ ∪ Γ`` admits a nonempty satisfying instance.
+
+    Note that any set of MDs alone is consistent (Fan et al. 2011, recalled
+    in Section 4.1): with Γ only, this always returns ``True``.
+    """
+    return find_witness(schema, cfds, mds, master) is not None
+
+
+def assert_consistent(
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+) -> None:
+    """Raise :class:`InconsistentRulesError` when ``Σ ∪ Γ`` is inconsistent.
+
+    Cleaning only makes sense for consistent rule sets ("it does not make
+    sense to derive cleaning rules from Θ before Θ is assured consistent",
+    Section 4.1); UniClean calls this before deriving rules.
+    """
+    if find_witness(schema, cfds, mds, master) is None:
+        raise InconsistentRulesError(
+            "the rule set Σ ∪ Γ admits no nonempty satisfying instance"
+        )

@@ -1,0 +1,136 @@
+"""Rule dependency graph and the eRepair rule ordering (Section 6.2).
+
+"Each rule of Σ ∪ Γ is a node ... there exists an edge (u, v) from node u
+to node v if RHS(ξu) ∩ LHS(ξv) ≠ ∅" — applying u may enable v, so u should
+run first.  The ordering:
+
+1. find strongly connected components (linear time, Tarjan);
+2. topologically order the condensation DAG;
+3. inside each SCC, order by decreasing out-degree/in-degree ratio
+   ("the higher the ratio is, the more effects it has on other nodes"),
+   with the rule name as a deterministic tiebreak.
+
+Example 6.1 of the paper: for the running-example rules the ratios are
+φ1: 2/1, φ2: 2/1, φ3: 1/1, φ4: 3/3, ψ: 2/4, giving the order
+φ1 > φ2 > φ3 > φ4 > ψ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.constraints.rules import AnyRule
+
+
+def build_dependency_graph(rules: Sequence[AnyRule]) -> Dict[int, Set[int]]:
+    """Adjacency (by rule index): edge ``u → v`` iff RHS(u) ∩ LHS(v) ≠ ∅.
+
+    Attributes are data-side: an MD's premise/RHS attributes on ``R``
+    interact with CFD attributes on ``R`` directly.
+    """
+    lhs_sets = [set(rule.lhs_attrs()) for rule in rules]
+    rhs = [rule.rhs_attr() for rule in rules]
+    graph: Dict[int, Set[int]] = {i: set() for i in range(len(rules))}
+    for u in range(len(rules)):
+        for v in range(len(rules)):
+            if u == v:
+                continue
+            if rhs[u] in lhs_sets[v]:
+                graph[u].add(v)
+    return graph
+
+
+def strongly_connected_components(graph: Dict[int, Set[int]]) -> List[List[int]]:
+    """Tarjan's SCC algorithm (iterative), components in reverse
+    topological order of the condensation."""
+    index_counter = 0
+    stack: List[int] = []
+    lowlink: Dict[int, int] = {}
+    index: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    components: List[List[int]] = []
+
+    for start in graph:
+        if start in index:
+            continue
+        work: List[Tuple[int, Iterable[int]]] = [(start, iter(sorted(graph[start])))]
+        index[start] = lowlink[start] = index_counter
+        index_counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(component)
+    return components
+
+
+def order_rules(rules: Sequence[AnyRule]) -> List[AnyRule]:
+    """The eRepair application order ``O`` over *rules* (Section 6.2).
+
+    Rules in upstream SCCs come first; within an SCC, higher
+    out/in-degree ratio first.  Deterministic: ties break on rule name,
+    then on input position.
+    """
+    if not rules:
+        return []
+    graph = build_dependency_graph(rules)
+    components = strongly_connected_components(graph)
+    # Tarjan emits components in reverse topological order of the
+    # condensation; reverse to get sources first.
+    components.reverse()
+    out_degree = {u: len(graph[u]) for u in graph}
+    in_degree = {u: 0 for u in graph}
+    for u, succs in graph.items():
+        for v in succs:
+            in_degree[v] += 1
+
+    def ratio(u: int) -> float:
+        if in_degree[u] == 0:
+            return float("inf") if out_degree[u] > 0 else 1.0
+        return out_degree[u] / in_degree[u]
+
+    ordered: List[AnyRule] = []
+    for component in components:
+        component_sorted = sorted(
+            component, key=lambda u: (-ratio(u), rules[u].name, u)
+        )
+        ordered.extend(rules[u] for u in component_sorted)
+    return ordered
+
+
+def degree_ratios(rules: Sequence[AnyRule]) -> Dict[str, Tuple[int, int]]:
+    """``rule name → (out_degree, in_degree)`` — exposed for tests that
+    replicate Example 6.1's ratios."""
+    graph = build_dependency_graph(rules)
+    out_degree = {u: len(graph[u]) for u in graph}
+    in_degree = {u: 0 for u in graph}
+    for u, succs in graph.items():
+        for v in succs:
+            in_degree[v] += 1
+    return {rules[u].name: (out_degree[u], in_degree[u]) for u in graph}

@@ -1,0 +1,187 @@
+"""Implication analysis of ``Σ ∪ Γ`` (Theorem 4.2).
+
+``Θ ⊨ ξ`` iff every instance satisfying Θ (w.r.t. the master data) also
+satisfies ξ.  The problem is coNP-complete; the upper-bound proof gives a
+small-model property which this module implements exactly:
+
+* for a **CFD** ``ξ = (X → A, tp)``: ``Θ ⊭ ξ`` iff there is a *two-tuple*
+  counterexample ``D = {t, s}`` with ``t[X] = s[X] ≍ tp[X]``, ``D ⊨ Σ``,
+  ``(D, Dm) ⊨ Γ`` and ``D ⊭ ξ``, with values drawn from active domains;
+* for an **MD** ξ: a *single-tuple* counterexample suffices.
+
+The search is exponential in the number of attributes (as it must be
+unless P = NP) and intended for the modest rule sets of real cleaning
+deployments, where it doubles as redundant-rule elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.consistency import active_domains
+from repro.constraints.cfd import CFD, is_wildcard
+from repro.constraints.md import MD
+from repro.relational.attribute import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import CTuple
+
+
+def _instance_satisfies(
+    tuples: List[CTuple],
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD],
+    master: Optional[Relation],
+) -> bool:
+    relation = Relation(schema)
+    for t in tuples:
+        relation.add(t.clone())
+    for cfd in cfds:
+        if not cfd.satisfied_by(relation):
+            return False
+    if master is not None:
+        for md in mds:
+            if not md.satisfied_by(relation, master):
+                return False
+    return True
+
+
+def _violates_cfd(tuples: List[CTuple], cfd: CFD) -> bool:
+    relation = Relation(tuples[0].schema)
+    for t in tuples:
+        relation.add(t.clone())
+    return not cfd.satisfied_by(relation)
+
+
+def _violates_md(tuples: List[CTuple], md: MD, master: Relation) -> bool:
+    relation = Relation(tuples[0].schema)
+    for t in tuples:
+        relation.add(t.clone())
+    return not md.satisfied_by(relation, master)
+
+
+class _CounterexampleSearch:
+    """Backtracking search for a small counterexample to ``Θ ⊨ ξ``."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        cfds: Sequence[CFD],
+        mds: Sequence[MD],
+        master: Optional[Relation],
+        target: Union[CFD, MD],
+        max_assignments: int,
+    ):
+        self.schema = schema
+        self.cfds: List[CFD] = []
+        for cfd in cfds:
+            self.cfds.extend(cfd.normalize())
+        self.mds: List[MD] = []
+        for md in mds:
+            self.mds.extend(md.normalize())
+        self.master = master
+        # Include the target's constants in the active domains so the
+        # counterexample can exercise its patterns.
+        target_cfds = list(self.cfds)
+        target_mds = list(self.mds)
+        if isinstance(target, CFD):
+            target_cfds = target_cfds + target.normalize()
+        else:
+            target_mds = target_mds + target.normalize()
+        # Two fresh values per attribute: the two-tuple counterexample may
+        # need the tuples to differ on attributes no constant mentions.
+        self.domains = active_domains(
+            schema, target_cfds, target_mds, master, extra_fresh=2
+        )
+        self.target = target
+        self.budget = max_assignments
+
+    def _enumerate(
+        self, tuples: List[CTuple], cells: List[Tuple[int, str]], position: int
+    ) -> bool:
+        if self.budget <= 0:
+            raise RuntimeError("implication search exceeded its assignment budget")
+        if position == len(cells):
+            if not _instance_satisfies(
+                tuples, self.schema, self.cfds, self.mds, self.master
+            ):
+                return False
+            if isinstance(self.target, CFD):
+                return _violates_cfd(tuples, self.target)
+            assert self.master is not None
+            return _violates_md(tuples, self.target, self.master)
+        index, attr = cells[position]
+        for value in self.domains[attr]:
+            self.budget -= 1
+            tuples[index][attr] = value
+            if self._enumerate(tuples, cells, position + 1):
+                return True
+            tuples[index][attr] = NULL
+        return False
+
+    def counterexample_exists(self, tuple_count: int) -> bool:
+        tuples = [CTuple(self.schema, {}, tid=i) for i in range(tuple_count)]
+        cells = [
+            (i, attr) for i in range(tuple_count) for attr in self.schema.names
+        ]
+        return self._enumerate(tuples, cells, 0)
+
+
+def implies(
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD],
+    target: Union[CFD, MD],
+    master: Optional[Relation] = None,
+    max_assignments: int = 5_000_000,
+) -> bool:
+    """Whether ``Σ ∪ Γ ⊨ target`` w.r.t. the given master data.
+
+    Implements the coNP small-model check: searches for a two-tuple (CFD
+    target) or single-tuple (MD target) counterexample over active
+    domains; ``True`` means no counterexample exists.
+
+    Notes
+    -----
+    A normalized multi-RHS target is handled by checking each of its
+    normalized parts: Θ implies the target iff it implies every part.
+    """
+    parts: List[Union[CFD, MD]] = (
+        list(target.normalize()) if isinstance(target, (CFD, MD)) else [target]
+    )
+    for part in parts:
+        search = _CounterexampleSearch(schema, cfds, mds, master, part, max_assignments)
+        tuple_count = 2 if isinstance(part, CFD) else 1
+        if isinstance(part, MD) and master is None:
+            raise ValueError("implication of an MD target requires master data")
+        if search.counterexample_exists(tuple_count):
+            return False
+    return True
+
+
+def redundant_rules(
+    schema: Schema,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+) -> List[Union[CFD, MD]]:
+    """Rules implied by the remaining ones (candidates for removal).
+
+    "The implication analysis helps us find and remove redundant rules
+    from Θ ... to improve performance" (Section 4.1).  Each rule is tested
+    against Θ minus itself; the returned rules can be dropped one at a
+    time (dropping several simultaneously is not always sound).
+    """
+    out: List[Union[CFD, MD]] = []
+    for i, cfd in enumerate(cfds):
+        rest = [c for j, c in enumerate(cfds) if j != i]
+        if implies(schema, rest, mds, cfd, master):
+            out.append(cfd)
+    for i, md in enumerate(mds):
+        if master is None:
+            break
+        rest = [m for j, m in enumerate(mds) if j != i]
+        if implies(schema, cfds, rest, md, master):
+            out.append(md)
+    return out

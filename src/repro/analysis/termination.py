@@ -1,0 +1,210 @@
+"""Bounded termination and determinism exploration (Theorems 4.7/4.8).
+
+Both problems are PSPACE-complete for rule-based cleaning, so no general
+efficient procedure exists.  This module provides an *exact bounded
+explorer* for small instances: it enumerates the state graph whose states
+are relation snapshots and whose transitions are single cleaning-rule
+applications, and reports
+
+* whether every maximal path reaches a fixpoint (**terminates**),
+* whether a cycle exists (**a non-terminating run exists** — e.g. the
+  φ1/φ5 ping-pong of Example 4.6),
+* the set of reachable fixpoints (**deterministic** iff exactly one and
+  every path terminates).
+
+State spaces explode exponentially; the explorer enforces a state budget
+and reports ``exhausted=True`` when it gives up, mirroring the fact that
+no sub-PSPACE shortcut is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.rules import AnyRule, ConstantCFDRule, MDRule, VariableCFDRule
+from repro.relational.relation import Relation
+from repro.relational.tuples import CTuple
+
+
+State = Tuple[Tuple[Any, ...], ...]
+
+
+def snapshot(relation: Relation) -> State:
+    """An immutable snapshot of all tuple values (in tid order)."""
+    return tuple(
+        tuple(t[attr] for attr in relation.schema.names)
+        for t in sorted(relation.tuples(), key=lambda x: x.tid or 0)
+    )
+
+
+def _restore(relation: Relation, state: State) -> None:
+    for t, values in zip(sorted(relation.tuples(), key=lambda x: x.tid or 0), state):
+        for attr, value in zip(relation.schema.names, values):
+            t[attr] = value
+
+
+def _successors(
+    relation: Relation,
+    rules: Sequence[AnyRule],
+    master: Optional[Relation],
+) -> List[State]:
+    """All states reachable by a single rule application."""
+    out: List[State] = []
+    seen: Set[State] = set()
+    tuples = relation.tuples()
+    for rule in rules:
+        if isinstance(rule, ConstantCFDRule):
+            for t in tuples:
+                if rule.applies(t):
+                    old = t[rule.rhs_attr()]
+                    t[rule.rhs_attr()] = rule.cfd.rhs_constant
+                    state = snapshot(relation)
+                    t[rule.rhs_attr()] = old
+                    if state not in seen:
+                        seen.add(state)
+                        out.append(state)
+        elif isinstance(rule, VariableCFDRule):
+            for target in tuples:
+                for donor in tuples:
+                    if target.tid == donor.tid:
+                        continue
+                    if rule.applies(target, donor):
+                        attr = rule.rhs_attr()
+                        old = target[attr]
+                        target[attr] = donor[attr]
+                        state = snapshot(relation)
+                        target[attr] = old
+                        if state not in seen:
+                            seen.add(state)
+                            out.append(state)
+        elif isinstance(rule, MDRule):
+            if master is None:
+                continue
+            for t in tuples:
+                for s in master:
+                    if rule.applies(t, s):
+                        attr, master_attr = rule.md.rhs_pair
+                        old = t[attr]
+                        t[attr] = s[master_attr]
+                        state = snapshot(relation)
+                        t[attr] = old
+                        if state not in seen:
+                            seen.add(state)
+                            out.append(state)
+    return out
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of a bounded state-graph exploration.
+
+    Attributes
+    ----------
+    terminates:
+        ``True`` if every maximal path reaches a fixpoint, ``False`` if a
+        reachable cycle exists, ``None`` when the budget was exhausted
+        before deciding.
+    deterministic:
+        ``True`` iff the process terminates and exactly one fixpoint is
+        reachable; ``False`` when several fixpoints (or a cycle) exist;
+        ``None`` when undecided.
+    fixpoints:
+        The distinct reachable fixpoint states.
+    states_explored:
+        Number of distinct states visited.
+    exhausted:
+        Whether the exploration hit ``max_states``.
+    """
+
+    terminates: Optional[bool]
+    deterministic: Optional[bool]
+    fixpoints: List[State] = field(default_factory=list)
+    states_explored: int = 0
+    exhausted: bool = False
+
+
+def explore(
+    relation: Relation,
+    rules: Sequence[AnyRule],
+    master: Optional[Relation] = None,
+    max_states: int = 10_000,
+) -> ExplorationResult:
+    """Exhaustively explore the cleaning state graph from *relation*.
+
+    The input relation is not modified (exploration works on a clone).
+
+    Examples
+    --------
+    The φ1/φ5 ping-pong of Example 4.6 (city flips between Edi and Ldn)
+    produces ``terminates=False``; see
+    ``tests/analysis/test_termination.py``.
+    """
+    working = relation.clone()
+    start = snapshot(working)
+    visited: Dict[State, List[State]] = {}
+    stack: List[State] = [start]
+    exhausted = False
+    while stack:
+        state = stack.pop()
+        if state in visited:
+            continue
+        if len(visited) >= max_states:
+            exhausted = True
+            break
+        _restore(working, state)
+        successors = _successors(working, rules, master)
+        visited[state] = successors
+        for succ in successors:
+            if succ not in visited:
+                stack.append(succ)
+
+    fixpoints = [s for s, succs in visited.items() if not succs]
+
+    if exhausted:
+        return ExplorationResult(
+            terminates=None,
+            deterministic=None,
+            fixpoints=fixpoints,
+            states_explored=len(visited),
+            exhausted=True,
+        )
+
+    # Cycle detection on the (complete) finite graph via iterative DFS
+    # with colors.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[State, int] = {s: WHITE for s in visited}
+    has_cycle = False
+    for root in visited:
+        if color[root] != WHITE:
+            continue
+        dfs_stack: List[Tuple[State, int]] = [(root, 0)]
+        color[root] = GRAY
+        while dfs_stack:
+            node, child_index = dfs_stack[-1]
+            children = visited[node]
+            if child_index < len(children):
+                dfs_stack[-1] = (node, child_index + 1)
+                child = children[child_index]
+                if color[child] == GRAY:
+                    has_cycle = True
+                    dfs_stack.clear()
+                    break
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    dfs_stack.append((child, 0))
+            else:
+                color[node] = BLACK
+                dfs_stack.pop()
+        if has_cycle:
+            break
+
+    terminates = not has_cycle
+    deterministic = terminates and len(fixpoints) == 1
+    return ExplorationResult(
+        terminates=terminates,
+        deterministic=deterministic,
+        fixpoints=fixpoints,
+        states_explored=len(visited),
+        exhausted=False,
+    )

@@ -1,0 +1,5 @@
+"""Baselines compared against UniClean in the paper's evaluation."""
+
+from repro.baselines.quaid import QuaidResult, quaid, uni_cfd
+
+__all__ = ["QuaidResult", "quaid", "uni_cfd"]

@@ -1,0 +1,72 @@
+"""``quaid`` — the CFD-only heuristic repairing baseline (Exp-1).
+
+The paper compares UniClean against "the heuristic repairing algorithm of
+[Cong et al. 2007], denoted by quaid, based on CFDs only".  quaid is the
+equivalence-class heuristic *without* master data, MDs, confidence-based
+deterministic fixes or entropy-based reliable fixes — exactly the
+machinery our :func:`repro.core.hrepair.hrepair` extends, so the baseline
+is hRepair restricted to Σ with no protected cells.
+
+The ``Uni(CFD)`` variant of Exp-1 — UniClean with repairing only — is a
+:class:`~repro.core.uniclean.UniClean` instance with ``Γ = ∅`` and is
+provided here as a convenience constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.constraints.cfd import CFD
+from repro.core.fixes import FixLog
+from repro.core.hrepair import HRepairResult, hrepair
+from repro.core.uniclean import UniClean, UniCleanConfig
+from repro.relational.relation import Relation
+
+
+@dataclass
+class QuaidResult:
+    """Outcome of a quaid run (a thin wrapper over hRepair's result)."""
+
+    repaired: Relation
+    fix_log: FixLog
+    possible_fixes: int
+
+
+def quaid(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    max_rounds: int = 100,
+) -> QuaidResult:
+    """Repair *relation* with CFDs only, heuristically (Cong et al. 2007).
+
+    All fixes are heuristic ("possible") — this is the weakest of the
+    compared systems in Exp-1, which is the paper's point: quaid "only
+    generates possible fixes with heuristic, while Uni(CFD) finds both
+    deterministic fixes and reliable fixes".
+    """
+    result: HRepairResult = hrepair(
+        relation,
+        cfds=cfds,
+        mds=(),
+        master=None,
+        protected=set(),
+        max_rounds=max_rounds,
+    )
+    return QuaidResult(
+        repaired=result.relation,
+        fix_log=result.fix_log,
+        possible_fixes=result.possible_fixes,
+    )
+
+
+def uni_cfd(
+    cfds: Sequence[CFD],
+    config: Optional[UniCleanConfig] = None,
+) -> UniClean:
+    """``Uni(CFD)``: the full tri-level pipeline restricted to CFDs.
+
+    Uses confidence, entropy and heuristics but no master data/MDs — the
+    middle system of Exp-1.
+    """
+    return UniClean(cfds=cfds, mds=(), negative_mds=(), master=None, config=config)

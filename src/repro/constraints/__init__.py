@@ -1,0 +1,73 @@
+"""Data quality rules: CFDs, MDs and the cleaning rules derived from them.
+
+Implements Section 2 (constraint formalisms, normalization, negative-MD
+embedding per Proposition 2.6) and Section 3.1 (cleaning rules with
+fuzzy-logic confidence propagation) of the paper, plus a concrete textual
+syntax for rule files.
+"""
+
+from repro.constraints.cfd import (
+    CFD,
+    Violation,
+    WILDCARD,
+    Wildcard,
+    all_violations,
+    is_wildcard,
+    pattern_match,
+    satisfies_all,
+)
+from repro.constraints.md import (
+    MD,
+    MDClause,
+    MDViolation,
+    NegativeMD,
+    embed_negative,
+    satisfies_all_mds,
+)
+from repro.constraints.parser import (
+    ParsedRules,
+    parse_cfd,
+    parse_md,
+    parse_negative_md,
+    parse_rules,
+)
+from repro.constraints.rules import (
+    AnyRule,
+    CleaningRule,
+    ConstantCFDRule,
+    MDRule,
+    RuleApplication,
+    VariableCFDRule,
+    derive_rules,
+    fuzzy_min,
+)
+
+__all__ = [
+    "AnyRule",
+    "CFD",
+    "CleaningRule",
+    "ConstantCFDRule",
+    "MD",
+    "MDClause",
+    "MDRule",
+    "MDViolation",
+    "NegativeMD",
+    "ParsedRules",
+    "RuleApplication",
+    "VariableCFDRule",
+    "Violation",
+    "WILDCARD",
+    "Wildcard",
+    "all_violations",
+    "derive_rules",
+    "embed_negative",
+    "fuzzy_min",
+    "is_wildcard",
+    "parse_cfd",
+    "parse_md",
+    "parse_negative_md",
+    "parse_rules",
+    "pattern_match",
+    "satisfies_all",
+    "satisfies_all_mds",
+]

@@ -1,0 +1,246 @@
+"""Textual syntax for data quality rules.
+
+Rule files let experiments and examples declare Σ and Γ as text::
+
+    # CFDs: constants bind pattern entries, bare names are wildcards.
+    cfd tran: AC='131' -> city='Edi'
+    cfd tran: city, phn -> St, AC, post
+    cfd tran: FN='Bob' -> FN='Robert'
+
+    # Positive MDs: premise clauses are A=B (equality across schemas) or
+    # A ~pred B with a similarity predicate from the registry.
+    md tran~card: LN=LN, city=city, St=St, post=zip, FN ~edit<=3 FN -> FN=FN, phn=tel
+
+    # Negative MDs: premise pairs are A!=B; the RHS lists the
+    # non-identifiable pairs.
+    nmd tran~card: gd!=gd -> FN=FN, phn=tel
+
+Lines starting with ``#`` (or blank lines) are ignored.  Constants may be
+single- or double-quoted; quoting is required only when the constant
+contains a comma, an arrow or whitespace at its edges.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ParseError
+from repro.constraints.cfd import CFD, WILDCARD
+from repro.constraints.md import MD, MDClause, NegativeMD
+from repro.relational.schema import Schema
+from repro.similarity.predicates import DEFAULT_REGISTRY, EQ, PredicateRegistry
+
+
+@dataclass
+class ParsedRules:
+    """The outcome of parsing a rule file: Σ, Γ⁺ and Γ⁻."""
+
+    cfds: List[CFD] = field(default_factory=list)
+    mds: List[MD] = field(default_factory=list)
+    negative_mds: List[NegativeMD] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.cfds) + len(self.mds) + len(self.negative_mds)
+
+
+def _split_top_level(text: str, separator: str) -> List[str]:
+    """Split on *separator* outside single/double quotes."""
+    parts: List[str] = []
+    current: List[str] = []
+    quote: Optional[str] = None
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif text.startswith(separator, i):
+            parts.append("".join(current))
+            current = []
+            i += len(separator)
+            continue
+        else:
+            current.append(ch)
+        i += 1
+    if quote is not None:
+        raise ParseError(f"unbalanced quote in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _unquote(raw: str) -> str:
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+        return raw[1:-1]
+    return raw
+
+
+_CFD_TERM = re.compile(r"^\s*(?P<attr>\w+)\s*(?:=\s*(?P<const>.+))?$", re.S)
+
+
+def _parse_cfd_terms(text: str, schema: Schema) -> Tuple[List[str], Dict[str, object]]:
+    attrs: List[str] = []
+    pattern: Dict[str, object] = {}
+    for term in _split_top_level(text, ","):
+        term = term.strip()
+        if not term:
+            raise ParseError(f"empty term in CFD side {text!r}")
+        match = _CFD_TERM.match(term)
+        if not match:
+            raise ParseError(f"cannot parse CFD term {term!r}")
+        attr = match.group("attr")
+        schema.check_attrs([attr])
+        attrs.append(attr)
+        const = match.group("const")
+        pattern[attr] = WILDCARD if const is None else _unquote(const)
+    return attrs, pattern
+
+
+def parse_cfd(
+    body: str,
+    schemas: Mapping[str, Schema],
+    name: Optional[str] = None,
+) -> CFD:
+    """Parse the body of a ``cfd`` line: ``<schema>: <lhs> -> <rhs>``."""
+    if ":" not in body:
+        raise ParseError(f"cfd line missing ':' — {body!r}")
+    schema_name, rest = body.split(":", 1)
+    schema_name = schema_name.strip()
+    if schema_name not in schemas:
+        raise ParseError(f"unknown schema {schema_name!r} in cfd line")
+    schema = schemas[schema_name]
+    sides = _split_top_level(rest, "->")
+    if len(sides) != 2:
+        raise ParseError(f"cfd line must contain exactly one '->' — {body!r}")
+    lhs_attrs, lhs_pattern = _parse_cfd_terms(sides[0], schema)
+    rhs_attrs, rhs_pattern = _parse_cfd_terms(sides[1], schema)
+    return CFD(
+        schema,
+        lhs_attrs,
+        rhs_attrs,
+        lhs_pattern=lhs_pattern,
+        rhs_pattern=rhs_pattern,
+        name=name,
+    )
+
+
+_MD_EQ = re.compile(r"^\s*(?P<a>\w+)\s*=\s*(?P<b>\w+)\s*$")
+_MD_SIM = re.compile(r"^\s*(?P<a>\w+)\s*~(?P<pred>\S+)\s+(?P<b>\w+)\s*$")
+_MD_NEQ = re.compile(r"^\s*(?P<a>\w+)\s*!=\s*(?P<b>\w+)\s*$")
+
+
+def _parse_md_header(body: str, schemas: Mapping[str, Schema]) -> Tuple[Schema, Schema, str]:
+    if ":" not in body:
+        raise ParseError(f"md line missing ':' — {body!r}")
+    head, rest = body.split(":", 1)
+    if "~" not in head:
+        raise ParseError(f"md header must be '<schema>~<master>' — {head!r}")
+    data_name, master_name = (part.strip() for part in head.split("~", 1))
+    for schema_name in (data_name, master_name):
+        if schema_name not in schemas:
+            raise ParseError(f"unknown schema {schema_name!r} in md line")
+    return schemas[data_name], schemas[master_name], rest
+
+
+def parse_md(
+    body: str,
+    schemas: Mapping[str, Schema],
+    registry: PredicateRegistry = DEFAULT_REGISTRY,
+    name: Optional[str] = None,
+) -> MD:
+    """Parse the body of an ``md`` line.
+
+    Format: ``<schema>~<master>: <clauses> -> <pairs>`` with clauses
+    ``A=B`` or ``A ~pred B`` and pairs ``E=F``.
+    """
+    schema, master_schema, rest = _parse_md_header(body, schemas)
+    sides = _split_top_level(rest, "->")
+    if len(sides) != 2:
+        raise ParseError(f"md line must contain exactly one '->' — {body!r}")
+    clauses: List[MDClause] = []
+    for term in _split_top_level(sides[0], ","):
+        eq = _MD_EQ.match(term)
+        if eq:
+            clauses.append(MDClause(eq.group("a"), eq.group("b"), EQ))
+            continue
+        sim = _MD_SIM.match(term)
+        if sim:
+            predicate = registry.get(sim.group("pred"))
+            clauses.append(MDClause(sim.group("a"), sim.group("b"), predicate))
+            continue
+        raise ParseError(f"cannot parse MD premise clause {term.strip()!r}")
+    rhs: List[Tuple[str, str]] = []
+    for term in _split_top_level(sides[1], ","):
+        eq = _MD_EQ.match(term)
+        if not eq:
+            raise ParseError(f"cannot parse MD RHS pair {term.strip()!r}")
+        rhs.append((eq.group("a"), eq.group("b")))
+    return MD(schema, master_schema, clauses, rhs, name=name)
+
+
+def parse_negative_md(
+    body: str,
+    schemas: Mapping[str, Schema],
+    name: Optional[str] = None,
+) -> NegativeMD:
+    """Parse the body of an ``nmd`` line: premise pairs use ``!=``."""
+    schema, master_schema, rest = _parse_md_header(body, schemas)
+    sides = _split_top_level(rest, "->")
+    if len(sides) != 2:
+        raise ParseError(f"nmd line must contain exactly one '->' — {body!r}")
+    premise: List[Tuple[str, str]] = []
+    for term in _split_top_level(sides[0], ","):
+        neq = _MD_NEQ.match(term)
+        if not neq:
+            raise ParseError(f"cannot parse negative-MD premise {term.strip()!r}")
+        premise.append((neq.group("a"), neq.group("b")))
+    rhs: List[Tuple[str, str]] = []
+    for term in _split_top_level(sides[1], ","):
+        eq = _MD_EQ.match(term)
+        if not eq:
+            raise ParseError(f"cannot parse negative-MD RHS pair {term.strip()!r}")
+        rhs.append((eq.group("a"), eq.group("b")))
+    return NegativeMD(schema, master_schema, premise, rhs, name=name)
+
+
+def parse_rules(
+    text: str,
+    schemas: Mapping[str, Schema],
+    registry: PredicateRegistry = DEFAULT_REGISTRY,
+) -> ParsedRules:
+    """Parse a whole rule file into :class:`ParsedRules`.
+
+    Each non-blank, non-comment line must start with ``cfd``, ``md`` or
+    ``nmd``.  A trailing ``@name`` annotation names the rule::
+
+        cfd tran: AC='131' -> city='Edi' @phi1
+    """
+    out = ParsedRules()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name: Optional[str] = None
+        if "@" in line:
+            line, _, annotation = line.rpartition("@")
+            line = line.strip()
+            name = annotation.strip() or None
+        try:
+            keyword, _, body = line.partition(" ")
+            if keyword == "cfd":
+                out.cfds.append(parse_cfd(body, schemas, name=name))
+            elif keyword == "md":
+                out.mds.append(parse_md(body, schemas, registry, name=name))
+            elif keyword == "nmd":
+                out.negative_mds.append(parse_negative_md(body, schemas, name=name))
+            else:
+                raise ParseError(f"unknown rule keyword {keyword!r}")
+        except ParseError as exc:
+            raise ParseError(f"line {line_number}: {exc}") from None
+    return out

@@ -1,0 +1,335 @@
+"""Cleaning rules derived from CFDs and MDs (Section 3.1).
+
+Constraints detect that data is dirty; *cleaning rules* additionally say
+which attribute to update and what value to write.  Three derivations:
+
+1. **From an MD** ``⋀ (R[Aj] ≈j Rm[Bj]) → (R[E] ⇌ Rm[F])``: apply master
+   tuple ``s`` to ``t`` when the premise holds; set ``t[E] := s[F]`` and
+   ``t[E].cf := min { t[Aj].cf : ≈j is '=' }`` (fuzzy-logic minimum).
+2. **From a constant CFD** ``R(X → A, tp)`` with constant ``tp[A]``: when
+   ``t[X] ≍ tp[X]`` but ``t[A] ≠ tp[A]``, set ``t[A] := tp[A]`` with the
+   minimum confidence over ``X``.
+3. **From a variable CFD** ``R(Y → B, tp)``: apply tuple ``t2`` to ``t1``
+   when ``t1[Y] = t2[Y] ≍ tp[Y]`` but ``t1[B] ≠ t2[B]``; set
+   ``t1[B] := t2[B]`` with confidence ``min over B′∈Y of t1[B′].cf and
+   t2[B′].cf``.
+
+Rules expose a uniform interface so UniClean can interleave matching and
+repairing without distinguishing the two (Example 3.1).  Applying a rule
+mutates the target tuple and returns a :class:`RuleApplication` record; the
+cleaning algorithms attribute fix classes (deterministic / reliable /
+possible) on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConstraintError
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.relational.tuples import CTuple
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """Record of one rule application (one cell update).
+
+    Attributes
+    ----------
+    rule_name:
+        Name of the cleaning rule that fired.
+    tid:
+        Identifier of the updated tuple.
+    attr:
+        Updated attribute.
+    old_value, new_value:
+        Cell value before/after.
+    old_conf, new_conf:
+        Confidence before/after.
+    source:
+        Where the new value came from: ``"master"`` (MD), ``"pattern"``
+        (constant CFD) or a tid (variable CFD donor tuple).
+    """
+
+    rule_name: str
+    tid: int
+    attr: str
+    old_value: Any
+    new_value: Any
+    old_conf: Optional[float]
+    new_conf: Optional[float]
+    source: Union[str, int]
+
+
+def fuzzy_min(confidences: Iterable[Optional[float]]) -> Optional[float]:
+    """Fuzzy-logic conjunction of confidences: the minimum.
+
+    Section 3.1 argues for min over product because confidence models fuzzy
+    set membership, not subjective probability.  ``None`` (unavailable)
+    absorbs: if any input is unavailable the result is unavailable.  An
+    empty input also yields ``None``.
+    """
+    values: List[float] = []
+    for conf in confidences:
+        if conf is None:
+            return None
+        values.append(conf)
+    if not values:
+        return None
+    return min(values)
+
+
+class CleaningRule:
+    """Common interface of the three rule kinds.
+
+    Subclasses define :attr:`kind`, data-side premise attributes
+    (:meth:`lhs_attrs`) and the single updated attribute (:meth:`rhs_attr`)
+    — rules are always derived from *normalized* constraints.
+    """
+
+    kind: str = "abstract"
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+    def lhs_attrs(self) -> Tuple[str, ...]:
+        """Data-side premise attributes (drive the dependency graph)."""
+        raise NotImplementedError
+
+    def rhs_attr(self) -> str:
+        """The single data-side attribute this rule updates."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+class MDRule(CleaningRule):
+    """Cleaning rule derived from a normalized positive MD."""
+
+    kind = "md"
+
+    def __init__(self, md: MD):
+        normalized = md.normalize()
+        if len(normalized) != 1:
+            raise ConstraintError(
+                f"MDRule requires a normalized MD; got {md.name} with |RHS|={len(md.rhs)}"
+            )
+        self.md = normalized[0]
+
+    @property
+    def name(self) -> str:
+        return self.md.name
+
+    def lhs_attrs(self) -> Tuple[str, ...]:
+        return self.md.lhs_attrs()
+
+    def rhs_attr(self) -> str:
+        return self.md.rhs_pair[0]
+
+    def applies(self, t: CTuple, s: CTuple) -> bool:
+        """Whether master tuple *s* can be applied to *t*: premise holds
+        and the identification does not (so an update would change ``t``)."""
+        return self.md.premise_holds(t, s) and not self.md.identified(t, s)
+
+    def derived_confidence(self, t: CTuple) -> Optional[float]:
+        """The fuzzy-min confidence over equality premise attributes.
+
+        Section 3.1: "d is the minimum t[Aj].cf for all j ∈ [1,k] if ≈j is
+        '='".  When the premise has no equality conjunct the minimum over
+        *all* premise attributes is used as a conservative fallback.
+        """
+        eq_attrs = self.md.equality_premise_attrs()
+        attrs = eq_attrs if eq_attrs else self.md.lhs_attrs()
+        return fuzzy_min(t.conf(a) for a in attrs)
+
+    def apply(
+        self,
+        t: CTuple,
+        s: CTuple,
+        new_conf: Optional[float] = None,
+    ) -> List[RuleApplication]:
+        """Apply master tuple *s* to *t*: ``t[E] := s[F]``.
+
+        Parameters
+        ----------
+        t, s:
+            Data tuple and master tuple; the caller must have verified
+            :meth:`applies` (it is re-checked defensively).
+        new_conf:
+            Confidence to assign to the updated cell; defaults to
+            :meth:`derived_confidence`.
+
+        Returns the (possibly empty) list of cell updates made.
+        """
+        if not self.md.premise_holds(t, s):
+            return []
+        if new_conf is None:
+            new_conf = self.derived_confidence(t)
+        out: List[RuleApplication] = []
+        attr, master_attr = self.md.rhs_pair
+        if t[attr] != s[master_attr]:
+            record = RuleApplication(
+                rule_name=self.name,
+                tid=t.tid if t.tid is not None else -1,
+                attr=attr,
+                old_value=t[attr],
+                new_value=s[master_attr],
+                old_conf=t.conf(attr),
+                new_conf=new_conf,
+                source="master",
+            )
+            t.set(attr, s[master_attr], new_conf)
+            out.append(record)
+        return out
+
+
+class ConstantCFDRule(CleaningRule):
+    """Cleaning rule derived from a normalized constant CFD."""
+
+    kind = "constant_cfd"
+
+    def __init__(self, cfd: CFD):
+        if not cfd.is_constant:
+            raise ConstraintError(f"{cfd.name} is not a normalized constant CFD")
+        self.cfd = cfd
+
+    @property
+    def name(self) -> str:
+        return self.cfd.name
+
+    def lhs_attrs(self) -> Tuple[str, ...]:
+        return self.cfd.lhs
+
+    def rhs_attr(self) -> str:
+        return self.cfd.rhs_attr
+
+    def applies(self, t: CTuple) -> bool:
+        """Whether ``t[X] ≍ tp[X]`` and ``t[A] ≠ tp[A]``."""
+        return self.cfd.lhs_matches(t) and t[self.cfd.rhs_attr] != self.cfd.rhs_constant
+
+    def derived_confidence(self, t: CTuple) -> Optional[float]:
+        """Fuzzy-min confidence over the LHS attributes.
+
+        For an empty LHS (a constant CFD with no premise) the value is
+        fully trusted — the pattern constant stands on its own — so 1.0.
+        """
+        if not self.cfd.lhs:
+            return 1.0
+        return fuzzy_min(t.conf(a) for a in self.cfd.lhs)
+
+    def apply(self, t: CTuple, new_conf: Optional[float] = None) -> List[RuleApplication]:
+        """Set ``t[A] := tp[A]`` when the rule applies."""
+        if not self.applies(t):
+            return []
+        if new_conf is None:
+            new_conf = self.derived_confidence(t)
+        attr = self.cfd.rhs_attr
+        record = RuleApplication(
+            rule_name=self.name,
+            tid=t.tid if t.tid is not None else -1,
+            attr=attr,
+            old_value=t[attr],
+            new_value=self.cfd.rhs_constant,
+            old_conf=t.conf(attr),
+            new_conf=new_conf,
+            source="pattern",
+        )
+        t.set(attr, self.cfd.rhs_constant, new_conf)
+        return [record]
+
+
+class VariableCFDRule(CleaningRule):
+    """Cleaning rule derived from a normalized variable CFD."""
+
+    kind = "variable_cfd"
+
+    def __init__(self, cfd: CFD):
+        if not cfd.is_variable:
+            raise ConstraintError(f"{cfd.name} is not a normalized variable CFD")
+        self.cfd = cfd
+
+    @property
+    def name(self) -> str:
+        return self.cfd.name
+
+    def lhs_attrs(self) -> Tuple[str, ...]:
+        return self.cfd.lhs
+
+    def rhs_attr(self) -> str:
+        return self.cfd.rhs_attr
+
+    def applies(self, target: CTuple, donor: CTuple) -> bool:
+        """Whether *donor* (t2) can be applied to *target* (t1).
+
+        Requires ``t1[Y] = t2[Y] ≍ tp[Y]`` and ``t1[B] ≠ t2[B]``.
+        """
+        if not (self.cfd.lhs_matches(target) and self.cfd.lhs_matches(donor)):
+            return False
+        if target.project(self.cfd.lhs) != donor.project(self.cfd.lhs):
+            return False
+        attr = self.cfd.rhs_attr
+        return target[attr] != donor[attr]
+
+    def derived_confidence(self, target: CTuple, donor: CTuple) -> Optional[float]:
+        """Min of ``t1[B′].cf`` and ``t2[B′].cf`` over ``B′ ∈ Y`` (§3.1)."""
+        confs: List[Optional[float]] = []
+        for attr in self.cfd.lhs:
+            confs.append(target.conf(attr))
+            confs.append(donor.conf(attr))
+        return fuzzy_min(confs)
+
+    def apply(
+        self,
+        target: CTuple,
+        donor: CTuple,
+        new_conf: Optional[float] = None,
+    ) -> List[RuleApplication]:
+        """Set ``t1[B] := t2[B]`` when the rule applies."""
+        if not self.applies(target, donor):
+            return []
+        if new_conf is None:
+            new_conf = self.derived_confidence(target, donor)
+        attr = self.cfd.rhs_attr
+        record = RuleApplication(
+            rule_name=self.name,
+            tid=target.tid if target.tid is not None else -1,
+            attr=attr,
+            old_value=target[attr],
+            new_value=donor[attr],
+            old_conf=target.conf(attr),
+            new_conf=new_conf,
+            source=donor.tid if donor.tid is not None else -1,
+        )
+        target.set(attr, donor[attr], new_conf)
+        return [record]
+
+
+AnyRule = Union[MDRule, ConstantCFDRule, VariableCFDRule]
+
+
+def derive_rules(
+    cfds: Sequence[CFD] = (),
+    mds: Sequence[MD] = (),
+) -> List[AnyRule]:
+    """Derive cleaning rules from constraint sets ``Σ`` and ``Γ``.
+
+    Constraints are normalized first; each normalized CFD yields a constant
+    or variable rule, each normalized MD an :class:`MDRule`.  Order follows
+    the input (CFD rules first), but algorithms re-order rules themselves
+    (eRepair sorts by the dependency graph).
+    """
+    rules: List[AnyRule] = []
+    for cfd in cfds:
+        for normalized in cfd.normalize():
+            if normalized.is_constant:
+                rules.append(ConstantCFDRule(normalized))
+            else:
+                rules.append(VariableCFDRule(normalized))
+    for md in mds:
+        for normalized in md.normalize():
+            rules.append(MDRule(normalized))
+    return rules

@@ -1,0 +1,44 @@
+"""The UniClean core: fix classes, cost model and the three algorithms.
+
+* :func:`crepair` — deterministic fixes from confidence (Section 5);
+* :func:`erepair` — reliable fixes from entropy (Section 6);
+* :func:`hrepair` — possible fixes from heuristics (Section 7);
+* :class:`UniClean` — the tri-level pipeline (Section 3.2).
+"""
+
+from repro.core.cost import DEFAULT_CONFIDENCE, cell_cost, repair_cost, value_distance
+from repro.core.crepair import CRepairResult, crepair
+from repro.core.erepair import ERepairResult, erepair
+from repro.core.fixes import Fix, FixKind, FixLog, format_fix_report, rule_statistics
+from repro.core.hrepair import (
+    HRepairResult,
+    cfd_satisfied_with_nulls,
+    hrepair,
+    is_clean,
+    md_satisfied_with_nulls,
+)
+from repro.core.uniclean import CleaningResult, UniClean, UniCleanConfig
+
+__all__ = [
+    "CRepairResult",
+    "CleaningResult",
+    "DEFAULT_CONFIDENCE",
+    "ERepairResult",
+    "Fix",
+    "FixKind",
+    "FixLog",
+    "format_fix_report",
+    "rule_statistics",
+    "HRepairResult",
+    "UniClean",
+    "UniCleanConfig",
+    "cell_cost",
+    "cfd_satisfied_with_nulls",
+    "crepair",
+    "erepair",
+    "hrepair",
+    "is_clean",
+    "md_satisfied_with_nulls",
+    "repair_cost",
+    "value_distance",
+]

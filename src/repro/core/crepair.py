@@ -1,0 +1,345 @@
+"""Algorithm ``cRepair``: deterministic fixes from confidence (Section 5).
+
+Given CFDs Σ, MDs Γ, master data ``Dm``, dirty data ``D`` and a confidence
+threshold η, ``cRepair`` finds every *deterministic fix* — a correction
+derived from attributes asserted correct (confidence ≥ η) — and returns a
+partial repair with those fixes marked.  The paper's Theorem 5.1: all
+deterministic fixes can be found in ``O(|D||Dm| size(Θ))`` time, reduced
+to ``O(|D| size(Θ))`` with the indexing of Section 5.2.
+
+The implementation follows Figs. 4–5 directly:
+
+* per-tuple rule queues ``Q[t]`` holding rules whose premise attributes
+  are all asserted;
+* counters ``count[t, ξ]`` of currently asserted premise attributes;
+* hash tables ``Hφ`` per variable CFD: for each pattern-matching LHS value
+  ``ȳ``, the waiting list of premise-asserted tuples and the unique
+  asserted RHS value ``val`` (or ``nil``);
+* hash sets ``P[t]`` of variable CFDs t is waiting on;
+* ``update`` propagates each newly asserted attribute, re-arming rules —
+  the deterministic-fix process is recursive (Section 5.1).
+
+Fix semantics per Section 5.1: a rule fires on ``t`` only when every
+premise attribute is asserted and the target attribute is *not* (an
+asserted target is never overwritten, even on conflict — such conflicts
+are left to the later phases).  A target equal to the derived value is
+*confirmed*: its confidence is upgraded to η (enabling further inference)
+but no fix is recorded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.constraints.rules import (
+    AnyRule,
+    ConstantCFDRule,
+    MDRule,
+    VariableCFDRule,
+    derive_rules,
+)
+from repro.core.fixes import Fix, FixKind, FixLog
+from repro.indexing.blocking import MDBlockingIndex
+from repro.relational.relation import Relation
+from repro.relational.tuples import CTuple
+
+
+class _VarEntry:
+    """One ``Hφ(ȳ)`` entry: waiting list and the unique asserted value."""
+
+    __slots__ = ("waiting", "waiting_tids", "val")
+
+    def __init__(self) -> None:
+        self.waiting: List[CTuple] = []
+        self.waiting_tids: Set[int] = set()
+        self.val: Optional[Any] = None
+
+
+@dataclass
+class CRepairResult:
+    """Outcome of a ``cRepair`` run."""
+
+    relation: Relation
+    fix_log: FixLog
+    deterministic_fixes: int = 0
+    confirmed_cells: int = 0
+    rules_fired: int = 0
+
+    @property
+    def fixed_cells(self) -> Set[Tuple[int, str]]:
+        """Cells carrying a deterministic mark."""
+        return self.fix_log.deterministic_cells()
+
+
+class _CRepair:
+    """Mutable state of one cRepair run (Fig. 4)."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        rules: Sequence[AnyRule],
+        master: Optional[Relation],
+        eta: float,
+        fix_log: FixLog,
+        top_l: int,
+        use_suffix_tree: bool,
+    ):
+        self.relation = relation
+        self.rules = list(rules)
+        self.eta = eta
+        self.fix_log = fix_log
+        self.master = master
+        self.result_fixes = 0
+        self.confirmed = 0
+        self.fired = 0
+
+        # Indexes rules by the data-side attributes they consume.
+        self.rules_by_lhs_attr: Dict[str, List[int]] = {}
+        for idx, rule in enumerate(self.rules):
+            for attr in rule.lhs_attrs():
+                self.rules_by_lhs_attr.setdefault(attr, []).append(idx)
+
+        self.md_indexes: Dict[int, MDBlockingIndex] = {}
+        for idx, rule in enumerate(self.rules):
+            if isinstance(rule, MDRule):
+                if master is None:
+                    raise ValueError(
+                        f"rule {rule.name} requires master data, but none was given"
+                    )
+                self.md_indexes[idx] = MDBlockingIndex(
+                    rule.md, master, top_l=top_l, use_suffix_tree=use_suffix_tree
+                )
+
+        self.h_tables: Dict[int, Dict[Tuple[Any, ...], _VarEntry]] = {
+            idx: {}
+            for idx, rule in enumerate(self.rules)
+            if isinstance(rule, VariableCFDRule)
+        }
+
+        tids = relation.tids()
+        self.count: Dict[Tuple[int, int], int] = {}
+        self.pending: Dict[int, Set[int]] = {tid: set() for tid in tids}  # P[t]
+        self.queue: Deque[Tuple[int, int]] = deque()  # global worklist (t, rule)
+        self.queued: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Worklist helpers
+    # ------------------------------------------------------------------
+    def _push(self, tid: int, rule_idx: int) -> None:
+        key = (tid, rule_idx)
+        if key not in self.queued:
+            self.queued.add(key)
+            self.queue.append(key)
+
+    def _asserted(self, t: CTuple, attr: str) -> bool:
+        return t.has_conf_at_least(attr, self.eta)
+
+    # ------------------------------------------------------------------
+    # Procedure update(t, A) — Fig. 5
+    # ------------------------------------------------------------------
+    def update(self, t: CTuple, attr: str) -> None:
+        tid = t.tid
+        assert tid is not None
+        for rule_idx in self.rules_by_lhs_attr.get(attr, ()):
+            rule = self.rules[rule_idx]
+            key = (tid, rule_idx)
+            self.count[key] = self.count.get(key, 0) + 1
+            if self.count[key] == len(rule.lhs_attrs()):
+                self._push(tid, rule_idx)
+        # Variable CFDs t was waiting on whose RHS just became asserted:
+        # t can now provide the group value.
+        for rule_idx in list(self.pending[tid]):
+            rule = self.rules[rule_idx]
+            if rule.rhs_attr() != attr:
+                continue
+            self.pending[tid].discard(rule_idx)
+            entry = self._var_entry(rule_idx, t)
+            if entry is not None and entry.val is None:
+                self._push(tid, rule_idx)
+
+    # ------------------------------------------------------------------
+    # Procedures vCFDInfer / cCFDInfer / MDInfer — Fig. 5
+    # ------------------------------------------------------------------
+    def _var_entry(self, rule_idx: int, t: CTuple) -> Optional[_VarEntry]:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, VariableCFDRule)
+        if not rule.cfd.lhs_matches(t):
+            return None
+        key = t.project(rule.cfd.lhs)
+        table = self.h_tables[rule_idx]
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = _VarEntry()
+        return entry
+
+    def _apply_fix(self, t: CTuple, attr: str, value: Any, rule_name: str, source) -> None:
+        """Write a deterministic fix (or confirm an equal value) and
+        propagate via ``update``."""
+        if t[attr] != value:
+            self.fix_log.record(
+                Fix(
+                    kind=FixKind.DETERMINISTIC,
+                    rule_name=rule_name,
+                    tid=t.tid if t.tid is not None else -1,
+                    attr=attr,
+                    old_value=t[attr],
+                    new_value=value,
+                    old_conf=t.conf(attr),
+                    new_conf=self.eta,
+                    source=source,
+                )
+            )
+            t[attr] = value
+            self.result_fixes += 1
+        else:
+            self.confirmed += 1
+        t.set_conf(attr, self.eta)
+        self.update(t, attr)
+
+    def vcfd_infer(self, t: CTuple, rule_idx: int) -> None:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, VariableCFDRule)
+        entry = self._var_entry(rule_idx, t)
+        if entry is None:  # pattern does not match t
+            return
+        rhs = rule.rhs_attr()
+        if self._asserted(t, rhs):
+            if entry.val is None:
+                # t provides the unique asserted value for Δ(ȳ); fix all
+                # waiting tuples with it.
+                entry.val = t[rhs]
+                waiting, entry.waiting = entry.waiting, []
+                entry.waiting_tids.clear()
+                for other in waiting:
+                    if other.tid == t.tid or self._asserted(other, rhs):
+                        continue
+                    self.pending[other.tid].discard(rule_idx)  # type: ignore[index]
+                    self._apply_fix(other, rhs, entry.val, rule.name, t.tid or -1)
+            # A second asserted value conflicting with val would contradict
+            # correct confidences (Section 5.1); it is left untouched here.
+            return
+        # t's RHS is not asserted.
+        if entry.val is not None:
+            self._apply_fix(t, rhs, entry.val, rule.name, "group")
+        else:
+            if t.tid not in entry.waiting_tids:
+                entry.waiting.append(t)
+                entry.waiting_tids.add(t.tid)  # type: ignore[arg-type]
+                self.pending[t.tid].add(rule_idx)  # type: ignore[index]
+
+    def ccfd_infer(self, t: CTuple, rule_idx: int) -> None:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, ConstantCFDRule)
+        if not rule.cfd.lhs_matches(t):
+            return
+        rhs = rule.rhs_attr()
+        if self._asserted(t, rhs):
+            return  # asserted targets are never overwritten
+        self._apply_fix(t, rhs, rule.cfd.rhs_constant, rule.name, "pattern")
+
+    def md_infer(self, t: CTuple, rule_idx: int) -> None:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, MDRule)
+        rhs, master_attr = rule.md.rhs_pair
+        if self._asserted(t, rhs):
+            return
+        match = self.md_indexes[rule_idx].find_match(t)
+        if match is None:
+            return
+        self._apply_fix(t, rhs, match[master_attr], rule.name, "master")
+
+    # ------------------------------------------------------------------
+    # Main loop — Fig. 4
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        relevant_attrs: Set[str] = set()
+        for rule in self.rules:
+            relevant_attrs.update(rule.lhs_attrs())
+            relevant_attrs.add(rule.rhs_attr())
+        # Initialization (lines 1–6): propagate already-asserted attributes
+        # and arm premise-free rules.
+        for idx, rule in enumerate(self.rules):
+            if not rule.lhs_attrs():
+                for tid in self.relation.tids():
+                    self._push(tid, idx)
+        for t in self.relation:
+            for attr in relevant_attrs:
+                if self._asserted(t, attr):
+                    self.update(t, attr)
+        # Fixpoint loop (lines 7–15).
+        while self.queue:
+            tid, rule_idx = self.queue.popleft()
+            self.queued.discard((tid, rule_idx))
+            t = self.relation.by_tid(tid)
+            rule = self.rules[rule_idx]
+            self.fired += 1
+            if isinstance(rule, VariableCFDRule):
+                self.vcfd_infer(t, rule_idx)
+            elif isinstance(rule, ConstantCFDRule):
+                self.ccfd_infer(t, rule_idx)
+            else:
+                self.md_infer(t, rule_idx)
+
+
+def crepair(
+    relation: Relation,
+    cfds: Sequence[CFD] = (),
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+    eta: float = 0.8,
+    fix_log: Optional[FixLog] = None,
+    top_l: int = 20,
+    use_suffix_tree: bool = True,
+    in_place: bool = False,
+) -> CRepairResult:
+    """Find all deterministic fixes in *relation* (Theorem 5.1).
+
+    Parameters
+    ----------
+    relation:
+        The dirty relation ``D``.  Cloned unless ``in_place=True``.
+    cfds, mds:
+        The rule sets Σ and Γ (normalized internally; negative MDs must
+        already be embedded via
+        :func:`repro.constraints.embed_negative`).
+    master:
+        Master data ``Dm`` (required when ``mds`` is non-empty).
+    eta:
+        Confidence threshold η; attributes with ``cf ≥ η`` are asserted.
+    fix_log:
+        Optional shared log (the UniClean pipeline threads one through all
+        three phases).
+    top_l, use_suffix_tree:
+        Blocking parameters for MD similarity search (Section 5.2).
+    in_place:
+        Mutate *relation* instead of a clone.
+
+    Returns
+    -------
+    CRepairResult
+        The partial repair with deterministic fixes marked in the log.
+    """
+    working = relation if in_place else relation.clone()
+    log = fix_log if fix_log is not None else FixLog()
+    rules = derive_rules(cfds, mds)
+    state = _CRepair(
+        working,
+        rules,
+        master,
+        eta,
+        log,
+        top_l=top_l,
+        use_suffix_tree=use_suffix_tree,
+    )
+    state.run()
+    return CRepairResult(
+        relation=working,
+        fix_log=log,
+        deterministic_fixes=state.result_fixes,
+        confirmed_cells=state.confirmed,
+        rules_fired=state.fired,
+    )

@@ -1,0 +1,267 @@
+"""Algorithm ``eRepair``: reliable fixes from entropy (Section 6).
+
+For attributes whose confidence is low or unavailable, UniClean infers
+evidence from the data itself: a variable CFD's conflict group ``Δ(ȳ)`` is
+resolved to its majority value when the entropy ``H(φ|Y=ȳ)`` falls below
+the threshold δ2 — the lower the entropy, the more certain the resolution.
+Constant-CFD and MD rules are applied unconditionally (their target value
+is dictated by the pattern constant / master data), subject to the update
+threshold δ1 that stops oscillating cells ("if t[B] has been changed less
+than δ1 times ... by rules that may not converge on its value").
+
+The algorithm (Fig. 6):
+
+1. sort the cleaning rules by the dependency graph (SCC condensation +
+   out/in-degree ratio, Section 6.2);
+2. repeatedly apply the rules in that order via ``vCFDResolve`` /
+   ``cCFDResolve`` / ``MDResolve`` until a full pass changes nothing.
+
+Deterministic fixes from cRepair are protected and never overwritten.
+Complexity: O(δ1·|D|²·|Σ| + δ1·k·|D|²·size(Γ)) in the paper's analysis;
+the 2-in-1 entropy structure (Section 6.3) keeps per-fix maintenance at
+O(log |D|) per index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dependency_graph import order_rules
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.constraints.rules import (
+    AnyRule,
+    ConstantCFDRule,
+    MDRule,
+    VariableCFDRule,
+    derive_rules,
+)
+from repro.core.fixes import Fix, FixKind, FixLog
+from repro.indexing.blocking import MDBlockingIndex
+from repro.indexing.entropy_index import EntropyIndex
+from repro.relational.relation import Relation
+from repro.relational.tuples import CTuple
+
+
+@dataclass
+class ERepairResult:
+    """Outcome of an ``eRepair`` run."""
+
+    relation: Relation
+    fix_log: FixLog
+    reliable_fixes: int = 0
+    rounds: int = 0
+
+
+class _ERepair:
+    def __init__(
+        self,
+        relation: Relation,
+        rules: Sequence[AnyRule],
+        master: Optional[Relation],
+        delta1: int,
+        delta2: float,
+        protected: Set[Tuple[int, str]],
+        fix_log: FixLog,
+        top_l: int,
+        use_suffix_tree: bool,
+    ):
+        self.relation = relation
+        self.rules = order_rules(rules)
+        self.master = master
+        self.delta1 = delta1
+        self.delta2 = delta2
+        self.protected = protected
+        self.fix_log = fix_log
+        self.change_count: Dict[Tuple[int, str], int] = {}
+        self.fixes_made = 0
+        self.rounds = 0
+
+        self.entropy_indexes: List[EntropyIndex] = []
+        self.md_indexes: Dict[int, MDBlockingIndex] = {}
+        for idx, rule in enumerate(self.rules):
+            if isinstance(rule, VariableCFDRule):
+                self.entropy_indexes.append(EntropyIndex(rule.cfd, relation))
+            elif isinstance(rule, MDRule):
+                if master is None:
+                    raise ValueError(
+                        f"rule {rule.name} requires master data, but none was given"
+                    )
+                self.md_indexes[idx] = MDBlockingIndex(
+                    rule.md, master, top_l=top_l, use_suffix_tree=use_suffix_tree
+                )
+        self.index_by_rule: Dict[int, EntropyIndex] = {}
+        position = 0
+        for idx, rule in enumerate(self.rules):
+            if isinstance(rule, VariableCFDRule):
+                self.index_by_rule[idx] = self.entropy_indexes[position]
+                position += 1
+
+    # ------------------------------------------------------------------
+    # Cell mutation with index maintenance and bookkeeping
+    # ------------------------------------------------------------------
+    def _may_change(self, t: CTuple, attr: str) -> bool:
+        cell = (t.tid, attr)
+        if cell in self.protected:
+            return False
+        return self.change_count.get(cell, 0) < self.delta1
+
+    def _set_value(self, t: CTuple, attr: str, value: Any, rule_name: str, source) -> bool:
+        """Apply one reliable fix; returns whether a change was made."""
+        if t[attr] == value:
+            return False
+        for index in self.entropy_indexes:
+            index.update_cell(t, attr, value)
+        cell = (t.tid, attr)
+        self.fix_log.record(
+            Fix(
+                kind=FixKind.RELIABLE,
+                rule_name=rule_name,
+                tid=t.tid if t.tid is not None else -1,
+                attr=attr,
+                old_value=t[attr],
+                new_value=value,
+                old_conf=t.conf(attr),
+                new_conf=t.conf(attr),
+                source=source,
+            )
+        )
+        t[attr] = value
+        self.change_count[cell] = self.change_count.get(cell, 0) + 1
+        self.fixes_made += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Procedures vCFDResolve / cCFDResolve / MDResolve (Section 6.2)
+    # ------------------------------------------------------------------
+    def vcfd_resolve(self, rule_idx: int) -> bool:
+        """Resolve low-entropy conflict groups to their majority value."""
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, VariableCFDRule)
+        index = self.index_by_rule[rule_idx]
+        rhs = rule.rhs_attr()
+        changed = False
+        # Snapshot keys first: resolving mutates the index.
+        candidate_keys = [
+            group.key for group in index.conflicting_groups() if group.entropy < self.delta2
+        ]
+        for key in candidate_keys:
+            group = index.group(key)
+            if group is None or group.entropy == 0.0:
+                continue  # already resolved as a side effect
+            if not (group.entropy < self.delta2):
+                continue
+            majority_value, _count = group.majority()
+            for tid in sorted(group.tids):
+                t = self.relation.by_tid(tid)
+                if t[rhs] == majority_value:
+                    continue
+                if not self._may_change(t, rhs):
+                    continue
+                changed |= self._set_value(t, rhs, majority_value, rule.name, "entropy")
+        return changed
+
+    def ccfd_resolve(self, rule_idx: int) -> bool:
+        """Apply a constant-CFD rule to every pattern-matching tuple."""
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, ConstantCFDRule)
+        rhs = rule.rhs_attr()
+        constant = rule.cfd.rhs_constant
+        changed = False
+        for t in self.relation:
+            if not rule.cfd.lhs_matches(t):
+                continue
+            if t[rhs] == constant:
+                continue
+            if not self._may_change(t, rhs):
+                continue
+            changed |= self._set_value(t, rhs, constant, rule.name, "pattern")
+        return changed
+
+    def md_resolve(self, rule_idx: int) -> bool:
+        """Apply an MD rule: copy master values into matching tuples."""
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, MDRule)
+        rhs, master_attr = rule.md.rhs_pair
+        index = self.md_indexes[rule_idx]
+        changed = False
+        for t in self.relation:
+            match = index.find_match(t)
+            if match is None:
+                continue
+            value = match[master_attr]
+            if t[rhs] == value:
+                continue
+            if not self._may_change(t, rhs):
+                continue
+            changed |= self._set_value(t, rhs, value, rule.name, "master")
+        return changed
+
+    # ------------------------------------------------------------------
+    # Main loop (Fig. 6)
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while True:
+            self.rounds += 1
+            changed = False
+            for idx, rule in enumerate(self.rules):
+                if isinstance(rule, VariableCFDRule):
+                    changed |= self.vcfd_resolve(idx)
+                elif isinstance(rule, ConstantCFDRule):
+                    changed |= self.ccfd_resolve(idx)
+                else:
+                    changed |= self.md_resolve(idx)
+            if not changed:
+                break
+
+
+def erepair(
+    relation: Relation,
+    cfds: Sequence[CFD] = (),
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+    delta1: int = 3,
+    delta2: float = 0.8,
+    protected: Optional[Set[Tuple[int, str]]] = None,
+    fix_log: Optional[FixLog] = None,
+    top_l: int = 20,
+    use_suffix_tree: bool = True,
+    in_place: bool = False,
+) -> ERepairResult:
+    """Find reliable (entropy-based) fixes in *relation* (Section 6).
+
+    Parameters
+    ----------
+    relation:
+        The (partially repaired) relation; cloned unless ``in_place``.
+    delta1:
+        Update threshold δ1: the maximum number of times a cell may be
+        rewritten before eRepair stops touching it.
+    delta2:
+        Entropy threshold δ2: only groups with ``H(φ|Y=ȳ) < δ2`` are
+        resolved; smaller values mean stricter (more reliable) fixes.
+    protected:
+        Cells that must not change (the deterministic fixes of cRepair).
+    """
+    working = relation if in_place else relation.clone()
+    log = fix_log if fix_log is not None else FixLog()
+    rules = derive_rules(cfds, mds)
+    state = _ERepair(
+        working,
+        rules,
+        master,
+        delta1=delta1,
+        delta2=delta2,
+        protected=protected or set(),
+        fix_log=log,
+        top_l=top_l,
+        use_suffix_tree=use_suffix_tree,
+    )
+    state.run()
+    return ERepairResult(
+        relation=working,
+        fix_log=log,
+        reliable_fixes=state.fixes_made,
+        rounds=state.rounds,
+    )

@@ -1,0 +1,202 @@
+"""Fix bookkeeping: the three accuracy classes and the fix log.
+
+UniClean marks every cell it changes with one of three signs
+(Section 3.2): **deterministic** (confidence-based, Section 5),
+**reliable** (entropy-based, Section 6) or **possible** (heuristic,
+Section 7).  :class:`FixLog` records every change, preserves the latest
+mark per cell, and exposes the protected-cell set hRepair must keep
+unchanged (Corollary 7.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.constraints.rules import RuleApplication
+
+
+class FixKind(enum.Enum):
+    """Accuracy class of a fix, in decreasing order of accuracy."""
+
+    DETERMINISTIC = "deterministic"
+    RELIABLE = "reliable"
+    POSSIBLE = "possible"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One marked cell update.
+
+    Wraps a :class:`~repro.constraints.rules.RuleApplication` (or a
+    synthetic update from hRepair's equivalence-class resolution) with its
+    accuracy class.
+    """
+
+    kind: FixKind
+    rule_name: str
+    tid: int
+    attr: str
+    old_value: Any
+    new_value: Any
+    old_conf: Optional[float]
+    new_conf: Optional[float]
+    source: Union[str, int]
+
+    @staticmethod
+    def from_application(kind: FixKind, application: RuleApplication) -> "Fix":
+        """Promote a rule application record into a marked fix."""
+        return Fix(
+            kind=kind,
+            rule_name=application.rule_name,
+            tid=application.tid,
+            attr=application.attr,
+            old_value=application.old_value,
+            new_value=application.new_value,
+            old_conf=application.old_conf,
+            new_conf=application.new_conf,
+            source=application.source,
+        )
+
+    @property
+    def cell(self) -> Tuple[int, str]:
+        """The ``(tid, attr)`` cell this fix updates."""
+        return (self.tid, self.attr)
+
+
+class FixLog:
+    """Ordered record of all fixes made during a cleaning run.
+
+    The log keeps every fix (a cell may be updated several times across
+    phases) and tracks the *latest* mark per cell — the sign the user sees
+    in the final repair.
+    """
+
+    def __init__(self) -> None:
+        self._fixes: List[Fix] = []
+        self._latest: Dict[Tuple[int, str], Fix] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, fix: Fix) -> Fix:
+        """Append *fix* and update the per-cell mark."""
+        self._fixes.append(fix)
+        self._latest[fix.cell] = fix
+        return fix
+
+    def record_applications(
+        self, kind: FixKind, applications: Iterable[RuleApplication]
+    ) -> List[Fix]:
+        """Record many rule applications under one accuracy class."""
+        return [self.record(Fix.from_application(kind, app)) for app in applications]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fixes)
+
+    def __iter__(self) -> Iterator[Fix]:
+        return iter(self._fixes)
+
+    def fixes(self, kind: Optional[FixKind] = None) -> List[Fix]:
+        """All fixes, optionally filtered by accuracy class."""
+        if kind is None:
+            return list(self._fixes)
+        return [f for f in self._fixes if f.kind is kind]
+
+    def marked_cells(self, kind: Optional[FixKind] = None) -> Set[Tuple[int, str]]:
+        """Cells whose *latest* mark has the given class (or any class)."""
+        if kind is None:
+            return set(self._latest)
+        return {cell for cell, fix in self._latest.items() if fix.kind is kind}
+
+    def mark_of(self, tid: int, attr: str) -> Optional[FixKind]:
+        """The latest mark of cell ``(tid, attr)``, or ``None``."""
+        fix = self._latest.get((tid, attr))
+        return fix.kind if fix else None
+
+    def latest_fix(self, tid: int, attr: str) -> Optional[Fix]:
+        """The latest fix of cell ``(tid, attr)``, or ``None``."""
+        return self._latest.get((tid, attr))
+
+    def deterministic_cells(self) -> Set[Tuple[int, str]]:
+        """Cells hRepair must preserve (Corollary 7.1)."""
+        return self.marked_cells(FixKind.DETERMINISTIC)
+
+    def counts(self) -> Dict[FixKind, int]:
+        """Number of fixes per class (by event, not by cell)."""
+        out = {kind: 0 for kind in FixKind}
+        for fix in self._fixes:
+            out[fix.kind] += 1
+        return out
+
+    def cell_counts(self) -> Dict[FixKind, int]:
+        """Number of *cells* per latest mark."""
+        out = {kind: 0 for kind in FixKind}
+        for fix in self._latest.values():
+            out[fix.kind] += 1
+        return out
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        cells = self.cell_counts()
+        return (
+            f"{len(self._fixes)} fixes over {len(self._latest)} cells "
+            f"(deterministic={cells[FixKind.DETERMINISTIC]}, "
+            f"reliable={cells[FixKind.RELIABLE]}, "
+            f"possible={cells[FixKind.POSSIBLE]})"
+        )
+
+
+def rule_statistics(log: FixLog) -> Dict[str, Dict[str, int]]:
+    """Per-rule fix statistics: how many fixes each rule contributed.
+
+    Returns ``rule name → {"deterministic": n, "reliable": n,
+    "possible": n, "total": n}``, useful for auditing which rules carry a
+    cleaning workload (and which are dead weight worth pruning via the
+    implication analysis).
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for fix in log:
+        stats = out.setdefault(
+            fix.rule_name,
+            {kind.value: 0 for kind in FixKind} | {"total": 0},
+        )
+        stats[fix.kind.value] += 1
+        stats["total"] += 1
+    return out
+
+
+def format_fix_report(log: FixLog, limit: int = 0) -> str:
+    """A human-readable audit report of a cleaning run.
+
+    Lists per-rule statistics (sorted by contribution) and, when *limit*
+    is positive, the first *limit* individual fixes with their provenance.
+    """
+    lines = [log.summary(), ""]
+    stats = rule_statistics(log)
+    if stats:
+        lines.append("per-rule contribution:")
+        for name, row in sorted(stats.items(), key=lambda kv: -kv[1]["total"]):
+            lines.append(
+                f"  {name}: {row['total']} fixes "
+                f"(det={row['deterministic']}, rel={row['reliable']}, "
+                f"pos={row['possible']})"
+            )
+    if limit > 0:
+        lines.append("")
+        lines.append("fixes:")
+        for fix in list(log)[:limit]:
+            lines.append(
+                f"  [{fix.kind.value:>13}] t{fix.tid}.{fix.attr}: "
+                f"{fix.old_value!r} -> {fix.new_value!r}  via {fix.rule_name}"
+            )
+        if len(log) > limit:
+            lines.append(f"  ... ({len(log) - limit} more)")
+    return "\n".join(lines)

@@ -1,0 +1,556 @@
+"""Algorithm ``hRepair``: possible fixes with heuristics (Section 7).
+
+Errors that survive cRepair and eRepair are resolved heuristically so the
+final repair ``Dr`` satisfies ``Dr ⊨ Σ`` and ``(Dr, Dm) ⊨ Γ`` while
+preserving every deterministic fix (Corollary 7.1).  The method extends
+Cong et al. (VLDB 2007): cells carry *equivalence classes* ``eq(t, A)``
+with a target value that is either ``'_'`` (free: keep the current value),
+a constant, or ``null`` (unresolvable conflict).  Targets only move up the
+lattice ``'_' → constant → null`` and classes only merge, which bounds the
+number of resolution steps and guarantees termination.
+
+Null semantics (Section 7, SQL simple semantics):
+
+* ``t1[X] = t2[X]`` evaluates to **true** when either side is null — so a
+  null never *witnesses* a violation;
+* pattern matching ``t[X] ≍ tp[X]`` is **false** on null — so rules do not
+  fire from null premises.
+
+Violation resolution:
+
+* **constant CFD** ``(X → A, tp)``: upgrade ``eq(t, A)`` to the pattern
+  constant; on conflict with an earlier constant, upgrade to null; when
+  the class is frozen by a deterministic fix, break the premise instead by
+  nulling the cheapest non-frozen LHS cell.
+* **variable CFD** ``(Y → B, tp)``: merge the classes of all B-cells in
+  the conflicting group; the merged target is the frozen value if one
+  exists, else the group value of minimum repair cost (the cost model of
+  Section 3.1); distinct frozen values make the conflict unresolvable for
+  the merge, so the premise of the cheapest non-frozen tuple is broken.
+* **MD**: upgrade ``eq(t, E)`` to the master value ``s[F]`` (master data
+  is authoritative); conflicts with other constants upgrade to null.
+
+The loop re-scans until no violation is resolvable; each resolution merges
+classes or upgrades a target, so the measure ``(#classes descending,
+#upgrades ascending)`` strictly improves and the process terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.constraints.rules import (
+    AnyRule,
+    ConstantCFDRule,
+    MDRule,
+    VariableCFDRule,
+    derive_rules,
+)
+from repro.core.cost import cell_cost
+from repro.core.fixes import Fix, FixKind, FixLog
+from repro.indexing.blocking import MDBlockingIndex
+from repro.relational.attribute import NULL, is_null
+from repro.relational.relation import Relation
+from repro.relational.tuples import CTuple
+
+Cell = Tuple[int, str]
+
+_FREE = ("_",)
+_NULL = ("null",)
+
+
+def _const(value: Any) -> Tuple[str, Any]:
+    return ("const", value)
+
+
+@dataclass
+class HRepairResult:
+    """Outcome of an ``hRepair`` run."""
+
+    relation: Relation
+    fix_log: FixLog
+    possible_fixes: int = 0
+    merges: int = 0
+    upgrades: int = 0
+    unresolved: int = 0
+    rounds: int = 0
+
+
+class _UnionFind:
+    """Union-find over cells, with per-root member lists."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Cell, Cell] = {}
+        self._members: Dict[Cell, List[Cell]] = {}
+
+    def find(self, cell: Cell) -> Cell:
+        if cell not in self._parent:
+            self._parent[cell] = cell
+            self._members[cell] = [cell]
+            return cell
+        root = cell
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[cell] != root:  # path compression
+            self._parent[cell], cell = root, self._parent[cell]
+        return root
+
+    def union(self, a: Cell, b: Cell) -> Cell:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if len(self._members[ra]) < len(self._members[rb]):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._members[ra].extend(self._members.pop(rb))
+        return ra
+
+    def members(self, cell: Cell) -> List[Cell]:
+        return self._members[self.find(cell)]
+
+
+class _HRepair:
+    def __init__(
+        self,
+        relation: Relation,
+        rules: Sequence[AnyRule],
+        master: Optional[Relation],
+        protected: Set[Cell],
+        fix_log: FixLog,
+        top_l: int,
+        use_suffix_tree: bool,
+        max_rounds: int,
+    ):
+        self.relation = relation
+        self.rules = list(rules)
+        self.master = master
+        self.protected = protected
+        self.fix_log = fix_log
+        self.max_rounds = max_rounds
+        self.uf = _UnionFind()
+        self.targets: Dict[Cell, Tuple] = {}  # root -> target
+        self.fixes_made = 0
+        self.merges = 0
+        self.upgrades = 0
+        self.unresolved: Set[Tuple] = set()
+        self.rounds = 0
+
+        self.md_indexes: Dict[int, MDBlockingIndex] = {}
+        for idx, rule in enumerate(self.rules):
+            if isinstance(rule, MDRule):
+                if master is None:
+                    raise ValueError(
+                        f"rule {rule.name} requires master data, but none was given"
+                    )
+                self.md_indexes[idx] = MDBlockingIndex(
+                    rule.md, master, top_l=top_l, use_suffix_tree=use_suffix_tree
+                )
+
+        # Freeze classes of protected (deterministic) cells at their value.
+        for cell in protected:
+            tid, attr = cell
+            root = self.uf.find(cell)
+            self.targets[root] = ("frozen", self.relation.by_tid(tid)[attr])
+
+    # ------------------------------------------------------------------
+    # Target lattice
+    # ------------------------------------------------------------------
+    def _target(self, cell: Cell) -> Tuple:
+        return self.targets.get(self.uf.find(cell), _FREE)
+
+    def _is_frozen(self, cell: Cell) -> bool:
+        return self._target(cell)[0] == "frozen"
+
+    def _set_target(self, cell: Cell, target: Tuple, rule_name: str) -> None:
+        """Upgrade the target of *cell*'s class and sync cell values."""
+        root = self.uf.find(cell)
+        old = self.targets.get(root, _FREE)
+        if old == target:
+            return
+        if old[0] == "frozen":
+            raise AssertionError("frozen targets must never be reassigned")
+        self.targets[root] = target
+        self.upgrades += 1
+        self._sync(root, rule_name)
+
+    def _merge(self, cells: Sequence[Cell], target: Tuple, rule_name: str) -> None:
+        root = self.uf.find(cells[0])
+        for cell in cells[1:]:
+            other = self.uf.find(cell)
+            if other != root:
+                self.merges += 1
+                self.targets.pop(other, None)
+                self.targets.pop(root, None)
+                root = self.uf.union(root, other)
+        self.targets[root] = target
+        if target[0] != "frozen":
+            self.upgrades += 1
+        self._sync(root, rule_name)
+
+    def _sync(self, root: Cell, rule_name: str) -> None:
+        """Reflect a class target into the working relation."""
+        target = self.targets.get(root, _FREE)
+        if target[0] == "_":
+            return
+        value = NULL if target[0] == "null" else target[1]
+        for tid, attr in self.uf.members(root):
+            t = self.relation.by_tid(tid)
+            if t[attr] == value:
+                continue
+            if (tid, attr) in self.protected:
+                continue  # defensive; frozen classes keep their value
+            self.fix_log.record(
+                Fix(
+                    kind=FixKind.POSSIBLE,
+                    rule_name=rule_name,
+                    tid=tid,
+                    attr=attr,
+                    old_value=t[attr],
+                    new_value=value,
+                    old_conf=t.conf(attr),
+                    new_conf=t.conf(attr),
+                    source="heuristic",
+                )
+            )
+            t[attr] = value
+            self.fixes_made += 1
+
+    # ------------------------------------------------------------------
+    # Premise breaking (last resort around frozen conflicts)
+    # ------------------------------------------------------------------
+    def _break_premise(self, t: CTuple, lhs: Sequence[str], rule_name: str) -> bool:
+        """Null the cheapest non-frozen LHS cell so the rule no longer
+        applies to *t*.  Returns False when every LHS cell is frozen.
+
+        Free-target cells are preferred; upgrading a const target to null
+        is a legal lattice move (constant → null, Cong et al.) and is used
+        as a second resort — it nulls the cell's whole equivalence class.
+        """
+        candidates: List[Tuple[int, float, str]] = []
+        for attr in lhs:
+            cell = (t.tid, attr)
+            if cell in self.protected or self._is_frozen(cell):
+                continue
+            target = self._target(cell)
+            if target[0] == "null":
+                continue  # already null — cannot break further here
+            rank = 1 if target[0] == "const" else 0
+            conf = t.conf(attr)
+            candidates.append((rank, conf if conf is not None else 0.0, attr))
+        if not candidates:
+            return False
+        candidates.sort()
+        attr = candidates[0][2]
+        self._set_target((t.tid, attr), _NULL, rule_name)
+        return True
+
+    # ------------------------------------------------------------------
+    # Violation scans (null-tolerant semantics)
+    # ------------------------------------------------------------------
+    def resolve_constant(self, rule: ConstantCFDRule) -> bool:
+        rhs = rule.rhs_attr()
+        constant = rule.cfd.rhs_constant
+        changed = False
+        for t in self.relation:
+            if not rule.cfd.lhs_matches(t):
+                continue
+            current = t[rhs]
+            if not is_null(current) and current == constant:
+                continue
+            cell = (t.tid, rhs)
+            signature = ("c", rule.name, t.tid)
+            if signature in self.unresolved:
+                continue
+            target = self._target(cell)
+            if target[0] == "frozen":
+                if target[1] == constant:
+                    continue
+                if not self._break_premise(t, rule.cfd.lhs, rule.name):
+                    self.unresolved.add(signature)
+                else:
+                    changed = True
+                continue
+            if target[0] == "null":
+                continue  # already tombstoned; null satisfies the check
+            if target[0] == "const" and target[1] != constant:
+                self._set_target(cell, _NULL, rule.name)
+            else:
+                self._set_target(cell, _const(constant), rule.name)
+            changed = True
+        return changed
+
+    def resolve_variable(self, rule: VariableCFDRule) -> bool:
+        rhs = rule.rhs_attr()
+        changed = False
+        groups: Dict[Tuple[Any, ...], List[CTuple]] = {}
+        for t in self.relation:
+            if rule.cfd.lhs_matches(t):
+                groups.setdefault(t.project(rule.cfd.lhs), []).append(t)
+        for key, group in groups.items():
+            # Tombstoned cells (target null) stay null: re-filling them
+            # would undo an earlier conflict resolution.
+            members = [
+                t for t in group if self._target((t.tid, rhs))[0] != "null"
+            ]
+            values = {t[rhs] for t in members if not is_null(t[rhs])}
+            has_free_nulls = any(is_null(t[rhs]) for t in members)
+            if len(values) < 2 and not (values and has_free_nulls):
+                continue  # consistent (nulls alone never violate)
+            signature = ("v", rule.name, key)
+            if signature in self.unresolved:
+                continue
+            cells = [(t.tid, rhs) for t in members]
+            frozen_values = {
+                self._target(cell)[1] for cell in cells if self._is_frozen(cell)
+            }
+            if len(frozen_values) > 1:
+                # Two deterministic fixes disagree — the merge is
+                # impossible.  Dissolve the conflict by breaking the
+                # premise of one of the *frozen participants*: null a
+                # non-frozen LHS cell of a frozen tuple so it leaves the
+                # group (breaking an uninvolved tuple's premise would not
+                # remove the violation).
+                broken = False
+                for t in sorted(members, key=lambda x: x.tid or 0):
+                    if self._is_frozen((t.tid, rhs)):
+                        if self._break_premise(t, rule.cfd.lhs, rule.name):
+                            broken = True
+                            break
+                if not broken:
+                    self.unresolved.add(signature)
+                else:
+                    changed = True
+                continue
+            if frozen_values:
+                target = ("frozen", next(iter(frozen_values)))
+            else:
+                const_targets = {
+                    self._target(cell)[1]
+                    for cell in cells
+                    if self._target(cell)[0] == "const"
+                }
+                if len(const_targets) > 1:
+                    target = _NULL
+                elif const_targets:
+                    target = _const(next(iter(const_targets)))
+                else:
+                    target = _const(self._cheapest_value(members, rhs, values))
+            self._merge(cells, target, rule.name)
+            changed = True
+        return changed
+
+    def _cheapest_value(self, group: Sequence[CTuple], rhs: str, values: Set[Any]) -> Any:
+        """The group value minimizing total repair cost (Section 3.1).
+
+        Cost ties (common when confidences are zero) break towards the
+        *most frequent* value — the majority heuristic — then towards the
+        lexicographically smallest for determinism.
+        """
+        counts: Dict[Any, int] = {}
+        for t in group:
+            counts[t[rhs]] = counts.get(t[rhs], 0) + 1
+        best_value = None
+        best_key = None
+        for value in sorted(values, key=repr):
+            total = 0.0
+            for t in group:
+                if t[rhs] != value:
+                    total += cell_cost(t[rhs], value, t.conf(rhs))
+            key = (total, -counts.get(value, 0), repr(value))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_value = value
+        return best_value
+
+    def resolve_md(self, rule_idx: int) -> bool:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, MDRule)
+        rhs, master_attr = rule.md.rhs_pair
+        index = self.md_indexes[rule_idx]
+        changed = False
+        for t in self.relation:
+            # All premise-satisfying master tuples place a demand on t[E];
+            # a single match dictates a constant, conflicting matches are
+            # resolved with null (which satisfies the null-tolerant check).
+            demanded = sorted(
+                {s[master_attr] for s in index.matches(t)}, key=repr
+            )
+            if not demanded:
+                continue
+            current = t[rhs]
+            if len(demanded) == 1 and not is_null(current) and current == demanded[0]:
+                continue
+            if is_null(current):
+                if len(demanded) > 1 or self._target((t.tid, rhs))[0] == "null":
+                    continue  # null already satisfies every demand
+            cell = (t.tid, rhs)
+            signature = ("m", rule.name, t.tid)
+            if signature in self.unresolved:
+                continue
+            target = self._target(cell)
+            if target[0] == "frozen":
+                if len(demanded) == 1 and target[1] == demanded[0]:
+                    continue
+                if not self._break_premise(t, rule.md.lhs_attrs(), rule.name):
+                    self.unresolved.add(signature)
+                else:
+                    changed = True
+                continue
+            if len(demanded) > 1:
+                if target[0] != "null":
+                    self._set_target(cell, _NULL, rule.name)
+                    changed = True
+                continue
+            value = demanded[0]
+            if target[0] == "null":
+                continue
+            if target[0] == "const" and target[1] != value:
+                self._set_target(cell, _NULL, rule.name)
+            else:
+                self._set_target(cell, _const(value), rule.name)
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while self.rounds < self.max_rounds:
+            self.rounds += 1
+            changed = False
+            for idx, rule in enumerate(self.rules):
+                if isinstance(rule, ConstantCFDRule):
+                    changed |= self.resolve_constant(rule)
+                elif isinstance(rule, VariableCFDRule):
+                    changed |= self.resolve_variable(rule)
+                else:
+                    changed |= self.resolve_md(idx)
+            if not changed:
+                break
+
+
+# ----------------------------------------------------------------------
+# Null-tolerant satisfaction checks (the guarantee of Corollary 7.1)
+# ----------------------------------------------------------------------
+def cfd_satisfied_with_nulls(relation: Relation, cfd: CFD) -> bool:
+    """``D ⊨ φ`` under the simple SQL null semantics of Section 7.
+
+    A tuple with a null in the pattern scope never matches the pattern;
+    value comparisons involving null evaluate to true.
+    """
+    for normalized in cfd.normalize():
+        rhs = normalized.rhs_attr
+        if normalized.is_constant:
+            for t in relation:
+                if not normalized.lhs_matches(t):
+                    continue
+                if not is_null(t[rhs]) and t[rhs] != normalized.rhs_constant:
+                    return False
+        else:
+            groups: Dict[Tuple[Any, ...], Set[Any]] = {}
+            for t in relation:
+                if not normalized.lhs_matches(t):
+                    continue
+                if is_null(t[rhs]):
+                    continue
+                groups.setdefault(t.project(normalized.lhs), set()).add(t[rhs])
+            for values in groups.values():
+                if len(values) > 1:
+                    return False
+    return True
+
+
+def md_satisfied_with_nulls(relation: Relation, master: Relation, md: MD) -> bool:
+    """``(D, Dm) ⊨ ψ`` with null counting as identified (Section 7).
+
+    Master tuples are bucketed on the equality premise attributes, so
+    expensive similarity predicates only run within matching buckets.
+    """
+    from repro.indexing.blocking import ExactIndex
+
+    for normalized in md.normalize():
+        rhs, master_attr = normalized.rhs_pair
+        eq_clauses = [c for c in normalized.premise if c.is_equality]
+        if eq_clauses:
+            index = ExactIndex(master, [c.master_attr for c in eq_clauses])
+            data_attrs = [c.attr for c in eq_clauses]
+            for t in relation:
+                if is_null(t[rhs]):
+                    continue
+                key = t.project(data_attrs)
+                if any(is_null(v) for v in key):
+                    continue
+                for s in index.lookup(key):
+                    if normalized.premise_holds(t, s) and t[rhs] != s[master_attr]:
+                        return False
+        else:
+            for t in relation:
+                if is_null(t[rhs]):
+                    continue
+                for s in master:
+                    if normalized.premise_holds(t, s) and t[rhs] != s[master_attr]:
+                        return False
+    return True
+
+
+def is_clean(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+) -> bool:
+    """Whether *relation* satisfies Σ and Γ under null-tolerant semantics."""
+    for cfd in cfds:
+        if not cfd_satisfied_with_nulls(relation, cfd):
+            return False
+    if master is not None:
+        for md in mds:
+            if not md_satisfied_with_nulls(relation, master, md):
+                return False
+    return True
+
+
+def hrepair(
+    relation: Relation,
+    cfds: Sequence[CFD] = (),
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+    protected: Optional[Set[Cell]] = None,
+    fix_log: Optional[FixLog] = None,
+    top_l: int = 20,
+    use_suffix_tree: bool = True,
+    in_place: bool = False,
+    max_rounds: int = 100,
+) -> HRepairResult:
+    """Produce a consistent repair with heuristic *possible* fixes.
+
+    Finds a repair ``Dr`` with ``Dr ⊨ Σ`` and ``(Dr, Dm) ⊨ Γ`` (under
+    Section 7's null semantics) that preserves all *protected*
+    (deterministic) cells — Corollary 7.1.
+    """
+    working = relation if in_place else relation.clone()
+    log = fix_log if fix_log is not None else FixLog()
+    rules = derive_rules(cfds, mds)
+    state = _HRepair(
+        working,
+        rules,
+        master,
+        protected=protected or set(),
+        fix_log=log,
+        top_l=top_l,
+        use_suffix_tree=use_suffix_tree,
+        max_rounds=max_rounds,
+    )
+    state.run()
+    return HRepairResult(
+        relation=working,
+        fix_log=log,
+        possible_fixes=state.fixes_made,
+        merges=state.merges,
+        upgrades=state.upgrades,
+        unresolved=len(state.unresolved),
+        rounds=state.rounds,
+    )

@@ -1,0 +1,41 @@
+"""Benchmark dataset generators (Section 8 workloads).
+
+Real HOSP/DBLP downloads and the TPC-H generator are unavailable offline,
+so these modules generate data with the same schema shapes and dependency
+structure (see DESIGN.md "Substitutions").  All generators are
+deterministic given a seed and return a :class:`DirtyDataset` carrying the
+master data, the dirty relation, the rule sets and full ground truth.
+"""
+
+from repro.datasets.dblp import DBLP_SCHEMA, dblp_rules, generate_dblp
+from repro.datasets.generator import (
+    DirtyDataset,
+    NamePool,
+    assign_confidences,
+    corrupt_cell,
+    inject_noise,
+    split_rows,
+    typo,
+)
+from repro.datasets.hosp import HOSP_SCHEMA, generate_hosp, hosp_rules
+from repro.datasets.tpch import TPCH_SCHEMA, generate_tpch, tpch_cfds, tpch_mds
+
+__all__ = [
+    "DBLP_SCHEMA",
+    "DirtyDataset",
+    "HOSP_SCHEMA",
+    "NamePool",
+    "TPCH_SCHEMA",
+    "assign_confidences",
+    "corrupt_cell",
+    "dblp_rules",
+    "generate_dblp",
+    "generate_hosp",
+    "generate_tpch",
+    "hosp_rules",
+    "inject_noise",
+    "split_rows",
+    "tpch_cfds",
+    "tpch_mds",
+    "typo",
+]

@@ -1,0 +1,278 @@
+"""Synthetic DBLP dataset (substitute for the DBLP bibliography extract).
+
+The paper's DBLP source (400K tuples × 12 attributes, 7 CFDs + 3 MDs) is
+not available offline; this generator produces bibliography-shaped data
+with the same rule structure: venue entities determine publisher/series,
+(venue, volume) determines year, publication entities determine
+title/pages/ee, and MDs identify publications across dirty data and
+master data by title/author similarity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.datasets.generator import (
+    DirtyDataset,
+    NamePool,
+    assign_confidences,
+    inject_noise,
+    split_rows,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.similarity.predicates import edit_within
+
+#: The 12 attributes of the DBLP schema.
+DBLP_ATTRS = (
+    "key",
+    "title",
+    "authors",
+    "venue",
+    "year",
+    "volume",
+    "pages",
+    "publisher",
+    "series",
+    "ee",
+    "type",
+    "month",
+)
+
+DBLP_SCHEMA = Schema("dblp", DBLP_ATTRS)
+
+_VENUES = [
+    ("SIGMOD", "ACM", "SIGMOD Proceedings"),
+    ("VLDB", "VLDB Endowment", "PVLDB"),
+    ("ICDE", "IEEE", "ICDE Proceedings"),
+    ("EDBT", "OpenProceedings", "EDBT Series"),
+    ("PODS", "ACM", "PODS Proceedings"),
+    ("TODS", "ACM", "ACM Transactions"),
+]
+_MONTHS = ["January", "March", "June", "September", "December"]
+_TOPICS = [
+    "data cleaning",
+    "record matching",
+    "query optimization",
+    "stream processing",
+    "data integration",
+    "provenance",
+    "schema mapping",
+    "entity resolution",
+]
+
+
+def _make_venue_volumes(rng: random.Random) -> List[Dict[str, str]]:
+    """Venue-volume entities: (venue, volume) determines year."""
+    out = []
+    for venue, publisher, series in _VENUES:
+        for volume in range(1, 9):
+            out.append(
+                {
+                    "venue": venue,
+                    "publisher": publisher,
+                    "series": series,
+                    "volume": str(volume),
+                    "year": str(2000 + volume + rng.randrange(0, 3)),
+                }
+            )
+    return out
+
+
+def _make_publications(
+    pool: NamePool,
+    rng: random.Random,
+    venue_volumes: List[Dict[str, str]],
+    count: int,
+    start_index: int = 0,
+) -> List[Dict[str, Any]]:
+    """Publication entities: key determines all bibliographic attributes."""
+    out = []
+    used_titles: set = set()
+    for i in range(count):
+        vv = rng.choice(venue_volumes)
+        while True:
+            title = (
+                f"On {rng.choice(_TOPICS)} via {pool.word(2)} {pool.word(2)}"
+            ).title()
+            if title not in used_titles:
+                used_titles.add(title)
+                break
+        first_page = rng.randrange(1, 500)
+        out.append(
+            {
+                "key": f"conf/{vv['venue'].lower()}/{pool.word(2)}{start_index + i}",
+                "title": title,
+                "authors": f"{pool.proper_name()} {pool.proper_name()} and "
+                f"{pool.proper_name()} {pool.proper_name()}",
+                "pages": f"{first_page}-{first_page + rng.randrange(5, 20)}",
+                "ee": f"https://doi.org/10.1145/{pool.digits(6)}",
+                "type": "inproceedings" if vv["venue"] != "TODS" else "article",
+                "month": rng.choice(_MONTHS),
+                **vv,
+            }
+        )
+    return out
+
+
+def dblp_rules() -> Tuple[List[CFD], List[MD]]:
+    """The 7 CFDs and 3 MDs of the DBLP workload."""
+    s = DBLP_SCHEMA
+    cfds: List[CFD] = [
+        # 4 variable CFDs.
+        CFD(s, ["venue"], ["publisher"], name="d_venue_pub"),
+        CFD(s, ["venue"], ["series"], name="d_venue_series"),
+        CFD(s, ["venue", "volume"], ["year"], name="d_vv_year"),
+        CFD(s, ["key"], ["title"], name="d_key_title"),
+        # 3 constant CFDs.
+        CFD(
+            s,
+            ["venue"],
+            ["publisher"],
+            {"venue": "SIGMOD", "publisher": "ACM"},
+            name="d_c_sigmod",
+        ),
+        CFD(
+            s,
+            ["venue"],
+            ["publisher"],
+            {"venue": "VLDB", "publisher": "VLDB Endowment"},
+            name="d_c_vldb",
+        ),
+        CFD(
+            s,
+            ["type"],
+            ["type"],
+            lhs_pattern={"type": "inproc"},
+            rhs_pattern={"type": "inproceedings"},
+            name="d_c_type_norm",
+        ),
+    ]
+    assert len(cfds) == 7, f"expected 7 DBLP CFDs, got {len(cfds)}"
+    mds: List[MD] = [
+        # Duplicate records carry their own DBLP keys, so entity identity
+        # flows through titles, author lists and DOIs (ee), never keys.
+        # Every premise includes year= (the natural bibliography blocking
+        # attribute): a corrupted year hides a record from all matching
+        # rules until (venue, volume) → year repairs it — the Exp-2
+        # interaction.
+        MD(
+            s,
+            s,
+            [("title", "title", edit_within(3)), ("year", "year")],
+            [("ee", "ee")],
+            name="d_md_title",
+        ),
+        MD(
+            s,
+            s,
+            [("ee", "ee"), ("year", "year")],
+            [("title", "title"), ("pages", "pages")],
+            name="d_md_ee",
+        ),
+        MD(
+            s,
+            s,
+            [
+                ("authors", "authors", edit_within(5)),
+                ("venue", "venue"),
+                ("year", "year"),
+            ],
+            [("title", "title"), ("ee", "ee")],
+            name="d_md_authors",
+        ),
+    ]
+    return cfds, mds
+
+
+def generate_dblp(
+    size: int = 300,
+    master_size: int = 150,
+    noise_rate: float = 0.06,
+    duplicate_rate: float = 0.4,
+    asserted_rate: float = 0.4,
+    seed: int = 11,
+) -> DirtyDataset:
+    """Generate a DBLP benchmark instance (parameters as in the paper).
+
+    ``dup%`` of the dirty tuples describe publications present in the
+    master data; the rest are publications the master has never seen.
+    Some type values are abbreviated to ``"inproc"`` as alias noise for
+    the normalization rule ``d_c_type_norm`` (the φ4 analogue).
+    """
+    rng = random.Random(seed)
+    pool = NamePool(rng)
+    venue_volumes = _make_venue_volumes(rng)
+
+    master_pub_count = max(3, master_size)
+    extra_pub_count = max(2, size)
+    master_pubs = _make_publications(pool, rng, venue_volumes, master_pub_count)
+    extra_pubs = _make_publications(
+        pool, rng, venue_volumes, extra_pub_count, start_index=master_pub_count
+    )
+
+    master = Relation(DBLP_SCHEMA)
+    master_tid_of_key: Dict[str, int] = {}
+    for pub in master_pubs[:master_size]:
+        t = master.add_row(pub)
+        master_tid_of_key[pub["key"]] = t.tid  # type: ignore[assignment]
+
+    matched_count, unmatched_count = split_rows(size, duplicate_rate)
+    clean = Relation(DBLP_SCHEMA)
+    true_matches = set()
+    indexed_master = master_pubs[:master_size]
+    for i in range(matched_count):
+        pub = rng.choice(indexed_master)
+        duplicate = dict(pub)
+        # A duplicate record of the same publication: its own DBLP key,
+        # but the same DOI (ee) — the realistic dedup scenario.
+        duplicate["key"] = f"{pub['key']}-dup{i}"
+        t = clean.add_row(duplicate)
+        true_matches.add((t.tid, master_tid_of_key[pub["key"]]))
+    for _ in range(unmatched_count):
+        clean.add_row(dict(rng.choice(extra_pubs)))
+
+    dirty, errors = inject_noise(
+        clean,
+        noise_rate,
+        rng,
+        typo_only_attrs=("key", "venue", "volume", "type"),
+    )
+
+    # Alias noise for the normalization rule: abbreviate some clean
+    # "inproceedings" type cells to "inproc".
+    alias_candidates = [
+        tid
+        for tid in dirty.tids()
+        if dirty.by_tid(tid)["type"] == "inproceedings"
+        and (tid, "type") not in errors
+    ]
+    alias_count = min(len(alias_candidates), max(1, size // 25))
+    for tid in rng.sample(alias_candidates, alias_count):
+        dirty.by_tid(tid)["type"] = "inproc"
+        errors.add((tid, "type"))
+
+    assign_confidences(dirty, clean, asserted_rate, rng)
+    cfds, mds = dblp_rules()
+    return DirtyDataset(
+        name="dblp",
+        schema=DBLP_SCHEMA,
+        master=master,
+        clean=clean,
+        dirty=dirty,
+        cfds=cfds,
+        mds=mds,
+        true_matches=true_matches,
+        errors=errors,
+        params={
+            "size": size,
+            "master_size": master_size,
+            "noise_rate": noise_rate,
+            "duplicate_rate": duplicate_rate,
+            "asserted_rate": asserted_rate,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,295 @@
+"""Shared machinery for synthetic dirty-dataset generation (Section 8).
+
+The paper's evaluation produces dirty datasets from clean sources under
+four parameters:
+
+* ``|D|`` — data size;
+* ``noi%`` — noise rate: fraction of attribute cells made erroneous;
+* ``dup%`` — duplicate rate: fraction of tuples with a master match;
+* ``asr%`` — asserted rate: per attribute, the fraction of tuples whose
+  cell gets confidence 1 (all other cells get confidence 0).
+
+The real HOSP/DBLP sources are not available offline, so
+:mod:`repro.datasets.hosp`, :mod:`repro.datasets.dblp` and
+:mod:`repro.datasets.tpch` generate data with the same dependency
+structure (see DESIGN.md, "Substitutions").  This module provides the
+common steps: noise injection, confidence assignment and the
+:class:`DirtyDataset` container carrying ground truth for evaluation.
+
+Confidence protocol: the paper treats user confidence as correct
+("we assume the correctness of ... confidence levels", Section 5.1), so
+asserted cells are sampled from the *correct* cells only.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.exceptions import DataError
+from repro.relational.attribute import is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+Cell = Tuple[int, str]
+
+
+@dataclass
+class DirtyDataset:
+    """A generated benchmark instance with full ground truth.
+
+    Attributes
+    ----------
+    name:
+        Dataset family (``"hosp"``, ``"dblp"``, ``"tpch"``).
+    schema:
+        The (shared data/master) schema.
+    master:
+        Master data ``Dm`` — clean, consistent with the rules.
+    clean:
+        The ground-truth version of the dirty relation (same tids).
+    dirty:
+        The relation ``D`` handed to cleaning algorithms.
+    cfds, mds:
+        The designed rule sets Σ and Γ.
+    true_matches:
+        Ground-truth ``(tid, master_tid)`` identifications — every pair
+        referring to the same real-world entity.
+    errors:
+        The cells where ``dirty`` differs from ``clean``.
+    params:
+        The generation parameters, for reporting.
+    """
+
+    name: str
+    schema: Schema
+    master: Relation
+    clean: Relation
+    dirty: Relation
+    cfds: List[CFD]
+    mds: List[MD]
+    true_matches: Set[Tuple[int, int]]
+    errors: Set[Cell]
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def noise_cells(self) -> int:
+        """Number of erroneous cells actually injected."""
+        return len(self.errors)
+
+    def error_rate(self) -> float:
+        """Realized fraction of erroneous cells."""
+        total = len(self.dirty) * len(self.schema)
+        return len(self.errors) / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Noise operators
+# ----------------------------------------------------------------------
+_ALPHABET = string.ascii_lowercase + string.digits
+
+
+def typo(value: str, rng: random.Random) -> str:
+    """One random character edit (insert/delete/substitute) of *value*.
+
+    Guaranteed to return a string different from the input (retries on
+    accidental no-ops such as substituting a character with itself).
+    """
+    if not value:
+        return rng.choice(_ALPHABET)
+    for _ in range(16):
+        op = rng.randrange(3)
+        position = rng.randrange(len(value))
+        if op == 0:  # substitute
+            replacement = rng.choice(_ALPHABET)
+            candidate = value[:position] + replacement + value[position + 1 :]
+        elif op == 1:  # delete
+            candidate = value[:position] + value[position + 1 :]
+        else:  # insert
+            candidate = value[:position] + rng.choice(_ALPHABET) + value[position:]
+        if candidate != value:
+            return candidate
+    return value + rng.choice(_ALPHABET)
+
+
+def corrupt_cell(
+    value: Any,
+    domain_pool: Sequence[Any],
+    rng: random.Random,
+    typo_share: float = 0.5,
+) -> Any:
+    """Produce an erroneous version of *value*.
+
+    With probability *typo_share* a typo (small edit, recoverable by
+    similarity predicates); otherwise a *semantic* error — a different
+    value drawn from the attribute's active domain, the kind of error CFDs
+    catch.  Falls back to a typo when the pool has no alternative value.
+    """
+    if is_null(value):
+        return value
+    text = str(value)
+    if rng.random() >= typo_share:
+        alternatives = [v for v in domain_pool if v != value and not is_null(v)]
+        if alternatives:
+            return rng.choice(alternatives)
+    return typo(text, rng)
+
+
+def inject_noise(
+    clean: Relation,
+    noise_rate: float,
+    rng: random.Random,
+    attrs: Optional[Sequence[str]] = None,
+    typo_share: float = 0.5,
+    typo_only_attrs: Sequence[str] = (),
+) -> Tuple[Relation, Set[Cell]]:
+    """Corrupt ``noise_rate`` of the cells of *clean* (over *attrs*).
+
+    Returns the dirty clone and the set of corrupted cells.  The noise
+    rate is interpreted per the paper: "the ratio of the number of
+    erroneous attributes to the total number of attributes in D"; cells
+    are sampled without replacement so the realized rate matches exactly
+    (up to rounding).
+
+    ``typo_only_attrs`` restricts the corruption of code-like attributes
+    (keys, venue/measure codes) to typos: real-world identifiers are
+    mistyped, not swapped wholesale for another valid identifier, and a
+    swap to a valid code would be an *undetectable* error that no cleaning
+    system — the paper's included — could flag.
+    """
+    if not 0.0 <= noise_rate <= 1.0:
+        raise DataError(f"noise rate must be in [0, 1], got {noise_rate}")
+    names = list(attrs) if attrs is not None else list(clean.schema.names)
+    typo_only = set(typo_only_attrs)
+    dirty = clean.clone()
+    pools: Dict[str, List[Any]] = {
+        attr: sorted(clean.active_domain(attr), key=repr) for attr in names
+    }
+    cells: List[Cell] = [
+        (tid, attr)
+        for tid in dirty.tids()
+        for attr in names
+        if not is_null(dirty.by_tid(tid)[attr])
+    ]
+    target = round(noise_rate * len(dirty) * len(names))
+    target = min(target, len(cells))
+    chosen = rng.sample(cells, target) if target else []
+    errors: Set[Cell] = set()
+    for tid, attr in chosen:
+        t = dirty.by_tid(tid)
+        original = t[attr]
+        share = 1.0 if attr in typo_only else typo_share
+        corrupted = corrupt_cell(original, pools[attr], rng, typo_share=share)
+        if corrupted != original:
+            t[attr] = corrupted
+            errors.add((tid, attr))
+    return dirty, errors
+
+
+def assign_confidences(
+    dirty: Relation,
+    clean: Relation,
+    asserted_rate: float,
+    rng: random.Random,
+    asserted_conf: float = 1.0,
+    default_conf: float = 0.0,
+) -> None:
+    """Apply the asserted-rate protocol of Exp-4 in place.
+
+    "For each attribute A, we randomly picked asr% of tuples t from the
+    data and set t[A].cf = 1, while letting t′[A].cf = 0 for the other
+    tuples."  Confidence is assumed correct (Section 5.1), so the asr%
+    sample is drawn from the cells that are actually correct.
+    """
+    if not 0.0 <= asserted_rate <= 1.0:
+        raise DataError(f"asserted rate must be in [0, 1], got {asserted_rate}")
+    for attr in dirty.schema.names:
+        correct_tids = [
+            tid
+            for tid in dirty.tids()
+            if dirty.by_tid(tid)[attr] == clean.by_tid(tid)[attr]
+        ]
+        count = round(asserted_rate * len(dirty))
+        count = min(count, len(correct_tids))
+        asserted = set(rng.sample(correct_tids, count)) if count else set()
+        for tid in dirty.tids():
+            conf = asserted_conf if tid in asserted else default_conf
+            dirty.by_tid(tid).set_conf(attr, conf)
+
+
+def split_rows(
+    total: int,
+    duplicate_rate: float,
+) -> Tuple[int, int]:
+    """Split *total* rows into (master-matched, unmatched) counts."""
+    if not 0.0 <= duplicate_rate <= 1.0:
+        raise DataError(f"duplicate rate must be in [0, 1], got {duplicate_rate}")
+    matched = round(duplicate_rate * total)
+    return matched, total - matched
+
+
+class NamePool:
+    """Deterministic pools of synthetic proper names, streets and words.
+
+    All pools derive from the seeded RNG, so a dataset is reproducible
+    from ``(family, seed, params)`` alone.
+    """
+
+    _SYLLABLES = [
+        "al", "an", "ar", "bel", "bor", "cam", "dan", "dor", "el", "fen",
+        "gar", "hal", "jor", "kel", "lan", "mar", "nor", "or", "pel", "quin",
+        "ran", "sel", "tor", "ul", "ver", "wil", "xan", "yor", "zel", "bran",
+    ]
+    _STREET_KINDS = ["St", "Ave", "Rd", "Blvd", "Ln", "Way", "Dr", "Ct"]
+
+    def __init__(self, rng: random.Random):
+        self._rng = rng
+
+    def word(self, syllables: int = 2) -> str:
+        """A pronounceable synthetic word."""
+        return "".join(self._rng.choice(self._SYLLABLES) for _ in range(syllables))
+
+    def proper_name(self, syllables: int = 2) -> str:
+        """A capitalized synthetic name."""
+        return self.word(syllables).capitalize()
+
+    def street(self) -> str:
+        """A street address like ``"42 Kelmar St"``."""
+        number = self._rng.randrange(1, 999)
+        return f"{number} {self.proper_name()} {self._rng.choice(self._STREET_KINDS)}"
+
+    def phone(self, digits: int = 7) -> str:
+        """A numeric phone string of the given length."""
+        first = self._rng.choice("23456789")
+        rest = "".join(self._rng.choice(string.digits) for _ in range(digits - 1))
+        return first + rest
+
+    def digits(self, count: int) -> str:
+        """A fixed-length digit string."""
+        return "".join(self._rng.choice(string.digits) for _ in range(count))
+
+    def code(self, prefix: str, width: int, value: int) -> str:
+        """A zero-padded identifier like ``"HOSP00042"``."""
+        return f"{prefix}{value:0{width}d}"
+
+    def sparse_code(self, prefix: str, width: int) -> str:
+        """A unique identifier with random digits, e.g. ``"H382047"``.
+
+        Sparse codes matter for realism *and* for evaluation fidelity:
+        with sequential ids a one-character typo frequently lands on
+        another valid id (H00042 → H00043), an **undetectable** error that
+        silently re-assigns the tuple to a different entity and lets the
+        cleaner confidently cascade wrong repairs.  Real registries use
+        sparse id spaces where typos almost always produce invalid codes.
+        """
+        if not hasattr(self, "_used_codes"):
+            self._used_codes: set = set()
+        while True:
+            code = prefix + self.digits(width)
+            if code not in self._used_codes:
+                self._used_codes.add(code)
+                return code

@@ -1,0 +1,384 @@
+"""Synthetic HOSP dataset (substitute for the US HHS hospital data).
+
+The paper's HOSP source (hospitalcompare.hhs.gov; 100K records × 19
+attributes, 23 CFDs + 3 MDs) is not available offline.  This generator
+produces data with the same shape and dependency structure:
+
+* 19 attributes: provider identity, geography (zip → city/state/county),
+  contact details and per-measure quality scores;
+* geography, provider and measure entities induce the 13 variable CFDs;
+* pool-derived constants give 10 constant CFDs (23 total, as in the
+  paper);
+* 3 MDs identify hospital entities across the dirty data and master data.
+
+Every code path of the cleaning pipeline is exercised the same way the
+real data would: constant/variable CFD repairs, entropy conflict groups
+(several transactions per provider), similarity-based master matching and
+the interaction between them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.datasets.generator import (
+    DirtyDataset,
+    NamePool,
+    assign_confidences,
+    inject_noise,
+    split_rows,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+#: The 19 attributes of the HOSP schema.
+HOSP_ATTRS = (
+    "provider",
+    "hospital",
+    "address",
+    "city",
+    "state",
+    "zip",
+    "county",
+    "phone",
+    "type",
+    "owner",
+    "emergency",
+    "measure",
+    "measure_name",
+    "condition",
+    "score",
+    "sample",
+    "state_avg",
+    "quarter",
+    "source",
+)
+
+HOSP_SCHEMA = Schema("hosp", HOSP_ATTRS)
+
+_STATES = ["AL", "AK", "AZ", "CA", "CO", "FL", "GA", "IL", "NY", "TX", "WA", "OH"]
+_TYPES = ["Acute Care", "Critical Access", "Childrens"]
+_OWNERS = ["Government", "Proprietary", "Voluntary", "Church"]
+_CONDITIONS = [
+    "Heart Attack",
+    "Heart Failure",
+    "Pneumonia",
+    "Surgical Infection",
+    "Emergency",
+    "Stroke",
+]
+_QUARTERS = ["2010Q1", "2010Q2", "2010Q3", "2010Q4"]
+
+
+def _make_geo(pool: NamePool, rng: random.Random, count: int) -> List[Dict[str, str]]:
+    """Zip-code entities: zip determines city, state and county."""
+    out = []
+    used_zips = set()
+    for _ in range(count):
+        while True:
+            zip_code = pool.digits(5)
+            if zip_code not in used_zips:
+                used_zips.add(zip_code)
+                break
+        out.append(
+            {
+                "zip": zip_code,
+                "city": pool.proper_name(2) + " City",
+                "state": rng.choice(_STATES),
+                "county": pool.proper_name(2) + " County",
+            }
+        )
+    return out
+
+
+def _make_measures(pool: NamePool, rng: random.Random, count: int) -> List[Dict[str, str]]:
+    """Measure entities: code determines name and condition."""
+    out = []
+    for i in range(count):
+        condition = _CONDITIONS[i % len(_CONDITIONS)]
+        out.append(
+            {
+                "measure": pool.sparse_code("AMI-", 4),
+                "measure_name": f"{condition} {pool.proper_name(2)} rate",
+                "condition": condition,
+            }
+        )
+    return out
+
+
+def _make_hospitals(
+    pool: NamePool,
+    rng: random.Random,
+    geo: List[Dict[str, str]],
+    count: int,
+    start_index: int = 0,
+) -> List[Dict[str, str]]:
+    """Hospital entities: provider id determines all identity attributes.
+
+    Phones and names are unique across hospitals so the FD
+    phone → provider and the MD identification premises hold on clean
+    data by construction.
+    """
+    out = []
+    used_phones: set = set()
+    used_names: set = set()
+    for i in range(count):
+        place = rng.choice(geo)
+        hospital_type = rng.choice(_TYPES)
+        while True:
+            phone = pool.phone(10)
+            if phone not in used_phones:
+                used_phones.add(phone)
+                break
+        while True:
+            name = f"{pool.proper_name(2)} {pool.proper_name(2)} Hospital"
+            if name not in used_names:
+                used_names.add(name)
+                break
+        out.append(
+            {
+                "provider": pool.sparse_code("H", 6),
+                "hospital": name,
+                "address": pool.street(),
+                "phone": phone,
+                "type": hospital_type,
+                "owner": rng.choice(_OWNERS),
+                # The generator enforces the constant CFD
+                # type='Childrens' → emergency='No'.
+                "emergency": "No" if hospital_type == "Childrens" else rng.choice(["Yes", "No"]),
+                **place,
+            }
+        )
+    return out
+
+
+def _row(
+    hospital: Dict[str, str],
+    measure: Dict[str, str],
+    state_avg: Dict[Tuple[str, str], str],
+    pool: NamePool,
+    rng: random.Random,
+) -> Dict[str, Any]:
+    """One clean HOSP row: a hospital × measure observation."""
+    return {
+        **hospital,
+        **measure,
+        "score": f"{rng.randrange(5, 100)}%",
+        "sample": str(rng.randrange(10, 2000)),
+        "state_avg": state_avg[(measure["measure"], hospital["state"])],
+        "quarter": rng.choice(_QUARTERS),
+        "source": "HHS",
+    }
+
+
+def hosp_rules(
+    geo: List[Dict[str, str]],
+    measures: List[Dict[str, str]],
+    state_avg: Dict[Tuple[str, str], str],
+) -> Tuple[List[CFD], List[MD]]:
+    """The 23 CFDs and 3 MDs of the HOSP workload.
+
+    Constant rules are derived from the generated pools (the analogue of
+    the paper "manually designing" rules from the real data).
+    """
+    s = HOSP_SCHEMA
+    cfds: List[CFD] = [
+        # 13 variable CFDs (traditional FDs).
+        CFD(s, ["zip"], ["city"], name="h_zip_city"),
+        CFD(s, ["zip"], ["state"], name="h_zip_state"),
+        CFD(s, ["zip"], ["county"], name="h_zip_county"),
+        CFD(s, ["provider"], ["hospital"], name="h_prov_hosp"),
+        CFD(s, ["provider"], ["address"], name="h_prov_addr"),
+        CFD(s, ["provider"], ["zip"], name="h_prov_zip"),
+        CFD(s, ["provider"], ["phone"], name="h_prov_phone"),
+        CFD(s, ["provider"], ["city"], name="h_prov_city"),
+        CFD(s, ["provider"], ["state"], name="h_prov_state"),
+        CFD(s, ["measure"], ["measure_name"], name="h_meas_name"),
+        CFD(s, ["measure"], ["condition"], name="h_meas_cond"),
+        CFD(s, ["measure", "state"], ["state_avg"], name="h_meas_state_avg"),
+        CFD(s, ["phone"], ["provider"], name="h_phone_prov"),
+    ]
+    # 10 constant CFDs derived from the pools.
+    g0, g1 = geo[0], geo[1]
+    m0, m1 = measures[0], measures[1]
+    cfds.extend(
+        [
+            CFD(s, ["zip"], ["city"], {"zip": g0["zip"], "city": g0["city"]}, name="h_c_zip0_city"),
+            CFD(s, ["zip"], ["state"], {"zip": g0["zip"], "state": g0["state"]}, name="h_c_zip0_state"),
+            CFD(s, ["zip"], ["city"], {"zip": g1["zip"], "city": g1["city"]}, name="h_c_zip1_city"),
+            CFD(s, ["zip"], ["state"], {"zip": g1["zip"], "state": g1["state"]}, name="h_c_zip1_state"),
+            CFD(
+                s,
+                ["measure"],
+                ["condition"],
+                {"measure": m0["measure"], "condition": m0["condition"]},
+                name="h_c_m0_cond",
+            ),
+            CFD(
+                s,
+                ["measure"],
+                ["measure_name"],
+                {"measure": m0["measure"], "measure_name": m0["measure_name"]},
+                name="h_c_m0_name",
+            ),
+            CFD(
+                s,
+                ["measure"],
+                ["condition"],
+                {"measure": m1["measure"], "condition": m1["condition"]},
+                name="h_c_m1_cond",
+            ),
+            CFD(
+                s,
+                ["type"],
+                ["emergency"],
+                {"type": "Childrens", "emergency": "No"},
+                name="h_c_childrens",
+            ),
+            CFD(s, [], ["source"], rhs_pattern={"source": "HHS"}, name="h_c_source"),
+            CFD(
+                s,
+                ["measure", "state"],
+                ["state_avg"],
+                {
+                    "measure": m0["measure"],
+                    "state": g0["state"],
+                    "state_avg": state_avg[(m0["measure"], g0["state"])],
+                },
+                name="h_c_avg0",
+            ),
+        ]
+    )
+    assert len(cfds) == 23, f"expected 23 HOSP CFDs, got {len(cfds)}"
+
+    from repro.similarity.predicates import edit_within
+
+    # Every premise includes state= — the natural blocking attribute of
+    # hospital matching.  A corrupted state therefore hides a tuple from
+    # *all* matching rules until repairing restores it (via zip → state),
+    # which is precisely the repairing-helps-matching interaction of
+    # Exp-2.
+    mds: List[MD] = [
+        MD(
+            s,
+            s,
+            [
+                ("zip", "zip"),
+                ("phone", "phone", edit_within(2)),
+                ("hospital", "hospital", edit_within(3)),
+                ("state", "state"),
+            ],
+            [("provider", "provider")],
+            name="h_md_identity",
+        ),
+        MD(
+            s,
+            s,
+            [("provider", "provider"), ("state", "state")],
+            [("hospital", "hospital"), ("phone", "phone"), ("address", "address")],
+            name="h_md_provider",
+        ),
+        MD(
+            s,
+            s,
+            [
+                ("hospital", "hospital", edit_within(2)),
+                ("city", "city"),
+                ("state", "state"),
+            ],
+            [("zip", "zip"), ("provider", "provider")],
+            name="h_md_geo",
+        ),
+    ]
+    return cfds, mds
+
+
+def generate_hosp(
+    size: int = 300,
+    master_size: int = 150,
+    noise_rate: float = 0.06,
+    duplicate_rate: float = 0.4,
+    asserted_rate: float = 0.4,
+    seed: int = 7,
+) -> DirtyDataset:
+    """Generate a HOSP benchmark instance.
+
+    Parameters mirror the paper's Exp knobs: ``size`` = |D|,
+    ``master_size`` = |Dm|, ``noise_rate`` = noi%, ``duplicate_rate`` =
+    dup%, ``asserted_rate`` = asr%.  Deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    pool = NamePool(rng)
+    geo = _make_geo(pool, rng, max(6, size // 30))
+    measures = _make_measures(pool, rng, max(4, min(12, size // 25)))
+    state_avg: Dict[Tuple[str, str], str] = {
+        (m["measure"], st): f"{rng.randrange(20, 95)}%" for m in measures for st in _STATES
+    }
+
+    # Keep per-hospital redundancy inside D low (~2 rows per hospital):
+    # master data must contribute values D cannot reconstruct on its own,
+    # which is where the matching-helps-repairing interaction shows.
+    master_hospital_count = max(3, master_size // 2)
+    extra_hospital_count = max(2, master_hospital_count // 2)
+    master_hospitals = _make_hospitals(pool, rng, geo, master_hospital_count)
+    extra_hospitals = _make_hospitals(
+        pool, rng, geo, extra_hospital_count, start_index=master_hospital_count
+    )
+
+    # Master data: hospital × measure observations, clean by construction.
+    master = Relation(HOSP_SCHEMA)
+    master_rows_of_provider: Dict[str, List[int]] = {}
+    combos = [(h, m) for h in master_hospitals for m in measures]
+    rng.shuffle(combos)
+    for hospital, measure in combos[:master_size]:
+        t = master.add_row(_row(hospital, measure, state_avg, pool, rng))
+        master_rows_of_provider.setdefault(hospital["provider"], []).append(t.tid)
+
+    # Ensure every master hospital has at least one master row.
+    for hospital in master_hospitals:
+        if hospital["provider"] not in master_rows_of_provider:
+            t = master.add_row(_row(hospital, rng.choice(measures), state_avg, pool, rng))
+            master_rows_of_provider[hospital["provider"]] = [t.tid]
+
+    matched_count, unmatched_count = split_rows(size, duplicate_rate)
+    clean = Relation(HOSP_SCHEMA)
+    true_matches = set()
+    for _ in range(matched_count):
+        hospital = rng.choice(master_hospitals)
+        t = clean.add_row(_row(hospital, rng.choice(measures), state_avg, pool, rng))
+        for sid in master_rows_of_provider[hospital["provider"]]:
+            true_matches.add((t.tid, sid))
+    for _ in range(unmatched_count):
+        hospital = rng.choice(extra_hospitals)
+        clean.add_row(_row(hospital, rng.choice(measures), state_avg, pool, rng))
+
+    dirty, errors = inject_noise(
+        clean,
+        noise_rate,
+        rng,
+        typo_only_attrs=("provider", "measure", "zip", "phone", "type"),
+    )
+    assign_confidences(dirty, clean, asserted_rate, rng)
+    cfds, mds = hosp_rules(geo, measures, state_avg)
+    return DirtyDataset(
+        name="hosp",
+        schema=HOSP_SCHEMA,
+        master=master,
+        clean=clean,
+        dirty=dirty,
+        cfds=cfds,
+        mds=mds,
+        true_matches=true_matches,
+        errors=errors,
+        params={
+            "size": size,
+            "master_size": master_size,
+            "noise_rate": noise_rate,
+            "duplicate_rate": duplicate_rate,
+            "asserted_rate": asserted_rate,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,393 @@
+"""Synthetic TPC-H dataset (substitute for the TPC-H benchmark join).
+
+The paper "generated [TPC-H data] from TPC-H benchmark by joining all
+tables together into a single table ... 100K tuples, each with 58
+attributes ... 55 FDs ... 55 CFDs and 10 MDs were used by default", and
+uses it purely for scalability (Exp-5).  This generator emits a
+denormalized lineitem-order-customer-part-supplier-nation-region row with
+exactly 58 attributes whose key → attribute dependencies yield the 55
+FDs; 10 MDs identify customer/supplier/part entities against master data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD
+from repro.datasets.generator import (
+    DirtyDataset,
+    NamePool,
+    assign_confidences,
+    inject_noise,
+    split_rows,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.similarity.predicates import edit_within
+
+#: The 58 attributes of the denormalized TPC-H schema.
+TPCH_ATTRS = (
+    # lineitem (16)
+    "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+    "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+    "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
+    "l_shipmode", "l_shipyear",
+    # orders (9)
+    "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+    "o_orderpriority", "o_clerk", "o_shippriority", "o_comment", "o_orderyear",
+    # customer (12)
+    "c_name", "c_address", "c_city", "c_zip", "c_nationkey", "c_nation",
+    "c_region", "c_phone", "c_acctbal", "c_mktsegment", "c_comment",
+    "c_regionkey",
+    # part (10)
+    "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
+    "p_retailprice", "p_comment", "p_color", "p_series",
+    # supplier (11)
+    "s_name", "s_address", "s_city", "s_zip", "s_nationkey", "s_nation",
+    "s_region", "s_phone", "s_acctbal", "s_comment", "s_regionkey",
+)
+
+TPCH_SCHEMA = Schema("tpch", TPCH_ATTRS)
+
+assert len(TPCH_ATTRS) == 58, f"TPC-H schema must have 58 attributes, has {len(TPCH_ATTRS)}"
+
+_NATIONS = [
+    ("ALGERIA", "AFRICA"), ("BRAZIL", "AMERICA"), ("CANADA", "AMERICA"),
+    ("FRANCE", "EUROPE"), ("GERMANY", "EUROPE"), ("INDIA", "ASIA"),
+    ("JAPAN", "ASIA"), ("KENYA", "AFRICA"), ("PERU", "AMERICA"),
+    ("CHINA", "ASIA"), ("ROMANIA", "EUROPE"), ("EGYPT", "MIDDLE EAST"),
+]
+_REGION_KEY = {region: str(i) for i, region in enumerate(
+    ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+)}
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_COLORS = ["red", "green", "blue", "ivory", "plum", "sienna", "khaki", "linen"]
+_CONTAINERS = ["SM BOX", "LG CASE", "MED DRUM", "JUMBO JAR", "WRAP PACK"]
+_MODES = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+
+def _nation_fields(prefix: str, rng: random.Random) -> Dict[str, str]:
+    index = rng.randrange(len(_NATIONS))
+    nation, region = _NATIONS[index]
+    return {
+        f"{prefix}_nationkey": str(index),
+        f"{prefix}_nation": nation,
+        f"{prefix}_region": region,
+        f"{prefix}_regionkey": _REGION_KEY[region],
+    }
+
+
+def _unique(make: Any, used: set) -> Any:
+    """Draw from *make()* until the value is fresh (keeps clean data FD-consistent)."""
+    while True:
+        value = make()
+        if value not in used:
+            used.add(value)
+            return value
+
+
+_USED_ZIPS: set = set()
+_USED_PHONES: set = set()
+_USED_NAMES: set = set()
+
+
+def _reset_pools() -> None:
+    """Clear cross-call uniqueness pools (one generator run = one dataset)."""
+    _USED_ZIPS.clear()
+    _USED_PHONES.clear()
+    _USED_NAMES.clear()
+
+
+def _make_customers(pool: NamePool, rng: random.Random, count: int, start: int = 0):
+    out = []
+    for i in range(count):
+        out.append(
+            {
+                "o_custkey": pool.sparse_code("C", 7),
+                "c_name": _unique(lambda: f"Customer {pool.proper_name(3)}", _USED_NAMES),
+                "c_address": pool.street(),
+                "c_city": pool.proper_name(2) + " City",
+                "c_zip": _unique(lambda: pool.digits(5), _USED_ZIPS),
+                "c_phone": _unique(lambda: pool.phone(10), _USED_PHONES),
+                "c_acctbal": f"{rng.randrange(-999, 9999)}.{rng.randrange(100):02d}",
+                "c_mktsegment": rng.choice(_SEGMENTS),
+                "c_comment": pool.word(3),
+                **_nation_fields("c", rng),
+            }
+        )
+    return out
+
+
+def _make_parts(pool: NamePool, rng: random.Random, count: int, start: int = 0):
+    out = []
+    for i in range(count):
+        color = rng.choice(_COLORS)
+        mfgr = f"Manufacturer#{rng.randrange(1, 6)}"
+        out.append(
+            {
+                "l_partkey": pool.sparse_code("P", 7),
+                "p_name": f"{color} {pool.word(2)} {pool.word(2)}",
+                "p_mfgr": mfgr,
+                "p_brand": f"Brand#{mfgr[-1]}{rng.randrange(1, 6)}",
+                "p_type": f"{rng.choice(['STANDARD', 'SMALL', 'LARGE'])} "
+                f"{rng.choice(['ANODIZED', 'BURNISHED', 'PLATED'])} "
+                f"{rng.choice(['TIN', 'NICKEL', 'STEEL'])}",
+                "p_size": str(rng.randrange(1, 50)),
+                "p_container": rng.choice(_CONTAINERS),
+                "p_retailprice": f"{rng.randrange(900, 2000)}.{rng.randrange(100):02d}",
+                "p_comment": pool.word(2),
+                "p_color": color,
+                "p_series": f"S{rng.randrange(1, 9)}",
+            }
+        )
+    return out
+
+
+def _make_suppliers(pool: NamePool, rng: random.Random, count: int, start: int = 0):
+    out = []
+    for i in range(count):
+        out.append(
+            {
+                "l_suppkey": pool.sparse_code("S", 7),
+                "s_name": _unique(lambda: f"Supplier {pool.proper_name(3)}", _USED_NAMES),
+                "s_address": pool.street(),
+                "s_city": pool.proper_name(2) + " City",
+                "s_zip": _unique(lambda: pool.digits(5), _USED_ZIPS),
+                "s_phone": _unique(lambda: pool.phone(10), _USED_PHONES),
+                "s_acctbal": f"{rng.randrange(-999, 9999)}.{rng.randrange(100):02d}",
+                "s_comment": pool.word(3),
+                **_nation_fields("s", rng),
+            }
+        )
+    return out
+
+
+def _make_orders(pool: NamePool, rng: random.Random, customers, count: int, start: int = 0):
+    out = []
+    for i in range(count):
+        customer = rng.choice(customers)
+        year = rng.randrange(1992, 1999)
+        out.append(
+            {
+                "l_orderkey": pool.sparse_code("O", 8),
+                "o_custkey": customer["o_custkey"],
+                "o_orderstatus": rng.choice(["F", "O", "P"]),
+                "o_totalprice": f"{rng.randrange(1000, 400000)}.{rng.randrange(100):02d}",
+                "o_orderdate": f"{year}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}",
+                "o_orderpriority": rng.choice(_PRIORITIES),
+                "o_clerk": f"Clerk#{pool.digits(9)}",
+                "o_shippriority": "0",
+                "o_comment": pool.word(3),
+                "o_orderyear": str(year),
+                "_customer": customer,
+            }
+        )
+    return out
+
+
+def _row(order, part, supplier, pool: NamePool, rng: random.Random, linenumber: int):
+    ship_year = rng.randrange(1992, 1999)
+    ship_date = f"{ship_year}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}"
+    row: Dict[str, Any] = {
+        "l_linenumber": str(linenumber),
+        "l_quantity": str(rng.randrange(1, 51)),
+        "l_extendedprice": f"{rng.randrange(1000, 90000)}.{rng.randrange(100):02d}",
+        "l_discount": f"0.0{rng.randrange(10)}",
+        "l_tax": f"0.0{rng.randrange(9)}",
+        "l_returnflag": rng.choice(["A", "N", "R"]),
+        "l_linestatus": rng.choice(["F", "O"]),
+        "l_shipdate": ship_date,
+        "l_commitdate": f"{ship_year}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}",
+        "l_receiptdate": f"{ship_year}-{rng.randrange(1, 13):02d}-{rng.randrange(1, 29):02d}",
+        "l_shipinstruct": rng.choice(_INSTRUCTS),
+        "l_shipmode": rng.choice(_MODES),
+        "l_shipyear": str(ship_year),
+    }
+    row.update({k: v for k, v in order.items() if not k.startswith("_")})
+    row.update(order["_customer"])
+    row.update(part)
+    row.update(supplier)
+    return row
+
+
+#: FD groups: key attribute(s) → dependent attributes.
+_FD_GROUPS: List[Tuple[Tuple[str, ...], Tuple[str, ...]]] = [
+    (
+        ("o_custkey",),
+        (
+            "c_name", "c_address", "c_city", "c_zip", "c_nationkey", "c_nation",
+            "c_region", "c_phone", "c_acctbal", "c_mktsegment", "c_comment",
+            "c_regionkey",
+        ),
+    ),
+    (
+        ("l_partkey",),
+        (
+            "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
+            "p_retailprice", "p_comment", "p_color", "p_series",
+        ),
+    ),
+    (
+        ("l_suppkey",),
+        (
+            "s_name", "s_address", "s_city", "s_zip", "s_nationkey", "s_nation",
+            "s_region", "s_phone", "s_acctbal", "s_comment", "s_regionkey",
+        ),
+    ),
+    (
+        ("l_orderkey",),
+        (
+            "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+            "o_orderpriority", "o_clerk", "o_shippriority", "o_comment",
+            "o_orderyear",
+        ),
+    ),
+    (("c_nationkey",), ("c_nation", "c_region")),
+    (("s_nationkey",), ("s_nation", "s_region")),
+    (("l_shipdate",), ("l_shipyear",)),
+    (("c_zip",), ("c_city",)),
+    (("s_zip",), ("s_city",)),
+    (("o_orderdate",), ("o_orderyear",)),
+    (("c_nation",), ("c_region", "c_regionkey")),
+    (("s_nation",), ("s_region", "s_regionkey")),
+    (("c_region",), ("c_regionkey",)),
+]
+
+
+def tpch_cfds() -> List[CFD]:
+    """The 55 FDs of the TPC-H workload, as normalized CFDs."""
+    out: List[CFD] = []
+    for lhs, rhs_attrs in _FD_GROUPS:
+        for rhs in rhs_attrs:
+            out.append(
+                CFD(
+                    TPCH_SCHEMA,
+                    list(lhs),
+                    [rhs],
+                    name=f"t_{'_'.join(lhs)}__{rhs}",
+                )
+            )
+    assert len(out) == 55, f"expected 55 TPC-H FDs, got {len(out)}"
+    return out
+
+
+def tpch_mds() -> List[MD]:
+    """The 10 default MDs of the TPC-H workload."""
+    s = TPCH_SCHEMA
+    specs = [
+        ([("c_phone", "c_phone"), ("c_name", "c_name", edit_within(3))],
+         [("o_custkey", "o_custkey")], "t_md_cust_id"),
+        ([("o_custkey", "o_custkey")], [("c_phone", "c_phone")], "t_md_cust_phone"),
+        ([("o_custkey", "o_custkey")], [("c_address", "c_address")], "t_md_cust_addr"),
+        ([("s_phone", "s_phone"), ("s_name", "s_name", edit_within(3))],
+         [("l_suppkey", "l_suppkey")], "t_md_supp_id"),
+        ([("l_suppkey", "l_suppkey")], [("s_phone", "s_phone")], "t_md_supp_phone"),
+        ([("l_suppkey", "l_suppkey")], [("s_address", "s_address")], "t_md_supp_addr"),
+        ([("p_name", "p_name", edit_within(2)), ("p_brand", "p_brand")],
+         [("l_partkey", "l_partkey")], "t_md_part_id"),
+        ([("l_partkey", "l_partkey")], [("p_type", "p_type")], "t_md_part_type"),
+        ([("l_orderkey", "l_orderkey")], [("o_orderdate", "o_orderdate")], "t_md_order_date"),
+        ([("c_name", "c_name"), ("c_zip", "c_zip")], [("c_address", "c_address")],
+         "t_md_cust_geo"),
+    ]
+    out = [MD(s, s, premise, rhs, name=name) for premise, rhs, name in specs]
+    assert len(out) == 10
+    return out
+
+
+def generate_tpch(
+    size: int = 200,
+    master_size: int = 100,
+    noise_rate: float = 0.06,
+    duplicate_rate: float = 0.4,
+    asserted_rate: float = 0.4,
+    seed: int = 13,
+    n_cfds: int = 55,
+    n_mds: int = 10,
+) -> DirtyDataset:
+    """Generate a TPC-H scalability instance.
+
+    ``n_cfds`` and ``n_mds`` subset the rule sets — Exp-5 varies |Σ| and
+    |Γ| (Figs. 14g/14h); the paper similarly "controlled the number of
+    CFDs and MDs".
+    """
+    rng = random.Random(seed)
+    pool = NamePool(rng)
+    _reset_pools()
+    scale = max(3, size // 12)
+    master_customers = _make_customers(pool, rng, scale)
+    extra_customers = _make_customers(pool, rng, max(2, scale // 2), start=scale)
+    parts = _make_parts(pool, rng, scale * 2)
+    suppliers = _make_suppliers(pool, rng, scale)
+    master_orders = _make_orders(pool, rng, master_customers, scale * 2)
+    extra_orders = _make_orders(
+        pool, rng, extra_customers, max(2, scale), start=scale * 2
+    )
+
+    master = Relation(TPCH_SCHEMA)
+    master_tids_of_custkey: Dict[str, List[int]] = {}
+    for i in range(master_size):
+        order = rng.choice(master_orders)
+        t = master.add_row(
+            _row(order, rng.choice(parts), rng.choice(suppliers), pool, rng, i % 7 + 1)
+        )
+        master_tids_of_custkey.setdefault(order["o_custkey"], []).append(t.tid)
+
+    matched_count, unmatched_count = split_rows(size, duplicate_rate)
+    clean = Relation(TPCH_SCHEMA)
+    true_matches = set()
+    matchable_orders = [
+        o for o in master_orders if o["o_custkey"] in master_tids_of_custkey
+    ]
+    for i in range(matched_count):
+        order = rng.choice(matchable_orders)
+        t = clean.add_row(
+            _row(order, rng.choice(parts), rng.choice(suppliers), pool, rng, i % 7 + 1)
+        )
+        for sid in master_tids_of_custkey[order["o_custkey"]]:
+            true_matches.add((t.tid, sid))
+    for i in range(unmatched_count):
+        order = rng.choice(extra_orders)
+        clean.add_row(
+            _row(order, rng.choice(parts), rng.choice(suppliers), pool, rng, i % 7 + 1)
+        )
+
+    dirty, errors = inject_noise(
+        clean,
+        noise_rate,
+        rng,
+        typo_only_attrs=(
+            "l_orderkey", "l_partkey", "l_suppkey", "o_custkey",
+            "c_nationkey", "s_nationkey", "c_nation", "s_nation",
+            "c_region", "s_region", "c_zip", "s_zip",
+            "l_shipdate", "o_orderdate",
+        ),
+    )
+    assign_confidences(dirty, clean, asserted_rate, rng)
+    cfds = tpch_cfds()[:n_cfds]
+    mds = tpch_mds()[:n_mds]
+    return DirtyDataset(
+        name="tpch",
+        schema=TPCH_SCHEMA,
+        master=master,
+        clean=clean,
+        dirty=dirty,
+        cfds=cfds,
+        mds=mds,
+        true_matches=true_matches,
+        errors=errors,
+        params={
+            "size": size,
+            "master_size": master_size,
+            "noise_rate": noise_rate,
+            "duplicate_rate": duplicate_rate,
+            "asserted_rate": asserted_rate,
+            "seed": seed,
+            "n_cfds": n_cfds,
+            "n_mds": n_mds,
+        },
+    )

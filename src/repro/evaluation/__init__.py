@@ -1,0 +1,30 @@
+"""Evaluation: Section 8 metrics and the experiment harness."""
+
+from repro.evaluation.experiment import (
+    GENERATORS,
+    exp1_matching_helps_repairing,
+    exp2_repairing_helps_matching,
+    exp3_fix_accuracy,
+    exp4_deterministic_fixes,
+    exp5_scalability,
+    format_table,
+    generate,
+    run_uniclean,
+)
+from repro.evaluation.metrics import Metrics, f_measure, matching_metrics, repair_metrics
+
+__all__ = [
+    "GENERATORS",
+    "Metrics",
+    "exp1_matching_helps_repairing",
+    "exp2_repairing_helps_matching",
+    "exp3_fix_accuracy",
+    "exp4_deterministic_fixes",
+    "exp5_scalability",
+    "f_measure",
+    "format_table",
+    "generate",
+    "matching_metrics",
+    "repair_metrics",
+    "run_uniclean",
+]

@@ -1,0 +1,130 @@
+"""Precision / recall / F-measure, exactly as defined in Section 8.
+
+Repairing: "precision is the ratio of attributes correctly updated to the
+number of all the attributes updated, and recall is the ratio of
+attributes corrected to the number of all erroneous attributes."
+
+Matching: "precision is the ratio of true matches (true positives)
+correctly found by an algorithm to all the duplicates found, and recall
+is the ratio of true matches correctly found to all the matches between a
+dataset and master data."
+
+``F-measure = 2 · (precision · recall) / (precision + recall)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.exceptions import DataError
+from repro.relational.relation import Relation
+
+Cell = Tuple[int, str]
+
+
+def f_measure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """A precision/recall/F triple with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    found: int
+    relevant: int
+
+    @staticmethod
+    def from_counts(true_positives: int, found: int, relevant: int) -> "Metrics":
+        """Build metrics from raw counts.
+
+        Conventions for degenerate denominators: precision is 1 when
+        nothing was found (no wrong output was produced) and recall is 1
+        when nothing was relevant (nothing was missed).
+        """
+        precision = true_positives / found if found else 1.0
+        recall = true_positives / relevant if relevant else 1.0
+        return Metrics(
+            precision=precision,
+            recall=recall,
+            f1=f_measure(precision, recall),
+            true_positives=true_positives,
+            found=found,
+            relevant=relevant,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F={self.f1:.3f} "
+            f"({self.true_positives}/{self.found} found, {self.relevant} relevant)"
+        )
+
+
+def repair_metrics(
+    dirty: Relation,
+    repaired: Relation,
+    clean: Relation,
+    cells: Optional[Set[Cell]] = None,
+) -> Metrics:
+    """Cell-level repair quality against ground truth.
+
+    Parameters
+    ----------
+    dirty:
+        The relation before cleaning.
+    repaired:
+        The relation after cleaning (same tids).
+    clean:
+        Ground truth.
+    cells:
+        Optional restriction: only updates to these cells count as
+        *found* (used to score a single phase's fixes, Exp-3).
+
+    Notes
+    -----
+    * *found* = cells where ``repaired ≠ dirty`` (restricted to *cells*);
+    * *true positive* = found cell with ``repaired = clean``;
+    * *relevant* = cells where ``dirty ≠ clean`` (all erroneous cells —
+      the recall denominator is global even when *cells* is restricted,
+      matching how Exp-3 reports phase recall).
+    """
+    for relation in (repaired, clean):
+        if set(relation.tids()) != set(dirty.tids()):
+            raise DataError("relations must share tuple identifiers")
+    updated = 0
+    correct_updates = 0
+    erroneous = 0
+    for tid in dirty.tids():
+        d = dirty.by_tid(tid)
+        r = repaired.by_tid(tid)
+        g = clean.by_tid(tid)
+        for attr in dirty.schema.names:
+            was_wrong = d[attr] != g[attr]
+            if was_wrong:
+                erroneous += 1
+            changed = r[attr] != d[attr]
+            if not changed:
+                continue
+            if cells is not None and (tid, attr) not in cells:
+                continue
+            updated += 1
+            if r[attr] == g[attr]:
+                correct_updates += 1
+    return Metrics.from_counts(correct_updates, updated, erroneous)
+
+
+def matching_metrics(
+    found_pairs: Iterable[Tuple[int, int]],
+    true_pairs: Set[Tuple[int, int]],
+) -> Metrics:
+    """Match quality: found ``(tid, master_tid)`` pairs vs ground truth."""
+    found = set(found_pairs)
+    true_positives = len(found & true_pairs)
+    return Metrics.from_counts(true_positives, len(found), len(true_pairs))

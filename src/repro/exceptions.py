@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Subclasses partition errors by subsystem: schema/data
+errors, constraint-definition errors, rule-parsing errors and cleaning-time
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference does not resolve."""
+
+
+class DataError(ReproError):
+    """A tuple or relation violates basic structural expectations."""
+
+
+class ConstraintError(ReproError):
+    """A CFD or MD definition is malformed."""
+
+
+class ParseError(ConstraintError):
+    """The textual syntax of a CFD/MD could not be parsed."""
+
+
+class InconsistentRulesError(ConstraintError):
+    """A rule set ``Sigma ∪ Gamma`` was proven inconsistent.
+
+    The paper (Section 4.1) requires cleaning to start from a consistent rule
+    set; :func:`repro.analysis.consistency.is_consistent` raises this when
+    asked to *assert* consistency.
+    """
+
+
+class CleaningError(ReproError):
+    """An error occurred while executing a cleaning algorithm."""
+
+
+class NonTerminationError(CleaningError):
+    """A bounded cleaning process exceeded its step budget.
+
+    Rule-based repairing may not terminate in general (Example 4.6 in the
+    paper; Theorem 4.7 shows termination is PSPACE-complete), so the bounded
+    explorers raise this instead of looping forever.
+    """

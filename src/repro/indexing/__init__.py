@@ -1,0 +1,26 @@
+"""Indexing structures backing the cleaning algorithms.
+
+* :class:`GeneralizedSuffixTree` — top-``l`` LCS blocking for MD
+  similarity search (Section 5.2).
+* :class:`AVLTree` — the balanced tree underlying the entropy structure.
+* :class:`EntropyIndex` — the 2-in-1 hash-table + AVL structure per
+  variable CFD (Section 6.3).
+* :class:`ExactIndex` / :class:`MDBlockingIndex` — equality and
+  similarity blocking for MDs against master data.
+"""
+
+from repro.indexing.avl import AVLTree
+from repro.indexing.blocking import ExactIndex, MDBlockingIndex, build_md_indexes
+from repro.indexing.entropy_index import EntropyIndex, GroupStats, entropy_of_counts
+from repro.indexing.suffix_tree import GeneralizedSuffixTree
+
+__all__ = [
+    "AVLTree",
+    "EntropyIndex",
+    "ExactIndex",
+    "GeneralizedSuffixTree",
+    "GroupStats",
+    "MDBlockingIndex",
+    "build_md_indexes",
+    "entropy_of_counts",
+]

@@ -1,0 +1,234 @@
+"""A self-balancing AVL tree with ordered-key operations.
+
+The 2-in-1 structure of Section 6.3 keeps, per variable CFD, an AVL tree
+over the groups ``Δ(ȳ)`` ordered by their entropy ``H(φ|Y=ȳ)``, supporting
+O(log n) insertion/removal and minimum-entropy retrieval.  Keys are
+``(entropy, group_key)`` pairs, so duplicates (equal entropies) are
+disambiguated deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class _AVLNode(Generic[K, V]):
+    __slots__ = ("key", "value", "left", "right", "height")
+
+    def __init__(self, key: K, value: V):
+        self.key = key
+        self.value = value
+        self.left: Optional["_AVLNode[K, V]"] = None
+        self.right: Optional["_AVLNode[K, V]"] = None
+        self.height = 1
+
+
+def _height(node: Optional[_AVLNode]) -> int:
+    return node.height if node else 0
+
+
+def _update(node: _AVLNode) -> None:
+    node.height = 1 + max(_height(node.left), _height(node.right))
+
+
+def _balance_factor(node: _AVLNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+def _rotate_right(y: _AVLNode) -> _AVLNode:
+    x = y.left
+    assert x is not None
+    y.left = x.right
+    x.right = y
+    _update(y)
+    _update(x)
+    return x
+
+
+def _rotate_left(x: _AVLNode) -> _AVLNode:
+    y = x.right
+    assert y is not None
+    x.right = y.left
+    y.left = x
+    _update(x)
+    _update(y)
+    return y
+
+
+def _rebalance(node: _AVLNode) -> _AVLNode:
+    _update(node)
+    balance = _balance_factor(node)
+    if balance > 1:
+        assert node.left is not None
+        if _balance_factor(node.left) < 0:
+            node.left = _rotate_left(node.left)
+        return _rotate_right(node)
+    if balance < -1:
+        assert node.right is not None
+        if _balance_factor(node.right) > 0:
+            node.right = _rotate_right(node.right)
+        return _rotate_left(node)
+    return node
+
+
+class AVLTree(Generic[K, V]):
+    """An AVL tree mapping totally ordered keys to values.
+
+    Duplicate keys are rejected — compose the key with a unique
+    discriminator (as the entropy index does) when duplicates are possible.
+
+    Examples
+    --------
+    >>> tree = AVLTree()
+    >>> for k in [5, 2, 8, 1, 3]:
+    ...     tree.insert(k, str(k))
+    >>> tree.min()
+    (1, '1')
+    >>> tree.delete(1)
+    >>> tree.min()
+    (2, '2')
+    >>> len(tree)
+    4
+    """
+
+    def __init__(self) -> None:
+        self._root: Optional[_AVLNode[K, V]] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, key: K, value: V) -> None:
+        """Insert ``key → value``; raises ``KeyError`` on duplicate key."""
+        self._root = self._insert(self._root, key, value)
+        self._size += 1
+
+    def _insert(self, node: Optional[_AVLNode[K, V]], key: K, value: V) -> _AVLNode[K, V]:
+        if node is None:
+            return _AVLNode(key, value)
+        if key < node.key:
+            node.left = self._insert(node.left, key, value)
+        elif node.key < key:
+            node.right = self._insert(node.right, key, value)
+        else:
+            raise KeyError(f"duplicate key {key!r}")
+        return _rebalance(node)
+
+    def delete(self, key: K) -> None:
+        """Remove *key*; raises ``KeyError`` when absent."""
+        self._root, removed = self._delete(self._root, key)
+        if not removed:
+            raise KeyError(key)
+        self._size -= 1
+
+    def _delete(
+        self, node: Optional[_AVLNode[K, V]], key: K
+    ) -> Tuple[Optional[_AVLNode[K, V]], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = self._delete(node.left, key)
+        elif node.key < key:
+            node.right, removed = self._delete(node.right, key)
+        else:
+            removed = True
+            if node.left is None:
+                return node.right, True
+            if node.right is None:
+                return node.left, True
+            successor = node.right
+            while successor.left is not None:
+                successor = successor.left
+            node.key, node.value = successor.key, successor.value
+            node.right, _ = self._delete(node.right, successor.key)
+        return _rebalance(node), removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, key: K, default: Any = None) -> Any:
+        """Value for *key*, or *default*."""
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return node.value
+        return default
+
+    def __contains__(self, key: object) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel  # type: ignore[arg-type]
+
+    def min(self) -> Tuple[K, V]:
+        """The smallest ``(key, value)``; raises ``KeyError`` when empty."""
+        if self._root is None:
+            raise KeyError("min() of empty AVL tree")
+        node = self._root
+        while node.left is not None:
+            node = node.left
+        return node.key, node.value
+
+    def max(self) -> Tuple[K, V]:
+        """The largest ``(key, value)``; raises ``KeyError`` when empty."""
+        if self._root is None:
+            raise KeyError("max() of empty AVL tree")
+        node = self._root
+        while node.right is not None:
+            node = node.right
+        return node.key, node.value
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        """In-order iteration over ``(key, value)`` pairs."""
+        stack: List[_AVLNode[K, V]] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def keys(self) -> Iterator[K]:
+        """In-order key iteration."""
+        for key, _value in self.items():
+            yield key
+
+    def height(self) -> int:
+        """Tree height (0 for empty); AVL guarantees O(log n)."""
+        return _height(self._root)
+
+    def check_invariants(self) -> None:
+        """Assert BST ordering and AVL balance (used by property tests)."""
+
+        def recurse(node: Optional[_AVLNode[K, V]]) -> Tuple[int, Optional[K], Optional[K]]:
+            if node is None:
+                return 0, None, None
+            left_height, left_min, left_max = recurse(node.left)
+            right_height, right_min, right_max = recurse(node.right)
+            if left_max is not None and not left_max < node.key:
+                raise AssertionError("BST order violated on the left")
+            if right_min is not None and not node.key < right_min:
+                raise AssertionError("BST order violated on the right")
+            if abs(left_height - right_height) > 1:
+                raise AssertionError("AVL balance violated")
+            height = 1 + max(left_height, right_height)
+            if height != node.height:
+                raise AssertionError("stale cached height")
+            lo = left_min if left_min is not None else node.key
+            hi = right_max if right_max is not None else node.key
+            return height, lo, hi
+
+        recurse(self._root)

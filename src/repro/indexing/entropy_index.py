@@ -1,0 +1,285 @@
+"""The 2-in-1 hash-table + AVL structure for variable CFDs (Section 6.3).
+
+For a variable CFD ``φ = R(Y → B, tp)`` the structure keeps, per group
+``Δ(ȳ) = {t ∈ D : t[Y] = ȳ ≍ tp[Y]}``:
+
+* a hash-table entry ``HTab(ȳ) → (H(φ|Y=ȳ), |Δ(ȳ)|, {(b, cnt)}, {tids})``
+  giving O(1) violation checks and entropy lookups, and
+* an AVL tree over groups with non-zero entropy, keyed by
+  ``(entropy, ȳ)``, giving O(log |T|) minimum-entropy retrieval and
+  maintenance after each fix.
+
+The entropy of φ for ``Y = ȳ`` (Section 6.1) is::
+
+    H(φ|Y=ȳ) = Σ_{i=1}^{k} (cnt(ȳ, b_i) / |Δ(ȳ)|) · log_k(|Δ(ȳ)| / cnt(ȳ, b_i))
+
+with ``k = |π_B(Δ(ȳ))|`` the number of distinct B values.  Note the
+*base-k* logarithm: a uniform conflict has entropy exactly 1, and a
+conflict-free group (k = 1) has entropy 0.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.constraints.cfd import CFD
+from repro.exceptions import ConstraintError, DataError
+from repro.indexing.avl import AVLTree
+from repro.relational.relation import Relation
+from repro.relational.tuples import CTuple
+
+
+def entropy_of_counts(counts: Counter) -> float:
+    """Entropy of a value-count distribution, log base ``k`` (= #values).
+
+    Matches ``H(φ|Y=ȳ)`` of Section 6.1: 0 when all occurrences agree
+    (``k ≤ 1``), 1 when the ``k`` distinct values are equally frequent.
+
+    Examples
+    --------
+    >>> entropy_of_counts(Counter({"a": 4}))
+    0.0
+    >>> entropy_of_counts(Counter({"a": 2, "b": 2}))
+    1.0
+    >>> 0 < entropy_of_counts(Counter({"a": 3, "b": 1})) < 1
+    True
+    """
+    k = len(counts)
+    if k <= 1:
+        return 0.0
+    total = sum(counts.values())
+    if total <= 0:
+        return 0.0
+    log_k = math.log(k)
+    h = 0.0
+    # Summation over *sorted* counts keeps the float result independent of
+    # dictionary insertion order, so incrementally maintained indexes stay
+    # bit-identical to rebuilt ones.
+    for count in sorted(counts.values()):
+        if count <= 0:
+            continue
+        p = count / total
+        h += p * (math.log(1.0 / p) / log_k)
+    return h
+
+
+def _sort_key(value: Any) -> Tuple[str, str]:
+    """A deterministic, type-stable ordering key for arbitrary cell values."""
+    return (type(value).__name__, repr(value))
+
+
+class GroupStats:
+    """Statistics of one group ``Δ(ȳ)``: counts, tids, cached entropy."""
+
+    __slots__ = ("key", "value_counts", "tids", "_entropy")
+
+    def __init__(self, key: Tuple[Any, ...]):
+        self.key = key
+        self.value_counts: Counter = Counter()
+        self.tids: Set[int] = set()
+        self._entropy: Optional[float] = None
+
+    @property
+    def size(self) -> int:
+        """``|Δ(ȳ)|`` — the number of tuples in the group."""
+        return len(self.tids)
+
+    @property
+    def entropy(self) -> float:
+        """``H(φ|Y=ȳ)`` (cached; invalidated on mutation)."""
+        if self._entropy is None:
+            self._entropy = entropy_of_counts(self.value_counts)
+        return self._entropy
+
+    def majority(self) -> Tuple[Any, int]:
+        """The most frequent B value and its count (deterministic ties)."""
+        if not self.value_counts:
+            raise DataError("majority() of an empty group")
+        best_count = max(self.value_counts.values())
+        winners = [v for v, c in self.value_counts.items() if c == best_count]
+        winners.sort(key=_sort_key)
+        return winners[0], best_count
+
+    def distinct_values(self) -> int:
+        """``k = |π_B(Δ(ȳ))|``."""
+        return len(self.value_counts)
+
+    def _invalidate(self) -> None:
+        self._entropy = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GroupStats({self.key!r}, n={self.size}, "
+            f"values={dict(self.value_counts)}, H={self.entropy:.3f})"
+        )
+
+
+class EntropyIndex:
+    """The 2-in-1 structure of Section 6.3 for one variable CFD.
+
+    Parameters
+    ----------
+    cfd:
+        A normalized *variable* CFD ``R(Y → B, tp)``.
+    relation:
+        Optional relation to bulk-load (one scan, as in the paper:
+        "initialization ... can be done by scanning the database D once").
+
+    Notes
+    -----
+    Tuples whose ``Y`` values do not match the pattern ``tp[Y]`` (including
+    tuples with nulls there) are *not* indexed — the CFD does not apply to
+    them.
+    """
+
+    def __init__(self, cfd: CFD, relation: Optional[Relation] = None):
+        if not cfd.is_variable:
+            raise ConstraintError(f"{cfd.name} is not a normalized variable CFD")
+        self.cfd = cfd
+        self._groups: Dict[Tuple[Any, ...], GroupStats] = {}
+        self._tree: AVLTree = AVLTree()
+        if relation is not None:
+            self.build(relation)
+
+    # ------------------------------------------------------------------
+    # Bulk construction
+    # ------------------------------------------------------------------
+    def build(self, relation: Relation) -> None:
+        """(Re)build from *relation* in one scan."""
+        self._groups.clear()
+        self._tree = AVLTree()
+        lhs = self.cfd.lhs
+        rhs = self.cfd.rhs_attr
+        for t in relation:
+            if not self.cfd.lhs_matches(t):
+                continue
+            key = t.project(lhs)
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = GroupStats(key)
+            group.tids.add(t.tid)  # type: ignore[arg-type]
+            group.value_counts[t[rhs]] += 1
+            group._invalidate()
+        for group in self._groups.values():
+            self._tree_insert(group)
+
+    # ------------------------------------------------------------------
+    # AVL maintenance
+    # ------------------------------------------------------------------
+    def _tree_key(self, group: GroupStats) -> Tuple[float, Tuple]:
+        return (group.entropy, tuple(_sort_key(v) for v in group.key))
+
+    def _tree_insert(self, group: GroupStats) -> None:
+        if group.entropy != 0.0:
+            self._tree.insert(self._tree_key(group), group.key)
+
+    def _tree_remove(self, group: GroupStats) -> None:
+        if group.entropy != 0.0:
+            self._tree.delete(self._tree_key(group))
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def add_tuple(self, t: CTuple) -> None:
+        """Register tuple *t* (no-op when its Y does not match the pattern)."""
+        if not self.cfd.lhs_matches(t):
+            return
+        key = t.project(self.cfd.lhs)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = GroupStats(key)
+        else:
+            self._tree_remove(group)
+        group.tids.add(t.tid)  # type: ignore[arg-type]
+        group.value_counts[t[self.cfd.rhs_attr]] += 1
+        group._invalidate()
+        self._tree_insert(group)
+
+    def remove_tuple(self, t: CTuple) -> None:
+        """Unregister tuple *t* using its *current* attribute values."""
+        if not self.cfd.lhs_matches(t):
+            return
+        key = t.project(self.cfd.lhs)
+        group = self._groups.get(key)
+        if group is None or t.tid not in group.tids:
+            return
+        self._tree_remove(group)
+        group.tids.discard(t.tid)  # type: ignore[arg-type]
+        value = t[self.cfd.rhs_attr]
+        group.value_counts[value] -= 1
+        if group.value_counts[value] <= 0:
+            del group.value_counts[value]
+        group._invalidate()
+        if group.size == 0:
+            del self._groups[key]
+        else:
+            self._tree_insert(group)
+
+    def update_cell(self, t: CTuple, attr: str, new_value: Any) -> None:
+        """Maintain the index across the assignment ``t[attr] := new_value``.
+
+        Call *before* performing the assignment on the tuple (the index
+        needs the old values to locate the tuple's current group).  When
+        *attr* is unrelated to this CFD the call is a no-op.
+        """
+        related = attr == self.cfd.rhs_attr or attr in self.cfd.lhs
+        if not related:
+            return
+        self.remove_tuple(t)
+        old_value = t[attr]
+        t[attr] = new_value
+        try:
+            self.add_tuple(t)
+        finally:
+            t[attr] = old_value
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def group(self, key: Tuple[Any, ...]) -> Optional[GroupStats]:
+        """The group for Y-values *key*, or ``None``."""
+        return self._groups.get(key)
+
+    def group_of(self, t: CTuple) -> Optional[GroupStats]:
+        """The group containing tuple *t* (by its current Y values)."""
+        if not self.cfd.lhs_matches(t):
+            return None
+        return self._groups.get(t.project(self.cfd.lhs))
+
+    def groups(self) -> Iterator[GroupStats]:
+        """All groups, in no particular order."""
+        return iter(self._groups.values())
+
+    def group_count(self) -> int:
+        """Number of groups (``|HTab|``)."""
+        return len(self._groups)
+
+    def min_entropy_group(self) -> Optional[GroupStats]:
+        """The conflicting group with smallest non-zero entropy, if any."""
+        if not self._tree:
+            return None
+        _key, group_key = self._tree.min()
+        return self._groups[group_key]
+
+    def conflicting_groups(self) -> List[GroupStats]:
+        """Groups with non-zero entropy, in increasing entropy order."""
+        return [self._groups[group_key] for _key, group_key in self._tree.items()]
+
+    def is_clean(self) -> bool:
+        """Whether no group has conflicting B values (``D ⊨ φ`` over the
+        indexed portion; Section 6.1 notes H = 0 everywhere iff D ⊨ φ)."""
+        return not self._tree
+
+    def check_consistency(self, relation: Relation) -> None:
+        """Assert the index matches *relation* (used by property tests)."""
+        rebuilt = EntropyIndex(self.cfd, relation)
+        if set(rebuilt._groups) != set(self._groups):
+            raise AssertionError("group keys diverge from relation state")
+        for key, group in self._groups.items():
+            other = rebuilt._groups[key]
+            if group.value_counts != other.value_counts or group.tids != other.tids:
+                raise AssertionError(f"group {key!r} diverges from relation state")
+        if sorted(self._tree.keys()) != sorted(rebuilt._tree.keys()):
+            raise AssertionError("AVL contents diverge from relation state")

@@ -1,0 +1,253 @@
+"""Generalized suffix tree with top-``l`` LCS retrieval (Section 5.2).
+
+The paper blocks MD similarity search as follows: "we generalize suffix
+trees as an index for LCS.  For each attribute that needs similarity
+checking, a generalized suffix tree is maintained on those strings in the
+active domain of the attribute in Dm. ... We traverse T bottom-up to pick
+top-l similar strings in terms of the length of the LCS.  In this way, we
+can identify l similar values from Dm in O(l|v|²) time."
+
+This module implements a compressed generalized suffix tree built by
+suffix-by-suffix insertion (O(Σ|s|²) construction — attribute values are
+short strings, so this is the pragmatic choice over Ukkonen's algorithm)
+with:
+
+* ``contains_substring`` — exact substring membership,
+* ``strings_with_substring`` — ids of indexed strings containing a substring,
+* ``top_l_lcs(query, l)`` — the top-``l`` indexed strings by longest common
+  substring with ``query``, each with its LCS length.
+
+Every tree node records the set of string ids whose suffixes pass through
+it, so a query substring walk immediately yields the candidate set at the
+deepest matched node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class _Node:
+    """Internal tree node; ``children`` maps first edge character to edge."""
+
+    __slots__ = ("children", "ids")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_Edge"] = {}
+        self.ids: Set[int] = set()
+
+
+class _Edge:
+    """A compressed edge carrying a substring label."""
+
+    __slots__ = ("label", "child")
+
+    def __init__(self, label: str, child: _Node):
+        self.label = label
+        self.child = child
+
+
+class GeneralizedSuffixTree:
+    """A generalized suffix tree over a set of identified strings.
+
+    Examples
+    --------
+    >>> tree = GeneralizedSuffixTree()
+    >>> tree.add_string(0, "robert")
+    >>> tree.add_string(1, "bob")
+    >>> tree.contains_substring("ober")
+    True
+    >>> tree.strings_with_substring("ob") == {0, 1}
+    True
+    >>> tree.top_l_lcs("rob", 2)
+    [(0, 3), (1, 2)]
+    """
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._strings: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def string(self, sid: int) -> str:
+        """The indexed string with id *sid*."""
+        return self._strings[sid]
+
+    def ids(self) -> Tuple[int, ...]:
+        """All indexed string ids."""
+        return tuple(self._strings)
+
+    def add_string(self, sid: int, s: str) -> None:
+        """Index string *s* under id *sid* (all of its suffixes)."""
+        if sid in self._strings:
+            raise ValueError(f"string id {sid} already indexed")
+        self._strings[sid] = s
+        for start in range(len(s)):
+            self._insert_suffix(s[start:], sid)
+
+    def add_strings(self, strings: Iterable[Tuple[int, str]]) -> None:
+        """Index many ``(sid, string)`` pairs."""
+        for sid, s in strings:
+            self.add_string(sid, s)
+
+    def _insert_suffix(self, suffix: str, sid: int) -> None:
+        node = self._root
+        i = 0
+        while i < len(suffix):
+            first = suffix[i]
+            edge = node.children.get(first)
+            if edge is None:
+                leaf = _Node()
+                leaf.ids.add(sid)
+                node.children[first] = _Edge(suffix[i:], leaf)
+                return
+            label = edge.label
+            # Length of the common prefix between the remaining suffix and
+            # the edge label (the first characters are known equal).
+            match_len = 1
+            limit = min(len(label), len(suffix) - i)
+            while match_len < limit and label[match_len] == suffix[i + match_len]:
+                match_len += 1
+            if match_len == len(label):
+                # Fully consumed the edge: descend.
+                node = edge.child
+                node.ids.add(sid)
+                i += match_len
+                continue
+            # Split the edge at match_len.
+            middle = _Node()
+            middle.ids = set(edge.child.ids)
+            middle.ids.add(sid)
+            middle.children[label[match_len]] = _Edge(label[match_len:], edge.child)
+            edge.label = label[:match_len]
+            edge.child = middle
+            remainder = suffix[i + match_len :]
+            if remainder:
+                leaf = _Node()
+                leaf.ids.add(sid)
+                middle.children[remainder[0]] = _Edge(remainder, leaf)
+            # An empty remainder means the suffix ends exactly at the new
+            # middle node, whose id set already includes ``sid``.
+            return
+        # Suffix fully consumed at an existing node boundary.
+        node.ids.add(sid)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _walk(self, text: str) -> Tuple[int, Optional[_Node]]:
+        """Longest prefix of *text* present in the tree.
+
+        Returns ``(matched_length, node)`` where *node* is the node (or
+        edge-target node, for a mid-edge stop) covering the matched prefix;
+        ``node.ids`` over-approximates only by strings sharing that whole
+        prefix, so the id set is exact for the matched depth.
+        """
+        node = self._root
+        depth = 0
+        i = 0
+        while i < len(text):
+            edge = node.children.get(text[i])
+            if edge is None:
+                return depth, node if depth else None
+            label = edge.label
+            match_len = 0
+            limit = min(len(label), len(text) - i)
+            while match_len < limit and label[match_len] == text[i + match_len]:
+                match_len += 1
+            depth += match_len
+            i += match_len
+            if match_len < len(label):
+                # Stopped mid-edge: everything below edge.child shares the
+                # matched prefix.
+                return depth, edge.child
+            node = edge.child
+        return depth, node if depth else None
+
+    def contains_substring(self, sub: str) -> bool:
+        """Whether *sub* occurs in any indexed string (O(|sub|))."""
+        if not sub:
+            return True
+        depth, _node = self._walk(sub)
+        return depth == len(sub)
+
+    def strings_with_substring(self, sub: str) -> Set[int]:
+        """Ids of all indexed strings that contain *sub*."""
+        if not sub:
+            return set(self._strings)
+        depth, node = self._walk(sub)
+        if depth != len(sub) or node is None:
+            return set()
+        return set(node.ids)
+
+    def _walk_path(self, text: str) -> List[Tuple[int, _Node]]:
+        """All ``(depth, node)`` positions along the longest-prefix walk.
+
+        A string whose suffix diverges from *text* after ``d`` characters
+        lives in the depth-``d`` node of the path, so every node on the
+        path is a candidate carrier — not just the deepest one.
+        """
+        out: List[Tuple[int, _Node]] = []
+        node = self._root
+        depth = 0
+        i = 0
+        while i < len(text):
+            edge = node.children.get(text[i])
+            if edge is None:
+                return out
+            label = edge.label
+            match_len = 0
+            limit = min(len(label), len(text) - i)
+            while match_len < limit and label[match_len] == text[i + match_len]:
+                match_len += 1
+            depth += match_len
+            i += match_len
+            out.append((depth, edge.child))
+            if match_len < len(label):
+                return out
+            node = edge.child
+        return out
+
+    def top_l_lcs(self, query: str, l: int) -> List[Tuple[int, int]]:
+        """Top-``l`` indexed strings by LCS length with *query*.
+
+        Walks every suffix of *query* down the tree (O(|query|²) character
+        comparisons), recording every node along each walk, then assigns
+        candidates in decreasing depth order until ``l`` distinct string
+        ids are collected.  Returns ``(sid, lcs_length)`` pairs in
+        decreasing LCS order (ties broken by sid for determinism).
+        """
+        if l <= 0 or not self._strings:
+            return []
+        candidates: List[Tuple[int, _Node]] = []
+        for start in range(len(query)):
+            candidates.extend(self._walk_path(query[start:]))
+        best: Dict[int, int] = {}
+        for depth, node in sorted(candidates, key=lambda item: -item[0]):
+            if len(best) >= l:
+                break
+            for sid in node.ids:
+                if sid not in best:
+                    best[sid] = depth
+        ranked = sorted(best.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:l]
+
+    def lcs_candidates(self, query: str, k: int, l: int) -> List[int]:
+        """Candidate ids surviving the LCS blocking bound for distance *k*.
+
+        Section 5.2: strings within Hamming/edit distance ``k`` of *query*
+        have LCS at least ``max(|u|,|v|)/(k+1)``.  We retrieve the top-``l``
+        by LCS and keep those meeting the bound for their own length.
+        """
+        out: List[int] = []
+        for sid, lcs_len in self.top_l_lcs(query, l):
+            from repro.similarity.lcs import lcs_blocking_bound
+
+            bound = lcs_blocking_bound(len(query), len(self._strings[sid]), k)
+            if lcs_len >= bound:
+                out.append(sid)
+        return out

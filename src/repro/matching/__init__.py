@@ -1,0 +1,12 @@
+"""Record matching: MD-driven matching and the SortN baseline (Exp-2)."""
+
+from repro.matching.matcher import MatchResult, MDMatcher, match_after_cleaning
+from repro.matching.sortn import SortedNeighborhood, default_key
+
+__all__ = [
+    "MDMatcher",
+    "MatchResult",
+    "SortedNeighborhood",
+    "default_key",
+    "match_after_cleaning",
+]

@@ -1,0 +1,31 @@
+"""Relational substrate: schemas, confidence-carrying tuples, relations.
+
+This package provides the minimal relational machinery the paper's
+algorithms run on: named schemas, tuples with per-attribute confidence
+(the ``cf`` annotations of Fig. 1), relation instances with the
+selection/projection/grouping helpers of Fig. 3, a SQL-style ``NULL``
+marker, and CSV round-tripping.
+"""
+
+from repro.relational.attribute import BOOL, NULL, STRING, Attribute, Domain, NullType, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.relational.tuples import CTuple
+from repro.relational.io import from_csv_string, read_csv, to_csv_string, write_csv
+
+__all__ = [
+    "Attribute",
+    "BOOL",
+    "CTuple",
+    "Domain",
+    "NULL",
+    "NullType",
+    "Relation",
+    "STRING",
+    "Schema",
+    "from_csv_string",
+    "is_null",
+    "read_csv",
+    "to_csv_string",
+    "write_csv",
+]

@@ -1,0 +1,217 @@
+"""Relation instances: ordered collections of :class:`CTuple` rows.
+
+A :class:`Relation` owns its tuples and assigns tuple identifiers (tids).
+Cleaning algorithms operate on a *clone* of the dirty relation, mutate
+tuples in place and record the edits in a fix log; the original relation is
+never modified.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import DataError
+from repro.relational.schema import Schema
+from repro.relational.tuples import CTuple
+
+
+class Relation:
+    """An instance of a :class:`~repro.relational.schema.Schema`.
+
+    Parameters
+    ----------
+    schema:
+        Relation schema.
+    tuples:
+        Optional initial tuples; tids are (re-)assigned on insertion when
+        absent or conflicting.
+
+    Notes
+    -----
+    Tuples are stored in insertion order, addressable by tid in O(1).
+    """
+
+    __slots__ = ("schema", "_tuples", "_next_tid")
+
+    def __init__(self, schema: Schema, tuples: Iterable[CTuple] = ()):
+        self.schema = schema
+        self._tuples: Dict[int, CTuple] = {}
+        self._next_tid = 0
+        for t in tuples:
+            self.add(t)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: Schema,
+        rows: Iterable[Mapping[str, Any]],
+        confidences: Optional[Iterable[Mapping[str, Optional[float]]]] = None,
+    ) -> "Relation":
+        """Build a relation from dict rows (and optional confidence dicts)."""
+        relation = cls(schema)
+        if confidences is None:
+            for row in rows:
+                relation.add(CTuple(schema, row))
+        else:
+            conf_list = list(confidences)
+            row_list = list(rows)
+            if len(conf_list) != len(row_list):
+                raise DataError("rows and confidences must have equal length")
+            for row, conf in zip(row_list, conf_list):
+                relation.add(CTuple(schema, row, conf))
+        return relation
+
+    def add(self, t: CTuple) -> CTuple:
+        """Insert tuple *t*, assigning a fresh tid when needed.
+
+        Returns the inserted tuple (same object).
+        """
+        if t.schema != self.schema:
+            raise DataError(
+                f"tuple of schema {t.schema.name!r} cannot join relation "
+                f"of schema {self.schema.name!r}"
+            )
+        if t.tid is None or t.tid in self._tuples:
+            t.tid = self._next_tid
+        self._tuples[t.tid] = t
+        self._next_tid = max(self._next_tid, t.tid) + 1
+        return t
+
+    def add_row(
+        self,
+        values: Mapping[str, Any],
+        confidences: Optional[Mapping[str, Optional[float]]] = None,
+    ) -> CTuple:
+        """Convenience: build and insert a tuple from dicts."""
+        return self.add(CTuple(self.schema, values, confidences))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def by_tid(self, tid: int) -> CTuple:
+        """Return the tuple with identifier *tid*."""
+        try:
+            return self._tuples[tid]
+        except KeyError:
+            raise DataError(f"relation {self.schema.name!r} has no tuple #{tid}") from None
+
+    def tids(self) -> Tuple[int, ...]:
+        """All tuple identifiers, in insertion order."""
+        return tuple(self._tuples.keys())
+
+    def tuples(self) -> List[CTuple]:
+        """All tuples, in insertion order (a fresh list)."""
+        return list(self._tuples.values())
+
+    def __iter__(self) -> Iterator[CTuple]:
+        return iter(self._tuples.values())
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, t: object) -> bool:
+        if isinstance(t, CTuple):
+            return t.tid in self._tuples and self._tuples[t.tid] is t
+        return False
+
+    # ------------------------------------------------------------------
+    # Algebra-flavoured helpers (Fig. 3 of the paper)
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[CTuple], bool]) -> List[CTuple]:
+        """ρ: the tuples satisfying *predicate* (no copy)."""
+        return [t for t in self if predicate(t)]
+
+    def project(self, attrs: Sequence[str]) -> Set[Tuple[Any, ...]]:
+        """π: the set of distinct value tuples over *attrs*."""
+        self.schema.check_attrs(attrs)
+        return {t.project(attrs) for t in self}
+
+    def group_by(self, attrs: Sequence[str]) -> Dict[Tuple[Any, ...], List[CTuple]]:
+        """Partition tuples by their values on *attrs*.
+
+        This materializes the paper's ``Δ(ȳ) = {t | t ∈ D, t[Y] = ȳ}``
+        for every ``ȳ`` at once.
+        """
+        self.schema.check_attrs(attrs)
+        groups: Dict[Tuple[Any, ...], List[CTuple]] = {}
+        for t in self:
+            groups.setdefault(t.project(attrs), []).append(t)
+        return groups
+
+    def active_domain(self, attr: str) -> Set[Any]:
+        """``adom(attr)``: the set of values of *attr* occurring in the data."""
+        self.schema.check_attrs([attr])
+        return {t[attr] for t in self}
+
+    # ------------------------------------------------------------------
+    # Copying / comparison
+    # ------------------------------------------------------------------
+    def clone(self) -> "Relation":
+        """A deep copy sharing the schema but owning fresh tuples.
+
+        Tids are preserved so fixes can be traced back to original tuples.
+        """
+        twin = Relation(self.schema)
+        for t in self:
+            twin._tuples[t.tid] = t.clone()  # keep identical tids
+        twin._next_tid = self._next_tid
+        return twin
+
+    def diff(self, other: "Relation") -> List[Tuple[int, str, Any, Any]]:
+        """Cell-level difference against *other* (matched by tid).
+
+        Returns a list of ``(tid, attr, self_value, other_value)`` entries
+        for cells where the two relations disagree.  Tuples present in only
+        one relation are ignored (cleaning never inserts or deletes rows).
+        """
+        if self.schema != other.schema:
+            raise DataError("cannot diff relations with different schemas")
+        out: List[Tuple[int, str, Any, Any]] = []
+        for tid, mine in self._tuples.items():
+            if tid not in other._tuples:
+                continue
+            theirs = other._tuples[tid]
+            for attr in self.schema.names:
+                if mine[attr] != theirs[attr]:
+                    out.append((tid, attr, mine[attr], theirs[attr]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.name!r}, {len(self)} tuples)"
+
+    # ------------------------------------------------------------------
+    # Pretty-printing (used by examples)
+    # ------------------------------------------------------------------
+    def to_text(self, attrs: Optional[Sequence[str]] = None, limit: int = 20) -> str:
+        """Render the relation as an aligned text table (first *limit* rows)."""
+        names = list(attrs) if attrs is not None else list(self.schema.names)
+        rows = [[str(t[a]) for a in names] for t in list(self)[:limit]]
+        header = list(names)
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+            for i in range(len(names))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        if len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more rows)")
+        return "\n".join(lines)

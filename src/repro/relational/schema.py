@@ -1,0 +1,126 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered collection of uniquely named
+:class:`~repro.relational.attribute.Attribute` objects, addressed by name.
+Both the data schema ``R`` and the master schema ``Rm`` of the paper are
+plain schemas; nothing distinguishes master data structurally (Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+from repro.relational.attribute import Attribute, Domain
+
+AttributeLike = Union[str, Attribute]
+
+
+class Schema:
+    """An ordered, named relation schema.
+
+    Parameters
+    ----------
+    name:
+        The relation name, e.g. ``"tran"`` or ``"card"``.
+    attributes:
+        Attribute objects or bare names (which get the default string
+        domain).  Order is preserved; names must be unique.
+
+    Examples
+    --------
+    >>> card = Schema("card", ["FN", "LN", "St", "city", "AC", "zip", "tel", "dob", "gd"])
+    >>> card.names[:3]
+    ('FN', 'LN', 'St')
+    >>> "zip" in card
+    True
+    """
+
+    __slots__ = ("name", "_attributes", "_index")
+
+    def __init__(self, name: str, attributes: Iterable[AttributeLike]):
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"schema name must be a non-empty string, got {name!r}")
+        attrs: List[Attribute] = []
+        index: Dict[str, int] = {}
+        for item in attributes:
+            attr = item if isinstance(item, Attribute) else Attribute(str(item))
+            if attr.name in index:
+                raise SchemaError(f"duplicate attribute {attr.name!r} in schema {name!r}")
+            index[attr.name] = len(attrs)
+            attrs.append(attr)
+        if not attrs:
+            raise SchemaError(f"schema {name!r} must have at least one attribute")
+        self.name = name
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index = index
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        """The attributes, in declaration order."""
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Attribute names, in declaration order."""
+        return tuple(a.name for a in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called *name*.
+
+        Raises
+        ------
+        SchemaError
+            If no such attribute exists.
+        """
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"schema {self.name!r} has no attribute {name!r}") from None
+
+    def domain(self, name: str) -> Domain:
+        """Return the domain of attribute *name*."""
+        return self.attribute(name).domain
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of attribute *name*."""
+        if name not in self._index:
+            raise SchemaError(f"schema {self.name!r} has no attribute {name!r}")
+        return self._index[name]
+
+    def check_attrs(self, names: Sequence[str]) -> Tuple[str, ...]:
+        """Validate that every name in *names* belongs to this schema.
+
+        Returns the names as a tuple (a convenient normalized form for
+        constraint constructors).
+        """
+        for name in names:
+            if name not in self._index:
+                raise SchemaError(f"schema {self.name!r} has no attribute {name!r}")
+        return tuple(names)
+
+    # ------------------------------------------------------------------
+    # Protocols
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.name == other.name and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Schema({self.name!r}, [{', '.join(self.names)}])"

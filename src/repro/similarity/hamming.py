@@ -1,0 +1,62 @@
+"""Hamming distance for equal-length strings.
+
+Section 5.2 of the paper discusses suffix-tree indices under
+"Hamming/Edit distance"; the blocking bound (LCS length at least
+``max(|u|,|v|)/(K+1)``) holds for both metrics, so the blocking index
+accepts either.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import DataError
+
+
+def hamming_distance(a: str, b: str) -> int:
+    """Number of positions at which *a* and *b* differ.
+
+    Raises
+    ------
+    DataError
+        If the strings have different lengths (Hamming distance is only
+        defined for equal-length strings).
+
+    Examples
+    --------
+    >>> hamming_distance("karolin", "kathrin")
+    3
+    """
+    if len(a) != len(b):
+        raise DataError(
+            f"hamming distance requires equal lengths, got {len(a)} and {len(b)}"
+        )
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def hamming_similarity(a: str, b: str) -> float:
+    """Normalized Hamming similarity ``1 - d/|a|`` in ``[0, 1]``.
+
+    Empty strings are fully similar.
+    """
+    if not a and not b:
+        return 1.0
+    return 1.0 - hamming_distance(a, b) / len(a)
+
+
+def within_hamming_distance(a: str, b: str, k: int) -> bool:
+    """Whether the Hamming distance is at most *k*.
+
+    Unlike :func:`hamming_distance` this treats different lengths as
+    "not within" instead of raising, which is the convenient semantics
+    for use as a similarity predicate.
+    """
+    if len(a) != len(b):
+        return False
+    if k < 0:
+        return False
+    budget = k
+    for x, y in zip(a, b):
+        if x != y:
+            budget -= 1
+            if budget < 0:
+                return False
+    return True

@@ -1,0 +1,82 @@
+"""Jaro and Jaro–Winkler similarities.
+
+The paper lists "Jaro distance" among the similarity predicates Υ that MDs
+may use (Section 2.2).  These are the standard definitions used throughout
+the record-linkage literature (Herzog et al. 2009).
+"""
+
+from __future__ import annotations
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity in ``[0, 1]``.
+
+    Characters match when equal and within ``max(|a|,|b|)//2 - 1`` positions
+    of each other; the score combines the match count and transposition
+    count in the usual three-term average.
+
+    Examples
+    --------
+    >>> round(jaro_similarity("MARTHA", "MARHTA"), 4)
+    0.9444
+    >>> jaro_similarity("", "")
+    1.0
+    >>> jaro_similarity("abc", "")
+    0.0
+    """
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+    window = max(la, lb) // 2 - 1
+    if window < 0:
+        window = 0
+    a_matched = [False] * la
+    b_matched = [False] * lb
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ch:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if a_matched[i]:
+            while not b_matched[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    m = float(matches)
+    return (m / la + m / lb + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler similarity: Jaro boosted by a common-prefix bonus.
+
+    Parameters
+    ----------
+    a, b:
+        The strings to compare.
+    prefix_scale:
+        Winkler's ``p`` parameter, conventionally 0.1 and capped so the
+        result stays in ``[0, 1]`` (prefix length is capped at 4).
+    """
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25] to keep results in [0, 1]")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for x, y in zip(a[:4], b[:4]):
+        if x != y:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

@@ -1,0 +1,133 @@
+"""Longest common substring (LCS, contiguous) utilities.
+
+Section 5.2 of the paper blocks candidate matches by the length of the
+longest common *substring*: "two strings u and v have a Hamming/Edit
+distance within K only if the length of their LCS is at least
+max(|u|,|v|)/(K+1)".  (A string that differs in at most K places is cut
+into at most K+1 untouched contiguous pieces, the longest of which has at
+least that length.)  The generalized suffix tree in
+:mod:`repro.indexing.suffix_tree` indexes master strings for exactly this
+bound; this module provides the reference quadratic computation used in
+tests and small inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def longest_common_substring_length(a: str, b: str) -> int:
+    """Length of the longest *contiguous* common substring of *a* and *b*.
+
+    Standard O(|a|·|b|) dynamic program with two rows.
+
+    Examples
+    --------
+    >>> longest_common_substring_length("robert", "bob")
+    2
+    >>> longest_common_substring_length("abcdef", "zabcy")
+    3
+    >>> longest_common_substring_length("", "abc")
+    0
+    """
+    if not a or not b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    best = 0
+    previous = [0] * (len(a) + 1)
+    for ch_b in b:
+        current = [0] * (len(a) + 1)
+        for i, ch_a in enumerate(a, start=1):
+            if ch_a == ch_b:
+                current[i] = previous[i - 1] + 1
+                if current[i] > best:
+                    best = current[i]
+        previous = current
+    return best
+
+
+def longest_common_substring(a: str, b: str) -> str:
+    """One longest contiguous common substring (leftmost in *b* on ties)."""
+    if not a or not b:
+        return ""
+    best_len = 0
+    best_end_b = 0
+    previous = [0] * (len(a) + 1)
+    for j, ch_b in enumerate(b, start=1):
+        current = [0] * (len(a) + 1)
+        for i, ch_a in enumerate(a, start=1):
+            if ch_a == ch_b:
+                current[i] = previous[i - 1] + 1
+                if current[i] > best_len:
+                    best_len = current[i]
+                    best_end_b = j
+        previous = current
+    return b[best_end_b - best_len : best_end_b]
+
+
+def lcs_blocking_bound(length_a: int, length_b: int, k: int) -> float:
+    """The minimum LCS length compatible with distance ≤ *k* (Section 5.2).
+
+    The paper states the bound as ``max(|u|,|v|)/(K+1)``; the *sound*
+    pigeonhole bound is ``(max(|u|,|v|) − K)/(K+1)``: at most ``K`` edits
+    touch at most ``K`` characters of the longer string, splitting it into
+    at most ``K+1`` maximal unedited runs whose total length is at least
+    ``max − K`` — the longest run (a common substring) therefore has at
+    least that length.  (The paper's looser form wrongly prunes e.g.
+    ``u = "", v = "a", K = 1``.)  Candidate pairs whose LCS is shorter can
+    be pruned without computing the (more expensive) edit distance.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return max(0, max(length_a, length_b) - k) / (k + 1)
+
+
+def passes_lcs_filter(a: str, b: str, k: int) -> bool:
+    """Whether the pair (*a*, *b*) survives the LCS blocking filter for *k*.
+
+    This is a *necessary* condition for ``edit_distance(a,b) <= k``; the
+    property-based tests verify no true match is ever filtered out.
+    """
+    bound = lcs_blocking_bound(len(a), len(b), k)
+    return longest_common_substring_length(a, b) >= bound
+
+
+def lcs_similarity(a: str, b: str) -> float:
+    """LCS length normalized by the longer string; in ``[0, 1]``."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return longest_common_substring_length(a, b) / longest
+
+
+def common_prefix_length(a: str, b: str) -> int:
+    """Length of the longest common prefix (used by suffix-tree tests)."""
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def split_bound_pieces(s: str, k: int) -> Tuple[str, ...]:
+    """Cut *s* into ``k + 1`` near-equal contiguous pieces.
+
+    Utility backing the intuition of the blocking bound: at most *k* edits
+    leave at least one of these pieces untouched.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    parts = k + 1
+    base = len(s) // parts
+    remainder = len(s) % parts
+    pieces = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < remainder else 0)
+        pieces.append(s[start : start + size])
+        start += size
+    return tuple(pieces)

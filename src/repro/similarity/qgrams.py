@@ -1,0 +1,83 @@
+"""q-gram decomposition and Jaccard similarity.
+
+q-grams appear in the paper's predicate set Υ (Section 2.2); Jaccard
+similarity over token or q-gram sets is the classic fast similarity used by
+blocking and similarity joins (Xiao et al. 2011, cited by the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import FrozenSet, Sequence, Set
+
+
+def qgrams(s: str, q: int = 2, pad: bool = True, pad_char: str = "#") -> Counter:
+    """The multiset of q-grams of *s* as a :class:`collections.Counter`.
+
+    Parameters
+    ----------
+    s:
+        Input string.
+    q:
+        Gram length; must be positive.
+    pad:
+        When true the string is padded with ``q - 1`` copies of *pad_char*
+        on both sides, so boundary characters contribute q grams each —
+        the standard convention for q-gram string joins.
+    pad_char:
+        Padding character (should not occur in the data).
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    if pad and q > 1:
+        s = pad_char * (q - 1) + s + pad_char * (q - 1)
+    if len(s) < q:
+        return Counter([s] if s else [])
+    return Counter(s[i : i + q] for i in range(len(s) - q + 1))
+
+
+def qgram_set(s: str, q: int = 2, pad: bool = True) -> FrozenSet[str]:
+    """The *set* of q-grams of *s* (multiplicities dropped)."""
+    return frozenset(qgrams(s, q=q, pad=pad))
+
+
+def jaccard_similarity(a: Set, b: Set) -> float:
+    """Jaccard similarity ``|a ∩ b| / |a ∪ b|`` of two sets.
+
+    Two empty sets are fully similar (1.0) by convention.
+    """
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union
+
+
+def qgram_similarity(a: str, b: str, q: int = 2) -> float:
+    """Jaccard similarity of the q-gram sets of *a* and *b*.
+
+    Examples
+    --------
+    >>> qgram_similarity("abc", "abc")
+    1.0
+    >>> qgram_similarity("abc", "xyz")
+    0.0
+    """
+    return jaccard_similarity(set(qgram_set(a, q)), set(qgram_set(b, q)))
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard similarity of whitespace token sets (fuzzy token matching).
+
+    A lightweight stand-in for the fuzzy-token similarity of Wang et al.
+    2011 cited in the paper's related work.
+    """
+    return jaccard_similarity(set(a.split()), set(b.split()))
+
+
+def overlap_coefficient(a: Set, b: Set) -> float:
+    """Overlap coefficient ``|a ∩ b| / min(|a|, |b|)``; 1.0 for two empty sets."""
+    if not a or not b:
+        return 1.0 if not a and not b else 0.0
+    return len(a & b) / min(len(a), len(b))

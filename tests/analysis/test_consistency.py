@@ -1,0 +1,125 @@
+"""Tests for the consistency analysis (Theorem 4.1)."""
+
+import pytest
+
+from repro.analysis import active_domains, assert_consistent, find_witness, is_consistent
+from repro.constraints import CFD, MD
+from repro.exceptions import InconsistentRulesError
+from repro.relational import Attribute, Domain, Relation, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B"])
+
+
+class TestConsistentSets:
+    def test_empty_rules_consistent(self, schema):
+        assert is_consistent(schema, [])
+
+    def test_simple_constant_cfds(self, schema):
+        cfds = [CFD(schema, ["A"], ["B"], {"A": "1", "B": "x"})]
+        assert is_consistent(schema, cfds)
+
+    def test_witness_satisfies_rules(self, schema):
+        cfds = [
+            CFD(schema, ["A"], ["B"], {"A": "1", "B": "x"}),
+            CFD(schema, ["A"], ["B"], {"A": "2", "B": "y"}),
+        ]
+        witness = find_witness(schema, cfds)
+        assert witness is not None
+        relation = Relation(schema)
+        relation.add(witness)
+        assert all(c.satisfied_by(relation) for c in cfds)
+
+    def test_mds_alone_always_consistent(self, schema):
+        """Fan et al. 2011 (recalled Section 4.1): any set of MDs is
+        consistent."""
+        master = Relation.from_dicts(schema, [{"A": "a", "B": "b"}])
+        mds = [MD(schema, schema, [("A", "A")], [("B", "B")])]
+        assert is_consistent(schema, [], mds, master)
+
+
+class TestInconsistentSets:
+    def test_classic_finite_domain_conflict(self):
+        """A ≠ value forced from both sides on a finite domain: with
+        dom(B) = {x} the rules A=1→B=x and (B=x → A=2 via A's side)…
+        build the standard inconsistent pair: ∅→B=x and ∅→B=y."""
+        schema = Schema("R", ["A", "B"])
+        cfds = [
+            CFD(schema, [], ["B"], rhs_pattern={"B": "x"}),
+            CFD(schema, [], ["B"], rhs_pattern={"B": "y"}),
+        ]
+        assert not is_consistent(schema, cfds)
+
+    def test_finite_domain_ping_pong(self):
+        """Over a Boolean-like domain: A=t→A... the paper's canonical
+        inconsistent CFDs: ([A]→[B], (true ‖ x)), ([A]→[B], (false ‖ y)),
+        plus B constants that force A both ways."""
+        dom = Domain.finite({"0", "1"})
+        schema = Schema("R", [Attribute("A", dom), Attribute("B", dom)])
+        cfds = [
+            CFD(schema, ["A"], ["A"], lhs_pattern={"A": "0"}, rhs_pattern={"A": "1"}),
+            CFD(schema, ["A"], ["A"], lhs_pattern={"A": "1"}, rhs_pattern={"A": "0"}),
+        ]
+        # Every value of the finite domain violates one of the rules.
+        assert not is_consistent(schema, cfds)
+
+    def test_assert_consistent_raises(self):
+        schema = Schema("R", ["A", "B"])
+        cfds = [
+            CFD(schema, [], ["B"], rhs_pattern={"B": "x"}),
+            CFD(schema, [], ["B"], rhs_pattern={"B": "y"}),
+        ]
+        with pytest.raises(InconsistentRulesError):
+            assert_consistent(schema, cfds)
+
+    def test_assert_consistent_passes(self, schema):
+        assert_consistent(schema, [CFD(schema, ["A"], ["B"])])
+
+
+class TestMDInteraction:
+    def test_md_plus_cfd_conflict(self):
+        """An MD forcing B to a master value conflicting with a constant
+        CFD over a finite domain is detected."""
+        dom = Domain.finite({"m", "c"})
+        schema = Schema("R", [Attribute("A", Domain.finite({"k"})), Attribute("B", dom)])
+        master = Relation.from_dicts(schema, [{"A": "k", "B": "m"}])
+        mds = [MD(schema, schema, [("A", "A")], [("B", "B")])]
+        cfds = [CFD(schema, [], ["B"], rhs_pattern={"B": "c"})]
+        # Single tuple must have A='k' (only domain value) → MD forces
+        # B='m', CFD forces B='c' → inconsistent.
+        assert not is_consistent(schema, cfds, mds, master)
+
+    def test_md_consistent_when_agreeing(self):
+        dom = Domain.finite({"m", "c"})
+        schema = Schema("R", [Attribute("A", Domain.finite({"k"})), Attribute("B", dom)])
+        master = Relation.from_dicts(schema, [{"A": "k", "B": "m"}])
+        mds = [MD(schema, schema, [("A", "A")], [("B", "B")])]
+        cfds = [CFD(schema, [], ["B"], rhs_pattern={"B": "m"})]
+        assert is_consistent(schema, cfds, mds, master)
+
+
+class TestActiveDomains:
+    def test_collects_cfd_constants(self, schema):
+        cfds = [CFD(schema, ["A"], ["B"], {"A": "1", "B": "x"})]
+        domains = active_domains(schema, cfds, [], None)
+        assert "1" in domains["A"] and "x" in domains["B"]
+
+    def test_includes_fresh_value(self, schema):
+        domains = active_domains(schema, [], [], None)
+        assert len(domains["A"]) >= 1
+
+    def test_collects_master_values_via_mds(self, schema):
+        master = Relation.from_dicts(schema, [{"A": "ma", "B": "mb"}])
+        mds = [MD(schema, schema, [("A", "A")], [("B", "B")])]
+        domains = active_domains(schema, [], mds, master)
+        assert "ma" in domains["A"] and "mb" in domains["B"]
+
+    def test_finite_domain_no_fresh_beyond(self):
+        dom = Domain.finite({"0", "1"})
+        schema = Schema("R", [Attribute("A", dom)])
+        cfds = [CFD(schema, [], ["A"], rhs_pattern={"A": "0"}),
+                CFD(schema, [], ["A"], rhs_pattern={"A": "1"})]
+        domains = active_domains(schema, cfds, [], None)
+        assert set(domains["A"]) == {"0", "1"}

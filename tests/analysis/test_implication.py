@@ -1,0 +1,89 @@
+"""Tests for the implication analysis (Theorem 4.2)."""
+
+import pytest
+
+from repro.analysis import implies, redundant_rules
+from repro.constraints import CFD, MD
+from repro.relational import Attribute, Domain, Relation, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B", "C"])
+
+
+class TestCFDImplication:
+    def test_fd_transitivity(self, schema):
+        """A→B and B→C imply A→C (classical Armstrong inference)."""
+        sigma = [CFD(schema, ["A"], ["B"]), CFD(schema, ["B"], ["C"])]
+        target = CFD(schema, ["A"], ["C"])
+        assert implies(schema, sigma, [], target)
+
+    def test_fd_not_implied(self, schema):
+        sigma = [CFD(schema, ["A"], ["B"])]
+        target = CFD(schema, ["A"], ["C"])
+        assert not implies(schema, sigma, [], target)
+
+    def test_reflexive_trivially_implied(self, schema):
+        target = CFD(schema, ["A", "B"], ["A"])
+        assert implies(schema, [], [], target)
+
+    def test_constant_cfd_implied_by_stronger(self, schema):
+        sigma = [CFD(schema, [], ["B"], rhs_pattern={"B": "x"})]
+        target = CFD(schema, ["A"], ["B"], {"A": "1", "B": "x"})
+        assert implies(schema, sigma, [], target)
+
+    def test_constant_cfd_not_implied(self, schema):
+        sigma = [CFD(schema, ["A"], ["B"], {"A": "1", "B": "x"})]
+        target = CFD(schema, ["A"], ["B"], {"A": "2", "B": "x"})
+        assert not implies(schema, sigma, [], target)
+
+    def test_multi_rhs_target_normalized(self, schema):
+        sigma = [CFD(schema, ["A"], ["B"]), CFD(schema, ["A"], ["C"])]
+        target = CFD(schema, ["A"], ["B", "C"])
+        assert implies(schema, sigma, [], target)
+
+
+class TestMDImplication:
+    @pytest.fixture()
+    def small_schema(self):
+        dom = Domain.finite({"u", "v"})
+        return Schema("S", [Attribute("K", Domain.finite({"k"})), Attribute("V", dom)])
+
+    def test_md_implied_by_itself(self, small_schema):
+        master = Relation.from_dicts(small_schema, [{"K": "k", "V": "u"}])
+        md = MD(small_schema, small_schema, [("K", "K")], [("V", "V")])
+        assert implies(small_schema, [], [md], md, master)
+
+    def test_md_not_implied_by_nothing(self, small_schema):
+        master = Relation.from_dicts(small_schema, [{"K": "k", "V": "u"}])
+        md = MD(small_schema, small_schema, [("K", "K")], [("V", "V")])
+        assert not implies(small_schema, [], [], md, master)
+
+    def test_md_implied_via_cfd(self, small_schema):
+        """∅→V=u (CFD) makes the MD K=K → V⇌V hold whenever master V is
+        u."""
+        master = Relation.from_dicts(small_schema, [{"K": "k", "V": "u"}])
+        sigma = [CFD(small_schema, [], ["V"], rhs_pattern={"V": "u"})]
+        md = MD(small_schema, small_schema, [("K", "K")], [("V", "V")])
+        assert implies(small_schema, sigma, [], md, master)
+
+    def test_md_target_requires_master(self, small_schema):
+        md = MD(small_schema, small_schema, [("K", "K")], [("V", "V")])
+        with pytest.raises(ValueError):
+            implies(small_schema, [], [], md, master=None)
+
+
+class TestRedundantRules:
+    def test_finds_transitive_redundancy(self, schema):
+        sigma = [
+            CFD(schema, ["A"], ["B"]),
+            CFD(schema, ["B"], ["C"]),
+            CFD(schema, ["A"], ["C"]),  # implied by the other two
+        ]
+        redundant = redundant_rules(schema, sigma)
+        assert sigma[2] in redundant
+
+    def test_no_false_positives(self, schema):
+        sigma = [CFD(schema, ["A"], ["B"]), CFD(schema, ["B"], ["C"])]
+        assert redundant_rules(schema, sigma) == []

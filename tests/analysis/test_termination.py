@@ -1,0 +1,91 @@
+"""Tests for the bounded termination/determinism explorer (Thms 4.7/4.8)."""
+
+import pytest
+
+from repro.analysis import explore, snapshot
+from repro.constraints import CFD, MD, derive_rules
+from repro.relational import Relation, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("tran", ["AC", "post", "city"])
+
+
+class TestExample46:
+    def test_ping_pong_does_not_terminate(self, schema):
+        """Example 4.6: φ1 = (AC=131 → city=Edi) and φ5 = (post=EH8 9AB →
+        city=Ldn) flip t2[city] back and forth forever."""
+        phi1 = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"})
+        phi5 = CFD(schema, ["post"], ["city"], {"post": "EH8 9AB", "city": "Ldn"})
+        d = Relation.from_dicts(schema, [{"AC": "131", "post": "EH8 9AB", "city": "Edi"}])
+        result = explore(d, derive_rules([phi1, phi5]))
+        assert result.terminates is False
+        assert result.deterministic is False
+
+    def test_removing_one_rule_terminates(self, schema):
+        phi1 = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"})
+        d = Relation.from_dicts(schema, [{"AC": "131", "post": "p", "city": "Ldn"}])
+        result = explore(d, derive_rules([phi1]))
+        assert result.terminates is True
+        assert result.deterministic is True
+        assert len(result.fixpoints) == 1
+
+
+class TestDeterminism:
+    def test_conflicting_variable_cfd_is_nondeterministic(self, schema):
+        """Two tuples agreeing on AC with different cities: either can be
+        applied to the other → two distinct fixpoints."""
+        fd = CFD(schema, ["AC"], ["city"])
+        d = Relation.from_dicts(
+            schema,
+            [
+                {"AC": "1", "post": "p", "city": "Edi"},
+                {"AC": "1", "post": "q", "city": "Ldn"},
+            ],
+        )
+        result = explore(d, derive_rules([fd]))
+        assert result.terminates is True
+        assert result.deterministic is False
+        assert len(result.fixpoints) == 2
+
+    def test_md_application_deterministic(self, schema):
+        master = Relation.from_dicts(
+            schema, [{"AC": "131", "post": "z", "city": "Edi"}]
+        )
+        md = MD(schema, schema, [("AC", "AC")], [("city", "city")])
+        d = Relation.from_dicts(schema, [{"AC": "131", "post": "p", "city": "Ldn"}])
+        result = explore(d, derive_rules([], [md]), master=master)
+        assert result.terminates is True
+        assert result.deterministic is True
+        (fixpoint,) = result.fixpoints
+        assert fixpoint[0][schema.index_of("city")] == "Edi"
+
+
+class TestBudget:
+    def test_exhaustion_reported(self, schema):
+        phi1 = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"})
+        phi5 = CFD(schema, ["post"], ["city"], {"post": "EH8 9AB", "city": "Ldn"})
+        d = Relation.from_dicts(schema, [{"AC": "131", "post": "EH8 9AB", "city": "x"}])
+        result = explore(d, derive_rules([phi1, phi5]), max_states=1)
+        assert result.exhausted
+        assert result.terminates is None
+        assert result.deterministic is None
+
+    def test_input_not_modified(self, schema):
+        phi1 = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"})
+        d = Relation.from_dicts(schema, [{"AC": "131", "post": "p", "city": "Ldn"}])
+        before = snapshot(d)
+        explore(d, derive_rules([phi1]))
+        assert snapshot(d) == before
+
+
+class TestSnapshot:
+    def test_snapshot_order_by_tid(self, schema):
+        d = Relation.from_dicts(
+            schema,
+            [{"AC": "1", "post": "p", "city": "c1"}, {"AC": "2", "post": "q", "city": "c2"}],
+        )
+        state = snapshot(d)
+        assert state[0][schema.index_of("AC")] == "1"
+        assert state[1][schema.index_of("AC")] == "2"

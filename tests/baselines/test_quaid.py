@@ -1,0 +1,61 @@
+"""Tests for the quaid baseline and Uni(CFD)."""
+
+import pytest
+
+from repro.baselines import quaid, uni_cfd
+from repro.core import FixKind, is_clean
+from repro.relational import Relation, Schema
+from repro.constraints import CFD
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["K", "V", "W"])
+
+
+@pytest.fixture()
+def cfds(schema):
+    return [
+        CFD(schema, ["K"], ["V"], {"K": "k", "V": "x"}, name="c"),
+        CFD(schema, ["K"], ["W"], name="fd"),
+    ]
+
+
+@pytest.fixture()
+def relation(schema):
+    return Relation.from_dicts(
+        schema,
+        [
+            {"K": "k", "V": "bad", "W": "w1"},
+            {"K": "k", "V": "x", "W": "w2"},
+        ],
+    )
+
+
+class TestQuaid:
+    def test_produces_consistent_repair(self, relation, cfds):
+        result = quaid(relation, cfds)
+        assert is_clean(result.repaired, cfds)
+
+    def test_all_fixes_possible(self, relation, cfds):
+        result = quaid(relation, cfds)
+        assert result.possible_fixes > 0
+        assert all(f.kind is FixKind.POSSIBLE for f in result.fix_log)
+
+    def test_input_unchanged(self, relation, cfds):
+        before = {t.tid: t.as_dict() for t in relation}
+        quaid(relation, cfds)
+        assert {t.tid: t.as_dict() for t in relation} == before
+
+
+class TestUniCFD:
+    def test_no_master_no_mds(self, cfds):
+        cleaner = uni_cfd(cfds)
+        assert cleaner.mds == [] and cleaner.master is None
+
+    def test_cleans_with_all_three_phases(self, relation, cfds):
+        result = uni_cfd(cfds).clean(relation)
+        assert is_clean(result.repaired, cfds)
+        assert result.crepair_result is not None
+        assert result.erepair_result is not None
+        assert result.hrepair_result is not None

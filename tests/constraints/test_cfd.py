@@ -1,0 +1,210 @@
+"""Tests for CFDs — semantics of Section 2.1 and Example 2.2."""
+
+import pytest
+
+from repro.constraints import CFD, WILDCARD, all_violations, is_wildcard, pattern_match, satisfies_all
+from repro.exceptions import ConstraintError
+from repro.relational import NULL, Relation, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("tran", ["FN", "city", "AC", "phn", "St", "post"])
+
+
+@pytest.fixture()
+def phi1(schema) -> CFD:
+    """φ1: tran([AC] → [city], (131 ‖ Edi))."""
+    return CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"}, name="phi1")
+
+
+@pytest.fixture()
+def phi3(schema) -> CFD:
+    """φ3: tran([city, phn] → [St, AC, post]) — a traditional FD."""
+    return CFD(schema, ["city", "phn"], ["St", "AC", "post"], name="phi3")
+
+
+@pytest.fixture()
+def phi4(schema) -> CFD:
+    """φ4: tran([FN] → [FN], (Bob ‖ Robert)) — the normalization rule."""
+    return CFD(
+        schema,
+        ["FN"],
+        ["FN"],
+        lhs_pattern={"FN": "Bob"},
+        rhs_pattern={"FN": "Robert"},
+        name="phi4",
+    )
+
+
+class TestPatternMatch:
+    def test_constant_match(self):
+        assert pattern_match("131", "131")
+        assert not pattern_match("020", "131")
+
+    def test_wildcard_matches_everything_but_null(self):
+        assert pattern_match("x", WILDCARD)
+        assert not pattern_match(NULL, WILDCARD)
+
+    def test_null_never_matches_constant(self):
+        assert not pattern_match(NULL, "131")
+
+    def test_is_wildcard(self):
+        assert is_wildcard(WILDCARD)
+        assert not is_wildcard("_")
+
+
+class TestClassification:
+    def test_constant_cfd(self, phi1):
+        assert phi1.is_constant and not phi1.is_variable
+        assert phi1.rhs_constant == "Edi"
+
+    def test_variable_cfd(self, schema):
+        phi = CFD(schema, ["city", "phn"], ["St"])
+        assert phi.is_variable and not phi.is_constant
+
+    def test_fd_detection(self, phi3, phi1):
+        assert phi3.is_fd
+        assert not phi1.is_fd
+
+    def test_two_sided_pattern(self, phi4):
+        assert phi4.is_constant
+        assert phi4.rhs_constant == "Robert"
+        assert phi4.lhs_pattern["FN"] == "Bob"
+
+    def test_rhs_attr_requires_normalized(self, phi3):
+        with pytest.raises(ConstraintError):
+            phi3.rhs_attr
+
+    def test_rhs_constant_requires_constant(self, phi3):
+        norm = phi3.normalize()[0]
+        with pytest.raises(ConstraintError):
+            norm.rhs_constant
+
+
+class TestValidation:
+    def test_empty_rhs_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["AC"], [])
+
+    def test_duplicate_lhs_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["AC", "AC"], ["city"])
+
+    def test_pattern_attr_outside_scope_rejected(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["AC"], ["city"], {"phn": "x"})
+
+    def test_side_pattern_attr_validation(self, schema):
+        with pytest.raises(ConstraintError):
+            CFD(schema, ["AC"], ["city"], lhs_pattern={"city": "x"})
+
+    def test_empty_lhs_allowed(self, schema):
+        cfd = CFD(schema, [], ["city"], rhs_pattern={"city": "Edi"})
+        assert cfd.is_constant
+
+
+class TestNormalization:
+    def test_normalized_is_self(self, phi1):
+        assert phi1.normalize() == [phi1]
+
+    def test_splits_rhs(self, phi3):
+        parts = phi3.normalize()
+        assert [p.rhs for p in parts] == [("St",), ("AC",), ("post",)]
+        assert all(p.lhs == ("city", "phn") for p in parts)
+
+    def test_normalization_preserves_semantics(self, schema, phi3):
+        relation = Relation.from_dicts(
+            schema,
+            [
+                {"FN": "a", "city": "Edi", "phn": "1", "St": "s1", "AC": "131", "post": "p1"},
+                {"FN": "b", "city": "Edi", "phn": "1", "St": "s2", "AC": "131", "post": "p1"},
+            ],
+        )
+        assert not phi3.satisfied_by(relation)
+        assert not all(p.satisfied_by(relation) for p in phi3.normalize())
+
+
+class TestSemantics:
+    def test_example_2_2_single_tuple_violation(self, schema, phi1):
+        # t1 has AC = 131 but city = Ldn: the single tuple violates φ1.
+        relation = Relation.from_dicts(
+            schema, [{"AC": "131", "city": "Ldn", "FN": "M.", "phn": "9", "St": "s", "post": "p"}]
+        )
+        assert not phi1.satisfied_by(relation)
+        violations = phi1.violations(relation)
+        assert len(violations) == 1
+        assert violations[0].tids == (0,)
+        assert violations[0].attr == "city"
+
+    def test_example_2_2_phi3_satisfied(self, schema, phi3):
+        # No two tuples agree on (city, phn) → φ3 holds.
+        relation = Relation.from_dicts(
+            schema,
+            [
+                {"city": "Edi", "phn": "1", "St": "a", "AC": "x", "post": "p", "FN": "f"},
+                {"city": "Ldn", "phn": "1", "St": "b", "AC": "y", "post": "q", "FN": "g"},
+            ],
+        )
+        assert phi3.satisfied_by(relation)
+
+    def test_pair_violation(self, schema, phi3):
+        relation = Relation.from_dicts(
+            schema,
+            [
+                {"city": "Edi", "phn": "1", "St": "a", "AC": "x", "post": "p", "FN": "f"},
+                {"city": "Edi", "phn": "1", "St": "b", "AC": "x", "post": "p", "FN": "g"},
+            ],
+        )
+        violations = phi3.violations(relation)
+        assert len(violations) == 1
+        assert set(violations[0].tids) == {0, 1}
+        assert violations[0].attr == "St"
+
+    def test_phi4_fires_on_bob(self, schema, phi4):
+        relation = Relation.from_dicts(
+            schema, [{"FN": "Bob", "city": "c", "AC": "a", "phn": "p", "St": "s", "post": "z"}]
+        )
+        assert not phi4.satisfied_by(relation)
+
+    def test_phi4_holds_on_robert(self, schema, phi4):
+        relation = Relation.from_dicts(
+            schema, [{"FN": "Robert", "city": "c", "AC": "a", "phn": "p", "St": "s", "post": "z"}]
+        )
+        assert phi4.satisfied_by(relation)
+
+    def test_null_lhs_never_matches(self, schema, phi1):
+        relation = Relation.from_dicts(
+            schema, [{"AC": NULL, "city": "Ldn", "FN": "f", "phn": "p", "St": "s", "post": "z"}]
+        )
+        assert phi1.satisfied_by(relation)
+
+    def test_satisfies_all_and_collect(self, schema, phi1, phi3):
+        relation = Relation.from_dicts(
+            schema,
+            [{"AC": "131", "city": "Ldn", "FN": "f", "phn": "p", "St": "s", "post": "z"}],
+        )
+        assert not satisfies_all(relation, [phi1, phi3])
+        assert len(all_violations(relation, [phi1, phi3])) == 1
+
+
+class TestMetadata:
+    def test_attributes_deduplicated(self, phi4):
+        assert phi4.attributes() == ("FN",)
+
+    def test_constants_merges_sides(self, phi4):
+        assert phi4.constants() == {"FN": ["Bob", "Robert"]}
+
+    def test_size(self, phi3):
+        assert phi3.size() == 5
+
+    def test_equality_and_hash(self, schema):
+        a = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"})
+        b = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"}, name="other")
+        assert a == b  # names are metadata
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_pattern(self, schema):
+        a = CFD(schema, ["AC"], ["city"], {"AC": "131"})
+        b = CFD(schema, ["AC"], ["city"], {"AC": "020"})
+        assert a != b

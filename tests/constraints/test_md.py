@@ -1,0 +1,232 @@
+"""Tests for MDs — Section 2.2, Examples 2.3–2.5 and Proposition 2.6."""
+
+import pytest
+
+from repro.constraints import MD, MDClause, NegativeMD, embed_negative, satisfies_all_mds
+from repro.exceptions import ConstraintError
+from repro.relational import NULL, Relation, Schema
+from repro.similarity import EQ, edit_within
+
+
+@pytest.fixture()
+def tran() -> Schema:
+    return Schema("tran", ["FN", "LN", "St", "city", "AC", "post", "phn", "gd"])
+
+
+@pytest.fixture()
+def card() -> Schema:
+    return Schema("card", ["FN", "LN", "St", "city", "AC", "zip", "tel", "dob", "gd"])
+
+
+@pytest.fixture()
+def psi(tran, card) -> MD:
+    """ψ of Example 1.1 (premise on LN/city/St/post and FN similarity)."""
+    return MD(
+        tran,
+        card,
+        [
+            ("LN", "LN"),
+            ("city", "city"),
+            ("St", "St"),
+            ("post", "zip"),
+            ("FN", "FN", edit_within(3)),
+        ],
+        [("FN", "FN"), ("phn", "tel")],
+        name="psi",
+    )
+
+
+@pytest.fixture()
+def master(card) -> Relation:
+    return Relation.from_dicts(
+        card,
+        [
+            dict(FN="Mark", LN="Smith", St="10 Oak St", city="Edi", AC="131",
+                 zip="EH8 9LE", tel="3256778", dob="d", gd="Male"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_premise_tuple_promotion(self, tran, card):
+        md = MD(tran, card, [("LN", "LN")], [("FN", "FN")])
+        assert md.premise[0].is_equality
+
+    def test_three_tuple_clause(self, tran, card):
+        md = MD(tran, card, [("FN", "FN", edit_within(2))], [("phn", "tel")])
+        assert not md.premise[0].is_equality
+
+    def test_empty_premise_rejected(self, tran, card):
+        with pytest.raises(ConstraintError):
+            MD(tran, card, [], [("FN", "FN")])
+
+    def test_empty_rhs_rejected(self, tran, card):
+        with pytest.raises(ConstraintError):
+            MD(tran, card, [("LN", "LN")], [])
+
+    def test_unknown_attrs_rejected(self, tran, card):
+        with pytest.raises(Exception):
+            MD(tran, card, [("nope", "LN")], [("FN", "FN")])
+
+    def test_bad_clause_shape(self, tran, card):
+        with pytest.raises(ConstraintError):
+            MD(tran, card, [("a",)], [("FN", "FN")])
+
+
+class TestNormalization:
+    def test_splits_rhs_pairs(self, psi):
+        parts = psi.normalize()
+        assert [p.rhs_pair for p in parts] == [("FN", "FN"), ("phn", "tel")]
+        assert all(p.premise == psi.premise for p in parts)
+
+    def test_normalized_is_self(self, tran, card):
+        md = MD(tran, card, [("LN", "LN")], [("FN", "FN")])
+        assert md.normalize() == [md]
+
+    def test_rhs_pair_requires_normalized(self, psi):
+        with pytest.raises(ConstraintError):
+            psi.rhs_pair
+
+
+class TestSemantics:
+    def test_example_2_3_violation(self, tran, psi, master):
+        """t'1 (t1 with city=Ldn→Edi... actually city:=Ldn in the paper's
+        D1) matches s1's premise but differs on FN/phn → not satisfied."""
+        t1_prime = dict(FN="M.", LN="Smith", St="10 Oak St", city="Edi", AC="131",
+                        post="EH8 9LE", phn="9999999", gd="Male")
+        d1 = Relation.from_dicts(tran, [t1_prime])
+        assert not psi.satisfied_by(d1, master)
+        violations = psi.violations(d1, master)
+        assert len(violations) == 1
+        assert set(violations[0].attrs) == {"FN", "phn"}
+
+    def test_satisfied_after_identification(self, tran, psi, master):
+        fixed = dict(FN="Mark", LN="Smith", St="10 Oak St", city="Edi", AC="131",
+                     post="EH8 9LE", phn="3256778", gd="Male")
+        d = Relation.from_dicts(tran, [fixed])
+        assert psi.satisfied_by(d, master)
+
+    def test_premise_fails_on_null(self, tran, psi, master):
+        t = dict(FN="Mark", LN="Smith", St=NULL, city="Edi", AC="131",
+                 post="EH8 9LE", phn="999", gd="Male")
+        d = Relation.from_dicts(tran, [t])
+        assert psi.satisfied_by(d, master)  # null premise never matches
+
+    def test_satisfies_all_mds(self, tran, psi, master):
+        d = Relation.from_dicts(
+            tran,
+            [dict(FN="x", LN="y", St="z", city="c", AC="1", post="p", phn="9", gd="M")],
+        )
+        assert satisfies_all_mds(d, master, [psi])
+
+    def test_equality_premise_attrs(self, psi):
+        assert psi.equality_premise_attrs() == ("LN", "city", "St", "post")
+
+    def test_lhs_rhs_attrs(self, psi):
+        assert psi.lhs_attrs() == ("LN", "city", "St", "post", "FN")
+        assert psi.rhs_attrs() == ("FN", "phn")
+
+    def test_size(self, psi):
+        assert psi.size() == 7
+
+
+class TestNegativeMDs:
+    def test_example_2_4_semantics(self, tran, card):
+        """A male and a female may not refer to the same person."""
+        neg = NegativeMD(tran, card, [("gd", "gd")], [("FN", "FN"), ("phn", "tel")])
+        master = Relation.from_dicts(
+            card,
+            [dict(FN="Mark", LN="S", St="s", city="c", AC="1", zip="z",
+                  tel="123", dob="d", gd="Female")],
+        )
+        # Same FN and phn as the master tuple but different gender →
+        # identified despite the premise → ψ⁻ violated.
+        bad = Relation.from_dicts(
+            tran,
+            [dict(FN="Mark", LN="S", St="s", city="c", AC="1", post="z",
+                  phn="123", gd="Male")],
+        )
+        assert not neg.satisfied_by(bad, master)
+        ok = Relation.from_dicts(
+            tran,
+            [dict(FN="Mark", LN="S", St="s", city="c", AC="1", post="z",
+                  phn="999", gd="Male")],
+        )
+        assert neg.satisfied_by(ok, master)
+
+    def test_null_premise_does_not_constrain(self, tran, card):
+        neg = NegativeMD(tran, card, [("gd", "gd")], [("FN", "FN")])
+        master = Relation.from_dicts(
+            card, [dict(FN="Mark", LN="S", St="s", city="c", AC="1", zip="z",
+                        tel="1", dob="d", gd="Female")]
+        )
+        d = Relation.from_dicts(
+            tran, [dict(FN="Mark", LN="S", St="s", city="c", AC="1", post="z",
+                        phn="9", gd=NULL)]
+        )
+        assert neg.satisfied_by(d, master)
+
+    def test_validation(self, tran, card):
+        with pytest.raises(ConstraintError):
+            NegativeMD(tran, card, [], [("FN", "FN")])
+        with pytest.raises(ConstraintError):
+            NegativeMD(tran, card, [("gd", "gd")], [])
+
+
+class TestEmbedding:
+    def test_example_2_5(self, tran, card, psi):
+        """Embedding the gender negative MD adds gd = gd to ψ's premise."""
+        neg = NegativeMD(tran, card, [("gd", "gd")], [("FN", "FN"), ("phn", "tel")])
+        embedded = embed_negative([psi], [neg])
+        assert len(embedded) == 2  # psi normalized into two single-RHS MDs
+        for md in embedded:
+            clauses = {(c.attr, c.master_attr) for c in md.premise if c.is_equality}
+            assert ("gd", "gd") in clauses
+
+    def test_embedding_no_negatives_normalizes(self, psi):
+        out = embed_negative([psi], [])
+        assert len(out) == 2
+        assert all(md.is_normalized for md in out)
+
+    def test_embedded_set_blocks_cross_gender_updates(self, tran, card, psi):
+        neg = NegativeMD(tran, card, [("gd", "gd")], [("FN", "FN"), ("phn", "tel")])
+        embedded = embed_negative([psi], [neg])
+        master = Relation.from_dicts(
+            card,
+            [dict(FN="Mark", LN="Smith", St="10 Oak St", city="Edi", AC="131",
+                  zip="EH8 9LE", tel="3256778", dob="d", gd="Female")],
+        )
+        # Premise of ψ holds except gender: the embedded MD must not fire.
+        d = Relation.from_dicts(
+            tran,
+            [dict(FN="M.", LN="Smith", St="10 Oak St", city="Edi", AC="131",
+                  post="EH8 9LE", phn="999", gd="Male")],
+        )
+        assert satisfies_all_mds(d, master, embedded)
+
+    def test_no_duplicate_clauses(self, tran, card):
+        md = MD(tran, card, [("gd", "gd")], [("FN", "FN")])
+        neg = NegativeMD(tran, card, [("gd", "gd")], [("FN", "FN")])
+        out = embed_negative([md], [neg])
+        assert len(out[0].premise) == 1  # gd = gd not duplicated
+
+    def test_complexity_linear_in_product(self, tran, card, psi):
+        negs = [
+            NegativeMD(tran, card, [("gd", "gd")], [("FN", "FN")]),
+            NegativeMD(tran, card, [("AC", "AC")], [("FN", "FN")]),
+        ]
+        out = embed_negative([psi], negs)
+        for md in out:
+            eq_attrs = {c.attr for c in md.premise if c.is_equality}
+            assert {"gd", "AC"} <= eq_attrs
+
+
+class TestMDClause:
+    def test_repr_and_equality(self):
+        a = MDClause("FN", "FN", EQ)
+        b = MDClause("FN", "FN", EQ)
+        assert a == b and hash(a) == hash(b)
+        assert "FN" in repr(a)
+
+    def test_inequality_on_predicate(self):
+        assert MDClause("FN", "FN", EQ) != MDClause("FN", "FN", edit_within(1))

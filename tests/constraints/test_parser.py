@@ -1,0 +1,122 @@
+"""Tests for the textual rule syntax."""
+
+import pytest
+
+from repro import Schema, parse_rules
+from repro.constraints import parse_cfd, parse_md, parse_negative_md
+from repro.constraints.cfd import is_wildcard
+from repro.exceptions import ParseError
+
+
+@pytest.fixture()
+def schemas(tran_schema, card_schema):
+    return {"tran": tran_schema, "card": card_schema}
+
+
+class TestParseCFD:
+    def test_constant(self, schemas):
+        cfd = parse_cfd("tran: AC='131' -> city='Edi'", schemas)
+        assert cfd.is_constant and cfd.rhs_constant == "Edi"
+        assert cfd.lhs_pattern["AC"] == "131"
+
+    def test_fd_wildcards(self, schemas):
+        cfd = parse_cfd("tran: city, phn -> St, AC, post", schemas)
+        assert cfd.is_fd
+        assert cfd.lhs == ("city", "phn") and cfd.rhs == ("St", "AC", "post")
+
+    def test_two_sided_pattern(self, schemas):
+        cfd = parse_cfd("tran: FN='Bob' -> FN='Robert'", schemas)
+        assert cfd.lhs_pattern["FN"] == "Bob"
+        assert cfd.rhs_pattern["FN"] == "Robert"
+
+    def test_quoted_constant_with_comma(self, schemas):
+        cfd = parse_cfd("tran: St='10, Oak St' -> city='Edi'", schemas)
+        assert cfd.lhs_pattern["St"] == "10, Oak St"
+
+    def test_double_quotes(self, schemas):
+        cfd = parse_cfd('tran: AC="020" -> city="Ldn"', schemas)
+        assert cfd.rhs_constant == "Ldn"
+
+    def test_mixed_constant_and_wildcard(self, schemas):
+        cfd = parse_cfd("tran: AC='131', city -> post", schemas)
+        assert cfd.lhs_pattern["AC"] == "131"
+        assert is_wildcard(cfd.lhs_pattern["city"])
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "tran AC='131' -> city='Edi'",        # missing colon
+            "tran: AC='131' city='Edi'",           # missing arrow
+            "tran: AC -> city -> post",            # two arrows
+            "nosuch: AC -> city",                  # unknown schema
+            "tran: nope -> city",                  # unknown attribute
+            "tran: , -> city",                     # empty term
+        ],
+    )
+    def test_errors(self, schemas, bad):
+        with pytest.raises(Exception):
+            parse_cfd(bad, schemas)
+
+
+class TestParseMD:
+    def test_full_md(self, schemas):
+        md = parse_md(
+            "tran~card: LN=LN, city=city, FN ~edit<=3 FN -> FN=FN, phn=tel",
+            schemas,
+        )
+        assert len(md.premise) == 3
+        assert md.rhs == (("FN", "FN"), ("phn", "tel"))
+        assert md.premise[2].predicate.edit_budget == 3
+
+    def test_equality_clause(self, schemas):
+        md = parse_md("tran~card: LN=LN -> phn=tel", schemas)
+        assert md.premise[0].is_equality
+
+    def test_missing_tilde(self, schemas):
+        with pytest.raises(ParseError):
+            parse_md("tran: LN=LN -> phn=tel", schemas)
+
+    def test_bad_clause(self, schemas):
+        with pytest.raises(ParseError):
+            parse_md("tran~card: LN~~LN -> phn=tel", schemas)
+
+    def test_bad_rhs(self, schemas):
+        with pytest.raises(ParseError):
+            parse_md("tran~card: LN=LN -> phn~edit<=1 tel", schemas)
+
+
+class TestParseNegativeMD:
+    def test_basic(self, schemas):
+        neg = parse_negative_md("tran~card: gd!=gd -> FN=FN, phn=tel", schemas)
+        assert neg.premise == (("gd", "gd"),)
+        assert neg.rhs == (("FN", "FN"), ("phn", "tel"))
+
+    def test_requires_neq(self, schemas):
+        with pytest.raises(ParseError):
+            parse_negative_md("tran~card: gd=gd -> FN=FN", schemas)
+
+
+class TestParseRules:
+    def test_paper_rule_file(self, paper_rules):
+        assert len(paper_rules.cfds) == 4
+        assert len(paper_rules.mds) == 1
+        assert len(paper_rules.negative_mds) == 1
+        assert len(paper_rules) == 6
+
+    def test_names_assigned(self, paper_rules):
+        assert paper_rules.cfds[0].name == "phi1"
+        assert paper_rules.mds[0].name == "psi"
+        assert paper_rules.negative_mds[0].name == "psi_neg"
+
+    def test_comments_and_blank_lines_skipped(self, schemas):
+        out = parse_rules("# comment\n\ncfd tran: AC='1' -> city='E'\n", schemas)
+        assert len(out.cfds) == 1
+
+    def test_unknown_keyword(self, schemas):
+        with pytest.raises(ParseError, match="line 1"):
+            parse_rules("fd tran: AC -> city", schemas)
+
+    def test_error_reports_line_number(self, schemas):
+        text = "cfd tran: AC='1' -> city='E'\ncfd broken"
+        with pytest.raises(ParseError, match="line 2"):
+            parse_rules(text, schemas)

@@ -1,0 +1,185 @@
+"""Tests for cleaning rules (Section 3.1) and confidence propagation."""
+
+import pytest
+
+from repro.constraints import (
+    CFD,
+    MD,
+    ConstantCFDRule,
+    MDRule,
+    VariableCFDRule,
+    derive_rules,
+    fuzzy_min,
+)
+from repro.exceptions import ConstraintError
+from repro.relational import CTuple, Relation, Schema
+from repro.similarity import edit_within
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B", "C"])
+
+
+@pytest.fixture()
+def master_schema() -> Schema:
+    return Schema("M", ["X", "Y"])
+
+
+class TestFuzzyMin:
+    def test_minimum(self):
+        assert fuzzy_min([0.9, 0.4, 0.7]) == 0.4
+
+    def test_none_absorbs(self):
+        assert fuzzy_min([0.9, None]) is None
+
+    def test_empty_is_none(self):
+        assert fuzzy_min([]) is None
+
+
+class TestConstantCFDRule:
+    @pytest.fixture()
+    def rule(self, schema):
+        return ConstantCFDRule(
+            CFD(schema, ["A"], ["B"], {"A": "a1", "B": "good"}, name="c")
+        )
+
+    def test_rejects_variable_cfd(self, schema):
+        with pytest.raises(ConstraintError):
+            ConstantCFDRule(CFD(schema, ["A"], ["B"]))
+
+    def test_applies(self, schema, rule):
+        t = CTuple(schema, {"A": "a1", "B": "bad"})
+        assert rule.applies(t)
+
+    def test_not_applies_when_correct(self, schema, rule):
+        t = CTuple(schema, {"A": "a1", "B": "good"})
+        assert not rule.applies(t)
+
+    def test_not_applies_when_pattern_misses(self, schema, rule):
+        t = CTuple(schema, {"A": "other", "B": "bad"})
+        assert not rule.applies(t)
+
+    def test_apply_updates_value_and_confidence(self, schema, rule):
+        t = CTuple(schema, {"A": "a1", "B": "bad"}, {"A": 0.7, "B": 0.2}, tid=5)
+        records = rule.apply(t)
+        assert t["B"] == "good"
+        assert t.conf("B") == 0.7  # fuzzy min over LHS
+        assert len(records) == 1
+        assert records[0].tid == 5 and records[0].source == "pattern"
+
+    def test_apply_noop_when_not_applicable(self, schema, rule):
+        t = CTuple(schema, {"A": "zz", "B": "bad"})
+        assert rule.apply(t) == []
+
+    def test_empty_lhs_confidence_is_one(self, schema):
+        rule = ConstantCFDRule(CFD(schema, [], ["B"], rhs_pattern={"B": "k"}))
+        t = CTuple(schema, {"B": "x"})
+        assert rule.derived_confidence(t) == 1.0
+
+    def test_metadata(self, rule):
+        assert rule.kind == "constant_cfd"
+        assert rule.lhs_attrs() == ("A",)
+        assert rule.rhs_attr() == "B"
+
+
+class TestVariableCFDRule:
+    @pytest.fixture()
+    def rule(self, schema):
+        return VariableCFDRule(CFD(schema, ["A"], ["B"], name="v"))
+
+    def test_rejects_constant_cfd(self, schema):
+        with pytest.raises(ConstraintError):
+            VariableCFDRule(CFD(schema, ["A"], ["B"], {"B": "const"}))
+
+    def test_applies_pair(self, schema, rule):
+        t1 = CTuple(schema, {"A": "k", "B": "x"})
+        t2 = CTuple(schema, {"A": "k", "B": "y"})
+        assert rule.applies(t1, t2)
+
+    def test_not_applies_on_different_groups(self, schema, rule):
+        t1 = CTuple(schema, {"A": "k1", "B": "x"})
+        t2 = CTuple(schema, {"A": "k2", "B": "y"})
+        assert not rule.applies(t1, t2)
+
+    def test_not_applies_when_equal(self, schema, rule):
+        t1 = CTuple(schema, {"A": "k", "B": "x"})
+        t2 = CTuple(schema, {"A": "k", "B": "x"})
+        assert not rule.applies(t1, t2)
+
+    def test_apply_copies_donor_value(self, schema, rule):
+        t1 = CTuple(schema, {"A": "k", "B": "x"}, {"A": 0.9, "B": 0.1}, tid=1)
+        t2 = CTuple(schema, {"A": "k", "B": "y"}, {"A": 0.8, "B": 0.9}, tid=2)
+        records = rule.apply(t1, t2)
+        assert t1["B"] == "y"
+        # min over t1[Y].cf and t2[Y].cf per Section 3.1.
+        assert t1.conf("B") == 0.8
+        assert records[0].source == 2
+
+    def test_derived_confidence_none_when_unavailable(self, schema, rule):
+        t1 = CTuple(schema, {"A": "k", "B": "x"})
+        t2 = CTuple(schema, {"A": "k", "B": "y"}, {"A": 0.5})
+        assert rule.derived_confidence(t1, t2) is None
+
+
+class TestMDRule:
+    @pytest.fixture()
+    def rule(self, schema, master_schema):
+        md = MD(
+            schema,
+            master_schema,
+            [("A", "X"), ("B", "Y", edit_within(2))],
+            [("C", "Y")],
+            name="m",
+        )
+        return MDRule(md)
+
+    def test_rejects_unnormalized(self, schema, master_schema):
+        md = MD(schema, master_schema, [("A", "X")], [("B", "X"), ("C", "Y")])
+        with pytest.raises(ConstraintError):
+            MDRule(md)
+
+    def test_applies(self, schema, master_schema, rule):
+        t = CTuple(schema, {"A": "x", "B": "near", "C": "wrong"})
+        s = CTuple(master_schema, {"X": "x", "Y": "neat"})
+        assert rule.applies(t, s)
+
+    def test_not_applies_when_identified(self, schema, master_schema, rule):
+        t = CTuple(schema, {"A": "x", "B": "near", "C": "neat"})
+        s = CTuple(master_schema, {"X": "x", "Y": "neat"})
+        assert not rule.applies(t, s)
+
+    def test_apply_copies_master_value(self, schema, master_schema, rule):
+        t = CTuple(schema, {"A": "x", "B": "near", "C": "wrong"},
+                   {"A": 0.6, "B": 0.9, "C": 0.1}, tid=3)
+        s = CTuple(master_schema, {"X": "x", "Y": "neat"})
+        records = rule.apply(t, s)
+        assert t["C"] == "neat"
+        # Confidence = min over *equality* premise attrs only (A).
+        assert t.conf("C") == 0.6
+        assert records[0].source == "master"
+
+    def test_apply_rechecks_premise(self, schema, master_schema, rule):
+        t = CTuple(schema, {"A": "DIFFERENT", "B": "near", "C": "wrong"})
+        s = CTuple(master_schema, {"X": "x", "Y": "neat"})
+        assert rule.apply(t, s) == []
+
+    def test_metadata(self, rule):
+        assert rule.kind == "md"
+        assert rule.lhs_attrs() == ("A", "B")
+        assert rule.rhs_attr() == "C"
+
+
+class TestDeriveRules:
+    def test_normalizes_and_classifies(self, schema, master_schema):
+        cfds = [
+            CFD(schema, ["A"], ["B", "C"], {"A": "k"}),  # splits into 2 variable
+            CFD(schema, ["A"], ["B"], {"A": "k", "B": "v"}),  # constant
+        ]
+        mds = [MD(schema, master_schema, [("A", "X")], [("B", "X"), ("C", "Y")])]
+        rules = derive_rules(cfds, mds)
+        kinds = [r.kind for r in rules]
+        assert kinds == ["variable_cfd", "variable_cfd", "constant_cfd", "md", "md"]
+
+    def test_empty_inputs(self):
+        assert derive_rules([], []) == []

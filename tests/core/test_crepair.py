@@ -1,0 +1,199 @@
+"""Tests for cRepair — Section 5, Example 5.2."""
+
+import pytest
+
+from repro.constraints import CFD, MD, embed_negative
+from repro.core import FixKind, crepair
+from repro.relational import CTuple, Relation, Schema
+from repro.similarity import edit_within
+
+
+class TestExample52:
+    """The paper's worked example: deterministic fixes for t1–t4."""
+
+    @pytest.fixture()
+    def result(self, dirty_tran, master_card, paper_rules):
+        mds = embed_negative(paper_rules.mds, paper_rules.negative_mds)
+        return crepair(
+            dirty_tran, paper_rules.cfds, mds, master=master_card, eta=0.8
+        )
+
+    def test_t1_city_fixed_via_phi1(self, result):
+        assert result.relation.by_tid(0)["city"] == "Edi"
+        assert result.fix_log.mark_of(0, "city") is FixKind.DETERMINISTIC
+
+    def test_t1_city_confidence_upgraded(self, result):
+        """Example 5.2 step (3): 'It also upgrades t1[city].cf to 0.8.'"""
+        assert result.relation.by_tid(0).conf("city") == 0.8
+
+    def test_t1_phn_fixed_via_psi(self, result):
+        """Step (4): t1[phn] := s1[tel] with cf 0.8."""
+        assert result.relation.by_tid(0)["phn"] == "3256778"
+        assert result.relation.by_tid(0).conf("phn") == 0.8
+
+    def test_t2_st_fixed_via_phi3(self, result):
+        """Step (5): t2[St] := t1[St] = 10 Oak St."""
+        assert result.relation.by_tid(1)["St"] == "10 Oak St"
+
+    def test_t3_city_fixed_via_phi2(self, result):
+        """Step (6): t3[city] := Ldn with cf 0.8."""
+        assert result.relation.by_tid(2)["city"] == "Ldn"
+        assert result.relation.by_tid(2).conf("city") == 0.8
+
+    def test_t3_fn_not_fixed_deterministically(self, result):
+        """t3[FN] = Bob has cf 0.6 < η: φ4's premise is not asserted, so
+        cRepair leaves it (it is fixed later, Example 7.2)."""
+        assert result.relation.by_tid(2)["FN"] == "Bob"
+
+    def test_all_fixes_marked_deterministic(self, result):
+        for fix in result.fix_log:
+            assert fix.kind is FixKind.DETERMINISTIC
+
+    def test_input_not_modified(self, dirty_tran, master_card, paper_rules):
+        mds = embed_negative(paper_rules.mds, paper_rules.negative_mds)
+        before = {t.tid: t.as_dict() for t in dirty_tran}
+        crepair(dirty_tran, paper_rules.cfds, mds, master=master_card, eta=0.8)
+        assert {t.tid: t.as_dict() for t in dirty_tran} == before
+
+
+class TestSemantics:
+    @pytest.fixture()
+    def schema(self):
+        return Schema("R", ["K", "V", "W"])
+
+    def test_asserted_targets_never_overwritten(self, schema):
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "right"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "wrong", "W": "w"}], [{"K": 1.0, "V": 1.0, "W": 0.0}]
+        )
+        result = crepair(relation, [cfd], eta=0.8)
+        # V is asserted (cf 1.0): even though it violates the rule it is
+        # not touched — conflicts among asserted values go to later phases.
+        assert result.relation.by_tid(0)["V"] == "wrong"
+        assert result.deterministic_fixes == 0
+
+    def test_unasserted_premise_blocks_rule(self, schema):
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "right"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "wrong", "W": "w"}], [{"K": 0.5, "V": 0.0, "W": 0.0}]
+        )
+        result = crepair(relation, [cfd], eta=0.8)
+        assert result.relation.by_tid(0)["V"] == "wrong"
+
+    def test_confirmation_upgrades_confidence_without_fix(self, schema):
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "right"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "right", "W": "w"}], [{"K": 1.0, "V": 0.0, "W": 0.0}]
+        )
+        result = crepair(relation, [cfd], eta=0.8)
+        assert result.deterministic_fixes == 0
+        assert result.confirmed_cells == 1
+        assert result.relation.by_tid(0).conf("V") == 0.8
+
+    def test_recursive_propagation(self, schema):
+        """A fix by one rule asserts the premise of the next (the process
+        is recursive, Section 5.1)."""
+        rule1 = CFD(schema, ["K"], ["V"], {"K": "k", "V": "v"})
+        rule2 = CFD(schema, ["V"], ["W"], {"V": "v", "W": "w"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "bad", "W": "bad"}],
+            [{"K": 1.0, "V": 0.0, "W": 0.0}],
+        )
+        result = crepair(relation, [rule1, rule2], eta=0.8)
+        t = result.relation.by_tid(0)
+        assert t["V"] == "v" and t["W"] == "w"
+        assert result.deterministic_fixes == 2
+
+    def test_variable_cfd_unique_asserted_donor(self, schema):
+        fd = CFD(schema, ["K"], ["V"])
+        relation = Relation.from_dicts(
+            schema,
+            [
+                {"K": "k", "V": "good", "W": "w"},
+                {"K": "k", "V": "bad", "W": "w"},
+            ],
+            [{"K": 1.0, "V": 1.0, "W": 0.0}, {"K": 1.0, "V": 0.0, "W": 0.0}],
+        )
+        result = crepair(relation, [fd], eta=0.8)
+        assert result.relation.by_tid(1)["V"] == "good"
+        assert result.fix_log.mark_of(1, "V") is FixKind.DETERMINISTIC
+
+    def test_variable_cfd_no_asserted_donor_no_fix(self, schema):
+        fd = CFD(schema, ["K"], ["V"])
+        relation = Relation.from_dicts(
+            schema,
+            [
+                {"K": "k", "V": "a", "W": "w"},
+                {"K": "k", "V": "b", "W": "w"},
+            ],
+            [{"K": 1.0, "V": 0.0, "W": 0.0}, {"K": 1.0, "V": 0.0, "W": 0.0}],
+        )
+        result = crepair(relation, [fd], eta=0.8)
+        assert result.deterministic_fixes == 0
+
+    def test_variable_cfd_donor_arrives_late(self, schema):
+        """A tuple waits in Hφ's list until another rule asserts a donor;
+        exercises the P[t] re-arming path of procedure update."""
+        constant = CFD(schema, ["K"], ["V"], {"K": "k", "V": "good"})
+        fd = CFD(schema, ["W"], ["V"])
+        relation = Relation.from_dicts(
+            schema,
+            [
+                # Donor: V will be fixed to 'good' by the constant rule
+                # (premise K asserted), thereby asserting V.
+                {"K": "k", "V": "meh", "W": "w"},
+                # Waiter: premise W asserted, V unasserted.
+                {"K": "other", "V": "bad", "W": "w"},
+            ],
+            [{"K": 1.0, "V": 0.0, "W": 1.0}, {"K": 0.0, "V": 0.0, "W": 1.0}],
+        )
+        result = crepair(relation, [constant, fd], eta=0.8)
+        assert result.relation.by_tid(0)["V"] == "good"
+        assert result.relation.by_tid(1)["V"] == "good"
+
+    def test_md_requires_master(self, schema):
+        md = MD(schema, schema, [("K", "K")], [("V", "V")])
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "x", "W": "w"}])
+        with pytest.raises(ValueError):
+            crepair(relation, [], [md], master=None)
+
+    def test_md_fix_from_master(self, schema):
+        md = MD(schema, schema, [("K", "K"), ("W", "W", edit_within(1))], [("V", "V")])
+        master = Relation.from_dicts(schema, [{"K": "k", "V": "master", "W": "www"}])
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "dirty", "W": "www"}],
+            [{"K": 1.0, "V": 0.0, "W": 1.0}],
+        )
+        result = crepair(relation, [], [md], master=master, eta=0.8)
+        assert result.relation.by_tid(0)["V"] == "master"
+
+    def test_in_place_mode(self, schema):
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "v"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "x", "W": "w"}], [{"K": 1.0, "V": 0.0, "W": 0.0}]
+        )
+        result = crepair(relation, [cfd], eta=0.8, in_place=True)
+        assert result.relation is relation
+        assert relation.by_tid(0)["V"] == "v"
+
+    def test_empty_lhs_constant_rule(self, schema):
+        cfd = CFD(schema, [], ["W"], rhs_pattern={"W": "std"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "v", "W": "odd"}], [{"K": 0.0, "V": 0.0, "W": 0.0}]
+        )
+        result = crepair(relation, [cfd], eta=0.8)
+        assert result.relation.by_tid(0)["W"] == "std"
+
+    def test_each_cell_fixed_at_most_once(self, schema):
+        """Correctness argument of Section 5.2: each attribute value is
+        updated at most once."""
+        rule1 = CFD(schema, ["K"], ["V"], {"K": "k", "V": "v1"})
+        rule2 = CFD(schema, ["W"], ["V"], {"W": "w", "V": "v2"})
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "x", "W": "w"}], [{"K": 1.0, "V": 0.0, "W": 1.0}]
+        )
+        result = crepair(relation, [rule1, rule2], eta=0.8)
+        fixes_per_cell = {}
+        for fix in result.fix_log:
+            fixes_per_cell[fix.cell] = fixes_per_cell.get(fix.cell, 0) + 1
+        assert all(count == 1 for count in fixes_per_cell.values())

@@ -1,0 +1,133 @@
+"""Tests for eRepair — Section 6, Example 6.2."""
+
+import pytest
+
+from repro.constraints import CFD, MD
+from repro.core import FixKind, erepair
+from repro.relational import Relation, Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["A", "B", "C", "E", "F", "H"])
+
+
+@pytest.fixture()
+def example_relation(schema):
+    rows = [
+        ("a1", "b1", "c1", "e1", "f1", "h1"),
+        ("a1", "b1", "c1", "e1", "f2", "h2"),
+        ("a1", "b1", "c1", "e1", "f3", "h3"),
+        ("a1", "b1", "c1", "e2", "f1", "h3"),
+        ("a2", "b2", "c2", "e1", "f2", "h4"),
+        ("a2", "b2", "c2", "e2", "f1", "h4"),
+        ("a2", "b2", "c3", "e3", "f3", "h5"),
+        ("a2", "b2", "c4", "e3", "f3", "h6"),
+    ]
+    return Relation.from_dicts(schema, [dict(zip("ABCEFH", r)) for r in rows])
+
+
+@pytest.fixture()
+def phi(schema):
+    return CFD(schema, ["A", "B", "C"], ["E"], name="phi")
+
+
+class TestExample62:
+    def test_only_low_entropy_group_fixed(self, example_relation, phi):
+        """Example 6.2: eRepair changes t4[E] to e1 (H ≈ 0.81 < δ2) but
+        leaves the uniform (a2,b2,c2) group (H = 1) alone."""
+        result = erepair(example_relation, [phi], delta2=0.9)
+        assert result.relation.by_tid(3)["E"] == "e1"
+        assert result.fix_log.mark_of(3, "E") is FixKind.RELIABLE
+        # (a2,b2,c2): entropy 1 — untouched.
+        assert result.relation.by_tid(4)["E"] == "e1"
+        assert result.relation.by_tid(5)["E"] == "e2"
+        assert result.reliable_fixes == 1
+
+    def test_threshold_blocks_fix(self, example_relation, phi):
+        result = erepair(example_relation, [phi], delta2=0.5)
+        assert result.relation.by_tid(3)["E"] == "e2"
+        assert result.reliable_fixes == 0
+
+    def test_zero_entropy_groups_untouched(self, example_relation, phi):
+        result = erepair(example_relation, [phi], delta2=0.99)
+        assert result.relation.by_tid(6)["E"] == "e3"
+        assert result.relation.by_tid(7)["E"] == "e3"
+
+
+class TestThresholds:
+    def test_protected_cells_never_changed(self, example_relation, phi):
+        result = erepair(
+            example_relation, [phi], delta2=0.9, protected={(3, "E")}
+        )
+        assert result.relation.by_tid(3)["E"] == "e2"
+
+    def test_delta1_caps_oscillation(self):
+        """Example 4.6's φ1/φ5 ping-pong terminates under δ1."""
+        schema = Schema("tran", ["AC", "post", "city"])
+        phi1 = CFD(schema, ["AC"], ["city"], {"AC": "131", "city": "Edi"})
+        phi5 = CFD(schema, ["post"], ["city"], {"post": "EH8 9AB", "city": "Ldn"})
+        relation = Relation.from_dicts(
+            schema, [{"AC": "131", "post": "EH8 9AB", "city": "x"}]
+        )
+        result = erepair(relation, [phi1, phi5], delta1=3)
+        changes = [f for f in result.fix_log if f.cell == (0, "city")]
+        assert len(changes) <= 3
+        assert result.rounds < 10  # terminated
+
+
+class TestRuleKinds:
+    def test_constant_cfd_applied(self):
+        schema = Schema("R", ["K", "V"])
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "good"})
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "bad"}])
+        result = erepair(relation, [cfd])
+        assert result.relation.by_tid(0)["V"] == "good"
+        assert result.fix_log.mark_of(0, "V") is FixKind.RELIABLE
+
+    def test_md_applied(self):
+        schema = Schema("R", ["K", "V"])
+        md = MD(schema, schema, [("K", "K")], [("V", "V")])
+        master = Relation.from_dicts(schema, [{"K": "k", "V": "master"}])
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "dirty"}])
+        result = erepair(relation, [], [md], master=master)
+        assert result.relation.by_tid(0)["V"] == "master"
+
+    def test_md_requires_master(self):
+        schema = Schema("R", ["K", "V"])
+        md = MD(schema, schema, [("K", "K")], [("V", "V")])
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "x"}])
+        with pytest.raises(ValueError):
+            erepair(relation, [], [md])
+
+    def test_interaction_md_enables_cfd(self):
+        """An MD fix changes a group key, after which the variable CFD's
+        entropy resolution fires — rules interleave across rounds."""
+        schema = Schema("R", ["K", "G", "V"])
+        md = MD(schema, schema, [("K", "K")], [("G", "G")])
+        master = Relation.from_dicts(schema, [{"K": "k", "G": "g", "V": "m"}])
+        fd = CFD(schema, ["G"], ["V"])
+        relation = Relation.from_dicts(
+            schema,
+            [
+                {"K": "k", "G": "WRONG", "V": "odd"},
+                {"K": "x1", "G": "g", "V": "v"},
+                {"K": "x2", "G": "g", "V": "v"},
+                {"K": "x3", "G": "g", "V": "v"},
+                {"K": "x4", "G": "g", "V": "v"},
+            ],
+        )
+        result = erepair(relation, [fd], [md], master=master, delta2=0.9)
+        t0 = result.relation.by_tid(0)
+        assert t0["G"] == "g"      # MD fix
+        assert t0["V"] == "v"      # then entropy fix in the merged group
+        assert result.rounds >= 2
+
+    def test_input_not_modified_by_default(self, example_relation, phi):
+        before = {t.tid: t.as_dict() for t in example_relation}
+        erepair(example_relation, [phi], delta2=0.9)
+        assert {t.tid: t.as_dict() for t in example_relation} == before
+
+    def test_in_place(self, example_relation, phi):
+        result = erepair(example_relation, [phi], delta2=0.9, in_place=True)
+        assert result.relation is example_relation

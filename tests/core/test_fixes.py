@@ -1,0 +1,94 @@
+"""Tests for fix bookkeeping."""
+
+import pytest
+
+from repro.constraints.rules import RuleApplication
+from repro.core import Fix, FixKind, FixLog
+
+
+def make_fix(kind=FixKind.DETERMINISTIC, tid=0, attr="A", new="v"):
+    return Fix(
+        kind=kind,
+        rule_name="r",
+        tid=tid,
+        attr=attr,
+        old_value="old",
+        new_value=new,
+        old_conf=0.1,
+        new_conf=0.8,
+        source="pattern",
+    )
+
+
+class TestFix:
+    def test_cell(self):
+        assert make_fix(tid=3, attr="B").cell == (3, "B")
+
+    def test_from_application(self):
+        app = RuleApplication("r", 1, "A", "o", "n", 0.1, 0.9, "master")
+        fix = Fix.from_application(FixKind.RELIABLE, app)
+        assert fix.kind is FixKind.RELIABLE
+        assert fix.new_value == "n" and fix.source == "master"
+
+    def test_kind_str(self):
+        assert str(FixKind.POSSIBLE) == "possible"
+
+
+class TestFixLog:
+    def test_record_and_len(self):
+        log = FixLog()
+        log.record(make_fix())
+        assert len(log) == 1
+
+    def test_iteration_in_order(self):
+        log = FixLog()
+        log.record(make_fix(tid=0))
+        log.record(make_fix(tid=1))
+        assert [f.tid for f in log] == [0, 1]
+
+    def test_latest_mark_wins(self):
+        log = FixLog()
+        log.record(make_fix(kind=FixKind.RELIABLE))
+        log.record(make_fix(kind=FixKind.POSSIBLE))
+        assert log.mark_of(0, "A") is FixKind.POSSIBLE
+        assert log.marked_cells(FixKind.RELIABLE) == set()
+
+    def test_mark_of_unknown_cell(self):
+        assert FixLog().mark_of(9, "Z") is None
+
+    def test_fixes_filtered_by_kind(self):
+        log = FixLog()
+        log.record(make_fix(kind=FixKind.DETERMINISTIC))
+        log.record(make_fix(kind=FixKind.POSSIBLE, tid=1))
+        assert len(log.fixes(FixKind.DETERMINISTIC)) == 1
+        assert len(log.fixes()) == 2
+
+    def test_deterministic_cells(self):
+        log = FixLog()
+        log.record(make_fix(kind=FixKind.DETERMINISTIC, tid=1, attr="B"))
+        log.record(make_fix(kind=FixKind.RELIABLE, tid=2, attr="C"))
+        assert log.deterministic_cells() == {(1, "B")}
+
+    def test_counts_by_event_vs_cell(self):
+        log = FixLog()
+        log.record(make_fix(kind=FixKind.RELIABLE))
+        log.record(make_fix(kind=FixKind.RELIABLE))  # same cell twice
+        assert log.counts()[FixKind.RELIABLE] == 2
+        assert log.cell_counts()[FixKind.RELIABLE] == 1
+
+    def test_record_applications(self):
+        log = FixLog()
+        apps = [RuleApplication("r", i, "A", "o", "n", None, None, "pattern") for i in range(3)]
+        fixes = log.record_applications(FixKind.POSSIBLE, apps)
+        assert len(fixes) == 3 and len(log) == 3
+
+    def test_latest_fix(self):
+        log = FixLog()
+        first = log.record(make_fix(new="v1"))
+        second = log.record(make_fix(new="v2"))
+        assert log.latest_fix(0, "A") is second
+
+    def test_summary_mentions_counts(self):
+        log = FixLog()
+        log.record(make_fix())
+        assert "deterministic=1" in log.summary()

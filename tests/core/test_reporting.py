@@ -1,0 +1,88 @@
+"""Tests for the fix-report utilities and hRepair's union-find."""
+
+import pytest
+
+from repro.core import FixKind, UniClean, UniCleanConfig, format_fix_report, rule_statistics
+from repro.core.fixes import Fix, FixLog
+from repro.core.hrepair import _UnionFind
+
+
+def make_fix(kind, rule, tid=0, attr="A"):
+    return Fix(kind, rule, tid, attr, "o", "n", None, None, "x")
+
+
+class TestRuleStatistics:
+    def test_empty_log(self):
+        assert rule_statistics(FixLog()) == {}
+
+    def test_counts_per_rule_and_kind(self):
+        log = FixLog()
+        log.record(make_fix(FixKind.DETERMINISTIC, "r1"))
+        log.record(make_fix(FixKind.DETERMINISTIC, "r1", tid=1))
+        log.record(make_fix(FixKind.POSSIBLE, "r2"))
+        stats = rule_statistics(log)
+        assert stats["r1"]["deterministic"] == 2 and stats["r1"]["total"] == 2
+        assert stats["r2"]["possible"] == 1
+
+    def test_report_renders(self):
+        log = FixLog()
+        log.record(make_fix(FixKind.RELIABLE, "rule_x"))
+        text = format_fix_report(log, limit=5)
+        assert "rule_x" in text and "reliable" in text
+
+    def test_report_limit_truncates(self):
+        log = FixLog()
+        for i in range(10):
+            log.record(make_fix(FixKind.POSSIBLE, "r", tid=i))
+        text = format_fix_report(log, limit=3)
+        assert "7 more" in text
+
+    def test_report_on_real_run(self, paper_rules, master_card, dirty_tran):
+        cleaner = UniClean(
+            paper_rules.cfds,
+            paper_rules.mds,
+            paper_rules.negative_mds,
+            master_card,
+            UniCleanConfig(eta=0.8),
+        )
+        result = cleaner.clean(dirty_tran)
+        text = format_fix_report(result.fix_log, limit=20)
+        assert "phi1" in text  # the city rule fired in the running example
+        stats = rule_statistics(result.fix_log)
+        assert sum(r["total"] for r in stats.values()) == len(result.fix_log)
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = _UnionFind()
+        assert uf.find((0, "A")) == (0, "A")
+        assert uf.members((0, "A")) == [(0, "A")]
+
+    def test_union_merges_members(self):
+        uf = _UnionFind()
+        root = uf.union((0, "A"), (1, "A"))
+        assert set(uf.members((0, "A"))) == {(0, "A"), (1, "A")}
+        assert uf.find((1, "A")) == root
+
+    def test_union_idempotent(self):
+        uf = _UnionFind()
+        uf.union((0, "A"), (1, "A"))
+        before = set(uf.members((0, "A")))
+        uf.union((1, "A"), (0, "A"))
+        assert set(uf.members((0, "A"))) == before
+
+    def test_transitive_union(self):
+        uf = _UnionFind()
+        uf.union((0, "A"), (1, "A"))
+        uf.union((1, "A"), (2, "A"))
+        assert uf.find((0, "A")) == uf.find((2, "A"))
+        assert len(uf.members((2, "A"))) == 3
+
+    def test_path_compression_preserves_roots(self):
+        uf = _UnionFind()
+        cells = [(i, "A") for i in range(20)]
+        for cell in cells[1:]:
+            uf.union(cells[0], cell)
+        root = uf.find(cells[0])
+        assert all(uf.find(c) == root for c in cells)
+        assert len(uf.members(root)) == 20

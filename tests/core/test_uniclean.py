@@ -1,0 +1,134 @@
+"""Tests for the UniClean pipeline (Section 3.2)."""
+
+import pytest
+
+from repro.constraints import CFD
+from repro.core import FixKind, UniClean, UniCleanConfig, is_clean
+from repro.exceptions import InconsistentRulesError
+from repro.relational import Relation, Schema
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def cleaner(self, paper_rules, master_card):
+        return UniClean(
+            cfds=paper_rules.cfds,
+            mds=paper_rules.mds,
+            negative_mds=paper_rules.negative_mds,
+            master=master_card,
+            config=UniCleanConfig(eta=0.8),
+        )
+
+    def test_full_run_clean(self, cleaner, dirty_tran, paper_rules, master_card):
+        result = cleaner.clean(dirty_tran)
+        assert result.clean
+        assert is_clean(result.repaired, cleaner.cfds, cleaner.mds, master_card)
+
+    def test_input_unchanged(self, cleaner, dirty_tran):
+        before = {t.tid: t.as_dict() for t in dirty_tran}
+        cleaner.clean(dirty_tran)
+        assert {t.tid: t.as_dict() for t in dirty_tran} == before
+
+    def test_all_three_fix_kinds_produced(self, cleaner, dirty_tran):
+        result = cleaner.clean(dirty_tran)
+        counts = result.fix_counts()
+        assert counts[FixKind.DETERMINISTIC] > 0
+        assert counts[FixKind.RELIABLE] > 0
+        assert counts[FixKind.POSSIBLE] > 0
+
+    def test_timings_recorded(self, cleaner, dirty_tran):
+        result = cleaner.clean(dirty_tran)
+        assert set(result.timings) == {"crepair", "erepair", "hrepair"}
+        assert result.total_time >= 0.0
+
+    def test_cost_positive(self, cleaner, dirty_tran):
+        result = cleaner.clean(dirty_tran)
+        assert result.cost > 0.0
+
+    def test_summary_renders(self, cleaner, dirty_tran):
+        text = cleaner.clean(dirty_tran).summary()
+        assert "UniClean" in text and "cost=" in text
+
+    def test_fraud_detected(self, cleaner, dirty_tran):
+        """The headline of Example 1.1: after cleaning, t3 and t4 agree on
+        every personal attribute — the same card in the UK and the US."""
+        result = cleaner.clean(dirty_tran)
+        t3 = result.repaired.by_tid(2)
+        t4 = result.repaired.by_tid(3)
+        for attr in ["FN", "LN", "St", "city", "AC", "post", "phn"]:
+            assert t3[attr] == t4[attr], attr
+
+
+class TestPhaseSwitches:
+    @pytest.fixture()
+    def base(self, paper_rules, master_card):
+        def build(**overrides):
+            config = UniCleanConfig(eta=0.8, **overrides)
+            return UniClean(
+                cfds=paper_rules.cfds,
+                mds=paper_rules.mds,
+                negative_mds=paper_rules.negative_mds,
+                master=master_card,
+                config=config,
+            )
+
+        return build
+
+    def test_crepair_only(self, base, dirty_tran):
+        result = base(run_erepair=False, run_hrepair=False).clean(dirty_tran)
+        assert result.erepair_result is None and result.hrepair_result is None
+        assert all(f.kind is FixKind.DETERMINISTIC for f in result.fix_log)
+
+    def test_ce_only(self, base, dirty_tran):
+        result = base(run_hrepair=False).clean(dirty_tran)
+        assert result.hrepair_result is None
+        kinds = {f.kind for f in result.fix_log}
+        assert FixKind.POSSIBLE not in kinds
+
+    def test_recall_monotone_in_phases(self, base, dirty_tran):
+        """More phases → at least as many cells fixed."""
+        c = base(run_erepair=False, run_hrepair=False).clean(dirty_tran)
+        ce = base(run_hrepair=False).clean(dirty_tran)
+        full = base().clean(dirty_tran)
+        assert len(c.fix_log.marked_cells()) <= len(ce.fix_log.marked_cells())
+        assert len(ce.fix_log.marked_cells()) <= len(full.fix_log.marked_cells())
+
+
+class TestConstruction:
+    def test_mds_require_master(self, paper_rules):
+        with pytest.raises(ValueError):
+            UniClean(cfds=paper_rules.cfds, mds=paper_rules.mds, master=None)
+
+    def test_negative_mds_embedded(self, paper_rules, master_card):
+        cleaner = UniClean(
+            cfds=paper_rules.cfds,
+            mds=paper_rules.mds,
+            negative_mds=paper_rules.negative_mds,
+            master=master_card,
+        )
+        for md in cleaner.mds:
+            assert ("gd", "gd") in {
+                (c.attr, c.master_attr) for c in md.premise if c.is_equality
+            }
+
+    def test_consistency_check_rejects_bad_rules(self):
+        schema = Schema("R", ["A", "B"])
+        bad = [
+            CFD(schema, [], ["B"], rhs_pattern={"B": "x"}),
+            CFD(schema, [], ["B"], rhs_pattern={"B": "y"}),
+        ]
+        with pytest.raises(InconsistentRulesError):
+            UniClean(cfds=bad, config=UniCleanConfig(check_consistency=True))
+
+    def test_consistency_check_accepts_good_rules(self, paper_rules, master_card):
+        UniClean(
+            cfds=paper_rules.cfds,
+            mds=paper_rules.mds,
+            master=master_card,
+            config=UniCleanConfig(check_consistency=True),
+        )
+
+    def test_cfd_only_pipeline(self, paper_rules, dirty_tran):
+        cleaner = UniClean(cfds=paper_rules.cfds)
+        result = cleaner.clean(dirty_tran)
+        assert is_clean(result.repaired, cleaner.cfds)

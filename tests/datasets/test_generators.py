@@ -1,0 +1,176 @@
+"""Tests for the synthetic dataset generators."""
+
+import random
+
+import pytest
+
+from repro.constraints import satisfies_all
+from repro.datasets import (
+    DirtyDataset,
+    assign_confidences,
+    corrupt_cell,
+    generate_dblp,
+    generate_hosp,
+    generate_tpch,
+    inject_noise,
+    split_rows,
+    typo,
+)
+from repro.exceptions import DataError
+from repro.relational import Relation, Schema
+
+
+class TestNoiseOperators:
+    def test_typo_always_differs(self):
+        rng = random.Random(1)
+        for value in ["a", "hello", "12345", ""]:
+            assert typo(value, rng) != value
+
+    def test_corrupt_cell_differs(self):
+        rng = random.Random(2)
+        out = corrupt_cell("value", ["value", "other"], rng)
+        assert out != "value"
+
+    def test_corrupt_cell_semantic_uses_pool(self):
+        rng = random.Random(3)
+        swaps = 0
+        for _ in range(100):
+            out = corrupt_cell("a", ["a", "b"], rng, typo_share=0.0)
+            if out == "b":
+                swaps += 1
+        assert swaps == 100  # typo_share 0 → always a pool swap
+
+    def test_inject_noise_rate(self):
+        schema = Schema("R", ["A", "B"])
+        clean = Relation.from_dicts(schema, [{"A": f"aaaa{i}", "B": f"bbbb{i}"} for i in range(100)])
+        dirty, errors = inject_noise(clean, 0.10, random.Random(4))
+        assert len(errors) == pytest.approx(20, abs=2)
+        for tid, attr in errors:
+            assert dirty.by_tid(tid)[attr] != clean.by_tid(tid)[attr]
+
+    def test_inject_noise_zero(self):
+        schema = Schema("R", ["A"])
+        clean = Relation.from_dicts(schema, [{"A": "x"}])
+        dirty, errors = inject_noise(clean, 0.0, random.Random(5))
+        assert errors == set()
+
+    def test_inject_noise_validates_rate(self):
+        schema = Schema("R", ["A"])
+        clean = Relation.from_dicts(schema, [{"A": "x"}])
+        with pytest.raises(DataError):
+            inject_noise(clean, 1.5, random.Random(6))
+
+    def test_typo_only_attrs_mostly_invalid_codes(self):
+        """Typo-only corruption yields non-code strings almost always (a
+        1-char typo can occasionally coincide with another valid code —
+        e.g. C0001 → C0002 — which is realistic and acceptable)."""
+        schema = Schema("R", ["code"])
+        clean = Relation.from_dicts(schema, [{"code": f"C{i:04d}"} for i in range(50)])
+        codes = {t["code"] for t in clean}
+        dirty, errors = inject_noise(
+            clean, 0.5, random.Random(7), typo_only_attrs=("code",)
+        )
+        invalid = sum(
+            1 for tid, attr in errors if dirty.by_tid(tid)[attr] not in codes
+        )
+        assert invalid >= 0.8 * len(errors)
+
+
+class TestConfidences:
+    def test_asserted_cells_are_correct(self):
+        schema = Schema("R", ["A"])
+        clean = Relation.from_dicts(schema, [{"A": f"val{i}"} for i in range(50)])
+        dirty, _ = inject_noise(clean, 0.2, random.Random(8))
+        assign_confidences(dirty, clean, 0.4, random.Random(9))
+        for tid in dirty.tids():
+            t = dirty.by_tid(tid)
+            if t.conf("A") == 1.0:
+                assert t["A"] == clean.by_tid(tid)["A"]
+
+    def test_rate_respected(self):
+        schema = Schema("R", ["A"])
+        clean = Relation.from_dicts(schema, [{"A": str(i)} for i in range(100)])
+        dirty = clean.clone()
+        assign_confidences(dirty, clean, 0.3, random.Random(10))
+        asserted = sum(1 for t in dirty if t.conf("A") == 1.0)
+        assert asserted == 30
+
+    def test_split_rows(self):
+        assert split_rows(10, 0.4) == (4, 6)
+        assert split_rows(10, 0.0) == (0, 10)
+        with pytest.raises(DataError):
+            split_rows(10, 1.2)
+
+
+@pytest.mark.parametrize(
+    "generator,n_cfds,n_mds,n_attrs",
+    [
+        (generate_hosp, 23, 3, 19),
+        (generate_dblp, 7, 3, 12),
+        (generate_tpch, 55, 10, 58),
+    ],
+    ids=["hosp", "dblp", "tpch"],
+)
+class TestGeneratorContracts:
+    @pytest.fixture()
+    def ds(self, generator, n_cfds, n_mds, n_attrs) -> DirtyDataset:
+        return generator(size=80, master_size=50, noise_rate=0.06)
+
+    def test_rule_counts_match_paper(self, ds, generator, n_cfds, n_mds, n_attrs):
+        assert len(ds.cfds) == n_cfds
+        assert len(ds.mds) == n_mds
+
+    def test_schema_width(self, ds, generator, n_cfds, n_mds, n_attrs):
+        assert len(ds.schema) == n_attrs
+
+    def test_sizes(self, ds, generator, n_cfds, n_mds, n_attrs):
+        assert len(ds.dirty) == 80
+        assert len(ds.clean) == 80
+        assert len(ds.master) >= 50
+
+    def test_clean_satisfies_cfds(self, ds, generator, n_cfds, n_mds, n_attrs):
+        assert satisfies_all(ds.clean, ds.cfds)
+
+    def test_errors_recorded_accurately(self, ds, generator, n_cfds, n_mds, n_attrs):
+        diff_cells = {(tid, attr) for tid, attr, _, _ in ds.clean.diff(ds.dirty)}
+        assert diff_cells == ds.errors
+
+    def test_true_matches_reference_valid_tids(self, ds, generator, n_cfds, n_mds, n_attrs):
+        data_tids = set(ds.dirty.tids())
+        master_tids = set(ds.master.tids())
+        for tid, sid in ds.true_matches:
+            assert tid in data_tids and sid in master_tids
+
+    def test_deterministic_given_seed(self, generator, n_cfds, n_mds, n_attrs):
+        a = generator(size=40, master_size=25, seed=99)
+        b = generator(size=40, master_size=25, seed=99)
+        assert [t.as_dict() for t in a.dirty] == [t.as_dict() for t in b.dirty]
+        assert a.errors == b.errors and a.true_matches == b.true_matches
+
+    def test_different_seeds_differ(self, generator, n_cfds, n_mds, n_attrs):
+        a = generator(size=40, master_size=25, seed=1)
+        b = generator(size=40, master_size=25, seed=2)
+        assert [t.as_dict() for t in a.dirty] != [t.as_dict() for t in b.dirty]
+
+    def test_error_rate_near_target(self, generator, n_cfds, n_mds, n_attrs):
+        ds = generator(size=100, master_size=50, noise_rate=0.08)
+        assert ds.error_rate() == pytest.approx(0.08, abs=0.02)
+
+
+class TestDuplicateRate:
+    def test_zero_duplicates(self):
+        ds = generate_hosp(size=60, master_size=40, duplicate_rate=0.0)
+        assert ds.true_matches == set()
+
+    def test_duplicate_rate_scales_matches(self):
+        low = generate_hosp(size=60, master_size=40, duplicate_rate=0.2)
+        high = generate_hosp(size=60, master_size=40, duplicate_rate=0.8)
+        assert len({tid for tid, _ in low.true_matches}) < len(
+            {tid for tid, _ in high.true_matches}
+        )
+
+
+class TestTpchRuleSubsets:
+    def test_rule_subsetting(self):
+        ds = generate_tpch(size=40, master_size=25, n_cfds=20, n_mds=4)
+        assert len(ds.cfds) == 20 and len(ds.mds) == 4

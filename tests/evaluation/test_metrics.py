@@ -1,0 +1,108 @@
+"""Tests for the Section 8 quality metrics."""
+
+import pytest
+
+from repro.evaluation import Metrics, f_measure, matching_metrics, repair_metrics
+from repro.exceptions import DataError
+from repro.relational import Relation, Schema
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(1.0, 1.0) == 1.0
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+
+class TestMetricsFromCounts:
+    def test_standard(self):
+        m = Metrics.from_counts(8, 10, 16)
+        assert m.precision == 0.8 and m.recall == 0.5
+        assert m.f1 == pytest.approx(f_measure(0.8, 0.5))
+
+    def test_nothing_found_precision_one(self):
+        m = Metrics.from_counts(0, 0, 5)
+        assert m.precision == 1.0 and m.recall == 0.0
+
+    def test_nothing_relevant_recall_one(self):
+        m = Metrics.from_counts(0, 0, 0)
+        assert m.recall == 1.0
+
+    def test_str(self):
+        assert "P=" in str(Metrics.from_counts(1, 2, 3))
+
+
+class TestRepairMetrics:
+    @pytest.fixture()
+    def schema(self):
+        return Schema("R", ["A", "B"])
+
+    @pytest.fixture()
+    def triple(self, schema):
+        clean = Relation.from_dicts(
+            schema, [{"A": "a", "B": "b"}, {"A": "c", "B": "d"}]
+        )
+        dirty = clean.clone()
+        dirty.by_tid(0)["A"] = "WRONG_A"
+        dirty.by_tid(1)["B"] = "WRONG_B"
+        return dirty, clean
+
+    def test_perfect_repair(self, triple):
+        dirty, clean = triple
+        m = repair_metrics(dirty, clean.clone(), clean)
+        assert m.precision == 1.0 and m.recall == 1.0
+
+    def test_partial_repair(self, triple):
+        dirty, clean = triple
+        repaired = dirty.clone()
+        repaired.by_tid(0)["A"] = "a"  # one of two errors fixed
+        m = repair_metrics(dirty, repaired, clean)
+        assert m.precision == 1.0
+        assert m.recall == 0.5
+
+    def test_wrong_update_hurts_precision(self, triple):
+        dirty, clean = triple
+        repaired = dirty.clone()
+        repaired.by_tid(0)["A"] = "a"          # correct
+        repaired.by_tid(0)["B"] = "bogus"      # wrong update of a clean cell
+        m = repair_metrics(dirty, repaired, clean)
+        assert m.precision == 0.5
+
+    def test_no_op_repair(self, triple):
+        dirty, clean = triple
+        m = repair_metrics(dirty, dirty.clone(), clean)
+        assert m.precision == 1.0 and m.recall == 0.0
+
+    def test_cells_restriction(self, triple):
+        dirty, clean = triple
+        repaired = clean.clone()
+        m = repair_metrics(dirty, repaired, clean, cells={(0, "A")})
+        assert m.true_positives == 1  # only the restricted cell counts
+        assert m.relevant == 2        # recall denominator stays global
+
+    def test_tid_mismatch(self, schema, triple):
+        dirty, clean = triple
+        other = Relation.from_dicts(schema, [{"A": "x", "B": "y"}])
+        with pytest.raises(DataError):
+            repair_metrics(dirty, other, clean)
+
+
+class TestMatchingMetrics:
+    def test_perfect(self):
+        truth = {(0, 0), (1, 1)}
+        m = matching_metrics(truth, truth)
+        assert m.f1 == 1.0
+
+    def test_false_positive(self):
+        m = matching_metrics({(0, 0), (5, 5)}, {(0, 0)})
+        assert m.precision == 0.5 and m.recall == 1.0
+
+    def test_missed_match(self):
+        m = matching_metrics({(0, 0)}, {(0, 0), (1, 1)})
+        assert m.recall == 0.5
+
+    def test_empty_found(self):
+        m = matching_metrics(set(), {(0, 0)})
+        assert m.precision == 1.0 and m.recall == 0.0

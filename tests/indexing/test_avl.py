@@ -1,0 +1,105 @@
+"""Tests for the AVL tree."""
+
+import random
+
+import pytest
+
+from repro.indexing import AVLTree
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = AVLTree()
+        tree.insert(2, "two")
+        tree.insert(1, "one")
+        assert tree.get(1) == "one"
+        assert tree.get(9, "dflt") == "dflt"
+
+    def test_duplicate_key_rejected(self):
+        tree = AVLTree()
+        tree.insert(1, "a")
+        with pytest.raises(KeyError):
+            tree.insert(1, "b")
+
+    def test_contains(self):
+        tree = AVLTree()
+        tree.insert(5, None)
+        assert 5 in tree and 6 not in tree
+
+    def test_len_and_bool(self):
+        tree = AVLTree()
+        assert not tree and len(tree) == 0
+        tree.insert(1, 1)
+        assert tree and len(tree) == 1
+
+    def test_min_max(self):
+        tree = AVLTree()
+        for k in [5, 1, 9, 3]:
+            tree.insert(k, str(k))
+        assert tree.min() == (1, "1")
+        assert tree.max() == (9, "9")
+
+    def test_min_of_empty(self):
+        with pytest.raises(KeyError):
+            AVLTree().min()
+        with pytest.raises(KeyError):
+            AVLTree().max()
+
+    def test_delete(self):
+        tree = AVLTree()
+        for k in [2, 1, 3]:
+            tree.insert(k, k)
+        tree.delete(2)
+        assert 2 not in tree and len(tree) == 2
+
+    def test_delete_missing(self):
+        tree = AVLTree()
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+    def test_items_in_order(self):
+        tree = AVLTree()
+        keys = [7, 3, 9, 1, 5]
+        for k in keys:
+            tree.insert(k, None)
+        assert list(tree.keys()) == sorted(keys)
+
+
+class TestBalance:
+    def test_height_logarithmic_on_sorted_insert(self):
+        tree = AVLTree()
+        for k in range(1024):
+            tree.insert(k, None)
+        assert tree.height() <= 11  # 1.44 * log2(1024) ≈ 14.4; AVL ≈ 11
+
+    def test_invariants_under_random_workload(self):
+        rng = random.Random(42)
+        tree = AVLTree()
+        present = set()
+        for _ in range(2000):
+            k = rng.randrange(300)
+            if k in present and rng.random() < 0.5:
+                tree.delete(k)
+                present.discard(k)
+            elif k not in present:
+                tree.insert(k, k)
+                present.add(k)
+            if rng.random() < 0.02:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert sorted(present) == list(tree.keys())
+
+    def test_delete_two_children(self):
+        tree = AVLTree()
+        for k in [50, 25, 75, 10, 30, 60, 90]:
+            tree.insert(k, k)
+        tree.delete(50)  # root with two children
+        tree.check_invariants()
+        assert list(tree.keys()) == [10, 25, 30, 60, 75, 90]
+
+    def test_tuple_keys(self):
+        tree = AVLTree()
+        tree.insert((0.5, "a"), 1)
+        tree.insert((0.5, "b"), 2)
+        tree.insert((0.1, "z"), 3)
+        assert tree.min() == ((0.1, "z"), 3)

@@ -1,0 +1,101 @@
+"""Tests for MD blocking indexes."""
+
+import pytest
+
+from repro.constraints import MD
+from repro.indexing import ExactIndex, MDBlockingIndex, build_md_indexes
+from repro.relational import NULL, Relation, Schema
+from repro.similarity import edit_within
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["name", "zip", "phone"])
+
+
+@pytest.fixture()
+def master(schema) -> Relation:
+    return Relation.from_dicts(
+        schema,
+        [
+            {"name": "edinburgh royal", "zip": "11111", "phone": "101"},
+            {"name": "london general", "zip": "22222", "phone": "202"},
+            {"name": "glasgow central", "zip": "11111", "phone": "303"},
+            {"name": "aberdeen north", "zip": NULL, "phone": "404"},
+        ],
+    )
+
+
+class TestExactIndex:
+    def test_lookup(self, schema, master):
+        index = ExactIndex(master, ["zip"])
+        assert {t.tid for t in index.lookup(("11111",))} == {0, 2}
+        assert index.lookup(("99999",)) == []
+
+    def test_nulls_skipped(self, schema, master):
+        index = ExactIndex(master, ["zip"])
+        assert all(t.tid != 3 for bucket in [index.lookup(("11111",))] for t in bucket)
+        assert index.bucket_count() == 2
+
+    def test_lookup_tuple(self, schema, master):
+        index = ExactIndex(master, ["zip"])
+        probe = master.by_tid(0)
+        assert probe in index.lookup_tuple(probe, ["zip"])
+
+    def test_multi_attribute_key(self, schema, master):
+        index = ExactIndex(master, ["zip", "phone"])
+        assert [t.tid for t in index.lookup(("11111", "101"))] == [0]
+
+
+class TestMDBlockingIndex:
+    @pytest.fixture()
+    def eq_md(self, schema) -> MD:
+        return MD(schema, schema, [("zip", "zip")], [("phone", "phone")])
+
+    @pytest.fixture()
+    def sim_md(self, schema) -> MD:
+        return MD(schema, schema, [("name", "name", edit_within(2))], [("phone", "phone")])
+
+    def test_equality_candidates_are_bucket(self, schema, master, eq_md):
+        index = MDBlockingIndex(eq_md, master)
+        probe = Relation.from_dicts(schema, [{"zip": "11111", "name": "x", "phone": "y"}])
+        candidates = index.candidates(probe.by_tid(0))
+        assert {t.tid for t in candidates} == {0, 2}
+
+    def test_null_key_no_candidates(self, schema, master, eq_md):
+        index = MDBlockingIndex(eq_md, master)
+        probe = Relation.from_dicts(schema, [{"zip": NULL, "name": "x", "phone": "y"}])
+        assert index.candidates(probe.by_tid(0)) == []
+
+    def test_similarity_blocking_finds_typo(self, schema, master, sim_md):
+        index = MDBlockingIndex(sim_md, master, top_l=4)
+        probe = Relation.from_dicts(
+            schema, [{"name": "edinburh royal", "zip": "z", "phone": "p"}]  # 1 deletion
+        )
+        matches = index.matches(probe.by_tid(0))
+        assert [s.tid for s in matches] == [0]
+
+    def test_full_scan_fallback(self, schema, master, sim_md):
+        index = MDBlockingIndex(sim_md, master, use_suffix_tree=False)
+        probe = Relation.from_dicts(
+            schema, [{"name": "edinburh royal", "zip": "z", "phone": "p"}]
+        )
+        assert len(index.candidates(probe.by_tid(0))) == len(master)
+        assert [s.tid for s in index.matches(probe.by_tid(0))] == [0]
+
+    def test_find_match_deterministic(self, schema, master, eq_md):
+        index = MDBlockingIndex(eq_md, master)
+        probe = Relation.from_dicts(schema, [{"zip": "11111", "name": "x", "phone": "y"}])
+        match = index.find_match(probe.by_tid(0))
+        assert match.tid == 0  # smallest master tid
+
+    def test_find_match_none(self, schema, master, eq_md):
+        index = MDBlockingIndex(eq_md, master)
+        probe = Relation.from_dicts(schema, [{"zip": "00000", "name": "x", "phone": "y"}])
+        assert index.find_match(probe.by_tid(0)) is None
+
+    def test_build_md_indexes_normalizes(self, schema, master):
+        md = MD(schema, schema, [("zip", "zip")], [("phone", "phone"), ("name", "name")])
+        indexes = build_md_indexes([md], master)
+        assert len(indexes) == 2
+        assert all(index.md.is_normalized for index in indexes.values())

@@ -1,0 +1,109 @@
+"""Tests for the generalized suffix tree and LCS blocking."""
+
+import random
+
+import pytest
+
+from repro.indexing import GeneralizedSuffixTree
+from repro.similarity import edit_distance, longest_common_substring_length
+
+
+@pytest.fixture()
+def tree() -> GeneralizedSuffixTree:
+    t = GeneralizedSuffixTree()
+    t.add_strings([(0, "robert"), (1, "bob"), (2, "roberta"), (3, "mark")])
+    return t
+
+
+class TestMembership:
+    def test_contains_substring(self, tree):
+        for sub in ["rob", "obert", "ark", "b", "roberta"]:
+            assert tree.contains_substring(sub), sub
+
+    def test_absent_substring(self, tree):
+        assert not tree.contains_substring("xyz")
+        assert not tree.contains_substring("robertz")
+
+    def test_empty_substring(self, tree):
+        assert tree.contains_substring("")
+
+    def test_strings_with_substring(self, tree):
+        assert tree.strings_with_substring("rober") == {0, 2}
+        assert tree.strings_with_substring("ob") == {0, 1, 2}
+        assert tree.strings_with_substring("zzz") == set()
+        assert tree.strings_with_substring("") == {0, 1, 2, 3}
+
+    def test_exhaustive_substrings_indexed(self):
+        tree = GeneralizedSuffixTree()
+        s = "mississippi"
+        tree.add_string(0, s)
+        for i in range(len(s)):
+            for j in range(i + 1, len(s) + 1):
+                assert tree.contains_substring(s[i:j])
+
+    def test_duplicate_id_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.add_string(0, "again")
+
+    def test_len_and_ids(self, tree):
+        assert len(tree) == 4
+        assert tree.ids() == (0, 1, 2, 3)
+        assert tree.string(1) == "bob"
+
+
+class TestTopL:
+    def test_exact_match_ranks_first(self, tree):
+        out = tree.top_l_lcs("robert", 4)
+        assert out[0] == (0, 6)
+
+    def test_lcs_lengths_are_correct(self, tree):
+        for sid, length in tree.top_l_lcs("rob", 4):
+            assert length == longest_common_substring_length("rob", tree.string(sid))
+
+    def test_l_limits_results(self, tree):
+        assert len(tree.top_l_lcs("rob", 2)) == 2
+
+    def test_zero_l(self, tree):
+        assert tree.top_l_lcs("rob", 0) == []
+
+    def test_empty_tree(self):
+        assert GeneralizedSuffixTree().top_l_lcs("x", 3) == []
+
+    def test_no_overlap_query(self, tree):
+        assert tree.top_l_lcs("zzzz", 3) == []
+
+    def test_top_l_matches_brute_force(self):
+        rng = random.Random(3)
+        words = ["".join(rng.choice("abcd") for _ in range(rng.randrange(3, 9)))
+                 for _ in range(30)]
+        tree = GeneralizedSuffixTree()
+        for i, w in enumerate(words):
+            tree.add_string(i, w)
+        query = "abcdab"
+        got = dict(tree.top_l_lcs(query, len(words)))
+        # Every reported length must be the true LCS length.
+        for sid, length in got.items():
+            assert length == longest_common_substring_length(query, words[sid])
+        # The top-reported lengths must dominate all unreported strings.
+        if got:
+            reported_min = min(got.values())
+            for i, w in enumerate(words):
+                if i not in got:
+                    assert longest_common_substring_length(query, w) <= reported_min
+
+
+class TestBlockingCandidates:
+    def test_candidates_meet_bound(self, tree):
+        for sid in tree.lcs_candidates("robert", k=2, l=4):
+            s = tree.string(sid)
+            bound = max(len(s), 6) / 3
+            assert longest_common_substring_length("robert", s) >= bound
+
+    def test_true_match_survives(self):
+        tree = GeneralizedSuffixTree()
+        master = ["edinburgh", "london", "glasgow", "aberdeen"]
+        for i, w in enumerate(master):
+            tree.add_string(i, w)
+        query = "edinbrugh"  # transposition: distance 2
+        k = edit_distance(query, "edinburgh")
+        assert 0 in tree.lcs_candidates(query, k=k, l=4)

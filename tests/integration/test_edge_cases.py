@@ -1,0 +1,114 @@
+"""Failure injection and degenerate inputs through the whole pipeline."""
+
+import pytest
+
+from repro.constraints import CFD, MD
+from repro.core import UniClean, UniCleanConfig, crepair, erepair, hrepair, is_clean
+from repro.relational import NULL, Relation, Schema, from_csv_string, to_csv_string
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["K", "V"])
+
+
+class TestDegenerateInputs:
+    def test_empty_relation(self, schema):
+        cleaner = UniClean(cfds=[CFD(schema, ["K"], ["V"])])
+        result = cleaner.clean(Relation(schema))
+        assert result.clean and len(result.fix_log) == 0
+
+    def test_single_tuple(self, schema):
+        cleaner = UniClean(cfds=[CFD(schema, ["K"], ["V"])])
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "v"}])
+        result = cleaner.clean(relation)
+        assert result.clean and result.cost == 0.0
+
+    def test_all_null_relation(self, schema):
+        cleaner = UniClean(
+            cfds=[
+                CFD(schema, ["K"], ["V"]),
+                CFD(schema, ["K"], ["V"], {"K": "k", "V": "x"}),
+            ]
+        )
+        relation = Relation.from_dicts(schema, [{"K": NULL, "V": NULL}] * 3)
+        result = cleaner.clean(relation)
+        # Nulls never match patterns: nothing to do, trivially clean.
+        assert result.clean and len(result.fix_log) == 0
+
+    def test_no_rules(self, schema):
+        cleaner = UniClean(cfds=[], mds=[])
+        relation = Relation.from_dicts(schema, [{"K": "a", "V": "b"}])
+        result = cleaner.clean(relation)
+        assert result.clean and result.cost == 0.0
+
+    def test_empty_master(self, schema):
+        md = MD(schema, schema, [("K", "K")], [("V", "V")])
+        master = Relation(schema)
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "v"}])
+        cleaner = UniClean(cfds=[], mds=[md], master=master)
+        result = cleaner.clean(relation)
+        assert result.clean  # no master tuples → no MD obligations
+
+    def test_already_clean_input(self, schema):
+        cfd = CFD(schema, ["K"], ["V"])
+        relation = Relation.from_dicts(
+            schema, [{"K": "k", "V": "v"}, {"K": "k", "V": "v"}]
+        )
+        for phase in (crepair, erepair):
+            assert len(phase(relation, [cfd]).fix_log) == 0
+        assert len(hrepair(relation, [cfd]).fix_log) == 0
+
+
+class TestAdversarialConfidences:
+    def test_all_asserted_conflicting(self, schema):
+        """Everything confidence-1 but inconsistent: cRepair must not
+        touch anything; hRepair still reaches (null-tolerant)
+        consistency without changing asserted... note: only cells that
+        cRepair *fixed* are protected, so hRepair may edit the rest."""
+        cfd = CFD(schema, ["K"], ["V"])
+        relation = Relation.from_dicts(
+            schema,
+            [{"K": "k", "V": "a"}, {"K": "k", "V": "b"}],
+            [{"K": 1.0, "V": 1.0}, {"K": 1.0, "V": 1.0}],
+        )
+        c = crepair(relation, [cfd], eta=0.8)
+        assert c.deterministic_fixes == 0
+        result = UniClean(cfds=[cfd], config=UniCleanConfig(eta=0.8)).clean(relation)
+        assert result.clean
+
+    def test_confidence_none_everywhere(self, schema):
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "x"})
+        relation = Relation.from_dicts(schema, [{"K": "k", "V": "bad"}])
+        result = UniClean(cfds=[cfd], config=UniCleanConfig(eta=0.8)).clean(relation)
+        assert result.repaired.by_tid(0)["V"] == "x"
+        assert result.clean
+
+
+class TestCsvPipelineRoundTrip:
+    def test_clean_csv_loaded_relation(self, schema):
+        """Data loaded from CSV (values + confidences) cleans identically
+        to the in-memory original."""
+        cfd = CFD(schema, ["K"], ["V"], {"K": "k", "V": "good"})
+        relation = Relation.from_dicts(
+            schema,
+            [{"K": "k", "V": "bad"}, {"K": "o", "V": NULL}],
+            [{"K": 1.0, "V": 0.0}, {"K": 0.5, "V": None}],
+        )
+        loaded = from_csv_string(schema, to_csv_string(relation))
+        cleaner = UniClean(cfds=[cfd], config=UniCleanConfig(eta=0.8))
+        a = cleaner.clean(relation)
+        b = cleaner.clean(loaded)
+        assert [t.as_dict() for t in a.repaired] == [t.as_dict() for t in b.repaired]
+
+
+class TestScaleSmoke:
+    def test_wide_schema_many_rules(self):
+        """A 58-attribute TPC-H instance with the full rule set runs the
+        whole pipeline within sane bounds."""
+        from repro.datasets import generate_tpch
+        from repro.evaluation import run_uniclean
+        ds = generate_tpch(size=60, master_size=40, noise_rate=0.1)
+        result = run_uniclean(ds, UniCleanConfig(eta=1.0))
+        assert result.clean
+        assert result.total_time < 30.0

@@ -1,0 +1,86 @@
+"""End-to-end pipeline runs over the generated benchmark datasets."""
+
+import pytest
+
+from repro.core import FixKind, UniCleanConfig, is_clean
+from repro.datasets import generate_dblp, generate_hosp, generate_tpch
+from repro.evaluation import matching_metrics, repair_metrics, run_uniclean
+from repro.matching import MDMatcher, SortedNeighborhood
+
+
+@pytest.fixture(scope="module")
+def hosp():
+    return generate_hosp(size=120, master_size=70, noise_rate=0.06)
+
+
+@pytest.fixture(scope="module")
+def hosp_result(hosp):
+    return run_uniclean(hosp, UniCleanConfig(eta=1.0))
+
+
+class TestHospPipeline:
+    def test_repair_is_consistent(self, hosp, hosp_result):
+        assert is_clean(hosp_result.repaired, hosp.cfds, hosp.mds, hosp.master)
+
+    def test_precision_high(self, hosp, hosp_result):
+        m = repair_metrics(hosp.dirty, hosp_result.repaired, hosp.clean)
+        assert m.precision >= 0.9
+
+    def test_recall_substantial(self, hosp, hosp_result):
+        m = repair_metrics(hosp.dirty, hosp_result.repaired, hosp.clean)
+        assert m.recall >= 0.4
+
+    def test_deterministic_fixes_nearly_perfect(self, hosp, hosp_result):
+        det = hosp_result.fix_log.marked_cells(FixKind.DETERMINISTIC)
+        if not det:
+            pytest.skip("no deterministic fixes in this draw")
+        correct = sum(
+            1
+            for tid, attr in det
+            if hosp_result.repaired.by_tid(tid)[attr] == hosp.clean.by_tid(tid)[attr]
+        )
+        assert correct / len(det) >= 0.95
+
+    def test_matching_beats_sortn(self, hosp, hosp_result):
+        uni = matching_metrics(
+            MDMatcher(hosp.mds, hosp.master).match(hosp_result.repaired).pairs,
+            hosp.true_matches,
+        )
+        sortn = matching_metrics(
+            SortedNeighborhood(hosp.mds, hosp.master, window=10).match(hosp.dirty).pairs,
+            hosp.true_matches,
+        )
+        assert uni.f1 >= sortn.f1 - 0.02
+
+
+class TestDblpPipeline:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return generate_dblp(size=120, master_size=70, noise_rate=0.06)
+
+    def test_pipeline(self, dblp):
+        result = run_uniclean(dblp, UniCleanConfig(eta=1.0))
+        assert is_clean(result.repaired, dblp.cfds, dblp.mds, dblp.master)
+        m = repair_metrics(dblp.dirty, result.repaired, dblp.clean)
+        assert m.precision >= 0.85
+
+    def test_mds_add_recall(self, dblp):
+        with_mds = run_uniclean(dblp, UniCleanConfig(eta=1.0))
+        without = run_uniclean(dblp, UniCleanConfig(eta=1.0), with_mds=False)
+        m_with = repair_metrics(dblp.dirty, with_mds.repaired, dblp.clean)
+        m_without = repair_metrics(dblp.dirty, without.repaired, dblp.clean)
+        assert m_with.recall >= m_without.recall
+
+
+class TestTpchPipeline:
+    def test_pipeline(self):
+        ds = generate_tpch(size=100, master_size=60, noise_rate=0.06)
+        result = run_uniclean(ds, UniCleanConfig(eta=1.0))
+        assert is_clean(result.repaired, ds.cfds, ds.mds, ds.master)
+        m = repair_metrics(ds.dirty, result.repaired, ds.clean)
+        assert m.precision >= 0.85 and m.recall >= 0.5
+
+    def test_rule_subsets_run(self):
+        ds = generate_tpch(size=60, master_size=40, n_cfds=20, n_mds=3)
+        result = run_uniclean(ds, UniCleanConfig(eta=1.0))
+        assert result.clean

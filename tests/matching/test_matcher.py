@@ -1,0 +1,96 @@
+"""Tests for MD-based matching."""
+
+import pytest
+
+from repro.constraints import MD, embed_negative
+from repro.core import UniClean, UniCleanConfig
+from repro.matching import MDMatcher, match_after_cleaning
+from repro.relational import Relation, Schema
+from repro.similarity import edit_within
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["name", "zip", "phone"])
+
+
+@pytest.fixture()
+def master(schema):
+    return Relation.from_dicts(
+        schema,
+        [
+            {"name": "alpha clinic", "zip": "111", "phone": "p1"},
+            {"name": "beta clinic", "zip": "222", "phone": "p2"},
+        ],
+    )
+
+
+@pytest.fixture()
+def md(schema):
+    return MD(
+        schema, schema,
+        [("zip", "zip"), ("name", "name", edit_within(2))],
+        [("phone", "phone")],
+    )
+
+
+class TestMDMatcher:
+    def test_finds_similar_pair(self, schema, master, md):
+        data = Relation.from_dicts(
+            schema, [{"name": "alpha clinik", "zip": "111", "phone": "x"}]
+        )
+        result = MDMatcher([md], master).match(data)
+        assert result.pairs == {(0, 0)}
+
+    def test_no_match_when_premise_fails(self, schema, master, md):
+        data = Relation.from_dicts(
+            schema, [{"name": "totally different", "zip": "111", "phone": "x"}]
+        )
+        result = MDMatcher([md], master).match(data)
+        assert result.pairs == set()
+
+    def test_multiple_mds_union(self, schema, master, md):
+        md2 = MD(schema, schema, [("phone", "phone")], [("zip", "zip")])
+        data = Relation.from_dicts(
+            schema, [{"name": "zzz", "zip": "999", "phone": "p2"}]
+        )
+        result = MDMatcher([md, md2], master).match(data)
+        assert result.pairs == {(0, 1)}
+
+    def test_matched_tids(self, schema, master, md):
+        data = Relation.from_dicts(
+            schema,
+            [
+                {"name": "alpha clinic", "zip": "111", "phone": "x"},
+                {"name": "nope", "zip": "000", "phone": "y"},
+            ],
+        )
+        result = MDMatcher([md], master).match(data)
+        assert result.matched_tids() == {0}
+
+    def test_comparisons_counted(self, schema, master, md):
+        data = Relation.from_dicts(
+            schema, [{"name": "alpha clinic", "zip": "111", "phone": "x"}]
+        )
+        result = MDMatcher([md], master).match(data)
+        assert result.comparisons >= 1
+
+
+class TestRepairingHelpsMatching:
+    def test_match_found_only_after_cleaning(self, paper_rules, dirty_tran, master_card):
+        """The Exp-2 mechanism: t3 matches s2 only after repairing fixes
+        its city and FN."""
+        mds = embed_negative(paper_rules.mds, paper_rules.negative_mds)
+        before = MDMatcher(mds, master_card).match(dirty_tran)
+        assert (2, 1) not in before.pairs  # t3 does not match s2 yet
+        cleaner = UniClean(
+            paper_rules.cfds,
+            paper_rules.mds,
+            paper_rules.negative_mds,
+            master_card,
+            UniCleanConfig(eta=0.8),
+        )
+        repaired = cleaner.clean(dirty_tran).repaired
+        after = match_after_cleaning(repaired, mds, master_card)
+        assert (2, 1) in after.pairs
+        assert before.pairs <= after.pairs

@@ -1,0 +1,103 @@
+"""Tests for the sorted-neighborhood baseline."""
+
+import pytest
+
+from repro.constraints import MD
+from repro.matching import MDMatcher, SortedNeighborhood, default_key
+from repro.relational import NULL, Relation, Schema
+from repro.similarity import edit_within
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["name", "zip", "phone"])
+
+
+@pytest.fixture()
+def master(schema):
+    return Relation.from_dicts(
+        schema,
+        [
+            {"name": "alpha clinic", "zip": "111", "phone": "p1"},
+            {"name": "beta clinic", "zip": "222", "phone": "p2"},
+            {"name": "gamma ward", "zip": "333", "phone": "p3"},
+        ],
+    )
+
+
+@pytest.fixture()
+def md(schema):
+    return MD(
+        schema, schema,
+        [("name", "name", edit_within(2)), ("zip", "zip")],
+        [("phone", "phone")],
+    )
+
+
+class TestDefaultKey:
+    def test_data_side_key(self, schema, md):
+        t = Relation.from_dicts(schema, [{"name": "Alpha", "zip": "1", "phone": "x"}]).by_tid(0)
+        assert default_key(md, master_side=False)(t) == "alpha|1"
+
+    def test_null_maps_to_empty(self, schema, md):
+        t = Relation.from_dicts(schema, [{"name": NULL, "zip": "1", "phone": "x"}]).by_tid(0)
+        assert default_key(md, master_side=False)(t) == "|1"
+
+
+class TestSortN:
+    def test_finds_adjacent_match(self, schema, master, md):
+        data = Relation.from_dicts(
+            schema, [{"name": "alpha clinik", "zip": "111", "phone": "x"}]
+        )
+        result = SortedNeighborhood([md], master, window=4).match(data)
+        assert result.pairs == {(0, 0)}
+
+    def test_window_too_small_misses(self, schema, md):
+        """Keys that sort far apart are invisible to a small window —
+        the classic SortN failure mode that full MD matching avoids."""
+        master = Relation.from_dicts(
+            schema,
+            [{"name": f"clinic {i:03d}", "zip": "1", "phone": f"p{i}"} for i in range(40)],
+        )
+        # A typo in the *first* character destroys sort adjacency.
+        data = Relation.from_dicts(
+            schema, [{"name": "zlinic 000", "zip": "1", "phone": "x"}]
+        )
+        md_typo = MD(schema, schema, [("name", "name", edit_within(1))], [("phone", "phone")])
+        sortn = SortedNeighborhood([md_typo], master, window=3).match(data)
+        full = MDMatcher([md_typo], master, use_suffix_tree=False).match(data)
+        assert full.pairs and not sortn.pairs
+
+    def test_recall_grows_with_window(self, schema, md):
+        master = Relation.from_dicts(
+            schema,
+            [{"name": f"clinic {chr(97 + i)}", "zip": str(i), "phone": f"p{i}"} for i in range(20)],
+        )
+        data = Relation.from_dicts(
+            schema,
+            [{"name": f"clinic {chr(97 + i)}x", "zip": str(i), "phone": "q"} for i in range(20)],
+        )
+        small = SortedNeighborhood([md], master, window=2).match(data)
+        large = SortedNeighborhood([md], master, window=12).match(data)
+        assert len(small.pairs) <= len(large.pairs)
+
+    def test_window_validation(self, schema, master, md):
+        with pytest.raises(ValueError):
+            SortedNeighborhood([md], master, window=1)
+
+    def test_key_function_count_validated(self, schema, master, md):
+        with pytest.raises(ValueError):
+            SortedNeighborhood([md], master, key_functions=[])
+
+    def test_only_cross_source_pairs(self, schema, master, md):
+        """SortN must not report data-data or master-master pairs."""
+        data = Relation.from_dicts(
+            schema,
+            [
+                {"name": "alpha clinic", "zip": "111", "phone": "x"},
+                {"name": "alpha clinic", "zip": "111", "phone": "y"},
+            ],
+        )
+        result = SortedNeighborhood([md], master, window=6).match(data)
+        for tid, sid in result.pairs:
+            assert tid in {0, 1} and sid in {0, 1, 2}

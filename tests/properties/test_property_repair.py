@@ -1,0 +1,122 @@
+"""Property-based tests for the cleaning pipeline's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import CFD
+from repro.core import FixKind, UniClean, UniCleanConfig, crepair, hrepair, is_clean
+from repro.relational import Relation, Schema
+
+SCHEMA = Schema("R", ["K", "A", "B"])
+
+#: Small value pools keep collision (and thus violation) rates high.
+keys = st.sampled_from(["k1", "k2", "k3"])
+values = st.sampled_from(["a1", "a2", "a3"])
+confs = st.sampled_from([0.0, 0.5, 1.0])
+
+row = st.tuples(keys, values, values, confs, confs, confs)
+relations = st.lists(row, min_size=1, max_size=12)
+
+RULES = [
+    CFD(SCHEMA, ["K"], ["A"], name="fd_ka"),
+    CFD(SCHEMA, ["A"], ["B"], name="fd_ab"),
+    CFD(SCHEMA, ["K"], ["B"], {"K": "k1", "B": "a1"}, name="const_kb"),
+]
+
+
+def build(data) -> Relation:
+    relation = Relation(SCHEMA)
+    for k, a, b, ck, ca, cb in data:
+        relation.add_row({"K": k, "A": a, "B": b}, {"K": ck, "A": ca, "B": cb})
+    return relation
+
+
+class TestHRepairProperties:
+    @given(relations)
+    @settings(max_examples=60, deadline=None)
+    def test_always_reaches_consistency(self, data):
+        """Corollary 7.1: hRepair finds a repair satisfying Σ (under the
+        null-tolerant semantics) for arbitrary dirty inputs."""
+        relation = build(data)
+        result = hrepair(relation, RULES)
+        assert is_clean(result.relation, RULES)
+
+    @given(relations)
+    @settings(max_examples=40, deadline=None)
+    def test_input_never_modified(self, data):
+        relation = build(data)
+        before = [t.as_dict() for t in relation]
+        hrepair(relation, RULES)
+        assert [t.as_dict() for t in relation] == before
+
+    @given(relations)
+    @settings(max_examples=40, deadline=None)
+    def test_fix_log_matches_diff(self, data):
+        """Every changed cell appears in the fix log and vice versa."""
+        relation = build(data)
+        result = hrepair(relation, RULES)
+        changed = {(tid, attr) for tid, attr, _, _ in relation.diff(result.relation)}
+        assert changed == result.fix_log.marked_cells()
+
+
+class TestCRepairProperties:
+    @given(relations)
+    @settings(max_examples=60, deadline=None)
+    def test_never_touches_asserted_cells(self, data):
+        relation = build(data)
+        result = crepair(relation, RULES, eta=0.8)
+        for fix in result.fix_log:
+            original = relation.by_tid(fix.tid)
+            assert not original.has_conf_at_least(fix.attr, 0.8)
+
+    @given(relations)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, data):
+        """Running cRepair on its own output yields no further fixes."""
+        relation = build(data)
+        first = crepair(relation, RULES, eta=0.8)
+        second = crepair(first.relation, RULES, eta=0.8)
+        assert second.deterministic_fixes == 0
+
+    @given(relations)
+    @settings(max_examples=40, deadline=None)
+    def test_each_cell_fixed_once(self, data):
+        relation = build(data)
+        result = crepair(relation, RULES, eta=0.8)
+        cells = [f.cell for f in result.fix_log]
+        assert len(cells) == len(set(cells))
+
+
+class TestPipelineProperties:
+    @given(relations)
+    @settings(max_examples=40, deadline=None)
+    def test_full_pipeline_clean_and_deterministic_preserved(self, data):
+        relation = build(data)
+        cleaner = UniClean(cfds=RULES, config=UniCleanConfig(eta=0.8))
+        result = cleaner.clean(relation)
+        assert result.clean
+        # Deterministic cells carry their cRepair value to the end.
+        for cell in result.fix_log.marked_cells(FixKind.DETERMINISTIC):
+            tid, attr = cell
+            fix = result.fix_log.latest_fix(tid, attr)
+            assert fix.kind is FixKind.DETERMINISTIC
+            assert result.repaired.by_tid(tid)[attr] == fix.new_value
+
+    @given(relations)
+    @settings(max_examples=30, deadline=None)
+    def test_cost_nonnegative(self, data):
+        relation = build(data)
+        cleaner = UniClean(cfds=RULES, config=UniCleanConfig(eta=0.8))
+        assert cleaner.clean(relation).cost >= 0.0
+
+    @given(relations)
+    @settings(max_examples=30, deadline=None)
+    def test_changed_cells_all_marked(self, data):
+        """Every net-changed cell is marked.  (The converse does not hold:
+        a cell may be flipped by eRepair and flipped back by hRepair — a
+        net no-op that still leaves log entries.)"""
+        relation = build(data)
+        cleaner = UniClean(cfds=RULES, config=UniCleanConfig(eta=0.8))
+        result = cleaner.clean(relation)
+        changed = {(tid, attr) for tid, attr, _, _ in relation.diff(result.repaired)}
+        assert changed <= result.fix_log.marked_cells()

@@ -1,0 +1,117 @@
+"""Property-based tests for the similarity metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    edit_distance,
+    edit_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    lcs_similarity,
+    longest_common_substring,
+    longest_common_substring_length,
+    passes_lcs_filter,
+    qgram_similarity,
+    within_edit_distance,
+)
+
+short_text = st.text(alphabet="abcdef", max_size=16)
+any_text = st.text(max_size=24)
+
+
+class TestEditDistanceProperties:
+    @given(any_text, any_text)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(any_text)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(any_text, any_text)
+    def test_length_difference_lower_bound(self, a, b):
+        assert edit_distance(a, b) >= abs(len(a) - len(b))
+
+    @given(any_text, any_text)
+    def test_upper_bound(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(any_text, any_text, st.integers(min_value=0, max_value=8))
+    def test_banded_agrees_with_exact(self, a, b, k):
+        exact = edit_distance(a, b)
+        assert within_edit_distance(a, b, k) == (exact <= k)
+
+    @given(any_text, any_text)
+    def test_similarity_in_unit_interval(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0
+
+
+class TestJaroProperties:
+    @given(any_text, any_text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaro_similarity(a, b) <= 1.0
+
+    @given(any_text, any_text)
+    def test_symmetry(self, a, b):
+        assert jaro_similarity(a, b) == jaro_similarity(b, a)
+
+    @given(any_text)
+    def test_identity(self, a):
+        assert jaro_similarity(a, a) == 1.0
+
+    @given(any_text, any_text)
+    def test_winkler_dominates_jaro(self, a, b):
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+    @given(any_text, any_text)
+    def test_winkler_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0
+
+
+class TestQgramProperties:
+    @given(any_text, any_text)
+    def test_bounds(self, a, b):
+        assert 0.0 <= qgram_similarity(a, b) <= 1.0
+
+    @given(any_text)
+    def test_identity(self, a):
+        assert qgram_similarity(a, a) == 1.0
+
+    @given(any_text, any_text)
+    def test_symmetry(self, a, b):
+        assert qgram_similarity(a, b) == qgram_similarity(b, a)
+
+
+class TestLCSProperties:
+    @given(short_text, short_text)
+    def test_lcs_string_is_common_substring(self, a, b):
+        sub = longest_common_substring(a, b)
+        assert sub in a and sub in b
+        assert len(sub) == longest_common_substring_length(a, b)
+
+    @given(short_text, short_text)
+    def test_lcs_bounded_by_shorter(self, a, b):
+        assert longest_common_substring_length(a, b) <= min(len(a), len(b))
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert longest_common_substring_length(a, b) == \
+            longest_common_substring_length(b, a)
+
+    @given(short_text, short_text)
+    def test_similarity_bounds(self, a, b):
+        assert 0.0 <= lcs_similarity(a, b) <= 1.0
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=120)
+    def test_blocking_filter_is_sound(self, a, b, k):
+        """Section 5.2: the LCS filter never drops a true match — whenever
+        edit_distance(a, b) <= k, the pair passes the filter."""
+        if edit_distance(a, b) <= k:
+            assert passes_lcs_filter(a, b, k)

@@ -1,0 +1,139 @@
+"""Property-based tests for AVL, suffix tree and the entropy index."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import CFD
+from repro.indexing import AVLTree, EntropyIndex, GeneralizedSuffixTree, entropy_of_counts
+from repro.relational import Relation, Schema
+from repro.similarity import longest_common_substring_length
+
+
+class TestAVLProperties:
+    @given(st.lists(st.integers(), unique=True, max_size=80))
+    def test_inorder_equals_sorted(self, keys):
+        tree = AVLTree()
+        for k in keys:
+            tree.insert(k, k)
+        assert list(tree.keys()) == sorted(keys)
+        tree.check_invariants()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), max_size=120),
+        st.random_module(),
+    )
+    def test_mixed_workload_matches_model(self, ops, _rng):
+        tree = AVLTree()
+        model = {}
+        for k in ops:
+            if k in model:
+                tree.delete(k)
+                del model[k]
+            else:
+                tree.insert(k, str(k))
+                model[k] = str(k)
+        assert dict(tree.items()) == model
+        tree.check_invariants()
+
+    @given(st.lists(st.integers(), unique=True, min_size=1, max_size=60))
+    def test_min_max(self, keys):
+        tree = AVLTree()
+        for k in keys:
+            tree.insert(k, None)
+        assert tree.min()[0] == min(keys)
+        assert tree.max()[0] == max(keys)
+
+
+words = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=8), min_size=1, max_size=12
+)
+
+
+class TestSuffixTreeProperties:
+    @given(words, st.text(alphabet="abc", max_size=8))
+    @settings(max_examples=80)
+    def test_membership_matches_python_in(self, strings, probe):
+        tree = GeneralizedSuffixTree()
+        for i, s in enumerate(strings):
+            tree.add_string(i, s)
+        expected = {i for i, s in enumerate(strings) if probe in s}
+        assert tree.strings_with_substring(probe) == expected
+
+    @given(words, st.text(alphabet="abc", min_size=1, max_size=8))
+    @settings(max_examples=80)
+    def test_top_l_reports_true_lcs_lengths(self, strings, query):
+        tree = GeneralizedSuffixTree()
+        for i, s in enumerate(strings):
+            tree.add_string(i, s)
+        for sid, length in tree.top_l_lcs(query, len(strings)):
+            assert length == longest_common_substring_length(query, strings[sid])
+
+    @given(words, st.text(alphabet="abc", min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_top_l_dominates_unreported(self, strings, query):
+        tree = GeneralizedSuffixTree()
+        for i, s in enumerate(strings):
+            tree.add_string(i, s)
+        got = dict(tree.top_l_lcs(query, len(strings)))
+        floor = min(got.values()) if got else 0
+        for i, s in enumerate(strings):
+            if i not in got:
+                assert longest_common_substring_length(query, s) <= floor
+
+
+class TestEntropyProperties:
+    @given(st.dictionaries(st.text(max_size=3), st.integers(min_value=1, max_value=20),
+                           max_size=8))
+    def test_entropy_in_unit_interval(self, counts):
+        h = entropy_of_counts(Counter(counts))
+        assert 0.0 <= h <= 1.0 + 1e-12
+
+    @given(st.integers(min_value=1, max_value=30))
+    def test_single_value_zero(self, count):
+        assert entropy_of_counts(Counter({"v": count})) == 0.0
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=1, max_value=9))
+    def test_uniform_is_one(self, k, count):
+        counts = Counter({f"v{i}": count for i in range(k)})
+        assert entropy_of_counts(counts) == 1.0 or abs(entropy_of_counts(counts) - 1.0) < 1e-9
+
+
+rows = st.lists(
+    st.tuples(
+        st.sampled_from(["g1", "g2", "g3"]),
+        st.sampled_from(["x", "y", "z"]),
+    ),
+    min_size=1,
+    max_size=25,
+)
+edits = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=24),
+        st.sampled_from(["K", "V"]),
+        st.sampled_from(["g1", "g2", "g3", "x", "y", "z"]),
+    ),
+    max_size=15,
+)
+
+
+class TestEntropyIndexMaintenance:
+    @given(rows, edits)
+    @settings(max_examples=60)
+    def test_incremental_equals_rebuild(self, data, updates):
+        """Applying arbitrary cell updates through the index leaves it
+        identical to a rebuild from scratch — the core maintenance
+        invariant of the 2-in-1 structure (Section 6.3)."""
+        schema = Schema("R", ["K", "V"])
+        relation = Relation.from_dicts(
+            schema, [{"K": g, "V": v} for g, v in data]
+        )
+        index = EntropyIndex(CFD(schema, ["K"], ["V"]), relation)
+        for tid, attr, value in updates:
+            if tid >= len(relation):
+                continue
+            t = relation.by_tid(tid)
+            index.update_cell(t, attr, value)
+            t[attr] = value
+        index.check_consistency(relation)

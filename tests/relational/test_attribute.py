@@ -1,0 +1,93 @@
+"""Tests for attributes, domains and the NULL singleton."""
+
+import copy
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import BOOL, NULL, STRING, Attribute, Domain, NullType, is_null
+
+
+class TestNull:
+    def test_singleton(self):
+        assert NullType() is NULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_falsy(self):
+        assert not NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(None)
+        assert not is_null("")
+        assert not is_null(0)
+
+    def test_equality_is_identity(self):
+        assert NULL == NULL
+        assert NULL != ""
+
+    def test_hashable_and_stable(self):
+        assert hash(NULL) == hash(NullType())
+        assert len({NULL, NullType()}) == 1
+
+    def test_deepcopy_preserves_identity(self):
+        assert copy.deepcopy(NULL) is NULL
+        assert copy.copy(NULL) is NULL
+
+
+class TestDomain:
+    def test_infinite_contains_everything(self):
+        assert "anything" in STRING
+        assert 42 in STRING
+
+    def test_finite_membership(self):
+        d = Domain.finite({"a", "b"})
+        assert "a" in d and "c" not in d
+
+    def test_is_finite(self):
+        assert Domain.finite({1}).is_finite
+        assert not STRING.is_finite
+
+    def test_bool_domain(self):
+        assert True in BOOL and False in BOOL
+        assert "x" not in BOOL
+
+    def test_fresh_value_infinite(self):
+        fresh = STRING.fresh_value({"a", "b"})
+        assert fresh not in {"a", "b"}
+
+    def test_fresh_value_finite(self):
+        d = Domain.finite({"a", "b", "c"})
+        fresh = d.fresh_value({"a", "b"})
+        assert fresh == "c"
+
+    def test_fresh_value_exhausted_finite(self):
+        d = Domain.finite({"a"})
+        assert d.fresh_value({"a"}) is None
+
+    def test_fresh_value_avoids_collisions(self):
+        used = {STRING.fresh_value(set())}
+        second = STRING.fresh_value(used)
+        assert second not in used
+
+
+class TestAttribute:
+    def test_defaults_to_string_domain(self):
+        assert Attribute("x").domain is STRING
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(SchemaError):
+            Attribute(123)  # type: ignore[arg-type]
+
+    def test_value_equality(self):
+        assert Attribute("x") == Attribute("x")
+        assert Attribute("x") != Attribute("y")
+
+    def test_str(self):
+        assert str(Attribute("zip")) == "zip"

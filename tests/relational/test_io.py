@@ -1,0 +1,76 @@
+"""Tests for CSV round-tripping."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.relational import (
+    NULL,
+    Relation,
+    Schema,
+    from_csv_string,
+    read_csv,
+    to_csv_string,
+    write_csv,
+)
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B"])
+
+
+@pytest.fixture()
+def rel(schema) -> Relation:
+    return Relation.from_dicts(
+        schema,
+        [{"A": "hello, world", "B": NULL}, {"A": "x", "B": "y"}],
+        [{"A": 0.75, "B": None}, {"A": None, "B": 1.0}],
+    )
+
+
+class TestRoundTrip:
+    def test_values_survive(self, schema, rel):
+        again = from_csv_string(schema, to_csv_string(rel))
+        assert [t.as_dict() for t in again] == [t.as_dict() for t in rel]
+
+    def test_confidences_survive(self, schema, rel):
+        again = from_csv_string(schema, to_csv_string(rel))
+        assert again.by_tid(0).conf("A") == 0.75
+        assert again.by_tid(0).conf("B") is None
+        assert again.by_tid(1).conf("B") == 1.0
+
+    def test_null_round_trips(self, schema, rel):
+        again = from_csv_string(schema, to_csv_string(rel))
+        assert again.by_tid(0)["B"] is NULL
+
+    def test_without_confidence_columns(self, schema, rel):
+        text = to_csv_string(rel, include_confidence=False)
+        assert ".cf" not in text
+        again = from_csv_string(schema, text)
+        assert again.by_tid(1)["B"] == "y"
+        assert again.by_tid(1).conf("B") is None
+
+    def test_file_round_trip(self, tmp_path, schema, rel):
+        path = tmp_path / "rel.csv"
+        write_csv(rel, path)
+        again = read_csv(schema, path)
+        assert len(again) == 2
+        assert again.by_tid(0)["A"] == "hello, world"
+
+
+class TestErrors:
+    def test_empty_source(self, schema):
+        with pytest.raises(DataError, match="empty"):
+            from_csv_string(schema, "")
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(DataError, match="not in schema"):
+            from_csv_string(schema, "A,Z\n1,2\n")
+
+    def test_unknown_confidence_column(self, schema):
+        with pytest.raises(DataError, match="unknown attribute"):
+            from_csv_string(schema, "A,B,Z.cf\n1,2,0.5\n")
+
+    def test_missing_column(self, schema):
+        with pytest.raises(DataError, match="missing"):
+            from_csv_string(schema, "A\n1\n")

@@ -1,0 +1,117 @@
+"""Tests for relation instances."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.relational import CTuple, NULL, Relation, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B"])
+
+
+@pytest.fixture()
+def rel(schema) -> Relation:
+    return Relation.from_dicts(
+        schema,
+        [{"A": "a1", "B": "b1"}, {"A": "a1", "B": "b2"}, {"A": "a2", "B": "b1"}],
+    )
+
+
+class TestConstruction:
+    def test_len(self, rel):
+        assert len(rel) == 3
+
+    def test_tids_sequential(self, rel):
+        assert rel.tids() == (0, 1, 2)
+
+    def test_from_dicts_with_confidences(self, schema):
+        r = Relation.from_dicts(schema, [{"A": 1}], [{"A": 0.7}])
+        assert r.by_tid(0).conf("A") == 0.7
+
+    def test_from_dicts_length_mismatch(self, schema):
+        with pytest.raises(DataError):
+            Relation.from_dicts(schema, [{"A": 1}], [])
+
+    def test_add_assigns_fresh_tid_on_conflict(self, rel, schema):
+        t = CTuple(schema, {"A": "x"}, tid=0)
+        rel.add(t)
+        assert t.tid == 3
+
+    def test_add_wrong_schema(self, rel):
+        other = Schema("S", ["A", "B"])
+        with pytest.raises(DataError):
+            rel.add(CTuple(other, {}))
+
+    def test_add_row(self, rel):
+        t = rel.add_row({"A": "new"}, {"A": 1.0})
+        assert rel.by_tid(t.tid)["A"] == "new"
+
+
+class TestAccess:
+    def test_by_tid(self, rel):
+        assert rel.by_tid(1)["B"] == "b2"
+
+    def test_by_tid_missing(self, rel):
+        with pytest.raises(DataError):
+            rel.by_tid(99)
+
+    def test_contains_tracks_identity(self, rel):
+        t = rel.by_tid(0)
+        assert t in rel
+        assert t.clone() not in rel
+
+
+class TestAlgebra:
+    def test_select(self, rel):
+        out = rel.select(lambda t: t["A"] == "a1")
+        assert [t.tid for t in out] == [0, 1]
+
+    def test_project(self, rel):
+        assert rel.project(["A"]) == {("a1",), ("a2",)}
+
+    def test_group_by(self, rel):
+        groups = rel.group_by(["A"])
+        assert {k: len(v) for k, v in groups.items()} == {("a1",): 2, ("a2",): 1}
+
+    def test_active_domain(self, rel):
+        assert rel.active_domain("B") == {"b1", "b2"}
+
+
+class TestCloneDiff:
+    def test_clone_preserves_tids(self, rel):
+        twin = rel.clone()
+        assert twin.tids() == rel.tids()
+
+    def test_clone_independent(self, rel):
+        twin = rel.clone()
+        twin.by_tid(0)["A"] = "mutated"
+        assert rel.by_tid(0)["A"] == "a1"
+
+    def test_diff_empty_for_clone(self, rel):
+        assert rel.diff(rel.clone()) == []
+
+    def test_diff_reports_cells(self, rel):
+        twin = rel.clone()
+        twin.by_tid(2)["B"] = "zz"
+        assert rel.diff(twin) == [(2, "B", "b1", "zz")]
+
+    def test_diff_schema_mismatch(self, rel):
+        other = Relation(Schema("S", ["A", "B"]))
+        with pytest.raises(DataError):
+            rel.diff(other)
+
+
+class TestToText:
+    def test_renders_header_and_rows(self, rel):
+        text = rel.to_text()
+        assert "A" in text and "a2" in text
+
+    def test_limit(self, rel):
+        text = rel.to_text(limit=1)
+        assert "more rows" in text
+
+    def test_null_rendering(self, schema):
+        r = Relation.from_dicts(schema, [{"A": NULL, "B": "x"}])
+        assert "NULL" in r.to_text()

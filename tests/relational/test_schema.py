@@ -1,0 +1,74 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational import Attribute, Domain, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B", "C"])
+
+
+class TestConstruction:
+    def test_names_preserve_order(self, schema):
+        assert schema.names == ("A", "B", "C")
+
+    def test_accepts_attribute_objects(self):
+        s = Schema("R", [Attribute("A", Domain.finite({1, 2}))])
+        assert s.domain("A").is_finite
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema("R", ["A", "A"])
+
+    def test_rejects_empty_schema(self):
+        with pytest.raises(SchemaError):
+            Schema("R", [])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Schema("", ["A"])
+
+
+class TestLookup:
+    def test_attribute(self, schema):
+        assert schema.attribute("B").name == "B"
+
+    def test_attribute_missing(self, schema):
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.attribute("Z")
+
+    def test_index_of(self, schema):
+        assert schema.index_of("C") == 2
+
+    def test_index_of_missing(self, schema):
+        with pytest.raises(SchemaError):
+            schema.index_of("Z")
+
+    def test_contains(self, schema):
+        assert "A" in schema and "Z" not in schema
+
+    def test_check_attrs_ok(self, schema):
+        assert schema.check_attrs(["A", "C"]) == ("A", "C")
+
+    def test_check_attrs_fails(self, schema):
+        with pytest.raises(SchemaError):
+            schema.check_attrs(["A", "Z"])
+
+
+class TestProtocols:
+    def test_len(self, schema):
+        assert len(schema) == 3
+
+    def test_iter(self, schema):
+        assert [a.name for a in schema] == ["A", "B", "C"]
+
+    def test_equality(self, schema):
+        assert schema == Schema("R", ["A", "B", "C"])
+        assert schema != Schema("R", ["A", "B"])
+        assert schema != Schema("S", ["A", "B", "C"])
+
+    def test_hashable(self, schema):
+        assert hash(schema) == hash(Schema("R", ["A", "B", "C"]))

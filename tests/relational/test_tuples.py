@@ -1,0 +1,132 @@
+"""Tests for confidence-carrying tuples."""
+
+import pytest
+
+from repro.exceptions import DataError, SchemaError
+from repro.relational import CTuple, NULL, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["A", "B", "C"])
+
+
+@pytest.fixture()
+def t(schema) -> CTuple:
+    return CTuple(schema, {"A": "a", "B": "b"}, {"A": 0.9, "B": 0.4})
+
+
+class TestValues:
+    def test_getitem(self, t):
+        assert t["A"] == "a"
+
+    def test_missing_attributes_default_to_null(self, t):
+        assert t["C"] is NULL
+
+    def test_setitem(self, t):
+        t["A"] = "z"
+        assert t["A"] == "z"
+
+    def test_unknown_attribute_get(self, t):
+        with pytest.raises(SchemaError):
+            t["Z"]
+
+    def test_unknown_attribute_set(self, t):
+        with pytest.raises(SchemaError):
+            t["Z"] = 1
+
+    def test_unknown_attribute_in_values(self, schema):
+        with pytest.raises(SchemaError):
+            CTuple(schema, {"Z": 1})
+
+    def test_get_with_default(self, t):
+        assert t.get("A") == "a"
+        assert t.get("Z", "dflt") == "dflt"
+
+
+class TestConfidence:
+    def test_conf(self, t):
+        assert t.conf("A") == 0.9
+        assert t.conf("C") is None
+
+    def test_set_conf(self, t):
+        t.set_conf("C", 0.5)
+        assert t.conf("C") == 0.5
+
+    def test_conf_range_validated(self, t):
+        with pytest.raises(DataError):
+            t.set_conf("A", 1.5)
+        with pytest.raises(DataError):
+            CTuple(t.schema, {}, {"A": -0.1})
+
+    def test_set_value_and_conf(self, t):
+        t.set("B", "bb", 0.8)
+        assert t["B"] == "bb" and t.conf("B") == 0.8
+
+    def test_has_conf_at_least(self, t):
+        assert t.has_conf_at_least("A", 0.9)
+        assert not t.has_conf_at_least("B", 0.8)
+        assert not t.has_conf_at_least("C", 0.0)  # None is below everything
+
+    def test_min_conf_fuzzy(self, t):
+        assert t.min_conf(["A", "B"]) == 0.4
+
+    def test_min_conf_none_absorbs(self, t):
+        assert t.min_conf(["A", "C"]) is None
+
+    def test_min_conf_empty(self, t):
+        assert t.min_conf([]) is None
+
+
+class TestProjections:
+    def test_project(self, t):
+        assert t.project(["B", "A"]) == ("b", "a")
+
+    def test_project_conf(self, t):
+        assert t.project_conf(["A", "C"]) == (0.9, None)
+
+    def test_has_null(self, t):
+        assert t.has_null(["A", "C"])
+        assert not t.has_null(["A", "B"])
+
+
+class TestCopyCompare:
+    def test_clone_independent(self, t):
+        twin = t.clone()
+        twin["A"] = "other"
+        twin.set_conf("B", 0.1)
+        assert t["A"] == "a" and t.conf("B") == 0.4
+
+    def test_equality_ignores_confidence(self, schema):
+        t1 = CTuple(schema, {"A": 1}, {"A": 0.1})
+        t2 = CTuple(schema, {"A": 1}, {"A": 0.9})
+        assert t1 == t2
+
+    def test_hash_consistent_with_eq(self, schema):
+        t1 = CTuple(schema, {"A": 1})
+        t2 = CTuple(schema, {"A": 1})
+        assert hash(t1) == hash(t2)
+
+    def test_diff(self, schema):
+        t1 = CTuple(schema, {"A": 1, "B": 2})
+        t2 = CTuple(schema, {"A": 1, "B": 3})
+        assert t1.diff(t2) == ("B",)
+
+    def test_diff_schema_mismatch(self, schema):
+        other = Schema("S", ["A", "B", "C"])
+        with pytest.raises(DataError):
+            CTuple(schema, {}).diff(CTuple(other, {}))
+
+    def test_values_equal_subset(self, schema):
+        t1 = CTuple(schema, {"A": 1, "B": 2})
+        t2 = CTuple(schema, {"A": 1, "B": 9})
+        assert t1.values_equal(t2, ["A"])
+        assert not t1.values_equal(t2)
+
+    def test_iteration_order(self, t):
+        assert list(t) == ["a", "b", NULL]
+
+    def test_as_dict_is_copy(self, t):
+        d = t.as_dict()
+        d["A"] = "mutated"
+        assert t["A"] == "a"

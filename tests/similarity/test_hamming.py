@@ -1,0 +1,54 @@
+"""Tests for Hamming distance."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.similarity import hamming_distance, hamming_similarity, within_hamming_distance
+
+
+class TestHammingDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("karolin", "kathrin", 3),
+            ("1011101", "1001001", 2),
+            ("abc", "xyz", 3),
+        ],
+    )
+    def test_known(self, a, b, expected):
+        assert hamming_distance(a, b) == expected
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(DataError):
+            hamming_distance("ab", "abc")
+
+
+class TestHammingSimilarity:
+    def test_identical(self):
+        assert hamming_similarity("abc", "abc") == 1.0
+
+    def test_empty(self):
+        assert hamming_similarity("", "") == 1.0
+
+    def test_half(self):
+        assert hamming_similarity("ab", "ax") == 0.5
+
+
+class TestWithinHamming:
+    def test_within(self):
+        assert within_hamming_distance("karolin", "kathrin", 3)
+
+    def test_not_within(self):
+        assert not within_hamming_distance("karolin", "kathrin", 2)
+
+    def test_length_mismatch_is_false_not_error(self):
+        assert not within_hamming_distance("ab", "abc", 10)
+
+    def test_negative_budget(self):
+        assert not within_hamming_distance("a", "a", -1)
+
+    def test_early_exit_correctness(self):
+        assert within_hamming_distance("aaaa", "aaab", 1)
+        assert not within_hamming_distance("aaxx", "aayy", 1)

@@ -1,0 +1,57 @@
+"""Tests for Jaro and Jaro–Winkler similarities."""
+
+import pytest
+
+from repro.similarity import jaro_similarity, jaro_winkler_similarity
+
+
+class TestJaro:
+    def test_classic_martha(self):
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_classic_dixon(self):
+        assert jaro_similarity("DIXON", "DICKSONX") == pytest.approx(0.7667, abs=1e-4)
+
+    def test_identical(self):
+        assert jaro_similarity("same", "same") == 1.0
+
+    def test_both_empty(self):
+        assert jaro_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert jaro_similarity("abc", "") == 0.0
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("crate", "trace") == jaro_similarity("trace", "crate")
+
+    def test_bounds(self):
+        assert 0.0 <= jaro_similarity("jellyfish", "smellyfish") <= 1.0
+
+
+class TestJaroWinkler:
+    def test_classic_martha(self):
+        assert jaro_winkler_similarity("MARTHA", "MARHTA") == pytest.approx(0.9611, abs=1e-4)
+
+    def test_prefix_bonus_raises_score(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        boosted = jaro_winkler_similarity("prefixed", "prefixes")
+        assert boosted > plain
+
+    def test_no_common_prefix_equals_jaro(self):
+        assert jaro_winkler_similarity("xabc", "yabc") == jaro_similarity("xabc", "yabc")
+
+    def test_prefix_capped_at_four(self):
+        # Two strings sharing a 10-char prefix get the same bonus as a
+        # 4-char shared prefix with the same Jaro score.
+        a = jaro_winkler_similarity("abcdefghij", "abcdefghix")
+        assert a <= 1.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+    def test_identical(self):
+        assert jaro_winkler_similarity("x", "x") == 1.0

@@ -1,0 +1,110 @@
+"""Tests for longest-common-substring utilities and the blocking bound."""
+
+import pytest
+
+from repro.similarity import (
+    common_prefix_length,
+    edit_distance,
+    lcs_blocking_bound,
+    lcs_similarity,
+    longest_common_substring,
+    longest_common_substring_length,
+    passes_lcs_filter,
+    split_bound_pieces,
+)
+
+
+class TestLCSLength:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "", 0),
+            ("abc", "abc", 3),
+            ("robert", "bob", 2),
+            ("abcdef", "zabcy", 3),
+            ("xyz", "abc", 0),
+            ("banana", "anan", 4),
+        ],
+    )
+    def test_known(self, a, b, expected):
+        assert longest_common_substring_length(a, b) == expected
+
+    def test_symmetry(self):
+        assert longest_common_substring_length("abcde", "cdexy") == \
+            longest_common_substring_length("cdexy", "abcde")
+
+
+class TestLCSString:
+    def test_returns_actual_substring(self):
+        out = longest_common_substring("abcdef", "zabcy")
+        assert out == "abc"
+
+    def test_substring_of_both(self):
+        a, b = "interaction", "matching"
+        out = longest_common_substring(a, b)
+        assert out in a and out in b
+        assert len(out) == longest_common_substring_length(a, b)
+
+    def test_empty(self):
+        assert longest_common_substring("", "x") == ""
+
+
+class TestBlockingBound:
+    def test_formula(self):
+        assert lcs_blocking_bound(10, 8, 4) == pytest.approx(1.2)
+        assert lcs_blocking_bound(1, 0, 1) == 0.0
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            lcs_blocking_bound(5, 5, -1)
+
+    def test_filter_never_drops_true_matches(self):
+        # Section 5.2 soundness: edit_distance <= k implies the LCS bound.
+        pairs = [
+            ("robert", "robbert"),
+            ("hospital", "hspital"),
+            ("abcdefgh", "abcdxfgh"),
+            ("mark", "marc"),
+        ]
+        for a, b in pairs:
+            k = edit_distance(a, b)
+            assert passes_lcs_filter(a, b, k), (a, b, k)
+
+    def test_filter_prunes_distant_pairs(self):
+        assert not passes_lcs_filter("aaaaaaaa", "bbbbbbbb", 1)
+
+
+class TestLCSSimilarity:
+    def test_identical(self):
+        assert lcs_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert lcs_similarity("", "") == 1.0
+
+    def test_bounds(self):
+        assert 0.0 <= lcs_similarity("robert", "bob") <= 1.0
+
+
+class TestHelpers:
+    def test_common_prefix_length(self):
+        assert common_prefix_length("abcd", "abxy") == 2
+        assert common_prefix_length("", "x") == 0
+
+    def test_split_bound_pieces_cover_string(self):
+        s = "abcdefghij"
+        pieces = split_bound_pieces(s, 3)
+        assert "".join(pieces) == s
+        assert len(pieces) == 4
+
+    def test_split_bound_pieces_negative_k(self):
+        with pytest.raises(ValueError):
+            split_bound_pieces("abc", -1)
+
+    def test_pigeonhole_intuition(self):
+        # At most k edits leave at least one of the k+1 pieces untouched.
+        s = "abcdefghijkl"
+        k = 2
+        corrupted = "Xbcdefghijkl"  # one substitution
+        pieces = split_bound_pieces(s, k)
+        assert any(p in corrupted for p in pieces)

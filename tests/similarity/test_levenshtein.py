@@ -1,0 +1,74 @@
+"""Tests for edit distance and edit similarity."""
+
+import pytest
+
+from repro.similarity import edit_distance, edit_similarity, within_edit_distance
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("abc", "abc", 0),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("Bob", "Robert", 4),
+            ("Mark", "Marc", 1),
+            ("M.", "Mark", 3),
+            ("intention", "execution", 5),
+            ("abcdef", "abXdef", 1),  # exercises prefix/suffix stripping
+            ("aaaa", "aaa", 1),
+            ("xy", "yx", 2),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert edit_distance("sunday", "saturday") == edit_distance("saturday", "sunday")
+
+    def test_max_distance_early_exit_over(self):
+        # Result only needs to exceed the bound, not be exact.
+        assert edit_distance("aaaaaaaa", "bbbbbbbb", max_distance=2) > 2
+
+    def test_max_distance_exact_when_within(self):
+        assert edit_distance("kitten", "sitting", max_distance=5) == 3
+
+    def test_max_distance_length_gap(self):
+        assert edit_distance("a", "abcdefgh", max_distance=3) == 4  # bound + 1
+
+
+class TestWithinEditDistance:
+    def test_true_at_bound(self):
+        assert within_edit_distance("kitten", "sitting", 3)
+
+    def test_false_below_bound(self):
+        assert not within_edit_distance("kitten", "sitting", 2)
+
+    def test_negative_bound(self):
+        assert not within_edit_distance("a", "a", -1)
+
+    def test_zero_bound_equal(self):
+        assert within_edit_distance("same", "same", 0)
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert edit_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert edit_similarity("abc", "xyz") == 0.0
+
+    def test_empty_pair(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_normalization_by_longer_string(self):
+        # One edit in a long string is closer than one edit in a short one
+        # (the paper's normalization rationale, Section 3.1).
+        assert edit_similarity("abcdefghij", "abcdefghiX") > edit_similarity("ab", "aX")
+
+    def test_bounds(self):
+        assert 0.0 <= edit_similarity("hello", "help") <= 1.0

@@ -1,0 +1,104 @@
+"""Tests for similarity predicates and the registry."""
+
+import pytest
+
+from repro.exceptions import ConstraintError
+from repro.relational import NULL
+from repro.similarity import (
+    DEFAULT_REGISTRY,
+    EQ,
+    EQ_NORMALIZED,
+    PredicateRegistry,
+    edit_sim_at_least,
+    edit_within,
+    jaro_winkler_at_least,
+    qgram_jaccard_at_least,
+)
+
+
+class TestEquality:
+    def test_eq(self):
+        assert EQ("a", "a")
+        assert not EQ("a", "b")
+
+    def test_eq_is_equality_flag(self):
+        assert EQ.is_equality
+        assert not edit_within(1).is_equality
+
+    def test_null_never_matches(self):
+        assert not EQ(NULL, NULL)
+        assert not EQ("x", NULL)
+        assert not edit_within(5)(NULL, "x")
+
+    def test_eq_normalized(self):
+        assert EQ_NORMALIZED("  Hello ", "hello")
+        assert not EQ_NORMALIZED("hello", "world")
+
+
+class TestParametricPredicates:
+    def test_edit_within(self):
+        p = edit_within(2)
+        assert p("mark", "marc")
+        assert not p("mark", "robert")
+        assert p.edit_budget == 2
+
+    def test_edit_within_rejects_negative(self):
+        with pytest.raises(ConstraintError):
+            edit_within(-1)
+
+    def test_edit_sim_at_least(self):
+        p = edit_sim_at_least(0.75)
+        assert p("abcd", "abcx")
+        assert not p("abcd", "wxyz")
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConstraintError):
+            edit_sim_at_least(1.5)
+        with pytest.raises(ConstraintError):
+            jaro_winkler_at_least(-0.1)
+        with pytest.raises(ConstraintError):
+            qgram_jaccard_at_least(2.0)
+
+    def test_jaro_winkler_at_least(self):
+        p = jaro_winkler_at_least(0.9)
+        assert p("MARTHA", "MARHTA")
+        assert not p("abc", "xyz")
+
+    def test_qgram_jaccard_at_least(self):
+        p = qgram_jaccard_at_least(0.99)
+        assert p("same", "same")
+        assert not p("same", "different")
+
+    def test_non_string_values_coerced(self):
+        assert edit_within(0)(42, 42)
+        assert edit_within(1)(42, 43)
+
+
+class TestRegistry:
+    def test_default_has_eq(self):
+        assert DEFAULT_REGISTRY.get("eq") is EQ
+
+    def test_parses_parametric_names(self):
+        p = DEFAULT_REGISTRY.get("edit<=3")
+        assert p.edit_budget == 3
+        assert DEFAULT_REGISTRY.get("jw>=0.8")("MARTHA", "MARHTA")
+        assert DEFAULT_REGISTRY.get("editsim>=0.5")("abcd", "abxd")
+        assert DEFAULT_REGISTRY.get("qgram2>=0.3")("night", "nighty")
+
+    def test_parametric_names_cached(self):
+        first = DEFAULT_REGISTRY.get("edit<=7")
+        assert DEFAULT_REGISTRY.get("edit<=7") is first
+
+    def test_unknown_name(self):
+        with pytest.raises(ConstraintError):
+            DEFAULT_REGISTRY.get("no-such-predicate")
+
+    def test_malformed_parametric(self):
+        with pytest.raises(ConstraintError):
+            DEFAULT_REGISTRY.get("edit<=abc")
+
+    def test_custom_registration(self):
+        registry = PredicateRegistry()
+        registry.register(EQ)
+        assert registry.get("eq") is EQ
+        assert "eq" in registry.names()

@@ -1,0 +1,89 @@
+"""Tests for q-grams and Jaccard similarity."""
+
+import pytest
+
+from repro.similarity import (
+    jaccard_similarity,
+    overlap_coefficient,
+    qgram_set,
+    qgram_similarity,
+    qgrams,
+    token_jaccard,
+)
+
+
+class TestQgrams:
+    def test_padded_bigrams(self):
+        grams = qgrams("ab", q=2)
+        assert grams == {"#a": 1, "ab": 1, "b#": 1}
+
+    def test_unpadded(self):
+        grams = qgrams("abc", q=2, pad=False)
+        assert grams == {"ab": 1, "bc": 1}
+
+    def test_multiplicities_counted(self):
+        grams = qgrams("aaa", q=2, pad=False)
+        assert grams["aa"] == 2
+
+    def test_q1_is_characters(self):
+        assert qgrams("aba", q=1) == {"a": 2, "b": 1}
+
+    def test_short_string_unpadded(self):
+        assert qgrams("a", q=3, pad=False) == {"a": 1}
+
+    def test_empty_string(self):
+        assert qgrams("", q=2, pad=False) == {}
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_qgram_set_drops_counts(self):
+        assert qgram_set("aaa", q=2, pad=False) == frozenset({"aa"})
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_partial(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == 0.5
+
+
+class TestQgramSimilarity:
+    def test_identical(self):
+        assert qgram_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert qgram_similarity("abc", "xyz") == 0.0
+
+    def test_symmetry(self):
+        assert qgram_similarity("night", "nacht") == qgram_similarity("nacht", "night")
+
+    def test_in_bounds(self):
+        assert 0.0 < qgram_similarity("night", "nacht") < 1.0
+
+
+class TestTokenJaccard:
+    def test_shared_tokens(self):
+        assert token_jaccard("data cleaning rules", "cleaning data") == pytest.approx(2 / 3)
+
+    def test_identical(self):
+        assert token_jaccard("a b", "b a") == 1.0
+
+
+class TestOverlap:
+    def test_subset_is_one(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3}) == 1.0
+
+    def test_empty_one_side(self):
+        assert overlap_coefficient(set(), {1}) == 0.0
+
+    def test_both_empty(self):
+        assert overlap_coefficient(set(), set()) == 1.0
