@@ -1,0 +1,6 @@
+"""Benchmark suite regenerating the paper's Section 8 experiments.
+
+This file makes ``benchmarks`` a package so that the relative imports of
+the test modules (``from .conftest import ...``) resolve when pytest
+collects from the repository root (tier-1: ``python -m pytest -x -q``).
+"""

@@ -1,0 +1,129 @@
+"""Repair-pipeline performance report: the perf trajectory across PRs.
+
+Runs the Exp-5 scalability workload (HOSP) at three sizes with the
+indexed rule engine and with the legacy full-rescan baseline
+(``use_violation_index=False``), then writes ``BENCH_repair.json`` — a
+list of rows ``{size, phase, seconds, fixes, engine}`` plus a summary
+with per-size speedups — so future PRs have a number to compare against.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf_report.py
+    PYTHONPATH=src python benchmarks/perf_report.py --sizes 240 480 960
+
+The script also asserts that both engines produce identical fix logs
+(the determinism guarantee of the violation index) and exits non-zero if
+they diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.core import UniCleanConfig
+from repro.evaluation import generate, run_uniclean
+
+DEFAULT_SIZES = (240, 480, 960)
+PHASES = ("crepair", "erepair", "hrepair")
+
+
+def _fingerprint(log) -> List[tuple]:
+    return [
+        (f.kind.value, f.rule_name, f.tid, f.attr, repr(f.old_value),
+         repr(f.new_value), repr(f.source))
+        for f in log
+    ]
+
+
+def run_report(
+    sizes=DEFAULT_SIZES,
+    dataset: str = "hosp",
+    noise_rate: float = 0.06,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Run the workload at each size with both engines; return the report."""
+    rows: List[Dict[str, Any]] = []
+    summary: List[Dict[str, Any]] = []
+    for size in sizes:
+        ds = generate(
+            dataset, size=size, master_size=max(size // 2, 1),
+            noise_rate=noise_rate, seed=seed,
+        )
+        results = {}
+        for engine, flag in (("indexed", True), ("legacy", False)):
+            result = run_uniclean(
+                ds, UniCleanConfig(eta=1.0, use_violation_index=flag)
+            )
+            results[engine] = result
+            phase_fixes = {
+                "crepair": result.crepair_result.deterministic_fixes,
+                "erepair": result.erepair_result.reliable_fixes,
+                "hrepair": result.hrepair_result.possible_fixes,
+            }
+            for phase in PHASES:
+                rows.append(
+                    {
+                        "size": size,
+                        "phase": phase,
+                        "seconds": round(result.timings.get(phase, 0.0), 6),
+                        "fixes": phase_fixes[phase],
+                        "engine": engine,
+                    }
+                )
+        identical = _fingerprint(results["indexed"].fix_log) == _fingerprint(
+            results["legacy"].fix_log
+        )
+        t_indexed = results["indexed"].total_time
+        t_legacy = results["legacy"].total_time
+        summary.append(
+            {
+                "size": size,
+                "indexed_s": round(t_indexed, 6),
+                "legacy_s": round(t_legacy, 6),
+                "speedup": round(t_legacy / t_indexed, 2) if t_indexed > 0 else None,
+                "fix_logs_identical": identical,
+                "clean": results["indexed"].clean,
+            }
+        )
+    return {
+        "workload": {"dataset": dataset, "noise_rate": noise_rate, "seed": seed},
+        "rows": rows,
+        "summary": summary,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--dataset", default="hosp")
+    parser.add_argument("--noise-rate", type=float, default=0.06)
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_repair.json",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_report(args.sizes, dataset=args.dataset, noise_rate=args.noise_rate)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    ok = True
+    for entry in report["summary"]:
+        print(
+            f"  size={entry['size']}: indexed={entry['indexed_s']:.2f}s "
+            f"legacy={entry['legacy_s']:.2f}s speedup={entry['speedup']}x "
+            f"identical_logs={entry['fix_logs_identical']}"
+        )
+        ok &= entry["fix_logs_identical"]
+    if not ok:
+        print("ERROR: indexed and legacy engines produced different fix logs",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,25 +29,12 @@ def _rounds_with_order(ds, reverse: bool) -> int:
         use_suffix_tree=True,
     )
     if reverse:
-        state.rules = list(reversed(state.rules))
-        # Rebuild the per-rule index maps for the reversed order.
-        state.index_by_rule = {}
-        position = 0
-        from repro.constraints.rules import MDRule, VariableCFDRule
-        from repro.indexing.blocking import MDBlockingIndex
-
-        state.entropy_indexes = []
-        state.md_indexes = {}
-        for idx, rule in enumerate(state.rules):
-            if isinstance(rule, VariableCFDRule):
-                from repro.indexing.entropy_index import EntropyIndex
-
-                index = EntropyIndex(rule.cfd, state.relation)
-                state.entropy_indexes.append(index)
-                state.index_by_rule[idx] = index
-            elif isinstance(rule, MDRule):
-                state.md_indexes[idx] = MDBlockingIndex(rule.md, ds.master)
-    state.run()
+        # Rebuild every per-rule index map for the reversed order.
+        state.rebind_rules(list(reversed(state.rules)))
+    try:
+        state.run()
+    finally:
+        state.close()
     return state.rounds
 
 

@@ -16,6 +16,8 @@ from repro.analysis.consistency import (
     assert_consistent,
     find_witness,
     is_consistent,
+    relation_is_clean,
+    relation_violations,
 )
 from repro.analysis.dependency_graph import (
     build_dependency_graph,
@@ -38,6 +40,8 @@ __all__ = [
     "is_consistent",
     "order_rules",
     "redundant_rules",
+    "relation_is_clean",
+    "relation_violations",
     "snapshot",
     "strongly_connected_components",
 ]

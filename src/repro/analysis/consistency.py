@@ -26,15 +26,125 @@ Single-tuple semantics (what the checker enforces on ``{t}``):
 from __future__ import annotations
 
 from itertools import product
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.constraints.cfd import CFD, is_wildcard
+from repro.constraints.cfd import CFD, Violation, is_wildcard
 from repro.constraints.md import MD
-from repro.relational.attribute import NULL
+from repro.constraints.rules import (
+    ConstantCFDRule,
+    MDRule,
+    VariableCFDRule,
+    derive_rules,
+)
+from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.tuples import CTuple
 from repro.exceptions import InconsistentRulesError
+
+
+# ----------------------------------------------------------------------
+# Data-level violation checks, routed through the violation index
+# ----------------------------------------------------------------------
+def relation_violations(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    violation_index: Optional[Any] = None,
+) -> List[Violation]:
+    """CFD violations of *relation* under the null-tolerant semantics of
+    Section 7, computed from LHS partitions.
+
+    A single pass builds (or reuses) the per-rule partitions of a
+    :class:`~repro.indexing.violation_index.ViolationIndex`; each
+    constant-CFD member is checked against the pattern constant and each
+    variable-CFD partition for conflicting non-null RHS values.  With a
+    maintained index this avoids any relation rescan; built fresh it
+    still replaces the per-CFD scans of the legacy checks with one scan
+    for all rules.  Violations are reported in rule order, then ascending
+    tid / first-encounter partition order (deterministic).
+    """
+    from repro.indexing.violation_index import ViolationIndex
+
+    rules = [r for cfd in cfds for r in derive_rules([cfd])]
+    index = violation_index
+    if index is None:
+        index = ViolationIndex(relation, rules, attach=False)
+    else:
+        # Dirty/partition state is keyed by rule position, so a supplied
+        # index must cover exactly these CFD-derived rules in this order
+        # (phase indexes are built over interleaved/reordered CFD+MD rule
+        # lists and would silently misalign).
+        supplied = [(type(r).__name__, r.name) for r in index.rules]
+        expected = [(type(r).__name__, r.name) for r in rules]
+        if supplied != expected:
+            raise ValueError(
+                "violation_index was built over a different rule list; "
+                f"expected {expected}, got {supplied}"
+            )
+    out: List[Violation] = []
+    for idx, rule in enumerate(rules):
+        rhs = rule.rhs_attr()
+        if isinstance(rule, ConstantCFDRule):
+            constant = rule.cfd.rhs_constant
+            for tid in index.member_tids(idx):
+                value = relation.by_tid(tid)[rhs]
+                if not is_null(value) and value != constant:
+                    out.append(Violation(rule.cfd, (tid,), rhs))
+        else:
+            for _key, tids in index.iter_groups(idx):
+                seen: Dict[Any, int] = {}
+                for tid in tids:
+                    value = relation.by_tid(tid)[rhs]
+                    if is_null(value):
+                        continue
+                    for other_value, witness in seen.items():
+                        if other_value != value:
+                            out.append(Violation(rule.cfd, (witness, tid), rhs))
+                    seen.setdefault(value, tid)
+    return out
+
+
+def relation_is_clean(
+    relation: Relation,
+    cfds: Sequence[CFD],
+    mds: Sequence[MD] = (),
+    master: Optional[Relation] = None,
+    violation_index: Optional[Any] = None,
+    md_indexes: Optional[Mapping[str, Any]] = None,
+) -> bool:
+    """Whether ``D ⊨ Σ`` and ``(D, Dm) ⊨ Γ`` (null-tolerant, Section 7).
+
+    The index-routed counterpart of :func:`repro.core.hrepair.is_clean`:
+    CFD checks run over LHS partitions (one scan for all rules, or none
+    when a maintained *violation_index* is supplied) and MD checks reuse
+    *md_indexes* (rule name → blocking index) instead of rebuilding
+    master-side structures.
+    """
+    from repro.indexing.blocking import MDBlockingIndex
+
+    if cfds and relation_violations(relation, cfds, violation_index):
+        return False
+    if master is not None:
+        shared = md_indexes or {}
+        for md in mds:
+            for normalized in md.normalize():
+                rhs, master_attr = normalized.rhs_pair
+                bindex = shared.get(normalized.name)
+                if bindex is None or not bindex.is_exact:
+                    # Equality blocking is lossless; the suffix-tree
+                    # top-l retrieval used during *repair* is not — a
+                    # satisfaction verdict must stay exhaustive, so
+                    # similarity-only MDs get a full-candidate index.
+                    bindex = MDBlockingIndex(
+                        normalized, master, use_suffix_tree=False
+                    )
+                for t in relation:
+                    if is_null(t[rhs]):
+                        continue  # null counts as identified (Section 7)
+                    for s in bindex.cached_matches(t):
+                        if t[rhs] != s[master_attr]:
+                            return False
+    return True
 
 
 def active_domains(

@@ -314,6 +314,21 @@ class CFD:
         seen.update(dict.fromkeys(self.rhs))
         return tuple(seen)
 
+    def key_attrs(self) -> Tuple[str, ...]:
+        """The partition-key attributes for inverted indexing: the LHS ``X``.
+
+        Tuples agreeing on ``X`` (and matching ``tp[X]``) fall in the same
+        partition ``Δ(x̄)``; a violation can only involve tuples of one
+        partition, which is what makes incremental violation detection
+        sound (see :mod:`repro.indexing.violation_index`).
+        """
+        return self.lhs
+
+    def scope_attrs(self) -> Tuple[str, ...]:
+        """All data attributes whose change can affect this CFD's
+        violations: ``X ∪ Y`` (for normalized CFDs, ``X ∪ {B}``)."""
+        return self.attributes()
+
     def constants(self) -> Dict[str, List[Any]]:
         """Constant pattern entries per attribute (LHS and RHS merged)."""
         out: Dict[str, List[Any]] = {}

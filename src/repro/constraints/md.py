@@ -231,6 +231,22 @@ class MD:
         """Premise attributes compared with exact equality (for fuzzy min)."""
         return tuple(dict.fromkeys(c.attr for c in self.premise if c.is_equality))
 
+    def blocking_key_attrs(self) -> Tuple[str, ...]:
+        """The data-side blocking-key attributes for inverted indexing.
+
+        Tuples sharing the projection on the *equality* premise attributes
+        can only match master tuples from the same exact-index bucket, so
+        this projection partitions the data side for incremental violation
+        detection (empty when the premise is pure-similarity — then all
+        tuples share the single degenerate partition).
+        """
+        return self.equality_premise_attrs()
+
+    def scope_attrs(self) -> Tuple[str, ...]:
+        """All data attributes whose change can affect this MD's
+        violations: premise attributes plus the RHS data attributes."""
+        return tuple(dict.fromkeys(self.lhs_attrs() + self.rhs_attrs()))
+
     def size(self) -> int:
         """Length of the MD (attribute count), used in ``size(Θ)``."""
         return len(self.premise) + len(self.rhs)

@@ -103,6 +103,21 @@ class CleaningRule:
         """The single data-side attribute this rule updates."""
         raise NotImplementedError
 
+    def key_attrs(self) -> Tuple[str, ...]:
+        """Partition-key attributes for the violation index.
+
+        CFD rules partition by the LHS pattern key; MD rules by the
+        equality blocking key (see the constraint-level ``key_attrs`` /
+        ``blocking_key_attrs``).  Defaults to the premise attributes.
+        """
+        return self.lhs_attrs()
+
+    def scope_attrs(self) -> Tuple[str, ...]:
+        """All data attributes whose change can affect this rule."""
+        out = dict.fromkeys(self.lhs_attrs())
+        out[self.rhs_attr()] = None
+        return tuple(out)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
 
@@ -129,6 +144,9 @@ class MDRule(CleaningRule):
 
     def rhs_attr(self) -> str:
         return self.md.rhs_pair[0]
+
+    def key_attrs(self) -> Tuple[str, ...]:
+        return self.md.blocking_key_attrs()
 
     def applies(self, t: CTuple, s: CTuple) -> bool:
         """Whether master tuple *s* can be applied to *t*: premise holds

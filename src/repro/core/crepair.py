@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.constraints.cfd import CFD
 from repro.constraints.md import MD
@@ -44,6 +44,7 @@ from repro.constraints.rules import (
 )
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.indexing.blocking import MDBlockingIndex
+from repro.indexing.violation_index import ViolationIndex
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
 
@@ -87,6 +88,8 @@ class _CRepair:
         fix_log: FixLog,
         top_l: int,
         use_suffix_tree: bool,
+        use_violation_index: bool = True,
+        shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
     ):
         self.relation = relation
         self.rules = list(rules)
@@ -104,15 +107,29 @@ class _CRepair:
                 self.rules_by_lhs_attr.setdefault(attr, []).append(idx)
 
         self.md_indexes: Dict[int, MDBlockingIndex] = {}
+        shared = shared_md_indexes or {}
         for idx, rule in enumerate(self.rules):
             if isinstance(rule, MDRule):
                 if master is None:
                     raise ValueError(
                         f"rule {rule.name} requires master data, but none was given"
                     )
-                self.md_indexes[idx] = MDBlockingIndex(
+                self.md_indexes[idx] = shared.get(rule.name) or MDBlockingIndex(
                     rule.md, master, top_l=top_l, use_suffix_tree=use_suffix_tree
                 )
+
+        # Partition membership lets the worklist skip arming CFD rules on
+        # tuples that cannot match the rule's LHS pattern.  Once every
+        # premise attribute of a tuple is asserted those values are final
+        # (deterministic fixes never overwrite asserted cells), so a
+        # membership test at push time agrees with pop time.  cRepair is
+        # worklist-driven and never drains dirty queues, so the index runs
+        # in membership_only mode (no MD partitions, no dirty buildup).
+        self.vindex: Optional[ViolationIndex] = (
+            ViolationIndex(relation, self.rules, membership_only=True)
+            if use_violation_index
+            else None
+        )
 
         self.h_tables: Dict[int, Dict[Tuple[Any, ...], _VarEntry]] = {
             idx: {}
@@ -125,6 +142,11 @@ class _CRepair:
         self.pending: Dict[int, Set[int]] = {tid: set() for tid in tids}  # P[t]
         self.queue: Deque[Tuple[int, int]] = deque()  # global worklist (t, rule)
         self.queued: Set[Tuple[int, int]] = set()
+
+    def close(self) -> None:
+        """Detach the violation index from the relation (idempotent)."""
+        if self.vindex is not None:
+            self.vindex.detach()
 
     # ------------------------------------------------------------------
     # Worklist helpers
@@ -149,7 +171,8 @@ class _CRepair:
             key = (tid, rule_idx)
             self.count[key] = self.count.get(key, 0) + 1
             if self.count[key] == len(rule.lhs_attrs()):
-                self._push(tid, rule_idx)
+                if self.vindex is None or self.vindex.is_member(rule_idx, tid):
+                    self._push(tid, rule_idx)
         # Variable CFDs t was waiting on whose RHS just became asserted:
         # t can now provide the group value.
         for rule_idx in list(self.pending[tid]):
@@ -193,7 +216,9 @@ class _CRepair:
                     source=source,
                 )
             )
-            t[attr] = value
+            # Notify observers (the violation index keeps partition
+            # membership coherent with the repaired values).
+            self.relation.set_value(t, attr, value)
             self.result_fixes += 1
         else:
             self.confirmed += 1
@@ -247,7 +272,10 @@ class _CRepair:
         rhs, master_attr = rule.md.rhs_pair
         if self._asserted(t, rhs):
             return
-        match = self.md_indexes[rule_idx].find_match(t)
+        index = self.md_indexes[rule_idx]
+        match = (
+            index.cached_find_match(t) if self.vindex is not None else index.find_match(t)
+        )
         if match is None:
             return
         self._apply_fix(t, rhs, match[master_attr], rule.name, "master")
@@ -295,6 +323,8 @@ def crepair(
     top_l: int = 20,
     use_suffix_tree: bool = True,
     in_place: bool = False,
+    use_violation_index: bool = True,
+    md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
 ) -> CRepairResult:
     """Find all deterministic fixes in *relation* (Theorem 5.1).
 
@@ -317,6 +347,13 @@ def crepair(
         Blocking parameters for MD similarity search (Section 5.2).
     in_place:
         Mutate *relation* instead of a clone.
+    use_violation_index:
+        Use LHS-partition membership to keep the worklist free of tuples
+        that cannot match a rule's pattern; ``False`` is the legacy
+        baseline (identical fix logs either way).
+    md_indexes:
+        Optional pre-built blocking indexes (rule name →
+        :class:`MDBlockingIndex`) shared across pipeline phases.
 
     Returns
     -------
@@ -334,8 +371,13 @@ def crepair(
         log,
         top_l=top_l,
         use_suffix_tree=use_suffix_tree,
+        use_violation_index=use_violation_index,
+        shared_md_indexes=md_indexes,
     )
-    state.run()
+    try:
+        state.run()
+    finally:
+        state.close()
     return CRepairResult(
         relation=working,
         fix_log=log,

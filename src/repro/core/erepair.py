@@ -25,7 +25,7 @@ O(log |D|) per index.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dependency_graph import order_rules
 from repro.constraints.cfd import CFD
@@ -40,6 +40,7 @@ from repro.constraints.rules import (
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.indexing.blocking import MDBlockingIndex
 from repro.indexing.entropy_index import EntropyIndex
+from repro.indexing.violation_index import ViolationIndex
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
 
@@ -66,9 +67,10 @@ class _ERepair:
         fix_log: FixLog,
         top_l: int,
         use_suffix_tree: bool,
+        use_violation_index: bool = True,
+        shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
     ):
         self.relation = relation
-        self.rules = order_rules(rules)
         self.master = master
         self.delta1 = delta1
         self.delta2 = delta2
@@ -77,26 +79,68 @@ class _ERepair:
         self.change_count: Dict[Tuple[int, str], int] = {}
         self.fixes_made = 0
         self.rounds = 0
-
+        self._top_l = top_l
+        self._use_suffix_tree = use_suffix_tree
+        self._use_violation_index = use_violation_index
+        self._shared_md_indexes = dict(shared_md_indexes or {})
+        self.rules: List[AnyRule] = []
         self.entropy_indexes: List[EntropyIndex] = []
         self.md_indexes: Dict[int, MDBlockingIndex] = {}
+        self.index_by_rule: Dict[int, EntropyIndex] = {}
+        self.vindex: Optional[ViolationIndex] = None
+        self.rebind_rules(order_rules(rules))
+
+    def rebind_rules(self, rules: Sequence[AnyRule]) -> None:
+        """(Re)build all per-rule indexes for *rules* in the given order.
+
+        Used at construction and by the ordering ablation, which re-runs
+        the engine with a different rule order: dirty state and index
+        maps are keyed by rule position, so they must be rebuilt
+        together.
+        """
+        self.close()
+        self.rules = list(rules)
+        self.entropy_indexes = []
+        self.md_indexes = {}
         for idx, rule in enumerate(self.rules):
             if isinstance(rule, VariableCFDRule):
-                self.entropy_indexes.append(EntropyIndex(rule.cfd, relation))
+                self.entropy_indexes.append(EntropyIndex(rule.cfd, self.relation))
             elif isinstance(rule, MDRule):
-                if master is None:
+                if self.master is None:
                     raise ValueError(
                         f"rule {rule.name} requires master data, but none was given"
                     )
-                self.md_indexes[idx] = MDBlockingIndex(
-                    rule.md, master, top_l=top_l, use_suffix_tree=use_suffix_tree
+                self.md_indexes[idx] = self._shared_md_indexes.get(
+                    rule.name
+                ) or MDBlockingIndex(
+                    rule.md,
+                    self.master,
+                    top_l=self._top_l,
+                    use_suffix_tree=self._use_suffix_tree,
                 )
-        self.index_by_rule: Dict[int, EntropyIndex] = {}
+        self.index_by_rule = {}
         position = 0
         for idx, rule in enumerate(self.rules):
             if isinstance(rule, VariableCFDRule):
                 self.index_by_rule[idx] = self.entropy_indexes[position]
                 position += 1
+
+        # The indexed rule engine: dirty-partition work queues so each
+        # round only revisits tuples touched since the rule last ran.
+        self.vindex = (
+            ViolationIndex(self.relation, self.rules)
+            if self._use_violation_index
+            else None
+        )
+        for entropy_index in self.entropy_indexes:
+            self.relation.add_observer(entropy_index.on_cell_changed)
+
+    def close(self) -> None:
+        """Detach all observers from the relation (idempotent)."""
+        if self.vindex is not None:
+            self.vindex.detach()
+        for entropy_index in self.entropy_indexes:
+            self.relation.remove_observer(entropy_index.on_cell_changed)
 
     # ------------------------------------------------------------------
     # Cell mutation with index maintenance and bookkeeping
@@ -111,8 +155,6 @@ class _ERepair:
         """Apply one reliable fix; returns whether a change was made."""
         if t[attr] == value:
             return False
-        for index in self.entropy_indexes:
-            index.update_cell(t, attr, value)
         cell = (t.tid, attr)
         self.fix_log.record(
             Fix(
@@ -127,7 +169,9 @@ class _ERepair:
                 source=source,
             )
         )
-        t[attr] = value
+        # set_value notifies the entropy indexes and the violation index,
+        # which queues the touched partitions for the next round.
+        self.relation.set_value(t, attr, value)
         self.change_count[cell] = self.change_count.get(cell, 0) + 1
         self.fixes_made += 1
         return True
@@ -142,10 +186,24 @@ class _ERepair:
         index = self.index_by_rule[rule_idx]
         rhs = rule.rhs_attr()
         changed = False
-        # Snapshot keys first: resolving mutates the index.
-        candidate_keys = [
-            group.key for group in index.conflicting_groups() if group.entropy < self.delta2
-        ]
+        # Snapshot keys first: resolving mutates the index.  With the
+        # violation index, only partitions dirtied since this rule last
+        # ran are candidates — an unchanged group resolves (or fails to)
+        # exactly as it did before, so skipping it loses nothing.  The
+        # AVL (entropy, key) iteration order is preserved either way.
+        if self.vindex is not None:
+            dirty = set(self.vindex.pop_dirty_keys(rule_idx))
+            candidate_keys = [
+                group.key
+                for group in index.conflicting_groups()
+                if group.entropy < self.delta2 and group.key in dirty
+            ]
+        else:
+            candidate_keys = [
+                group.key
+                for group in index.conflicting_groups()
+                if group.entropy < self.delta2
+            ]
         for key in candidate_keys:
             group = index.group(key)
             if group is None or group.entropy == 0.0:
@@ -162,6 +220,13 @@ class _ERepair:
                 changed |= self._set_value(t, rhs, majority_value, rule.name, "entropy")
         return changed
 
+    def _candidates(self, rule_idx: int):
+        """Tuples a per-tuple rule must (re)examine this round: the full
+        relation on the legacy path, the drained dirty queue otherwise."""
+        if self.vindex is None:
+            return iter(self.relation)
+        return self.vindex.dirty_tuples(rule_idx)
+
     def ccfd_resolve(self, rule_idx: int) -> bool:
         """Apply a constant-CFD rule to every pattern-matching tuple."""
         rule = self.rules[rule_idx]
@@ -169,7 +234,7 @@ class _ERepair:
         rhs = rule.rhs_attr()
         constant = rule.cfd.rhs_constant
         changed = False
-        for t in self.relation:
+        for t in self._candidates(rule_idx):
             if not rule.cfd.lhs_matches(t):
                 continue
             if t[rhs] == constant:
@@ -185,9 +250,10 @@ class _ERepair:
         assert isinstance(rule, MDRule)
         rhs, master_attr = rule.md.rhs_pair
         index = self.md_indexes[rule_idx]
+        find_match = index.cached_find_match if self.vindex is not None else index.find_match
         changed = False
-        for t in self.relation:
-            match = index.find_match(t)
+        for t in self._candidates(rule_idx):
+            match = find_match(t)
             if match is None:
                 continue
             value = match[master_attr]
@@ -202,6 +268,8 @@ class _ERepair:
     # Main loop (Fig. 6)
     # ------------------------------------------------------------------
     def run(self) -> None:
+        if self.vindex is not None:
+            self.vindex.mark_all_dirty()  # round 1 examines everything
         while True:
             self.rounds += 1
             changed = False
@@ -228,6 +296,8 @@ def erepair(
     top_l: int = 20,
     use_suffix_tree: bool = True,
     in_place: bool = False,
+    use_violation_index: bool = True,
+    md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
 ) -> ERepairResult:
     """Find reliable (entropy-based) fixes in *relation* (Section 6).
 
@@ -243,6 +313,15 @@ def erepair(
         resolved; smaller values mean stricter (more reliable) fixes.
     protected:
         Cells that must not change (the deterministic fixes of cRepair).
+    use_violation_index:
+        Drive resolution rounds from the incremental
+        :class:`~repro.indexing.violation_index.ViolationIndex` instead
+        of full-relation rescans.  ``False`` is the legacy-scan baseline;
+        both paths produce byte-identical fix logs.
+    md_indexes:
+        Optional pre-built blocking indexes (rule name →
+        :class:`MDBlockingIndex`), shared across phases by the pipeline
+        so master-side structures are built once.
     """
     working = relation if in_place else relation.clone()
     log = fix_log if fix_log is not None else FixLog()
@@ -257,8 +336,13 @@ def erepair(
         fix_log=log,
         top_l=top_l,
         use_suffix_tree=use_suffix_tree,
+        use_violation_index=use_violation_index,
+        shared_md_indexes=md_indexes,
     )
-    state.run()
+    try:
+        state.run()
+    finally:
+        state.close()
     return ERepairResult(
         relation=working,
         fix_log=log,

@@ -38,7 +38,7 @@ classes or upgrades a target, so the measure ``(#classes descending,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.constraints.cfd import CFD
 from repro.constraints.md import MD
@@ -52,6 +52,7 @@ from repro.constraints.rules import (
 from repro.core.cost import cell_cost
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.indexing.blocking import MDBlockingIndex
+from repro.indexing.violation_index import ViolationIndex
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
@@ -123,6 +124,8 @@ class _HRepair:
         top_l: int,
         use_suffix_tree: bool,
         max_rounds: int,
+        use_violation_index: bool = True,
+        shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
     ):
         self.relation = relation
         self.rules = list(rules)
@@ -139,21 +142,31 @@ class _HRepair:
         self.rounds = 0
 
         self.md_indexes: Dict[int, MDBlockingIndex] = {}
+        shared = shared_md_indexes or {}
         for idx, rule in enumerate(self.rules):
             if isinstance(rule, MDRule):
                 if master is None:
                     raise ValueError(
                         f"rule {rule.name} requires master data, but none was given"
                     )
-                self.md_indexes[idx] = MDBlockingIndex(
+                self.md_indexes[idx] = shared.get(rule.name) or MDBlockingIndex(
                     rule.md, master, top_l=top_l, use_suffix_tree=use_suffix_tree
                 )
+
+        self.vindex: Optional[ViolationIndex] = (
+            ViolationIndex(relation, self.rules) if use_violation_index else None
+        )
 
         # Freeze classes of protected (deterministic) cells at their value.
         for cell in protected:
             tid, attr = cell
             root = self.uf.find(cell)
             self.targets[root] = ("frozen", self.relation.by_tid(tid)[attr])
+
+    def close(self) -> None:
+        """Detach the violation index from the relation (idempotent)."""
+        if self.vindex is not None:
+            self.vindex.detach()
 
     # ------------------------------------------------------------------
     # Target lattice
@@ -174,6 +187,7 @@ class _HRepair:
             raise AssertionError("frozen targets must never be reassigned")
         self.targets[root] = target
         self.upgrades += 1
+        self._mark_class_dirty(root)
         self._sync(root, rule_name)
 
     def _merge(self, cells: Sequence[Cell], target: Tuple, rule_name: str) -> None:
@@ -188,7 +202,21 @@ class _HRepair:
         self.targets[root] = target
         if target[0] != "frozen":
             self.upgrades += 1
+        self._mark_class_dirty(root)
         self._sync(root, rule_name)
+
+    def _mark_class_dirty(self, root: Cell) -> None:
+        """Queue every cell of a class whose resolution state changed.
+
+        A merge or target upgrade can change how a rule treats a member
+        cell even when the cell's *value* stays put (e.g. its class became
+        frozen), so value-change notifications alone under-approximate
+        dirtiness here.
+        """
+        if self.vindex is None:
+            return
+        for tid, attr in self.uf.members(root):
+            self.vindex.mark_cell_dirty(tid, attr)
 
     def _sync(self, root: Cell, rule_name: str) -> None:
         """Reflect a class target into the working relation."""
@@ -215,7 +243,7 @@ class _HRepair:
                     source="heuristic",
                 )
             )
-            t[attr] = value
+            self.relation.set_value(t, attr, value)
             self.fixes_made += 1
 
     # ------------------------------------------------------------------
@@ -250,11 +278,20 @@ class _HRepair:
     # ------------------------------------------------------------------
     # Violation scans (null-tolerant semantics)
     # ------------------------------------------------------------------
-    def resolve_constant(self, rule: ConstantCFDRule) -> bool:
+    def _candidates(self, rule_idx: int):
+        """Tuples a per-tuple rule must (re)examine this round: the full
+        relation on the legacy path, the drained dirty queue otherwise."""
+        if self.vindex is None:
+            return iter(self.relation)
+        return self.vindex.dirty_tuples(rule_idx)
+
+    def resolve_constant(self, rule_idx: int) -> bool:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, ConstantCFDRule)
         rhs = rule.rhs_attr()
         constant = rule.cfd.rhs_constant
         changed = False
-        for t in self.relation:
+        for t in self._candidates(rule_idx):
             if not rule.cfd.lhs_matches(t):
                 continue
             current = t[rhs]
@@ -282,65 +319,102 @@ class _HRepair:
             changed = True
         return changed
 
-    def resolve_variable(self, rule: VariableCFDRule) -> bool:
+    def resolve_variable(self, rule_idx: int) -> bool:
+        rule = self.rules[rule_idx]
+        assert isinstance(rule, VariableCFDRule)
         rhs = rule.rhs_attr()
         changed = False
-        groups: Dict[Tuple[Any, ...], List[CTuple]] = {}
-        for t in self.relation:
-            if rule.cfd.lhs_matches(t):
-                groups.setdefault(t.project(rule.cfd.lhs), []).append(t)
-        for key, group in groups.items():
-            # Tombstoned cells (target null) stay null: re-filling them
-            # would undo an earlier conflict resolution.
-            members = [
-                t for t in group if self._target((t.tid, rhs))[0] != "null"
-            ]
-            values = {t[rhs] for t in members if not is_null(t[rhs])}
-            has_free_nulls = any(is_null(t[rhs]) for t in members)
-            if len(values) < 2 and not (values and has_free_nulls):
-                continue  # consistent (nulls alone never violate)
-            signature = ("v", rule.name, key)
-            if signature in self.unresolved:
-                continue
-            cells = [(t.tid, rhs) for t in members]
-            frozen_values = {
-                self._target(cell)[1] for cell in cells if self._is_frozen(cell)
-            }
-            if len(frozen_values) > 1:
-                # Two deterministic fixes disagree — the merge is
-                # impossible.  Dissolve the conflict by breaking the
-                # premise of one of the *frozen participants*: null a
-                # non-frozen LHS cell of a frozen tuple so it leaves the
-                # group (breaking an uninvolved tuple's premise would not
-                # remove the violation).
-                broken = False
-                for t in sorted(members, key=lambda x: x.tid or 0):
-                    if self._is_frozen((t.tid, rhs)):
-                        if self._break_premise(t, rule.cfd.lhs, rule.name):
-                            broken = True
-                            break
-                if not broken:
-                    self.unresolved.add(signature)
-                else:
-                    changed = True
-                continue
-            if frozen_values:
-                target = ("frozen", next(iter(frozen_values)))
-            else:
-                const_targets = {
-                    self._target(cell)[1]
-                    for cell in cells
-                    if self._target(cell)[0] == "const"
-                }
-                if len(const_targets) > 1:
-                    target = _NULL
-                elif const_targets:
-                    target = _const(next(iter(const_targets)))
-                else:
-                    target = _const(self._cheapest_value(members, rhs, values))
-            self._merge(cells, target, rule.name)
-            changed = True
+        if self.vindex is not None:
+            by_tid = self.relation.by_tid
+            for key in self.vindex.pop_dirty_keys(rule_idx):
+                group = [by_tid(tid) for tid in self.vindex.members(rule_idx, key)]
+                if group:
+                    changed |= self._resolve_variable_group(rule, rhs, key, group)
+        else:
+            groups: Dict[Tuple[Any, ...], List[CTuple]] = {}
+            for t in self.relation:
+                if rule.cfd.lhs_matches(t):
+                    groups.setdefault(t.project(rule.cfd.lhs), []).append(t)
+            for key, group in groups.items():
+                changed |= self._resolve_variable_group(rule, rhs, key, group)
         return changed
+
+    def _resolve_variable_group(
+        self,
+        rule: VariableCFDRule,
+        rhs: str,
+        key: Tuple[Any, ...],
+        group: Sequence[CTuple],
+    ) -> bool:
+        """Resolve one conflict group ``Δ(x̄)`` of a variable CFD."""
+        # Tombstoned cells (target null) stay null: re-filling them
+        # would undo an earlier conflict resolution.
+        members = [
+            t for t in group if self._target((t.tid, rhs))[0] != "null"
+        ]
+        values = {t[rhs] for t in members if not is_null(t[rhs])}
+        has_free_nulls = any(is_null(t[rhs]) for t in members)
+        if len(values) < 2 and not (values and has_free_nulls):
+            return False  # consistent (nulls alone never violate)
+        signature = ("v", rule.name, key)
+        if signature in self.unresolved:
+            return False
+        cells = [(t.tid, rhs) for t in members]
+        frozen_values = {
+            self._target(cell)[1] for cell in cells if self._is_frozen(cell)
+        }
+        if len(frozen_values) > 1:
+            # Two deterministic fixes disagree — the merge is
+            # impossible.  Dissolve the conflict by breaking the
+            # premise of one of the *frozen participants*: null a
+            # non-frozen LHS cell of a frozen tuple so it leaves the
+            # group (breaking an uninvolved tuple's premise would not
+            # remove the violation).
+            broken = False
+            for t in sorted(members, key=lambda x: x.tid or 0):
+                if self._is_frozen((t.tid, rhs)):
+                    if self._break_premise(t, rule.cfd.lhs, rule.name):
+                        broken = True
+                        break
+            if not broken:
+                self.unresolved.add(signature)
+                return False
+            return True
+        if frozen_values:
+            # One deterministic value dictates the group.  Only the cells
+            # already rooted in frozen (protected) classes join the frozen
+            # class; the remaining members take the value as an ordinary
+            # *const* target.  Merging them in would freeze them by
+            # contagion, and a later conflict between two frozen groups
+            # could then find no premise to break — losing the Dr ⊨ Σ
+            # guarantee of Corollary 7.1.  Const-targeted cells stay
+            # null-upgradable, which is all that guarantee needs.
+            value = next(iter(frozen_values))
+            frozen_cells = [cell for cell in cells if self._is_frozen(cell)]
+            if len(frozen_cells) > 1:
+                self._merge(frozen_cells, ("frozen", value), rule.name)
+            for cell in cells:
+                if self._is_frozen(cell):
+                    continue
+                tgt = self._target(cell)
+                if tgt[0] == "const" and tgt[1] != value:
+                    self._set_target(cell, _NULL, rule.name)
+                else:
+                    self._set_target(cell, _const(value), rule.name)
+            return True
+        const_targets = {
+            self._target(cell)[1]
+            for cell in cells
+            if self._target(cell)[0] == "const"
+        }
+        if len(const_targets) > 1:
+            target = _NULL
+        elif const_targets:
+            target = _const(next(iter(const_targets)))
+        else:
+            target = _const(self._cheapest_value(members, rhs, values))
+        self._merge(cells, target, rule.name)
+        return True
 
     def _cheapest_value(self, group: Sequence[CTuple], rhs: str, values: Set[Any]) -> Any:
         """The group value minimizing total repair cost (Section 3.1).
@@ -370,13 +444,14 @@ class _HRepair:
         assert isinstance(rule, MDRule)
         rhs, master_attr = rule.md.rhs_pair
         index = self.md_indexes[rule_idx]
+        matches = index.cached_matches if self.vindex is not None else index.matches
         changed = False
-        for t in self.relation:
+        for t in self._candidates(rule_idx):
             # All premise-satisfying master tuples place a demand on t[E];
             # a single match dictates a constant, conflicting matches are
             # resolved with null (which satisfies the null-tolerant check).
             demanded = sorted(
-                {s[master_attr] for s in index.matches(t)}, key=repr
+                {s[master_attr] for s in matches(t)}, key=repr
             )
             if not demanded:
                 continue
@@ -418,14 +493,16 @@ class _HRepair:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> None:
+        if self.vindex is not None:
+            self.vindex.mark_all_dirty()  # round 1 examines everything
         while self.rounds < self.max_rounds:
             self.rounds += 1
             changed = False
             for idx, rule in enumerate(self.rules):
                 if isinstance(rule, ConstantCFDRule):
-                    changed |= self.resolve_constant(rule)
+                    changed |= self.resolve_constant(idx)
                 elif isinstance(rule, VariableCFDRule):
-                    changed |= self.resolve_variable(rule)
+                    changed |= self.resolve_variable(idx)
                 else:
                     changed |= self.resolve_md(idx)
             if not changed:
@@ -524,12 +601,19 @@ def hrepair(
     use_suffix_tree: bool = True,
     in_place: bool = False,
     max_rounds: int = 100,
+    use_violation_index: bool = True,
+    md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
 ) -> HRepairResult:
     """Produce a consistent repair with heuristic *possible* fixes.
 
     Finds a repair ``Dr`` with ``Dr ⊨ Σ`` and ``(Dr, Dm) ⊨ Γ`` (under
     Section 7's null semantics) that preserves all *protected*
     (deterministic) cells — Corollary 7.1.
+
+    ``use_violation_index=False`` selects the legacy full-rescan baseline
+    (byte-identical fix logs, asymptotically slower); *md_indexes* lets
+    the pipeline share pre-built master-side blocking indexes by rule
+    name.
     """
     working = relation if in_place else relation.clone()
     log = fix_log if fix_log is not None else FixLog()
@@ -543,8 +627,13 @@ def hrepair(
         top_l=top_l,
         use_suffix_tree=use_suffix_tree,
         max_rounds=max_rounds,
+        use_violation_index=use_violation_index,
+        shared_md_indexes=md_indexes,
     )
-    state.run()
+    try:
+        state.run()
+    finally:
+        state.close()
     return HRepairResult(
         relation=working,
         fix_log=log,

@@ -21,14 +21,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Set, Tuple
 
-from repro.analysis.consistency import assert_consistent
+from repro.analysis.consistency import assert_consistent, relation_is_clean
 from repro.constraints.cfd import CFD
 from repro.constraints.md import MD, NegativeMD, embed_negative
 from repro.core.cost import repair_cost
 from repro.core.crepair import CRepairResult, crepair
 from repro.core.erepair import ERepairResult, erepair
 from repro.core.fixes import FixKind, FixLog
-from repro.core.hrepair import HRepairResult, hrepair, is_clean
+from repro.core.hrepair import HRepairResult, hrepair
+from repro.indexing.blocking import build_md_indexes
 from repro.relational.relation import Relation
 
 
@@ -49,6 +50,11 @@ class UniCleanConfig:
         Top-``l`` LCS blocking fan-out for MD search (paper: l ≤ 20).
     use_suffix_tree:
         Disable to fall back to full master scans (ablation baseline).
+    use_violation_index:
+        Drive all three phases from the incremental
+        :class:`~repro.indexing.violation_index.ViolationIndex` (dirty
+        partitions instead of full-relation rescans).  ``False`` selects
+        the legacy-scan baseline; fix logs are byte-identical either way.
     check_consistency:
         Run the (NP-complete) consistency analysis of Σ ∪ Γ before
         cleaning; enable for small hand-written rule sets.
@@ -62,6 +68,7 @@ class UniCleanConfig:
     delta2: float = 0.8
     top_l: int = 20
     use_suffix_tree: bool = True
+    use_violation_index: bool = True
     check_consistency: bool = False
     run_crepair: bool = True
     run_erepair: bool = True
@@ -168,6 +175,20 @@ class UniClean:
         e_result: Optional[ERepairResult] = None
         h_result: Optional[HRepairResult] = None
 
+        # Master data is immutable during cleaning, so the (expensive)
+        # master-side blocking indexes are built once and shared by every
+        # phase and the final satisfaction check.
+        md_indexes = (
+            build_md_indexes(
+                self.mds,
+                self.master,
+                top_l=config.top_l,
+                use_suffix_tree=config.use_suffix_tree,
+            )
+            if self.mds and self.master is not None
+            else {}
+        )
+
         if config.run_crepair:
             started = time.perf_counter()
             c_result = crepair(
@@ -180,6 +201,8 @@ class UniClean:
                 top_l=config.top_l,
                 use_suffix_tree=config.use_suffix_tree,
                 in_place=True,
+                use_violation_index=config.use_violation_index,
+                md_indexes=md_indexes,
             )
             timings["crepair"] = time.perf_counter() - started
 
@@ -199,6 +222,8 @@ class UniClean:
                 top_l=config.top_l,
                 use_suffix_tree=config.use_suffix_tree,
                 in_place=True,
+                use_violation_index=config.use_violation_index,
+                md_indexes=md_indexes,
             )
             timings["erepair"] = time.perf_counter() - started
 
@@ -214,6 +239,8 @@ class UniClean:
                 top_l=config.top_l,
                 use_suffix_tree=config.use_suffix_tree,
                 in_place=True,
+                use_violation_index=config.use_violation_index,
+                md_indexes=md_indexes,
             )
             timings["hrepair"] = time.perf_counter() - started
 
@@ -224,6 +251,8 @@ class UniClean:
             erepair_result=e_result,
             hrepair_result=h_result,
             cost=repair_cost(working, relation),
-            clean=is_clean(working, self.cfds, self.mds, self.master),
+            clean=relation_is_clean(
+                working, self.cfds, self.mds, self.master, md_indexes=md_indexes
+            ),
             timings=timings,
         )

@@ -7,20 +7,27 @@
   variable CFD (Section 6.3).
 * :class:`ExactIndex` / :class:`MDBlockingIndex` — equality and
   similarity blocking for MDs against master data.
+* :class:`ViolationIndex` — per-rule inverted partition indexes with
+  dirty work queues, powering incremental violation detection across all
+  three repair phases (see ``docs/architecture.md``).
 """
 
 from repro.indexing.avl import AVLTree
 from repro.indexing.blocking import ExactIndex, MDBlockingIndex, build_md_indexes
 from repro.indexing.entropy_index import EntropyIndex, GroupStats, entropy_of_counts
 from repro.indexing.suffix_tree import GeneralizedSuffixTree
+from repro.indexing.violation_index import CFDPartition, MDPartition, ViolationIndex
 
 __all__ = [
     "AVLTree",
+    "CFDPartition",
     "EntropyIndex",
     "ExactIndex",
     "GeneralizedSuffixTree",
     "GroupStats",
+    "MDPartition",
     "MDBlockingIndex",
+    "ViolationIndex",
     "build_md_indexes",
     "entropy_of_counts",
 ]

@@ -88,6 +88,8 @@ class MDBlockingIndex:
         self.use_suffix_tree = use_suffix_tree
         self._eq_clauses = [c for c in md.premise if c.is_equality]
         self._sim_clauses = [c for c in md.premise if not c.is_equality]
+        self._premise_attrs = tuple(dict.fromkeys(c.attr for c in md.premise))
+        self._match_cache: Dict[Tuple[Any, ...], List[CTuple]] = {}
         self._exact: Optional[ExactIndex] = None
         if self._eq_clauses:
             self._exact = ExactIndex(master, [c.master_attr for c in self._eq_clauses])
@@ -100,6 +102,14 @@ class MDBlockingIndex:
                 if clause.predicate.edit_budget is not None:
                     self._build_tree(clause.master_attr)
                     break
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether candidate retrieval is lossless (equality blocking or
+        full scans) — i.e. :meth:`matches` finds *every* premise match.
+        Suffix-tree retrieval caps candidates at top-``l`` and may drop
+        true matches; verdict-style callers must not rely on it."""
+        return self._exact is not None or not self.use_suffix_tree
 
     def _build_tree(self, master_attr: str) -> None:
         if master_attr in self._trees:
@@ -161,6 +171,31 @@ class MDBlockingIndex:
                 if best is None or (s.tid or 0) < (best.tid or 0):
                     best = s
         return best
+
+    # ------------------------------------------------------------------
+    # Memoized retrieval (the indexed rule engine's MD match cache)
+    # ------------------------------------------------------------------
+    def cached_matches(self, t: CTuple) -> List[CTuple]:
+        """Like :meth:`matches`, memoized by the premise projection.
+
+        The premise verdict depends only on ``t``'s premise-attribute
+        values, and master data is immutable during cleaning — so the
+        (expensive, similarity-heavy) verification runs once per distinct
+        projection instead of once per tuple per resolution round.
+        Callers must not mutate the returned list.
+        """
+        key = t.project(self._premise_attrs)
+        hit = self._match_cache.get(key)
+        if hit is None:
+            hit = self._match_cache[key] = self.matches(t)
+        return hit
+
+    def cached_find_match(self, t: CTuple) -> Optional[CTuple]:
+        """Memoized :meth:`find_match` (same deterministic witness)."""
+        matched = self.cached_matches(t)
+        if not matched:
+            return None
+        return min(matched, key=lambda s: s.tid or 0)
 
 
 def build_md_indexes(

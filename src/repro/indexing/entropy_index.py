@@ -235,6 +235,23 @@ class EntropyIndex:
         finally:
             t[attr] = old_value
 
+    def on_cell_changed(self, t: CTuple, attr: str, old: Any, new: Any) -> None:
+        """Post-mutation adapter for ``Relation.add_observer``.
+
+        The relation notifies *after* assignment; the old value is
+        restored briefly so the tuple can be removed from the group its
+        old values placed it in, then re-added under the new values.
+        """
+        related = attr == self.cfd.rhs_attr or attr in self.cfd.lhs
+        if not related:
+            return
+        t[attr] = old
+        try:
+            self.remove_tuple(t)
+        finally:
+            t[attr] = new
+        self.add_tuple(t)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -1,0 +1,429 @@
+"""Incremental violation detection: per-rule inverted partition indexes.
+
+The repair phases repeatedly ask "which tuples can currently violate rule
+r?".  The seed implementation answered by rescanning the whole relation
+for every rule on every resolution round — O(rules × |D| × rounds).  This
+module answers it incrementally, in the spirit of factorized evaluation
+and first-order incremental view maintenance: build partitions once, then
+maintain them under point updates so each fix only revisits the tuples it
+can actually affect.
+
+Structure per rule:
+
+* **CFD rule** ``R(X → B, tp)`` — a :class:`CFDPartition` mapping each
+  LHS pattern key ``x̄`` (the projection ``t[X]`` of tuples with
+  ``t[X] ≍ tp[X]``) to the set of member tids, plus the inverse
+  ``tid → x̄`` map.  A violation of the CFD can only involve tuples of a
+  single partition, so partitions are the unit of (re)checking.
+* **MD rule** — an :class:`MDPartition` over the data side, partitioned
+  by the equality blocking key (``MD.blocking_key_attrs``); master data
+  is immutable, so only data-side dirtiness matters.
+
+Dirtiness (the work queue):
+
+* per *constant-CFD* and *MD* rule — a set of **dirty tids** (checks are
+  per-tuple: pattern constant / master match);
+* per *variable-CFD* rule — a set of **dirty partition keys** (checks
+  are per-group: conflicting B values within ``Δ(x̄)``).
+
+A cell update ``(tid, attr)`` dirties only the rules whose scope contains
+``attr``, and within them only the partitions the tuple belongs to (both
+the old and the new partition when an LHS change moves the tuple).
+
+Invariants (checked by ``check_consistency`` and the property tests):
+
+1. after any sequence of ``Relation.set_value`` calls, every partition
+   equals the partition of a freshly built index;
+2. ``pop_dirty_tids`` / ``pop_dirty_keys`` return sorted snapshots (by
+   tid / by smallest member tid), so indexed resolution visits work in
+   the same deterministic order as a legacy full scan — fix logs are
+   byte-identical between the two paths;
+3. dirtiness over-approximates: every tuple/partition whose violation
+   status may have changed is dirty (the converse need not hold).
+
+The index subscribes to :meth:`repro.relational.relation.Relation.
+add_observer`; all cell writes of the repair phases go through
+``Relation.set_value``, which keeps the structures coherent with in-place
+``CTuple`` mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.constraints.rules import (
+    AnyRule,
+    ConstantCFDRule,
+    MDRule,
+    VariableCFDRule,
+)
+from repro.relational.relation import Relation
+from repro.relational.tuples import CTuple
+
+Key = Tuple[Any, ...]
+
+
+class CFDPartition:
+    """Tid partitions of one normalized CFD, keyed by the LHS pattern key.
+
+    Only tuples matching the LHS pattern ``tp[X]`` are members (nulls
+    never match, Section 7); membership is maintained under point updates
+    via :meth:`on_cell_changed`.
+    """
+
+    __slots__ = ("cfd", "lhs", "rhs", "_lhs_set", "groups", "key_of")
+
+    def __init__(self, cfd: Any):
+        self.cfd = cfd
+        self.lhs: Tuple[str, ...] = cfd.key_attrs()
+        self.rhs: str = cfd.rhs_attr
+        self._lhs_set = frozenset(self.lhs)
+        self.groups: Dict[Key, Set[int]] = {}
+        self.key_of: Dict[int, Key] = {}
+
+    def build(self, relation: Relation) -> None:
+        self.groups.clear()
+        self.key_of.clear()
+        lhs = self.lhs
+        matches = self.cfd.lhs_matches
+        for t in relation:
+            if matches(t):
+                key = t.project(lhs)
+                group = self.groups.get(key)
+                if group is None:
+                    group = self.groups[key] = set()
+                group.add(t.tid)
+                self.key_of[t.tid] = key
+
+    def member_key(self, tid: int) -> Optional[Key]:
+        """The partition key of *tid*, or ``None`` when not a member."""
+        return self.key_of.get(tid)
+
+    def on_cell_changed(self, t: CTuple, attr: str) -> Tuple[Optional[Key], Optional[Key]]:
+        """Re-slot *t* after ``t[attr]`` changed (post-mutation).
+
+        Returns ``(old_key, new_key)`` — the partitions whose contents
+        (LHS move) or violation status (RHS change) were touched; either
+        may be ``None`` when the tuple was/is not a member.
+        """
+        tid = t.tid
+        old_key = self.key_of.get(tid)
+        if attr in self._lhs_set:
+            new_key = t.project(self.lhs) if self.cfd.lhs_matches(t) else None
+            if new_key != old_key:
+                if old_key is not None:
+                    group = self.groups[old_key]
+                    group.discard(tid)
+                    if not group:
+                        del self.groups[old_key]
+                    del self.key_of[tid]
+                if new_key is not None:
+                    self.groups.setdefault(new_key, set()).add(tid)
+                    self.key_of[tid] = new_key
+            return old_key, new_key
+        # Pure RHS change: membership is unaffected, the tuple's own
+        # partition becomes dirty.
+        return old_key, old_key
+
+    def check_against(self, relation: Relation) -> None:
+        """Assert partitions equal those of a freshly built index."""
+        rebuilt = CFDPartition(self.cfd)
+        rebuilt.build(relation)
+        if rebuilt.groups != self.groups or rebuilt.key_of != self.key_of:
+            raise AssertionError(
+                f"CFD partition for {self.cfd.name} diverges from relation state"
+            )
+
+
+class MDPartition:
+    """Data-side partitions of one normalized MD by equality blocking key.
+
+    Every tuple is tracked (a similarity-only premise can match any
+    tuple); tuples with a null in the blocking key get the ``None``
+    pseudo-key — they can never satisfy an equality premise but a later
+    update may move them into a real partition.
+    """
+
+    __slots__ = ("md", "key_attrs", "rhs", "_scope", "groups", "key_of")
+
+    def __init__(self, md: Any):
+        self.md = md
+        self.key_attrs: Tuple[str, ...] = md.blocking_key_attrs()
+        self.rhs: str = md.rhs_pair[0]
+        self._scope = frozenset(md.scope_attrs())
+        self.groups: Dict[Optional[Key], Set[int]] = {}
+        self.key_of: Dict[int, Optional[Key]] = {}
+
+    def _key(self, t: CTuple) -> Optional[Key]:
+        if not self.key_attrs:
+            return ()
+        key = t.project(self.key_attrs)
+        return None if t.has_null(self.key_attrs) else key
+
+    def build(self, relation: Relation) -> None:
+        self.groups.clear()
+        self.key_of.clear()
+        for t in relation:
+            key = self._key(t)
+            self.groups.setdefault(key, set()).add(t.tid)
+            self.key_of[t.tid] = key
+
+    def relevant(self, attr: str) -> bool:
+        return attr in self._scope
+
+    def on_cell_changed(self, t: CTuple, attr: str) -> None:
+        tid = t.tid
+        old_key = self.key_of.get(tid)
+        new_key = self._key(t)
+        if new_key != old_key:
+            group = self.groups.get(old_key)
+            if group is not None:
+                group.discard(tid)
+                if not group:
+                    del self.groups[old_key]
+            self.groups.setdefault(new_key, set()).add(tid)
+            self.key_of[tid] = new_key
+
+    def check_against(self, relation: Relation) -> None:
+        rebuilt = MDPartition(self.md)
+        rebuilt.build(relation)
+        if rebuilt.groups != self.groups or rebuilt.key_of != self.key_of:
+            raise AssertionError(
+                f"MD partition for {self.md.name} diverges from relation state"
+            )
+
+
+class ViolationIndex:
+    """The indexed rule engine: per-rule partitions + dirty work queues.
+
+    Parameters
+    ----------
+    relation:
+        The relation being repaired.  The index must observe *every* cell
+        mutation; call :meth:`attach` (done by default) so that
+        ``relation.set_value`` keeps it coherent.
+    rules:
+        The cleaning rules, in the order the consuming phase iterates
+        them — dirty state is tracked per rule index.
+
+    Usage pattern (one resolution round of a repair phase)::
+
+        index.mark_all_dirty()          # round 1 examines everything
+        ...
+        for tid in index.pop_dirty_tids(rule_idx):   # constant CFD / MD
+            ...                                       # may set_value(...)
+        for key in index.pop_dirty_keys(rule_idx):   # variable CFD
+            group = index.members(rule_idx, key)
+            ...
+
+    Fixes made while draining a queue re-dirty whatever they touch, which
+    the *next* round pops — exactly the legacy fixpoint semantics, minus
+    the rescans of unaffected tuples.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        rules: Sequence[AnyRule],
+        attach: bool = True,
+        membership_only: bool = False,
+    ):
+        self.relation = relation
+        self.rules: List[AnyRule] = list(rules)
+        self.membership_only = membership_only
+        self._cfd_parts: Dict[int, CFDPartition] = {}
+        self._md_parts: Dict[int, MDPartition] = {}
+        self._dirty_tids: Dict[int, Set[int]] = {}
+        self._dirty_keys: Dict[int, Set[Key]] = {}
+        self._rules_by_attr: Dict[str, List[int]] = {}
+        self._attached = False
+
+        for idx, rule in enumerate(self.rules):
+            if isinstance(rule, (ConstantCFDRule, VariableCFDRule)):
+                part = CFDPartition(rule.cfd)
+                part.build(relation)
+                self._cfd_parts[idx] = part
+            elif isinstance(rule, MDRule):
+                if membership_only:
+                    continue  # every tuple is an MD member; nothing to track
+                mpart = MDPartition(rule.md)
+                mpart.build(relation)
+                self._md_parts[idx] = mpart
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unsupported rule type {type(rule).__name__}")
+            if isinstance(rule, VariableCFDRule):
+                self._dirty_keys[idx] = set()
+            else:
+                self._dirty_tids[idx] = set()
+            for attr in rule.scope_attrs():
+                self._rules_by_attr.setdefault(attr, []).append(idx)
+        if attach:
+            self.attach()
+
+    # ------------------------------------------------------------------
+    # Observer wiring
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Subscribe to the relation's cell-change notifications."""
+        if not self._attached:
+            self.relation.add_observer(self.on_cell_changed)
+            self._attached = True
+
+    def detach(self) -> None:
+        """Unsubscribe (call when the consuming phase is done)."""
+        if self._attached:
+            self.relation.remove_observer(self.on_cell_changed)
+            self._attached = False
+
+    def on_cell_changed(self, t: CTuple, attr: str, old: Any, new: Any) -> None:
+        """Relation observer: re-slot partitions and mark dirtiness.
+
+        In ``membership_only`` mode (cRepair) only CFD partition
+        membership is maintained — no dirty queues accumulate and MD
+        rules carry no state at all.
+        """
+        for idx in self._rules_by_attr.get(attr, ()):
+            part = self._cfd_parts.get(idx)
+            if part is not None:
+                old_key, new_key = part.on_cell_changed(t, attr)
+                if self.membership_only:
+                    continue
+                keys = self._dirty_keys.get(idx)
+                if keys is not None:  # variable CFD: group-level dirtiness
+                    if old_key is not None:
+                        keys.add(old_key)
+                    if new_key is not None:
+                        keys.add(new_key)
+                elif new_key is not None:  # constant CFD: member tuples only
+                    self._dirty_tids[idx].add(t.tid)
+            else:
+                mpart = self._md_parts[idx]
+                mpart.on_cell_changed(t, attr)
+                self._dirty_tids[idx].add(t.tid)
+
+    # ------------------------------------------------------------------
+    # Dirtiness
+    # ------------------------------------------------------------------
+    def _require_dirty_queues(self) -> None:
+        if self.membership_only:
+            raise RuntimeError(
+                "dirty queues are disabled on a membership_only ViolationIndex"
+            )
+
+    def mark_cell_dirty(self, tid: int, attr: str) -> None:
+        """Mark cell ``(tid, attr)`` dirty without a value change.
+
+        hRepair uses this when a target-lattice event (class merge or
+        target upgrade) changes a cell's *resolution state* while its
+        value stays put — the affected partitions must be re-examined.
+        """
+        self._require_dirty_queues()
+        for idx in self._rules_by_attr.get(attr, ()):
+            keys = self._dirty_keys.get(idx)
+            if keys is not None:
+                part = self._cfd_parts[idx]
+                key = part.key_of.get(tid)
+                if key is not None:
+                    keys.add(key)
+            else:
+                part_c = self._cfd_parts.get(idx)
+                if part_c is not None and tid not in part_c.key_of:
+                    continue  # not a member: the constant rule cannot fire
+                self._dirty_tids[idx].add(tid)
+
+    def mark_all_dirty(self) -> None:
+        """Queue every member tuple / partition of every rule (round 1)."""
+        self._require_dirty_queues()
+        for idx in range(len(self.rules)):
+            self.mark_rule_dirty(idx)
+
+    def mark_rule_dirty(self, idx: int) -> None:
+        """Queue all current members/partitions of rule *idx*."""
+        keys = self._dirty_keys.get(idx)
+        if keys is not None:
+            keys.update(self._cfd_parts[idx].groups)
+        else:
+            part = self._cfd_parts.get(idx)
+            if part is not None:
+                self._dirty_tids[idx].update(part.key_of)
+            else:
+                self._dirty_tids[idx].update(self._md_parts[idx].key_of)
+
+    def pop_dirty_tids(self, idx: int) -> List[int]:
+        """Drain rule *idx*'s dirty tuples, in ascending tid order.
+
+        Ascending tid equals relation insertion order (tids are assigned
+        monotonically), so indexed resolution visits tuples exactly as a
+        legacy full scan would.
+        """
+        dirty = self._dirty_tids[idx]
+        if not dirty:
+            return []
+        out = sorted(dirty)
+        dirty.clear()
+        return out
+
+    def pop_dirty_keys(self, idx: int) -> List[Key]:
+        """Drain rule *idx*'s dirty partitions, ordered by smallest member
+        tid (the order a legacy scan first encounters each group).
+        Partitions that became empty are dropped silently."""
+        dirty = self._dirty_keys[idx]
+        if not dirty:
+            return []
+        groups = self._cfd_parts[idx].groups
+        live = [key for key in dirty if key in groups]
+        dirty.clear()
+        live.sort(key=lambda key: min(groups[key]))
+        return live
+
+    def dirty_tuples(self, idx: int) -> Iterator[CTuple]:
+        """Drain rule *idx*'s dirty tuples as live :class:`CTuple`s.
+
+        The shared drain used by the per-tuple resolve procedures of
+        eRepair and hRepair (their legacy paths iterate the full
+        relation instead); order follows :meth:`pop_dirty_tids`.
+        """
+        by_tid = self.relation.by_tid
+        return (by_tid(tid) for tid in self.pop_dirty_tids(idx))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_member(self, idx: int, tid: int) -> bool:
+        """Whether tuple *tid* currently matches rule *idx*'s premise
+        pattern (always true for MD rules — any tuple may match)."""
+        part = self._cfd_parts.get(idx)
+        if part is None:
+            return True
+        return tid in part.key_of
+
+    def members(self, idx: int, key: Key) -> List[int]:
+        """Sorted member tids of partition *key* of rule *idx*."""
+        part = self._cfd_parts.get(idx)
+        groups = part.groups if part is not None else self._md_parts[idx].groups
+        return sorted(groups.get(key, ()))
+
+    def member_tids(self, idx: int) -> List[int]:
+        """Sorted tids of all members of rule *idx*."""
+        part = self._cfd_parts.get(idx)
+        if part is not None:
+            return sorted(part.key_of)
+        return sorted(self._md_parts[idx].key_of)
+
+    def iter_groups(self, idx: int) -> Iterator[Tuple[Key, List[int]]]:
+        """All ``(key, sorted member tids)`` of a CFD rule, ordered by
+        smallest member tid (legacy first-encounter order)."""
+        groups = self._cfd_parts[idx].groups
+        for key in sorted(groups, key=lambda k: min(groups[k])):
+            yield key, sorted(groups[key])
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_consistency(self, relation: Optional[Relation] = None) -> None:
+        """Assert every partition matches a fresh build (property tests)."""
+        target = relation if relation is not None else self.relation
+        for part in self._cfd_parts.values():
+            part.check_against(target)
+        for mpart in self._md_parts.values():
+            mpart.check_against(target)

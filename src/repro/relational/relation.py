@@ -4,6 +4,12 @@ A :class:`Relation` owns its tuples and assigns tuple identifiers (tids).
 Cleaning algorithms operate on a *clone* of the dirty relation, mutate
 tuples in place and record the edits in a fix log; the original relation is
 never modified.
+
+Cell mutations that go through :meth:`Relation.set_value` are broadcast to
+registered observers, which is how incremental indexes (the violation
+index, the entropy index) stay coherent with in-place :class:`CTuple`
+mutation.  Observers are *not* carried over by :meth:`clone` — each clone
+starts with a clean observer list.
 """
 
 from __future__ import annotations
@@ -43,12 +49,13 @@ class Relation:
     Tuples are stored in insertion order, addressable by tid in O(1).
     """
 
-    __slots__ = ("schema", "_tuples", "_next_tid")
+    __slots__ = ("schema", "_tuples", "_next_tid", "_observers")
 
     def __init__(self, schema: Schema, tuples: Iterable[CTuple] = ()):
         self.schema = schema
         self._tuples: Dict[int, CTuple] = {}
         self._next_tid = 0
+        self._observers: List[Callable[[CTuple, str, Any, Any], None]] = []
         for t in tuples:
             self.add(t)
 
@@ -128,6 +135,43 @@ class Relation:
         if isinstance(t, CTuple):
             return t.tid in self._tuples and self._tuples[t.tid] is t
         return False
+
+    # ------------------------------------------------------------------
+    # Mutation with change notification
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Callable[[CTuple, str, Any, Any], None]) -> None:
+        """Register *observer* for cell-change notifications.
+
+        Observers are callables ``(t, attr, old_value, new_value)`` invoked
+        *after* the tuple has been mutated by :meth:`set_value`.  They must
+        not mutate the relation re-entrantly.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[CTuple, str, Any, Any], None]) -> None:
+        """Unregister *observer* (a no-op when it was never registered)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def set_value(self, t: CTuple, attr: str, value: Any) -> bool:
+        """Assign ``t[attr] := value`` in place, notifying observers.
+
+        All cell updates made by the cleaning algorithms go through this
+        method so that incrementally maintained indexes see every change.
+        Returns whether the value actually changed; observers only fire
+        on a real change.  Confidence is metadata — set it separately via
+        ``t.set_conf`` (indexes never depend on it).
+        """
+        old = t[attr]
+        if old == value:
+            return False
+        t[attr] = value
+        for observer in self._observers:
+            observer(t, attr, old, value)
+        return True
 
     # ------------------------------------------------------------------
     # Algebra-flavoured helpers (Fig. 3 of the paper)

@@ -36,7 +36,7 @@ class Schema:
     True
     """
 
-    __slots__ = ("name", "_attributes", "_index")
+    __slots__ = ("name", "_attributes", "_index", "_names")
 
     def __init__(self, name: str, attributes: Iterable[AttributeLike]):
         if not name or not isinstance(name, str):
@@ -54,6 +54,7 @@ class Schema:
         self.name = name
         self._attributes: Tuple[Attribute, ...] = tuple(attrs)
         self._index = index
+        self._names: Tuple[str, ...] = tuple(a.name for a in self._attributes)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -65,8 +66,8 @@ class Schema:
 
     @property
     def names(self) -> Tuple[str, ...]:
-        """Attribute names, in declaration order."""
-        return tuple(a.name for a in self._attributes)
+        """Attribute names, in declaration order (cached at construction)."""
+        return self._names
 
     def attribute(self, name: str) -> Attribute:
         """Return the attribute called *name*.

@@ -125,8 +125,19 @@ class CTuple:
     # Projections
     # ------------------------------------------------------------------
     def project(self, attrs: Sequence[str]) -> Tuple[Any, ...]:
-        """Return the values of *attrs* as a tuple, e.g. ``t[Y]``."""
-        return tuple(self[a] for a in attrs)
+        """Return the values of *attrs* as a tuple, e.g. ``t[Y]``.
+
+        This is the hottest call in the partition/entropy indexes, so it
+        reads the value store directly instead of going through
+        :meth:`__getitem__` per attribute.
+        """
+        values = self._values
+        try:
+            return tuple(values[a] for a in attrs)
+        except KeyError as exc:
+            raise SchemaError(
+                f"schema {self.schema.name!r} has no attribute {exc.args[0]!r}"
+            ) from None
 
     def project_conf(self, attrs: Sequence[str]) -> Tuple[Optional[float], ...]:
         """Return the confidences of *attrs* as a tuple."""
@@ -149,7 +160,8 @@ class CTuple:
 
     def has_null(self, attrs: Sequence[str]) -> bool:
         """Whether any of *attrs* is :data:`NULL` in this tuple."""
-        return any(is_null(self[a]) for a in attrs)
+        values = self._values
+        return any(is_null(values[a]) for a in attrs)
 
     # ------------------------------------------------------------------
     # Conversions / copying

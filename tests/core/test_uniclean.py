@@ -132,3 +132,43 @@ class TestConstruction:
         cleaner = UniClean(cfds=paper_rules.cfds)
         result = cleaner.clean(dirty_tran)
         assert is_clean(result.repaired, cleaner.cfds)
+
+
+class TestIndexedEngineEquivalence:
+    """The violation index must not change pipeline behaviour, only speed."""
+
+    @staticmethod
+    def _fingerprint(log):
+        return [
+            (f.kind.value, f.rule_name, f.tid, f.attr, repr(f.old_value),
+             repr(f.new_value), repr(f.source))
+            for f in log
+        ]
+
+    def test_full_pipeline_logs_identical_on_paper_example(
+        self, paper_rules, master_card, dirty_tran
+    ):
+        results = []
+        for flag in (True, False):
+            cleaner = UniClean(
+                cfds=paper_rules.cfds,
+                mds=paper_rules.mds,
+                negative_mds=paper_rules.negative_mds,
+                master=master_card,
+                config=UniCleanConfig(eta=1.0, use_violation_index=flag),
+            )
+            results.append(cleaner.clean(dirty_tran))
+        indexed, legacy = results
+        assert self._fingerprint(indexed.fix_log) == self._fingerprint(legacy.fix_log)
+        assert not indexed.repaired.diff(legacy.repaired)
+        assert indexed.clean == legacy.clean
+
+    def test_full_pipeline_logs_identical_on_generated_workload(self):
+        from repro.evaluation import generate, run_uniclean
+
+        ds = generate("hosp", size=90, master_size=45, noise_rate=0.08)
+        indexed = run_uniclean(ds, UniCleanConfig(eta=1.0, use_violation_index=True))
+        legacy = run_uniclean(ds, UniCleanConfig(eta=1.0, use_violation_index=False))
+        assert self._fingerprint(indexed.fix_log) == self._fingerprint(legacy.fix_log)
+        assert not indexed.repaired.diff(legacy.repaired)
+        assert indexed.clean and legacy.clean

@@ -1,0 +1,201 @@
+"""Property and determinism tests for the incremental violation index.
+
+Two invariants carry the whole design (see docs/architecture.md):
+
+1. **Coherence** — after any sequence of ``Relation.set_value`` edits,
+   every partition equals the partition of a freshly built index;
+2. **Determinism** — crepair/erepair/hrepair produce byte-identical fix
+   logs with the indexed engine and with the legacy full-rescan baseline.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import relation_is_clean
+from repro.constraints import CFD, MD
+from repro.constraints.rules import derive_rules
+from repro.core import crepair, erepair, hrepair, is_clean
+from repro.indexing import ViolationIndex
+from repro.relational import NULL, Relation, Schema
+
+SCHEMA = Schema("R", ["K", "A", "B"])
+MASTER_SCHEMA = Schema("Rm", ["K", "B"])
+
+CFDS = [
+    CFD(SCHEMA, ["K"], ["A"], name="fd_ka"),
+    CFD(SCHEMA, ["A"], ["B"], name="fd_ab"),
+    CFD(SCHEMA, ["K"], ["B"], {"K": "k1", "B": "b1"}, name="const_kb"),
+]
+MDS = [MD(SCHEMA, MASTER_SCHEMA, [("K", "K")], [("B", "B")], name="md_kb")]
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+values = st.sampled_from(["a1", "a2", "b1", "b2"])
+confs = st.sampled_from([0.0, 0.5, 1.0])
+rows = st.lists(st.tuples(keys, values, values, confs, confs, confs), min_size=1, max_size=12)
+edits = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),       # tid (mod len)
+        st.sampled_from(["K", "A", "B"]),             # attr
+        st.sampled_from(["k1", "k2", "a1", "b1", "b2", NULL]),  # new value
+    ),
+    max_size=30,
+)
+
+
+def build_relation(data) -> Relation:
+    relation = Relation(SCHEMA)
+    for k, a, b, ck, ca, cb in data:
+        relation.add_row({"K": k, "A": a, "B": b}, {"K": ck, "A": ca, "B": cb})
+    return relation
+
+
+def build_master() -> Relation:
+    return Relation.from_dicts(
+        MASTER_SCHEMA, [{"K": "k1", "B": "b1"}, {"K": "k2", "B": "b2"}]
+    )
+
+
+def fingerprint(log):
+    return [
+        (f.kind.value, f.rule_name, f.tid, f.attr, repr(f.old_value),
+         repr(f.new_value), repr(f.source))
+        for f in log
+    ]
+
+
+class TestPartitionCoherence:
+    @given(rows, edits)
+    @settings(max_examples=80, deadline=None)
+    def test_partitions_match_fresh_build_after_random_edits(self, data, steps):
+        """Invariant 1: maintained partitions == freshly built partitions."""
+        relation = build_relation(data)
+        rules = derive_rules(CFDS, MDS)
+        index = ViolationIndex(relation, rules)
+        for tid_raw, attr, value in steps:
+            t = relation.by_tid(tid_raw % len(relation))
+            relation.set_value(t, attr, value)
+        index.check_consistency(relation)
+        index.detach()
+
+    @given(rows, edits)
+    @settings(max_examples=40, deadline=None)
+    def test_dirty_marks_cover_every_changed_tuple(self, data, steps):
+        """Dirtiness over-approximates: a changed tuple is queued for every
+        rule whose scope contains the changed attribute."""
+        relation = build_relation(data)
+        rules = derive_rules(CFDS, MDS)
+        index = ViolationIndex(relation, rules)
+        for idx in range(len(rules)):
+            index.pop_dirty_tids(idx) if idx in index._dirty_tids else index.pop_dirty_keys(idx)
+        touched = set()
+        for tid_raw, attr, value in steps:
+            t = relation.by_tid(tid_raw % len(relation))
+            if relation.set_value(t, attr, value):
+                touched.add((t.tid, attr))
+        for idx, rule in enumerate(rules):
+            if idx in index._dirty_keys:
+                continue  # group-granular; covered by coherence test
+            dirty = set(index.pop_dirty_tids(idx))
+            for tid, attr in touched:
+                if attr in rule.scope_attrs() and index.is_member(idx, tid):
+                    assert tid in dirty
+        index.detach()
+
+
+class TestDirtyQueues:
+    def test_pop_orders_by_tid_and_clears(self):
+        relation = build_relation([("k1", "a1", "b1", 0, 0, 0)] * 5)
+        rules = derive_rules(CFDS)
+        index = ViolationIndex(relation, rules)
+        index.mark_all_dirty()
+        first = index.pop_dirty_tids(2)  # const_kb is the only constant rule
+        assert first == sorted(first)
+        assert index.pop_dirty_tids(2) == []
+
+    def test_lhs_change_moves_tuple_between_partitions(self):
+        relation = build_relation(
+            [("k1", "a1", "b1", 0, 0, 0), ("k1", "a1", "b2", 0, 0, 0)]
+        )
+        rules = derive_rules([CFDS[0]])  # K -> A (variable)
+        index = ViolationIndex(relation, rules)
+        t = relation.by_tid(0)
+        relation.set_value(t, "K", "k9")
+        assert index.members(0, ("k9",)) == [0]
+        assert index.members(0, ("k1",)) == [1]
+        # Both the old and the new partition are queued.
+        assert set(index.pop_dirty_keys(0)) == {("k1",), ("k9",)}
+        index.check_consistency(relation)
+
+    def test_null_lhs_leaves_membership(self):
+        relation = build_relation([("k1", "a1", "b1", 0, 0, 0)])
+        rules = derive_rules([CFDS[0]])
+        index = ViolationIndex(relation, rules)
+        relation.set_value(relation.by_tid(0), "K", NULL)
+        assert not index.is_member(0, 0)
+        index.check_consistency(relation)
+
+
+class TestEngineEquivalence:
+    """Invariant 2: indexed and legacy engines emit identical fix logs."""
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_crepair_logs_identical(self, data):
+        master = build_master()
+        runs = []
+        for flag in (True, False):
+            result = crepair(
+                build_relation(data), CFDS, MDS, master=master,
+                eta=0.8, use_violation_index=flag,
+            )
+            runs.append(result)
+        assert fingerprint(runs[0].fix_log) == fingerprint(runs[1].fix_log)
+        assert not runs[0].relation.diff(runs[1].relation)
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_erepair_logs_identical(self, data):
+        master = build_master()
+        runs = []
+        for flag in (True, False):
+            result = erepair(
+                build_relation(data), CFDS, MDS, master=master,
+                delta2=0.9, use_violation_index=flag,
+            )
+            runs.append(result)
+        assert fingerprint(runs[0].fix_log) == fingerprint(runs[1].fix_log)
+        assert not runs[0].relation.diff(runs[1].relation)
+
+    @given(rows)
+    @settings(max_examples=60, deadline=None)
+    def test_hrepair_logs_identical(self, data):
+        master = build_master()
+        runs = []
+        for flag in (True, False):
+            result = hrepair(
+                build_relation(data), CFDS, MDS, master=master,
+                use_violation_index=flag,
+            )
+            runs.append(result)
+        assert fingerprint(runs[0].fix_log) == fingerprint(runs[1].fix_log)
+        assert not runs[0].relation.diff(runs[1].relation)
+        assert is_clean(runs[0].relation, CFDS, MDS, master)
+
+    @given(rows)
+    @settings(max_examples=40, deadline=None)
+    def test_indexed_clean_check_agrees_with_legacy(self, data):
+        relation = build_relation(data)
+        master = build_master()
+        assert relation_is_clean(relation, CFDS, MDS, master) == is_clean(
+            relation, CFDS, MDS, master
+        )
+
+
+class TestObserverHygiene:
+    def test_phases_leave_no_observers_attached(self):
+        relation = build_relation([("k1", "a1", "b1", 0, 0, 0)] * 3)
+        master = build_master()
+        crepair(relation, CFDS, MDS, master=master, in_place=True)
+        erepair(relation, CFDS, MDS, master=master, in_place=True)
+        hrepair(relation, CFDS, MDS, master=master, in_place=True)
+        assert relation._observers == []
