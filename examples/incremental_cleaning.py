@@ -1,0 +1,65 @@
+"""Incremental cleaning: a session over evolving hospital data.
+
+The one-shot pipeline pays the full build cost on every ``clean()``.
+A :class:`~repro.pipeline.CleaningSession` binds rules and master data
+once, keeps every shared structure alive (master-side blocking indexes,
+the MD match cache, the LHS-keyed group stores), and re-cleans under
+micro-batches of edits with :meth:`apply` — exactly matching a
+from-scratch clean of the edited data, at a fraction of the cost.
+
+Run:  PYTHONPATH=src python examples/incremental_cleaning.py
+"""
+
+import random
+import time
+
+from repro.core import UniClean, UniCleanConfig
+from repro.datasets.hosp import generate_hosp
+from repro.pipeline import Changeset, CleaningSession
+
+# A HOSP benchmark instance: dirty data + master records + rules.
+ds = generate_hosp(size=480, master_size=240, noise_rate=0.06, seed=7)
+config = UniCleanConfig(eta=1.0)
+
+session = CleaningSession(cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config)
+
+started = time.perf_counter()
+initial = session.clean(ds.dirty)
+print(f"initial clean:   {initial.summary()}")
+print(f"                 wall {time.perf_counter() - started:.3f}s")
+
+# A stream of micro-batches: catalog corrections to measure fields.
+rng = random.Random(42)
+tids = list(session.base.tids())
+for batch in range(3):
+    delta = Changeset()
+    for _ in range(10):
+        attr = rng.choice(["measure_name", "condition"])
+        donor = session.base.by_tid(rng.choice(tids))
+        delta.edit(rng.choice(tids), attr, donor[attr])
+
+    started = time.perf_counter()
+    out = session.apply(delta)
+    apply_s = time.perf_counter() - started
+
+    # The gold standard: a cold, from-scratch clean of the edited base.
+    started = time.perf_counter()
+    reference = UniClean(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config
+    ).clean(session.base)
+    full_s = time.perf_counter() - started
+
+    identical = all(
+        out.repaired.by_tid(t.tid)[a] == t[a]
+        for t in reference.repaired
+        for a in reference.repaired.schema.names
+    )
+    mode = "full re-clean" if out.full_reclean else "scoped replay"
+    print(
+        f"batch {batch}: {mode}, affected {out.affected} tuples / "
+        f"{out.affected_cells} cells; apply {apply_s:.3f}s vs "
+        f"from-scratch {full_s:.3f}s ({full_s / apply_s:.1f}x); "
+        f"state identical: {identical}"
+    )
+
+print(f"final state satisfies the rules: {session.is_clean()}")

@@ -55,3 +55,10 @@ try:  # pragma: no cover - trivial re-export
     __all__ += ["UniClean", "UniCleanConfig", "CleaningResult"]
 except ImportError:
     pass
+
+try:  # pragma: no cover - trivial re-export
+    from repro.pipeline import ApplyResult, Changeset, CleaningSession  # noqa: F401
+
+    __all__ += ["ApplyResult", "Changeset", "CleaningSession"]
+except ImportError:
+    pass

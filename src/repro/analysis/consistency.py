@@ -25,17 +25,11 @@ Single-tuple semantics (what the checker enforces on ``{t}``):
 
 from __future__ import annotations
 
-from itertools import product
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.constraints.cfd import CFD, Violation, is_wildcard
+from repro.constraints.cfd import CFD, Violation
 from repro.constraints.md import MD
-from repro.constraints.rules import (
-    ConstantCFDRule,
-    MDRule,
-    VariableCFDRule,
-    derive_rules,
-)
+from repro.constraints.rules import ConstantCFDRule, derive_rules
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -50,48 +44,111 @@ def relation_violations(
     relation: Relation,
     cfds: Sequence[CFD],
     violation_index: Optional[Any] = None,
+    null_semantics: str = "tolerant",
+    only_tids: Optional[Any] = None,
 ) -> List[Violation]:
-    """CFD violations of *relation* under the null-tolerant semantics of
-    Section 7, computed from LHS partitions.
+    """CFD violations of *relation*, computed from LHS partitions.
 
     A single pass builds (or reuses) the per-rule partitions of a
     :class:`~repro.indexing.violation_index.ViolationIndex`; each
     constant-CFD member is checked against the pattern constant and each
-    variable-CFD partition for conflicting non-null RHS values.  With a
+    variable-CFD partition for conflicting RHS values.  With a
     maintained index this avoids any relation rescan; built fresh it
     still replaces the per-CFD scans of the legacy checks with one scan
     for all rules.  Violations are reported in rule order, then ascending
     tid / first-encounter partition order (deterministic).
+
+    ``null_semantics`` selects how nulls count:
+
+    * ``"tolerant"`` (default) — Section 7 repair semantics: a null
+      never witnesses a violation (used by the satisfaction checks);
+    * ``"strict"`` — the classic ``D ⊨ φ`` semantics of
+      :meth:`repro.constraints.cfd.CFD.violations`: a null RHS fails the
+      pattern match (single-tuple violation) and nulls participate in
+      pair comparisons.  Output order and content match the brute-force
+      scan exactly.
+
+    ``only_tids`` restricts the check to the given tuples and the
+    partitions containing them — the delta-verification mode of
+    :class:`~repro.pipeline.session.CleaningSession`, sound when every
+    tuple outside the set is known to satisfy the rules already.
     """
     from repro.indexing.violation_index import ViolationIndex
 
+    if null_semantics not in ("tolerant", "strict"):
+        raise ValueError(f"unknown null_semantics {null_semantics!r}")
+    strict = null_semantics == "strict"
     rules = [r for cfd in cfds for r in derive_rules([cfd])]
     index = violation_index
     if index is None:
         index = ViolationIndex(relation, rules, attach=False)
+        positions = list(range(len(rules)))
     else:
-        # Dirty/partition state is keyed by rule position, so a supplied
-        # index must cover exactly these CFD-derived rules in this order
-        # (phase indexes are built over interleaved/reordered CFD+MD rule
-        # lists and would silently misalign).
-        supplied = [(type(r).__name__, r.name) for r in index.rules]
-        expected = [(type(r).__name__, r.name) for r in rules]
-        if supplied != expected:
-            raise ValueError(
-                "violation_index was built over a different rule list; "
-                f"expected {expected}, got {supplied}"
-            )
+        # Partition state is keyed by rule position, so map each expected
+        # rule onto the supplied index's position by rule kind and the
+        # underlying CFD itself (CFD equality is pattern-aware — names
+        # are not unique: two distinct pattern rows of one tableau share
+        # the default name).  A superset index (e.g. a session's check
+        # index over the full rule set) is fine; a missing rule is an
+        # error.  Equal CFDs map to one position, which is correct: they
+        # share the same partitions.
+        by_key = {}
+        for i, r in enumerate(index.rules):
+            indexed_cfd = getattr(r, "cfd", None)
+            if indexed_cfd is not None:
+                by_key[(type(r).__name__, indexed_cfd)] = i
+        positions = []
+        for rule in rules:
+            key = (type(rule).__name__, rule.cfd)
+            if key not in by_key:
+                raise ValueError(
+                    f"violation_index does not cover rule {rule.name!r}; "
+                    "it was built over a different rule list"
+                )
+            positions.append(by_key[key])
+    only = set(only_tids) if only_tids is not None else None
     out: List[Violation] = []
-    for idx, rule in enumerate(rules):
+    for rule, idx in zip(rules, positions):
         rhs = rule.rhs_attr()
-        if isinstance(rule, ConstantCFDRule):
+        is_constant = isinstance(rule, ConstantCFDRule)
+
+        def rule_member_tids(idx=idx):
+            if only is None:
+                return index.member_tids(idx)
+            return sorted(tid for tid in only if index.is_member(idx, tid))
+
+        def rule_groups(idx=idx):
+            if only is None:
+                yield from index.iter_groups(idx)
+            else:
+                yield from index.groups_of_tids(idx, only)
+
+        if strict:
+            # Single-tuple check ``t[Y] ≍ tp[Y]``: fails on a mismatched
+            # constant and on null (nulls never match, wildcard included).
+            constant = rule.cfd.rhs_constant if is_constant else None
+            for tid in rule_member_tids():
+                value = relation.by_tid(tid)[rhs]
+                if is_null(value) or (is_constant and value != constant):
+                    out.append(Violation(rule.cfd, (tid,), rhs))
+            # Pair check among tuples agreeing on X — constant CFDs
+            # included, exactly as the brute-force scan does.
+            for _key, tids in rule_groups():
+                seen: Dict[Any, int] = {}
+                for tid in tids:
+                    value = relation.by_tid(tid)[rhs]
+                    for other_value, witness in seen.items():
+                        if other_value != value:
+                            out.append(Violation(rule.cfd, (witness, tid), rhs))
+                    seen.setdefault(value, tid)
+        elif is_constant:
             constant = rule.cfd.rhs_constant
-            for tid in index.member_tids(idx):
+            for tid in rule_member_tids():
                 value = relation.by_tid(tid)[rhs]
                 if not is_null(value) and value != constant:
                     out.append(Violation(rule.cfd, (tid,), rhs))
         else:
-            for _key, tids in index.iter_groups(idx):
+            for _key, tids in rule_groups():
                 seen: Dict[Any, int] = {}
                 for tid in tids:
                     value = relation.by_tid(tid)[rhs]
@@ -111,6 +168,7 @@ def relation_is_clean(
     master: Optional[Relation] = None,
     violation_index: Optional[Any] = None,
     md_indexes: Optional[Mapping[str, Any]] = None,
+    only_tids: Optional[Any] = None,
 ) -> bool:
     """Whether ``D ⊨ Σ`` and ``(D, Dm) ⊨ Γ`` (null-tolerant, Section 7).
 
@@ -122,7 +180,9 @@ def relation_is_clean(
     """
     from repro.indexing.blocking import MDBlockingIndex
 
-    if cfds and relation_violations(relation, cfds, violation_index):
+    if cfds and relation_violations(
+        relation, cfds, violation_index, only_tids=only_tids
+    ):
         return False
     if master is not None:
         shared = md_indexes or {}
@@ -138,7 +198,16 @@ def relation_is_clean(
                     bindex = MDBlockingIndex(
                         normalized, master, use_suffix_tree=False
                     )
-                for t in relation:
+                data_side = (
+                    relation
+                    if only_tids is None
+                    else [
+                        relation.by_tid(tid)
+                        for tid in only_tids
+                        if relation.has_tid(tid)
+                    ]
+                )
+                for t in data_side:
                     if is_null(t[rhs]):
                         continue  # null counts as identified (Section 7)
                     for s in bindex.cached_matches(t):

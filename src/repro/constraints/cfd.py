@@ -264,13 +264,32 @@ class CFD:
         """``D ⊨ φ``: the pairwise CFD semantics of Section 2.1."""
         return not self._find_violations(relation, first_only=True)
 
-    def violations(self, relation: Relation) -> List[Violation]:
+    def violations(
+        self, relation: Relation, violation_index: Optional[Any] = None
+    ) -> List[Violation]:
         """All violations of this CFD in *relation*.
 
         Single-tuple violations are reported for constant-pattern RHS
         attributes; pair violations for wildcard RHS attributes.  Pair
         violations are reported once per (unordered) pair and attribute.
+
+        When *violation_index* is given (a maintained
+        :class:`~repro.indexing.violation_index.ViolationIndex` covering
+        this CFD's derived rule — e.g. a
+        :class:`~repro.pipeline.session.CleaningSession`'s check index),
+        the scan is routed through
+        :func:`repro.analysis.consistency.relation_violations` over the
+        index's LHS partitions instead of rescanning the relation —
+        identical output (strict null semantics, same order), without
+        the O(|D|) pass per call.  Index-free callers keep the
+        brute-force path.
         """
+        if violation_index is not None and self.is_normalized:
+            from repro.analysis.consistency import relation_violations
+
+            return relation_violations(
+                relation, [self], violation_index, null_semantics="strict"
+            )
         return self._find_violations(relation, first_only=False)
 
     def _find_violations(self, relation: Relation, first_only: bool) -> List[Violation]:

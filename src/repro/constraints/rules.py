@@ -113,10 +113,16 @@ class CleaningRule:
         return self.lhs_attrs()
 
     def scope_attrs(self) -> Tuple[str, ...]:
-        """All data attributes whose change can affect this rule."""
-        out = dict.fromkeys(self.lhs_attrs())
-        out[self.rhs_attr()] = None
-        return tuple(out)
+        """All data attributes whose change can affect this rule.
+
+        Cached per instance — the hot paths of the indexed engine call
+        this once per cell event."""
+        cached = getattr(self, "_scope_cache", None)
+        if cached is None:
+            out = dict.fromkeys(self.lhs_attrs())
+            out[self.rhs_attr()] = None
+            cached = self._scope_cache = tuple(out)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
@@ -134,19 +140,22 @@ class MDRule(CleaningRule):
                 f"MDRule requires a normalized MD; got {md.name} with |RHS|={len(md.rhs)}"
             )
         self.md = normalized[0]
+        self._lhs = self.md.lhs_attrs()
+        self._rhs = self.md.rhs_pair[0]
+        self._keys = self.md.blocking_key_attrs()
 
     @property
     def name(self) -> str:
         return self.md.name
 
     def lhs_attrs(self) -> Tuple[str, ...]:
-        return self.md.lhs_attrs()
+        return self._lhs
 
     def rhs_attr(self) -> str:
-        return self.md.rhs_pair[0]
+        return self._rhs
 
     def key_attrs(self) -> Tuple[str, ...]:
-        return self.md.blocking_key_attrs()
+        return self._keys
 
     def applies(self, t: CTuple, s: CTuple) -> bool:
         """Whether master tuple *s* can be applied to *t*: premise holds
@@ -214,6 +223,7 @@ class ConstantCFDRule(CleaningRule):
         if not cfd.is_constant:
             raise ConstraintError(f"{cfd.name} is not a normalized constant CFD")
         self.cfd = cfd
+        self._rhs = cfd.rhs_attr
 
     @property
     def name(self) -> str:
@@ -223,7 +233,7 @@ class ConstantCFDRule(CleaningRule):
         return self.cfd.lhs
 
     def rhs_attr(self) -> str:
-        return self.cfd.rhs_attr
+        return self._rhs
 
     def applies(self, t: CTuple) -> bool:
         """Whether ``t[X] ≍ tp[X]`` and ``t[A] ≠ tp[A]``."""
@@ -269,6 +279,7 @@ class VariableCFDRule(CleaningRule):
         if not cfd.is_variable:
             raise ConstraintError(f"{cfd.name} is not a normalized variable CFD")
         self.cfd = cfd
+        self._rhs = cfd.rhs_attr
 
     @property
     def name(self) -> str:
@@ -278,7 +289,7 @@ class VariableCFDRule(CleaningRule):
         return self.cfd.lhs
 
     def rhs_attr(self) -> str:
-        return self.cfd.rhs_attr
+        return self._rhs
 
     def applies(self, target: CTuple, donor: CTuple) -> bool:
         """Whether *donor* (t2) can be applied to *target* (t1).

@@ -44,6 +44,7 @@ from repro.constraints.rules import (
 )
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.indexing.blocking import MDBlockingIndex
+from repro.indexing.group_store import GroupStoreRegistry
 from repro.indexing.violation_index import ViolationIndex
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
@@ -69,6 +70,10 @@ class CRepairResult:
     deterministic_fixes: int = 0
     confirmed_cells: int = 0
     rules_fired: int = 0
+    #: Scoped (delta-driven) runs only: cells of out-of-scope tuples that
+    #: a group-value provision would deterministically fix — the scope
+    #: was too small and the session must replay with them included.
+    escaped_cells: Set[Tuple[int, str]] = field(default_factory=set)
 
     @property
     def fixed_cells(self) -> Set[Tuple[int, str]]:
@@ -90,12 +95,19 @@ class _CRepair:
         use_suffix_tree: bool,
         use_violation_index: bool = True,
         shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
+        registry: Optional["GroupStoreRegistry"] = None,
+        scope_tids: Optional[Sequence[int]] = None,
     ):
         self.relation = relation
         self.rules = list(rules)
         self.eta = eta
         self.fix_log = fix_log
         self.master = master
+        self.scope_tids = scope_tids
+        self.scope_set: Optional[Set[int]] = (
+            set(scope_tids) if scope_tids is not None else None
+        )
+        self.escaped: Set[Tuple[int, str]] = set()
         self.result_fixes = 0
         self.confirmed = 0
         self.fired = 0
@@ -126,7 +138,9 @@ class _CRepair:
         # worklist-driven and never drains dirty queues, so the index runs
         # in membership_only mode (no MD partitions, no dirty buildup).
         self.vindex: Optional[ViolationIndex] = (
-            ViolationIndex(relation, self.rules, membership_only=True)
+            ViolationIndex(
+                relation, self.rules, membership_only=True, registry=registry
+            )
             if use_violation_index
             else None
         )
@@ -244,6 +258,13 @@ class _CRepair:
                         continue
                     self.pending[other.tid].discard(rule_idx)  # type: ignore[index]
                     self._apply_fix(other, rhs, entry.val, rule.name, t.tid or -1)
+                # Scoped (delta-driven) run: the waiting list only holds
+                # armed in-scope tuples, but the provision would also fix
+                # any premise-asserted group-mate outside the scope whose
+                # target disagrees — a full run arms those too.  Flag
+                # them so the session replays with a larger scope.
+                if self.scope_set is not None:
+                    self._check_provision_escapes(rule, rule_idx, t, entry.val)
             # A second asserted value conflicting with val would contradict
             # correct confidences (Section 5.1); it is left untouched here.
             return
@@ -255,6 +276,30 @@ class _CRepair:
                 entry.waiting.append(t)
                 entry.waiting_tids.add(t.tid)  # type: ignore[arg-type]
                 self.pending[t.tid].add(rule_idx)  # type: ignore[index]
+
+    def _check_provision_escapes(
+        self, rule: VariableCFDRule, rule_idx: int, provider: CTuple, val: Any
+    ) -> None:
+        """Collect out-of-scope cells a full run would deterministically fix
+        with the group value *val* just provided by *provider*."""
+        if self.vindex is None or self.scope_set is None:
+            return
+        store = self.vindex._cfd_parts.get(rule_idx)
+        if store is None:
+            return
+        key = store.key_of.get(provider.tid)
+        if key is None:
+            return
+        rhs = rule.rhs_attr()
+        lhs = rule.lhs_attrs()
+        for mate_tid in store.groups[key].tids:
+            if mate_tid in self.scope_set:
+                continue
+            mate = self.relation.by_tid(mate_tid)
+            if mate[rhs] == val or self._asserted(mate, rhs):
+                continue
+            if all(self._asserted(mate, attr) for attr in lhs):
+                self.escaped.add((mate_tid, rhs))
 
     def ccfd_infer(self, t: CTuple, rule_idx: int) -> None:
         rule = self.rules[rule_idx]
@@ -289,12 +334,19 @@ class _CRepair:
             relevant_attrs.update(rule.lhs_attrs())
             relevant_attrs.add(rule.rhs_attr())
         # Initialization (lines 1–6): propagate already-asserted attributes
-        # and arm premise-free rules.
+        # and arm premise-free rules.  A scoped (delta-driven) run arms
+        # only the dirty tuples — sound because the session's influence
+        # closure guarantees every tuple a scoped tuple can interact with
+        # (same variable-CFD group at any point) is itself in scope.
+        scope = (
+            self.scope_tids if self.scope_tids is not None else self.relation.tids()
+        )
         for idx, rule in enumerate(self.rules):
             if not rule.lhs_attrs():
-                for tid in self.relation.tids():
+                for tid in scope:
                     self._push(tid, idx)
-        for t in self.relation:
+        for tid in scope:
+            t = self.relation.by_tid(tid)
             for attr in relevant_attrs:
                 if self._asserted(t, attr):
                     self.update(t, attr)
@@ -325,6 +377,8 @@ def crepair(
     in_place: bool = False,
     use_violation_index: bool = True,
     md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
+    registry: Optional[GroupStoreRegistry] = None,
+    scope_tids: Optional[Sequence[int]] = None,
 ) -> CRepairResult:
     """Find all deterministic fixes in *relation* (Theorem 5.1).
 
@@ -354,6 +408,17 @@ def crepair(
     md_indexes:
         Optional pre-built blocking indexes (rule name →
         :class:`MDBlockingIndex`) shared across pipeline phases.
+    registry:
+        Optional session-owned
+        :class:`~repro.indexing.group_store.GroupStoreRegistry`; its
+        prebuilt shared group stores back the violation index instead of
+        a fresh relation scan.
+    scope_tids:
+        When given (a sorted tid sequence), restrict the run to these
+        tuples — the delta-driven mode of
+        :class:`~repro.pipeline.session.CleaningSession`.  Requires the
+        caller to pass an influence-closed scope; arbitrary subsets do
+        not reproduce full-run fixes.
 
     Returns
     -------
@@ -373,6 +438,8 @@ def crepair(
         use_suffix_tree=use_suffix_tree,
         use_violation_index=use_violation_index,
         shared_md_indexes=md_indexes,
+        registry=registry,
+        scope_tids=scope_tids,
     )
     try:
         state.run()
@@ -384,4 +451,5 @@ def crepair(
         deterministic_fixes=state.result_fixes,
         confirmed_cells=state.confirmed,
         rules_fired=state.fired,
+        escaped_cells=state.escaped,
     )

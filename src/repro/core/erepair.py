@@ -40,6 +40,7 @@ from repro.constraints.rules import (
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.indexing.blocking import MDBlockingIndex
 from repro.indexing.entropy_index import EntropyIndex
+from repro.indexing.group_store import GroupStoreRegistry
 from repro.indexing.violation_index import ViolationIndex
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
@@ -69,6 +70,9 @@ class _ERepair:
         use_suffix_tree: bool,
         use_violation_index: bool = True,
         shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
+        registry: Optional[GroupStoreRegistry] = None,
+        scope_tids: Optional[Sequence[int]] = None,
+        scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
     ):
         self.relation = relation
         self.master = master
@@ -76,13 +80,18 @@ class _ERepair:
         self.delta2 = delta2
         self.protected = protected
         self.fix_log = fix_log
+        self.scope_tids = scope_tids
+        self.scope_cells = scope_cells
         self.change_count: Dict[Tuple[int, str], int] = {}
         self.fixes_made = 0
         self.rounds = 0
         self._top_l = top_l
         self._use_suffix_tree = use_suffix_tree
         self._use_violation_index = use_violation_index
+        self._registry = registry
         self._shared_md_indexes = dict(shared_md_indexes or {})
+        if scope_tids is not None and not use_violation_index:
+            raise ValueError("scoped (delta-driven) runs require the violation index")
         self.rules: List[AnyRule] = []
         self.entropy_indexes: List[EntropyIndex] = []
         self.md_indexes: Dict[int, MDBlockingIndex] = {}
@@ -104,7 +113,15 @@ class _ERepair:
         self.md_indexes = {}
         for idx, rule in enumerate(self.rules):
             if isinstance(rule, VariableCFDRule):
-                self.entropy_indexes.append(EntropyIndex(rule.cfd, self.relation))
+                if self._registry is not None:
+                    # Shared store: the entropy stats ride the grouping the
+                    # registry already maintains — the view only carries
+                    # the AVL, and no extra relation observer is needed.
+                    self.entropy_indexes.append(
+                        EntropyIndex(rule.cfd, store=self._registry.cfd_store(rule.cfd))
+                    )
+                else:
+                    self.entropy_indexes.append(EntropyIndex(rule.cfd, self.relation))
             elif isinstance(rule, MDRule):
                 if self.master is None:
                     raise ValueError(
@@ -128,19 +145,22 @@ class _ERepair:
         # The indexed rule engine: dirty-partition work queues so each
         # round only revisits tuples touched since the rule last ran.
         self.vindex = (
-            ViolationIndex(self.relation, self.rules)
+            ViolationIndex(self.relation, self.rules, registry=self._registry)
             if self._use_violation_index
             else None
         )
-        for entropy_index in self.entropy_indexes:
-            self.relation.add_observer(entropy_index.on_cell_changed)
+        if self._registry is None:
+            for entropy_index in self.entropy_indexes:
+                self.relation.add_observer(entropy_index.on_cell_changed)
 
     def close(self) -> None:
         """Detach all observers from the relation (idempotent)."""
         if self.vindex is not None:
             self.vindex.detach()
         for entropy_index in self.entropy_indexes:
-            self.relation.remove_observer(entropy_index.on_cell_changed)
+            if self._registry is None:
+                self.relation.remove_observer(entropy_index.on_cell_changed)
+            entropy_index.detach()
 
     # ------------------------------------------------------------------
     # Cell mutation with index maintenance and bookkeeping
@@ -269,7 +289,8 @@ class _ERepair:
     # ------------------------------------------------------------------
     def run(self) -> None:
         if self.vindex is not None:
-            self.vindex.mark_all_dirty()  # round 1 examines everything
+            # Round 1: the delta scope when given, everything otherwise.
+            self.vindex.seed_dirty(self.scope_cells, self.scope_tids)
         while True:
             self.rounds += 1
             changed = False
@@ -298,6 +319,9 @@ def erepair(
     in_place: bool = False,
     use_violation_index: bool = True,
     md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
+    registry: Optional[GroupStoreRegistry] = None,
+    scope_tids: Optional[Sequence[int]] = None,
+    scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
 ) -> ERepairResult:
     """Find reliable (entropy-based) fixes in *relation* (Section 6).
 
@@ -322,6 +346,16 @@ def erepair(
         Optional pre-built blocking indexes (rule name →
         :class:`MDBlockingIndex`), shared across phases by the pipeline
         so master-side structures are built once.
+    registry:
+        Optional session-owned
+        :class:`~repro.indexing.group_store.GroupStoreRegistry`; shared
+        group stores back both the violation index and the entropy
+        indexes (one observer traversal per cell change for both).
+    scope_tids:
+        When given, seed round 1 with only these tuples instead of the
+        whole relation — the delta-driven mode of
+        :class:`~repro.pipeline.session.CleaningSession`.  The scope must
+        be influence-closed; requires the violation index.
     """
     working = relation if in_place else relation.clone()
     log = fix_log if fix_log is not None else FixLog()
@@ -338,6 +372,9 @@ def erepair(
         use_suffix_tree=use_suffix_tree,
         use_violation_index=use_violation_index,
         shared_md_indexes=md_indexes,
+        registry=registry,
+        scope_tids=scope_tids,
+        scope_cells=scope_cells,
     )
     try:
         state.run()

@@ -95,6 +95,30 @@ class FixLog:
         """Record many rule applications under one accuracy class."""
         return [self.record(Fix.from_application(kind, app)) for app in applications]
 
+    def without_tids(self, tids: Set[int]) -> "FixLog":
+        """A new log with every fix touching one of *tids* removed.
+
+        Used by :class:`~repro.pipeline.session.CleaningSession` when a
+        changeset invalidates the history of the affected tuples: their
+        fixes are replayed from scratch, everyone else's survive.  Order
+        of the surviving fixes is preserved.
+        """
+        pruned = FixLog()
+        for fix in self._fixes:
+            if fix.tid not in tids:
+                pruned.record(fix)
+        return pruned
+
+    def without_cells(self, cells: Set[Tuple[int, str]]) -> "FixLog":
+        """A new log with every fix to one of *cells* removed (the
+        cell-granular counterpart of :meth:`without_tids`, used when a
+        delta replay re-derives individual perturbed cells)."""
+        pruned = FixLog()
+        for fix in self._fixes:
+            if fix.cell not in cells:
+                pruned.record(fix)
+        return pruned
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -52,6 +52,7 @@ from repro.constraints.rules import (
 from repro.core.cost import cell_cost
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.indexing.blocking import MDBlockingIndex
+from repro.indexing.group_store import GroupStoreRegistry
 from repro.indexing.violation_index import ViolationIndex
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
@@ -126,6 +127,9 @@ class _HRepair:
         max_rounds: int,
         use_violation_index: bool = True,
         shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
+        registry: Optional[GroupStoreRegistry] = None,
+        scope_tids: Optional[Sequence[int]] = None,
+        scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
     ):
         self.relation = relation
         self.rules = list(rules)
@@ -133,6 +137,10 @@ class _HRepair:
         self.protected = protected
         self.fix_log = fix_log
         self.max_rounds = max_rounds
+        self.scope_tids = scope_tids
+        self.scope_cells = scope_cells
+        if scope_tids is not None and not use_violation_index:
+            raise ValueError("scoped (delta-driven) runs require the violation index")
         self.uf = _UnionFind()
         self.targets: Dict[Cell, Tuple] = {}  # root -> target
         self.fixes_made = 0
@@ -154,7 +162,9 @@ class _HRepair:
                 )
 
         self.vindex: Optional[ViolationIndex] = (
-            ViolationIndex(relation, self.rules) if use_violation_index else None
+            ViolationIndex(relation, self.rules, registry=registry)
+            if use_violation_index
+            else None
         )
 
         # Freeze classes of protected (deterministic) cells at their value.
@@ -494,7 +504,8 @@ class _HRepair:
     # ------------------------------------------------------------------
     def run(self) -> None:
         if self.vindex is not None:
-            self.vindex.mark_all_dirty()  # round 1 examines everything
+            # Round 1: the delta scope when given, everything otherwise.
+            self.vindex.seed_dirty(self.scope_cells, self.scope_tids)
         while self.rounds < self.max_rounds:
             self.rounds += 1
             changed = False
@@ -603,6 +614,9 @@ def hrepair(
     max_rounds: int = 100,
     use_violation_index: bool = True,
     md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
+    registry: Optional[GroupStoreRegistry] = None,
+    scope_tids: Optional[Sequence[int]] = None,
+    scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
 ) -> HRepairResult:
     """Produce a consistent repair with heuristic *possible* fixes.
 
@@ -613,7 +627,10 @@ def hrepair(
     ``use_violation_index=False`` selects the legacy full-rescan baseline
     (byte-identical fix logs, asymptotically slower); *md_indexes* lets
     the pipeline share pre-built master-side blocking indexes by rule
-    name.
+    name.  *registry* supplies session-owned shared group stores;
+    *scope_tids* restricts round 1 to an influence-closed dirty scope
+    (the delta-driven mode of
+    :class:`~repro.pipeline.session.CleaningSession`).
     """
     working = relation if in_place else relation.clone()
     log = fix_log if fix_log is not None else FixLog()
@@ -629,6 +646,9 @@ def hrepair(
         max_rounds=max_rounds,
         use_violation_index=use_violation_index,
         shared_md_indexes=md_indexes,
+        registry=registry,
+        scope_tids=scope_tids,
+        scope_cells=scope_cells,
     )
     try:
         state.run()

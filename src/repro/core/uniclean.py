@@ -17,19 +17,16 @@ three algorithms consecutively:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence
 
-from repro.analysis.consistency import assert_consistent, relation_is_clean
+from repro.analysis.consistency import assert_consistent
 from repro.constraints.cfd import CFD
 from repro.constraints.md import MD, NegativeMD, embed_negative
-from repro.core.cost import repair_cost
-from repro.core.crepair import CRepairResult, crepair
-from repro.core.erepair import ERepairResult, erepair
+from repro.core.crepair import CRepairResult
+from repro.core.erepair import ERepairResult
 from repro.core.fixes import FixKind, FixLog
-from repro.core.hrepair import HRepairResult, hrepair
-from repro.indexing.blocking import build_md_indexes
+from repro.core.hrepair import HRepairResult
 from repro.relational.relation import Relation
 
 
@@ -158,6 +155,10 @@ class UniClean:
         if self.config.check_consistency and self.cfds:
             schema = self.cfds[0].schema
             assert_consistent(schema, self.cfds, self.mds, master)
+        # Master data is immutable, so the (expensive) master-side blocking
+        # indexes — match cache included — persist across clean() calls for
+        # repeated cleaning of evolving data against the same master.
+        self._md_indexes: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -165,94 +166,23 @@ class UniClean:
     def clean(self, relation: Relation) -> CleaningResult:
         """Run the configured phases on *relation* and return the repair.
 
-        The input relation is never modified.
+        The input relation is never modified.  Each call runs a throwaway
+        :class:`~repro.pipeline.session.CleaningSession` — the one-shot
+        batch pipeline is the degenerate case of the persistent engine —
+        sharing this instance's master-side blocking indexes.  Callers
+        that clean *evolving* data should hold a session directly and use
+        its delta-driven ``apply``.
         """
-        config = self.config
-        working = relation.clone()
-        log = FixLog()
-        timings: Dict[str, float] = {}
-        c_result: Optional[CRepairResult] = None
-        e_result: Optional[ERepairResult] = None
-        h_result: Optional[HRepairResult] = None
+        from repro.pipeline.session import CleaningSession
 
-        # Master data is immutable during cleaning, so the (expensive)
-        # master-side blocking indexes are built once and shared by every
-        # phase and the final satisfaction check.
-        md_indexes = (
-            build_md_indexes(
-                self.mds,
-                self.master,
-                top_l=config.top_l,
-                use_suffix_tree=config.use_suffix_tree,
-            )
-            if self.mds and self.master is not None
-            else {}
+        session = CleaningSession.from_normalized(
+            cfds=self.cfds,
+            mds=self.mds,
+            master=self.master,
+            config=self.config,
+            md_indexes=self._md_indexes,
         )
-
-        if config.run_crepair:
-            started = time.perf_counter()
-            c_result = crepair(
-                working,
-                self.cfds,
-                self.mds,
-                master=self.master,
-                eta=config.eta,
-                fix_log=log,
-                top_l=config.top_l,
-                use_suffix_tree=config.use_suffix_tree,
-                in_place=True,
-                use_violation_index=config.use_violation_index,
-                md_indexes=md_indexes,
-            )
-            timings["crepair"] = time.perf_counter() - started
-
-        protected: Set[Tuple[int, str]] = log.deterministic_cells()
-
-        if config.run_erepair:
-            started = time.perf_counter()
-            e_result = erepair(
-                working,
-                self.cfds,
-                self.mds,
-                master=self.master,
-                delta1=config.delta1,
-                delta2=config.delta2,
-                protected=protected,
-                fix_log=log,
-                top_l=config.top_l,
-                use_suffix_tree=config.use_suffix_tree,
-                in_place=True,
-                use_violation_index=config.use_violation_index,
-                md_indexes=md_indexes,
-            )
-            timings["erepair"] = time.perf_counter() - started
-
-        if config.run_hrepair:
-            started = time.perf_counter()
-            h_result = hrepair(
-                working,
-                self.cfds,
-                self.mds,
-                master=self.master,
-                protected=protected,
-                fix_log=log,
-                top_l=config.top_l,
-                use_suffix_tree=config.use_suffix_tree,
-                in_place=True,
-                use_violation_index=config.use_violation_index,
-                md_indexes=md_indexes,
-            )
-            timings["hrepair"] = time.perf_counter() - started
-
-        return CleaningResult(
-            repaired=working,
-            fix_log=log,
-            crepair_result=c_result,
-            erepair_result=e_result,
-            hrepair_result=h_result,
-            cost=repair_cost(working, relation),
-            clean=relation_is_clean(
-                working, self.cfds, self.mds, self.master, md_indexes=md_indexes
-            ),
-            timings=timings,
-        )
+        try:
+            return session.clean(relation)
+        finally:
+            session.close()

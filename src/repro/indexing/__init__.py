@@ -7,6 +7,10 @@
   variable CFD (Section 6.3).
 * :class:`ExactIndex` / :class:`MDBlockingIndex` — equality and
   similarity blocking for MDs against master data.
+* :class:`CFDGroupStore` / :class:`MDGroupStore` /
+  :class:`GroupStoreRegistry` — shared LHS-keyed group stores: one
+  grouping per rule spec, fanned out to every consumer (the entropy
+  index and the violation index of the same CFD share one store).
 * :class:`ViolationIndex` — per-rule inverted partition indexes with
   dirty work queues, powering incremental violation detection across all
   three repair phases (see ``docs/architecture.md``).
@@ -15,16 +19,24 @@
 from repro.indexing.avl import AVLTree
 from repro.indexing.blocking import ExactIndex, MDBlockingIndex, build_md_indexes
 from repro.indexing.entropy_index import EntropyIndex, GroupStats, entropy_of_counts
+from repro.indexing.group_store import (
+    CFDGroupStore,
+    GroupStoreRegistry,
+    MDGroupStore,
+)
 from repro.indexing.suffix_tree import GeneralizedSuffixTree
 from repro.indexing.violation_index import CFDPartition, MDPartition, ViolationIndex
 
 __all__ = [
     "AVLTree",
+    "CFDGroupStore",
     "CFDPartition",
     "EntropyIndex",
     "ExactIndex",
     "GeneralizedSuffixTree",
     "GroupStats",
+    "GroupStoreRegistry",
+    "MDGroupStore",
     "MDPartition",
     "MDBlockingIndex",
     "ViolationIndex",

@@ -9,6 +9,19 @@ For a variable CFD ``φ = R(Y → B, tp)`` the structure keeps, per group
   ``(entropy, ȳ)``, giving O(log |T|) minimum-entropy retrieval and
   maintenance after each fix.
 
+The hash-table side now lives in a shared
+:class:`~repro.indexing.group_store.CFDGroupStore` — the same grouping
+the violation index partitions by — so a cell change walks the LHS
+grouping once for both consumers.  :class:`EntropyIndex` is the AVL
+*view* over that store:
+
+* **standalone** (``EntropyIndex(cfd, relation)``) it owns a private
+  store and exposes the classic mutator API (``add_tuple`` /
+  ``remove_tuple`` / ``update_cell`` / ``on_cell_changed``);
+* **shared** (``EntropyIndex(cfd, store=...)``) it registers as an entry
+  view on a registry-owned store and only *reads*; mutations arrive via
+  the registry's relation observer, and the mutator API raises.
+
 The entropy of φ for ``Y = ȳ`` (Section 6.1) is::
 
     H(φ|Y=ȳ) = Σ_{i=1}^{k} (cnt(ȳ, b_i) / |Δ(ȳ)|) · log_k(|Δ(ȳ)| / cnt(ȳ, b_i))
@@ -20,100 +33,21 @@ conflict-free group (k = 1) has entropy 0.
 
 from __future__ import annotations
 
-import math
-from collections import Counter
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.constraints.cfd import CFD
-from repro.exceptions import ConstraintError, DataError
+from repro.exceptions import ConstraintError
 from repro.indexing.avl import AVLTree
+from repro.indexing.group_store import (
+    CFDGroupStore,
+    GroupStats,
+    entropy_of_counts,
+    sort_key as _sort_key,
+)
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
 
-
-def entropy_of_counts(counts: Counter) -> float:
-    """Entropy of a value-count distribution, log base ``k`` (= #values).
-
-    Matches ``H(φ|Y=ȳ)`` of Section 6.1: 0 when all occurrences agree
-    (``k ≤ 1``), 1 when the ``k`` distinct values are equally frequent.
-
-    Examples
-    --------
-    >>> entropy_of_counts(Counter({"a": 4}))
-    0.0
-    >>> entropy_of_counts(Counter({"a": 2, "b": 2}))
-    1.0
-    >>> 0 < entropy_of_counts(Counter({"a": 3, "b": 1})) < 1
-    True
-    """
-    k = len(counts)
-    if k <= 1:
-        return 0.0
-    total = sum(counts.values())
-    if total <= 0:
-        return 0.0
-    log_k = math.log(k)
-    h = 0.0
-    # Summation over *sorted* counts keeps the float result independent of
-    # dictionary insertion order, so incrementally maintained indexes stay
-    # bit-identical to rebuilt ones.
-    for count in sorted(counts.values()):
-        if count <= 0:
-            continue
-        p = count / total
-        h += p * (math.log(1.0 / p) / log_k)
-    return h
-
-
-def _sort_key(value: Any) -> Tuple[str, str]:
-    """A deterministic, type-stable ordering key for arbitrary cell values."""
-    return (type(value).__name__, repr(value))
-
-
-class GroupStats:
-    """Statistics of one group ``Δ(ȳ)``: counts, tids, cached entropy."""
-
-    __slots__ = ("key", "value_counts", "tids", "_entropy")
-
-    def __init__(self, key: Tuple[Any, ...]):
-        self.key = key
-        self.value_counts: Counter = Counter()
-        self.tids: Set[int] = set()
-        self._entropy: Optional[float] = None
-
-    @property
-    def size(self) -> int:
-        """``|Δ(ȳ)|`` — the number of tuples in the group."""
-        return len(self.tids)
-
-    @property
-    def entropy(self) -> float:
-        """``H(φ|Y=ȳ)`` (cached; invalidated on mutation)."""
-        if self._entropy is None:
-            self._entropy = entropy_of_counts(self.value_counts)
-        return self._entropy
-
-    def majority(self) -> Tuple[Any, int]:
-        """The most frequent B value and its count (deterministic ties)."""
-        if not self.value_counts:
-            raise DataError("majority() of an empty group")
-        best_count = max(self.value_counts.values())
-        winners = [v for v, c in self.value_counts.items() if c == best_count]
-        winners.sort(key=_sort_key)
-        return winners[0], best_count
-
-    def distinct_values(self) -> int:
-        """``k = |π_B(Δ(ȳ))|``."""
-        return len(self.value_counts)
-
-    def _invalidate(self) -> None:
-        self._entropy = None
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"GroupStats({self.key!r}, n={self.size}, "
-            f"values={dict(self.value_counts)}, H={self.entropy:.3f})"
-        )
+__all__ = ["EntropyIndex", "GroupStats", "entropy_of_counts"]
 
 
 class EntropyIndex:
@@ -126,6 +60,11 @@ class EntropyIndex:
     relation:
         Optional relation to bulk-load (one scan, as in the paper:
         "initialization ... can be done by scanning the database D once").
+        Ignored when *store* is given (the store is already loaded).
+    store:
+        Optional shared :class:`CFDGroupStore` (from a
+        :class:`~repro.indexing.group_store.GroupStoreRegistry`) to view
+        instead of owning a private grouping.
 
     Notes
     -----
@@ -134,39 +73,63 @@ class EntropyIndex:
     them.
     """
 
-    def __init__(self, cfd: CFD, relation: Optional[Relation] = None):
+    def __init__(
+        self,
+        cfd: CFD,
+        relation: Optional[Relation] = None,
+        store: Optional[CFDGroupStore] = None,
+    ):
         if not cfd.is_variable:
             raise ConstraintError(f"{cfd.name} is not a normalized variable CFD")
         self.cfd = cfd
-        self._groups: Dict[Tuple[Any, ...], GroupStats] = {}
+        self._shared = store is not None
+        self._store = store if store is not None else CFDGroupStore(cfd)
         self._tree: AVLTree = AVLTree()
-        if relation is not None:
+        self._store.entry_views.append(self)
+        if self._shared:
+            self._rebuild_tree()
+        elif relation is not None:
             self.build(relation)
+
+    @property
+    def store(self) -> CFDGroupStore:
+        """The backing group store (shared or private)."""
+        return self._store
+
+    def detach(self) -> None:
+        """Stop viewing the backing store (idempotent).
+
+        Required for shared stores when the consuming phase finishes, so
+        the registry-owned store does not keep notifying a dead view.
+        """
+        try:
+            self._store.entry_views.remove(self)
+        except ValueError:
+            pass
+
+    def _require_private(self, op: str) -> None:
+        if self._shared:
+            raise RuntimeError(
+                f"EntropyIndex.{op} is unavailable on a shared group store: "
+                "mutations arrive via the registry's relation observer"
+            )
 
     # ------------------------------------------------------------------
     # Bulk construction
     # ------------------------------------------------------------------
     def build(self, relation: Relation) -> None:
         """(Re)build from *relation* in one scan."""
-        self._groups.clear()
+        self._require_private("build")
+        self._store.build(relation)
+        self._rebuild_tree()
+
+    def _rebuild_tree(self) -> None:
         self._tree = AVLTree()
-        lhs = self.cfd.lhs
-        rhs = self.cfd.rhs_attr
-        for t in relation:
-            if not self.cfd.lhs_matches(t):
-                continue
-            key = t.project(lhs)
-            group = self._groups.get(key)
-            if group is None:
-                group = self._groups[key] = GroupStats(key)
-            group.tids.add(t.tid)  # type: ignore[arg-type]
-            group.value_counts[t[rhs]] += 1
-            group._invalidate()
-        for group in self._groups.values():
+        for group in self._store.groups.values():
             self._tree_insert(group)
 
     # ------------------------------------------------------------------
-    # AVL maintenance
+    # AVL maintenance (entry-view hooks fired by the store)
     # ------------------------------------------------------------------
     def _tree_key(self, group: GroupStats) -> Tuple[float, Tuple]:
         return (group.entropy, tuple(_sort_key(v) for v in group.key))
@@ -179,43 +142,28 @@ class EntropyIndex:
         if group.entropy != 0.0:
             self._tree.delete(self._tree_key(group))
 
+    def group_will_change(self, group: GroupStats) -> None:
+        """Store hook: *group* is about to mutate — unslot it at its
+        current (pre-change) entropy."""
+        self._tree_remove(group)
+
+    def group_changed(self, group: GroupStats) -> None:
+        """Store hook: *group* mutated — re-slot it (dropped when empty)."""
+        if group.size:
+            self._tree_insert(group)
+
     # ------------------------------------------------------------------
-    # Incremental maintenance
+    # Incremental maintenance (standalone stores only)
     # ------------------------------------------------------------------
     def add_tuple(self, t: CTuple) -> None:
         """Register tuple *t* (no-op when its Y does not match the pattern)."""
-        if not self.cfd.lhs_matches(t):
-            return
-        key = t.project(self.cfd.lhs)
-        group = self._groups.get(key)
-        if group is None:
-            group = self._groups[key] = GroupStats(key)
-        else:
-            self._tree_remove(group)
-        group.tids.add(t.tid)  # type: ignore[arg-type]
-        group.value_counts[t[self.cfd.rhs_attr]] += 1
-        group._invalidate()
-        self._tree_insert(group)
+        self._require_private("add_tuple")
+        self._store.on_insert(t)
 
     def remove_tuple(self, t: CTuple) -> None:
         """Unregister tuple *t* using its *current* attribute values."""
-        if not self.cfd.lhs_matches(t):
-            return
-        key = t.project(self.cfd.lhs)
-        group = self._groups.get(key)
-        if group is None or t.tid not in group.tids:
-            return
-        self._tree_remove(group)
-        group.tids.discard(t.tid)  # type: ignore[arg-type]
-        value = t[self.cfd.rhs_attr]
-        group.value_counts[value] -= 1
-        if group.value_counts[value] <= 0:
-            del group.value_counts[value]
-        group._invalidate()
-        if group.size == 0:
-            del self._groups[key]
-        else:
-            self._tree_insert(group)
+        self._require_private("remove_tuple")
+        self._store.on_delete(t)
 
     def update_cell(self, t: CTuple, attr: str, new_value: Any) -> None:
         """Maintain the index across the assignment ``t[attr] := new_value``.
@@ -224,65 +172,54 @@ class EntropyIndex:
         needs the old values to locate the tuple's current group).  When
         *attr* is unrelated to this CFD the call is a no-op.
         """
-        related = attr == self.cfd.rhs_attr or attr in self.cfd.lhs
-        if not related:
+        self._require_private("update_cell")
+        if not self._store.relevant(attr):
             return
-        self.remove_tuple(t)
         old_value = t[attr]
+        if old_value == new_value:
+            return
         t[attr] = new_value
         try:
-            self.add_tuple(t)
+            self._store.on_cell_changed(t, attr, old_value, new_value)
         finally:
             t[attr] = old_value
 
     def on_cell_changed(self, t: CTuple, attr: str, old: Any, new: Any) -> None:
-        """Post-mutation adapter for ``Relation.add_observer``.
-
-        The relation notifies *after* assignment; the old value is
-        restored briefly so the tuple can be removed from the group its
-        old values placed it in, then re-added under the new values.
-        """
-        related = attr == self.cfd.rhs_attr or attr in self.cfd.lhs
-        if not related:
-            return
-        t[attr] = old
-        try:
-            self.remove_tuple(t)
-        finally:
-            t[attr] = new
-        self.add_tuple(t)
+        """Post-mutation adapter for ``Relation.add_observer``."""
+        self._require_private("on_cell_changed")
+        self._store.on_cell_changed(t, attr, old, new)
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def group(self, key: Tuple[Any, ...]) -> Optional[GroupStats]:
         """The group for Y-values *key*, or ``None``."""
-        return self._groups.get(key)
+        return self._store.groups.get(key)
 
     def group_of(self, t: CTuple) -> Optional[GroupStats]:
         """The group containing tuple *t* (by its current Y values)."""
         if not self.cfd.lhs_matches(t):
             return None
-        return self._groups.get(t.project(self.cfd.lhs))
+        return self._store.groups.get(t.project(self._store.lhs))
 
     def groups(self) -> Iterator[GroupStats]:
         """All groups, in no particular order."""
-        return iter(self._groups.values())
+        return iter(self._store.groups.values())
 
     def group_count(self) -> int:
         """Number of groups (``|HTab|``)."""
-        return len(self._groups)
+        return len(self._store.groups)
 
     def min_entropy_group(self) -> Optional[GroupStats]:
         """The conflicting group with smallest non-zero entropy, if any."""
         if not self._tree:
             return None
         _key, group_key = self._tree.min()
-        return self._groups[group_key]
+        return self._store.groups[group_key]
 
     def conflicting_groups(self) -> List[GroupStats]:
         """Groups with non-zero entropy, in increasing entropy order."""
-        return [self._groups[group_key] for _key, group_key in self._tree.items()]
+        return [self._store.groups[group_key] for _key, group_key in self._tree.items()]
 
     def is_clean(self) -> bool:
         """Whether no group has conflicting B values (``D ⊨ φ`` over the
@@ -292,10 +229,10 @@ class EntropyIndex:
     def check_consistency(self, relation: Relation) -> None:
         """Assert the index matches *relation* (used by property tests)."""
         rebuilt = EntropyIndex(self.cfd, relation)
-        if set(rebuilt._groups) != set(self._groups):
+        if set(rebuilt._store.groups) != set(self._store.groups):
             raise AssertionError("group keys diverge from relation state")
-        for key, group in self._groups.items():
-            other = rebuilt._groups[key]
+        for key, group in self._store.groups.items():
+            other = rebuilt._store.groups[key]
             if group.value_counts != other.value_counts or group.tids != other.tids:
                 raise AssertionError(f"group {key!r} diverges from relation state")
         if sorted(self._tree.keys()) != sorted(rebuilt._tree.keys()):

@@ -8,14 +8,18 @@ and first-order incremental view maintenance: build partitions once, then
 maintain them under point updates so each fix only revisits the tuples it
 can actually affect.
 
-Structure per rule:
+Partition state lives in shared group stores
+(:mod:`repro.indexing.group_store`), one per distinct rule spec:
 
-* **CFD rule** ``R(X → B, tp)`` — a :class:`CFDPartition` mapping each
+* **CFD rule** ``R(X → B, tp)`` — a :class:`CFDGroupStore` mapping each
   LHS pattern key ``x̄`` (the projection ``t[X]`` of tuples with
-  ``t[X] ≍ tp[X]``) to the set of member tids, plus the inverse
-  ``tid → x̄`` map.  A violation of the CFD can only involve tuples of a
-  single partition, so partitions are the unit of (re)checking.
-* **MD rule** — an :class:`MDPartition` over the data side, partitioned
+  ``t[X] ≍ tp[X]``) to the member tids and RHS value counts, plus the
+  inverse ``tid → x̄`` map.  A violation of the CFD can only involve
+  tuples of a single partition, so partitions are the unit of
+  (re)checking.  The *same* store backs the
+  :class:`~repro.indexing.entropy_index.EntropyIndex` of the CFD, so a
+  cell change walks the grouping once for both consumers.
+* **MD rule** — an :class:`MDGroupStore` over the data side, partitioned
   by the equality blocking key (``MD.blocking_key_attrs``); master data
   is immutable, so only data-side dirtiness matters.
 
@@ -29,6 +33,8 @@ Dirtiness (the work queue):
 A cell update ``(tid, attr)`` dirties only the rules whose scope contains
 ``attr``, and within them only the partitions the tuple belongs to (both
 the old and the new partition when an LHS change moves the tuple).
+Inserts and deletes dirty the same way (the new member / the vacated
+partition).
 
 Invariants (checked by ``check_consistency`` and the property tests):
 
@@ -41,10 +47,10 @@ Invariants (checked by ``check_consistency`` and the property tests):
 3. dirtiness over-approximates: every tuple/partition whose violation
    status may have changed is dirty (the converse need not hold).
 
-The index subscribes to :meth:`repro.relational.relation.Relation.
-add_observer`; all cell writes of the repair phases go through
-``Relation.set_value``, which keeps the structures coherent with in-place
-``CTuple`` mutation.
+When no :class:`~repro.indexing.group_store.GroupStoreRegistry` is
+supplied, the index owns a private one and attaches it to the relation;
+a session-owned registry is reused as-is (stores already built — index
+construction is O(rules), not O(|D|·rules)).
 """
 
 from __future__ import annotations
@@ -57,140 +63,20 @@ from repro.constraints.rules import (
     MDRule,
     VariableCFDRule,
 )
+from repro.indexing.group_store import (
+    CFDGroupStore,
+    GroupStoreRegistry,
+    MDGroupStore,
+)
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
 
 Key = Tuple[Any, ...]
 
-
-class CFDPartition:
-    """Tid partitions of one normalized CFD, keyed by the LHS pattern key.
-
-    Only tuples matching the LHS pattern ``tp[X]`` are members (nulls
-    never match, Section 7); membership is maintained under point updates
-    via :meth:`on_cell_changed`.
-    """
-
-    __slots__ = ("cfd", "lhs", "rhs", "_lhs_set", "groups", "key_of")
-
-    def __init__(self, cfd: Any):
-        self.cfd = cfd
-        self.lhs: Tuple[str, ...] = cfd.key_attrs()
-        self.rhs: str = cfd.rhs_attr
-        self._lhs_set = frozenset(self.lhs)
-        self.groups: Dict[Key, Set[int]] = {}
-        self.key_of: Dict[int, Key] = {}
-
-    def build(self, relation: Relation) -> None:
-        self.groups.clear()
-        self.key_of.clear()
-        lhs = self.lhs
-        matches = self.cfd.lhs_matches
-        for t in relation:
-            if matches(t):
-                key = t.project(lhs)
-                group = self.groups.get(key)
-                if group is None:
-                    group = self.groups[key] = set()
-                group.add(t.tid)
-                self.key_of[t.tid] = key
-
-    def member_key(self, tid: int) -> Optional[Key]:
-        """The partition key of *tid*, or ``None`` when not a member."""
-        return self.key_of.get(tid)
-
-    def on_cell_changed(self, t: CTuple, attr: str) -> Tuple[Optional[Key], Optional[Key]]:
-        """Re-slot *t* after ``t[attr]`` changed (post-mutation).
-
-        Returns ``(old_key, new_key)`` — the partitions whose contents
-        (LHS move) or violation status (RHS change) were touched; either
-        may be ``None`` when the tuple was/is not a member.
-        """
-        tid = t.tid
-        old_key = self.key_of.get(tid)
-        if attr in self._lhs_set:
-            new_key = t.project(self.lhs) if self.cfd.lhs_matches(t) else None
-            if new_key != old_key:
-                if old_key is not None:
-                    group = self.groups[old_key]
-                    group.discard(tid)
-                    if not group:
-                        del self.groups[old_key]
-                    del self.key_of[tid]
-                if new_key is not None:
-                    self.groups.setdefault(new_key, set()).add(tid)
-                    self.key_of[tid] = new_key
-            return old_key, new_key
-        # Pure RHS change: membership is unaffected, the tuple's own
-        # partition becomes dirty.
-        return old_key, old_key
-
-    def check_against(self, relation: Relation) -> None:
-        """Assert partitions equal those of a freshly built index."""
-        rebuilt = CFDPartition(self.cfd)
-        rebuilt.build(relation)
-        if rebuilt.groups != self.groups or rebuilt.key_of != self.key_of:
-            raise AssertionError(
-                f"CFD partition for {self.cfd.name} diverges from relation state"
-            )
-
-
-class MDPartition:
-    """Data-side partitions of one normalized MD by equality blocking key.
-
-    Every tuple is tracked (a similarity-only premise can match any
-    tuple); tuples with a null in the blocking key get the ``None``
-    pseudo-key — they can never satisfy an equality premise but a later
-    update may move them into a real partition.
-    """
-
-    __slots__ = ("md", "key_attrs", "rhs", "_scope", "groups", "key_of")
-
-    def __init__(self, md: Any):
-        self.md = md
-        self.key_attrs: Tuple[str, ...] = md.blocking_key_attrs()
-        self.rhs: str = md.rhs_pair[0]
-        self._scope = frozenset(md.scope_attrs())
-        self.groups: Dict[Optional[Key], Set[int]] = {}
-        self.key_of: Dict[int, Optional[Key]] = {}
-
-    def _key(self, t: CTuple) -> Optional[Key]:
-        if not self.key_attrs:
-            return ()
-        key = t.project(self.key_attrs)
-        return None if t.has_null(self.key_attrs) else key
-
-    def build(self, relation: Relation) -> None:
-        self.groups.clear()
-        self.key_of.clear()
-        for t in relation:
-            key = self._key(t)
-            self.groups.setdefault(key, set()).add(t.tid)
-            self.key_of[t.tid] = key
-
-    def relevant(self, attr: str) -> bool:
-        return attr in self._scope
-
-    def on_cell_changed(self, t: CTuple, attr: str) -> None:
-        tid = t.tid
-        old_key = self.key_of.get(tid)
-        new_key = self._key(t)
-        if new_key != old_key:
-            group = self.groups.get(old_key)
-            if group is not None:
-                group.discard(tid)
-                if not group:
-                    del self.groups[old_key]
-            self.groups.setdefault(new_key, set()).add(tid)
-            self.key_of[tid] = new_key
-
-    def check_against(self, relation: Relation) -> None:
-        rebuilt = MDPartition(self.md)
-        rebuilt.build(relation)
-        if rebuilt.groups != self.groups or rebuilt.key_of != self.key_of:
-            raise AssertionError(
-                f"MD partition for {self.md.name} diverges from relation state"
-            )
+# Backward-compatible aliases: the partition classes were folded into the
+# shared group stores (membership + value stats in one structure).
+CFDPartition = CFDGroupStore
+MDPartition = MDGroupStore
 
 
 class ViolationIndex:
@@ -205,6 +91,15 @@ class ViolationIndex:
     rules:
         The cleaning rules, in the order the consuming phase iterates
         them — dirty state is tracked per rule index.
+    registry:
+        Optional shared :class:`GroupStoreRegistry` (session-owned).
+        When given, its stores are reused and the registry's own
+        relation observer keeps them coherent; the index only subscribes
+        dirtiness listeners.  When absent, a private registry is created
+        (and attached/detached together with the index).
+    membership_only:
+        Maintain CFD partition membership but no dirty queues and no MD
+        state (the cRepair worklist only needs membership tests).
 
     Usage pattern (one resolution round of a repair phase)::
 
@@ -227,28 +122,32 @@ class ViolationIndex:
         rules: Sequence[AnyRule],
         attach: bool = True,
         membership_only: bool = False,
+        registry: Optional[GroupStoreRegistry] = None,
     ):
         self.relation = relation
         self.rules: List[AnyRule] = list(rules)
         self.membership_only = membership_only
-        self._cfd_parts: Dict[int, CFDPartition] = {}
-        self._md_parts: Dict[int, MDPartition] = {}
+        self._owns_registry = registry is None
+        if registry is None:
+            registry = GroupStoreRegistry(relation, attach=False)
+        self.registry = registry
+        self._cfd_parts: Dict[int, CFDGroupStore] = {}
+        self._md_parts: Dict[int, MDGroupStore] = {}
         self._dirty_tids: Dict[int, Set[int]] = {}
         self._dirty_keys: Dict[int, Set[Key]] = {}
         self._rules_by_attr: Dict[str, List[int]] = {}
+        self._listeners: List[Tuple[Any, Any]] = []  # (store, listener)
         self._attached = False
 
+        include_md = not (membership_only and self._owns_registry)
+        registry.ensure_rules(self.rules, include_md=include_md)
         for idx, rule in enumerate(self.rules):
             if isinstance(rule, (ConstantCFDRule, VariableCFDRule)):
-                part = CFDPartition(rule.cfd)
-                part.build(relation)
-                self._cfd_parts[idx] = part
+                self._cfd_parts[idx] = registry.cfd_store(rule.cfd)
             elif isinstance(rule, MDRule):
                 if membership_only:
                     continue  # every tuple is an MD member; nothing to track
-                mpart = MDPartition(rule.md)
-                mpart.build(relation)
-                self._md_parts[idx] = mpart
+                self._md_parts[idx] = registry.md_store(rule.md)
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unsupported rule type {type(rule).__name__}")
             if isinstance(rule, VariableCFDRule):
@@ -264,42 +163,70 @@ class ViolationIndex:
     # Observer wiring
     # ------------------------------------------------------------------
     def attach(self) -> None:
-        """Subscribe to the relation's cell-change notifications."""
-        if not self._attached:
-            self.relation.add_observer(self.on_cell_changed)
-            self._attached = True
+        """Subscribe for change notifications (registry + dirtiness)."""
+        if self._attached:
+            return
+        if self._owns_registry:
+            self.registry.attach()
+        if not self.membership_only:
+            for idx in self._dirty_keys:
+                self._subscribe(self._cfd_parts[idx], self._variable_listener(idx))
+            for idx in self._dirty_tids:
+                part = self._cfd_parts.get(idx)
+                if part is not None:
+                    self._subscribe(part, self._constant_listener(idx))
+                else:
+                    self._subscribe(self._md_parts[idx], self._md_listener(idx))
+        self._attached = True
 
     def detach(self) -> None:
         """Unsubscribe (call when the consuming phase is done)."""
-        if self._attached:
-            self.relation.remove_observer(self.on_cell_changed)
-            self._attached = False
+        if not self._attached:
+            return
+        for store, listener in self._listeners:
+            try:
+                store.change_listeners.remove(listener)
+            except ValueError:
+                pass
+        self._listeners.clear()
+        if self._owns_registry:
+            self.registry.detach()
+        self._attached = False
 
-    def on_cell_changed(self, t: CTuple, attr: str, old: Any, new: Any) -> None:
-        """Relation observer: re-slot partitions and mark dirtiness.
+    def _subscribe(self, store: Any, listener: Any) -> None:
+        store.change_listeners.append(listener)
+        self._listeners.append((store, listener))
 
-        In ``membership_only`` mode (cRepair) only CFD partition
-        membership is maintained — no dirty queues accumulate and MD
-        rules carry no state at all.
-        """
-        for idx in self._rules_by_attr.get(attr, ()):
-            part = self._cfd_parts.get(idx)
-            if part is not None:
-                old_key, new_key = part.on_cell_changed(t, attr)
-                if self.membership_only:
-                    continue
-                keys = self._dirty_keys.get(idx)
-                if keys is not None:  # variable CFD: group-level dirtiness
-                    if old_key is not None:
-                        keys.add(old_key)
-                    if new_key is not None:
-                        keys.add(new_key)
-                elif new_key is not None:  # constant CFD: member tuples only
-                    self._dirty_tids[idx].add(t.tid)
-            else:
-                mpart = self._md_parts[idx]
-                mpart.on_cell_changed(t, attr)
-                self._dirty_tids[idx].add(t.tid)
+    def _variable_listener(self, idx: int):
+        keys = self._dirty_keys[idx]
+
+        def on_change(t: CTuple, old_key: Optional[Key], new_key: Optional[Key]) -> None:
+            if old_key is not None:
+                keys.add(old_key)
+            if new_key is not None:
+                keys.add(new_key)
+
+        return on_change
+
+    def _constant_listener(self, idx: int):
+        tids = self._dirty_tids[idx]
+
+        def on_change(t: CTuple, old_key: Optional[Key], new_key: Optional[Key]) -> None:
+            if new_key is not None:  # constant CFD: member tuples only
+                tids.add(t.tid)
+
+        return on_change
+
+    def _md_listener(self, idx: int):
+        tids = self._dirty_tids[idx]
+
+        def on_change(t: CTuple, old_key: Optional[Key], new_key: Optional[Key]) -> None:
+            if self.relation.has_tid(t.tid):
+                tids.add(t.tid)
+            # else: deleted tuple — it can no longer violate, and MD checks
+            # are per-tuple, so its absence creates no work elsewhere.
+
+        return on_change
 
     # ------------------------------------------------------------------
     # Dirtiness
@@ -331,6 +258,22 @@ class ViolationIndex:
                     continue  # not a member: the constant rule cannot fire
                 self._dirty_tids[idx].add(tid)
 
+    def seed_dirty(
+        self,
+        scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
+        scope_tids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Round-1 seeding policy shared by the repair phases: cell-
+        granular scope when given, tuple scope otherwise, everything as
+        the default (a full run)."""
+        if scope_cells is not None:
+            for tid, attr in scope_cells:
+                self.mark_cell_dirty(tid, attr)
+        elif scope_tids is not None:
+            self.mark_scope_dirty(scope_tids)
+        else:
+            self.mark_all_dirty()
+
     def mark_all_dirty(self) -> None:
         """Queue every member tuple / partition of every rule (round 1)."""
         self._require_dirty_queues()
@@ -348,6 +291,27 @@ class ViolationIndex:
                 self._dirty_tids[idx].update(part.key_of)
             else:
                 self._dirty_tids[idx].update(self._md_parts[idx].key_of)
+
+    def mark_scope_dirty(self, tids: Sequence[int]) -> None:
+        """Queue only the given tuples (and their partitions) — the seed of
+        a delta-driven re-clean: round 1 examines the dirty scope instead
+        of the whole relation."""
+        self._require_dirty_queues()
+        for idx, rule in enumerate(self.rules):
+            keys = self._dirty_keys.get(idx)
+            if keys is not None:
+                key_of = self._cfd_parts[idx].key_of
+                for tid in tids:
+                    key = key_of.get(tid)
+                    if key is not None:
+                        keys.add(key)
+            else:
+                part = self._cfd_parts.get(idx)
+                if part is not None:  # constant CFD: members only
+                    key_of = part.key_of
+                    self._dirty_tids[idx].update(t for t in tids if t in key_of)
+                else:  # MD: any tuple may match the premise
+                    self._dirty_tids[idx].update(tids)
 
     def pop_dirty_tids(self, idx: int) -> List[int]:
         """Drain rule *idx*'s dirty tuples, in ascending tid order.
@@ -373,7 +337,7 @@ class ViolationIndex:
         groups = self._cfd_parts[idx].groups
         live = [key for key in dirty if key in groups]
         dirty.clear()
-        live.sort(key=lambda key: min(groups[key]))
+        live.sort(key=lambda key: min(groups[key].tids))
         return live
 
     def dirty_tuples(self, idx: int) -> Iterator[CTuple]:
@@ -382,9 +346,14 @@ class ViolationIndex:
         The shared drain used by the per-tuple resolve procedures of
         eRepair and hRepair (their legacy paths iterate the full
         relation instead); order follows :meth:`pop_dirty_tids`.
+        Tids deleted since they were queued are skipped.
         """
-        by_tid = self.relation.by_tid
-        return (by_tid(tid) for tid in self.pop_dirty_tids(idx))
+        relation = self.relation
+        return (
+            relation.by_tid(tid)
+            for tid in self.pop_dirty_tids(idx)
+            if relation.has_tid(tid)
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -400,8 +369,9 @@ class ViolationIndex:
     def members(self, idx: int, key: Key) -> List[int]:
         """Sorted member tids of partition *key* of rule *idx*."""
         part = self._cfd_parts.get(idx)
-        groups = part.groups if part is not None else self._md_parts[idx].groups
-        return sorted(groups.get(key, ()))
+        if part is not None:
+            return sorted(part.tids_of(key))
+        return sorted(self._md_parts[idx].groups.get(key, ()))
 
     def member_tids(self, idx: int) -> List[int]:
         """Sorted tids of all members of rule *idx*."""
@@ -414,8 +384,22 @@ class ViolationIndex:
         """All ``(key, sorted member tids)`` of a CFD rule, ordered by
         smallest member tid (legacy first-encounter order)."""
         groups = self._cfd_parts[idx].groups
-        for key in sorted(groups, key=lambda k: min(groups[k])):
-            yield key, sorted(groups[key])
+        for key in sorted(groups, key=lambda k: min(groups[k].tids)):
+            yield key, sorted(groups[key].tids)
+
+    def groups_of_tids(
+        self, idx: int, tids: Sequence[int]
+    ) -> Iterator[Tuple[Key, List[int]]]:
+        """The partitions of CFD rule *idx* containing any of *tids*, as
+        ``(key, sorted member tids)`` in first-encounter order — the
+        delta-scoped counterpart of :meth:`iter_groups` (tuples outside
+        every listed partition cannot pair-violate with a listed one)."""
+        part = self._cfd_parts[idx]
+        key_of = part.key_of
+        keys = {key_of[tid] for tid in tids if tid in key_of}
+        groups = part.groups
+        for key in sorted(keys, key=lambda k: min(groups[k].tids)):
+            yield key, sorted(groups[key].tids)
 
     # ------------------------------------------------------------------
     # Validation

@@ -1,0 +1,32 @@
+"""The persistent cleaning pipeline: sessions and deltas.
+
+* :class:`Changeset` — a micro-batch of tuple inserts / deletes / cell
+  edits against a relation;
+* :class:`CleaningSession` — a long-lived engine that binds rules and
+  master data once, owns all shared cleaning state, and re-cleans
+  incrementally under changesets (``clean()`` + ``apply()``);
+* :class:`ApplyResult` — the outcome of one ``apply()`` call.
+
+See the "Sessions and deltas" section of ``docs/architecture.md``.
+"""
+
+from repro.pipeline.changeset import (
+    AppliedChangeset,
+    CellEdit,
+    Changeset,
+    Delete,
+    Insert,
+    KEEP,
+)
+from repro.pipeline.session import ApplyResult, CleaningSession
+
+__all__ = [
+    "AppliedChangeset",
+    "ApplyResult",
+    "CellEdit",
+    "Changeset",
+    "CleaningSession",
+    "Delete",
+    "Insert",
+    "KEEP",
+]

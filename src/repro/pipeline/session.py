@@ -1,0 +1,691 @@
+"""``CleaningSession``: a persistent, incremental cleaning engine.
+
+The paper specifies UniClean as a one-shot batch pipeline; the ROADMAP's
+north star is a service that cleans *evolving* data continuously.  This
+module refactors the pipeline into the shape dynamic query-evaluation
+work (Berkholz et al., "Answering FO+MOD queries under updates") argues
+for: pay once to build index state, then answer — here: *repair* — under
+updates in time proportional to the delta.
+
+A session binds rules and master data once and owns all shared state:
+
+* the master-side MD blocking indexes and their match cache (master data
+  is immutable, so these persist across every ``clean``/``apply``);
+* a :class:`~repro.indexing.group_store.GroupStoreRegistry` on the
+  working relation — the LHS-keyed groupings that back both the
+  violation index and the entropy indexes of every phase;
+* the merged :class:`~repro.core.fixes.FixLog` and the base (dirty)
+  relation the repair is defined against.
+
+``clean(relation)`` runs the classic three-phase pipeline and keeps the
+state alive.  ``apply(changeset)`` then re-cleans under a micro-batch of
+edits, choosing between two exact strategies:
+
+* **Scoped replay** — when the changeset's *perturbed-cell closure* is
+  provably local: every touched cell is a pure rule target (never a
+  variable-CFD premise), and every group it votes in has membership
+  that the superseded run never rewrote.  Under those conditions group
+  composition is static, so reverting the perturbed cells to base
+  values and re-running the three phases seeded with just those cells
+  reproduces a from-scratch clean of the edited base exactly — at a
+  cost proportional to the delta, not ``|D|``.  The replay is still
+  watched: a write landing outside the perturbed set (e.g. hRepair
+  breaking a premise) or a cRepair group-value provision reaching an
+  out-of-scope tuple voids the locality argument and triggers the
+  fallback.
+* **Warm full replay** — for everything else (premise edits, inserts,
+  deltas whose groups embed premise fixes): the edited base is
+  re-cleaned from scratch *inside the session*, which still skips the
+  dominant costs of a cold run — the master-side blocking indexes and
+  the MD match cache persist, so only the data-side phases re-run.
+
+Both strategies leave the relation in exactly the state a full
+pipeline run over the edited base produces — property-tested in
+``tests/properties/test_property_session.py`` and re-verified per
+micro-batch by ``benchmarks/perf_report.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.consistency import assert_consistent, relation_is_clean
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD, NegativeMD, embed_negative
+from repro.constraints.rules import derive_rules
+from repro.core.cost import cell_cost
+from repro.core.crepair import CRepairResult, crepair
+from repro.core.erepair import ERepairResult, erepair
+from repro.core.fixes import FixLog
+from repro.core.hrepair import HRepairResult, hrepair
+from repro.core.uniclean import CleaningResult, UniCleanConfig
+from repro.exceptions import DataError
+from repro.indexing.blocking import MDBlockingIndex, build_md_indexes
+from repro.indexing.group_store import CFDGroupStore, GroupStoreRegistry
+from repro.indexing.violation_index import ViolationIndex
+from repro.pipeline.changeset import CellEdit, Changeset, Insert
+from repro.relational.relation import Relation
+
+Cell = Tuple[int, str]
+
+
+@dataclass
+class ApplyResult:
+    """The outcome of one :meth:`CleaningSession.apply` call."""
+
+    repaired: Relation
+    fix_log: FixLog
+    crepair_result: Optional[CRepairResult]
+    erepair_result: Optional[ERepairResult]
+    hrepair_result: Optional[HRepairResult]
+    cost: float
+    clean: bool
+    affected: int
+    affected_cells: int
+    replays: int
+    full_reclean: bool = False
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_time(self) -> float:
+        """Total wall-clock seconds across phases and session bookkeeping."""
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        """Human-readable apply summary."""
+        mode = "full re-clean" if self.full_reclean else f"{self.replays} replay(s)"
+        return (
+            f"apply: {self.fix_log.summary()}; affected={self.affected} tuples"
+            f"/{self.affected_cells} cells ({mode}); clean={self.clean}; "
+            f"time={self.total_time:.3f}s"
+        )
+
+
+class CleaningSession:
+    """A long-lived cleaning engine over one rule set and master relation.
+
+    Parameters
+    ----------
+    cfds, mds, negative_mds, master, config:
+        As for :class:`~repro.core.uniclean.UniClean` (rules are
+        normalized, negative MDs embedded, consistency optionally
+        checked).
+    md_indexes:
+        Optional pre-built master-side blocking indexes to adopt
+        (``UniClean`` shares one set across its throwaway sessions).
+
+    Examples
+    --------
+    >>> session = CleaningSession(cfds=sigma, mds=gamma, master=dm)  # doctest: +SKIP
+    >>> result = session.clean(dirty)                                # doctest: +SKIP
+    >>> out = session.apply(Changeset().edit(3, "city", "Edi"))      # doctest: +SKIP
+    >>> out.clean                                                    # doctest: +SKIP
+    True
+    """
+
+    def __init__(
+        self,
+        cfds: Sequence[CFD] = (),
+        mds: Sequence[MD] = (),
+        negative_mds: Sequence[NegativeMD] = (),
+        master: Optional[Relation] = None,
+        config: Optional[UniCleanConfig] = None,
+        md_indexes: Optional[Dict[str, MDBlockingIndex]] = None,
+    ):
+        self.config = config or UniCleanConfig()
+        self.cfds: List[CFD] = []
+        for cfd in cfds:
+            self.cfds.extend(cfd.normalize())
+        if negative_mds:
+            self.mds = embed_negative(list(mds), list(negative_mds))
+        else:
+            self.mds = []
+            for md in mds:
+                self.mds.extend(md.normalize())
+        if self.mds and master is None:
+            raise ValueError("MDs require master data")
+        self.master = master
+        if self.config.check_consistency and self.cfds:
+            schema = self.cfds[0].schema
+            assert_consistent(schema, self.cfds, self.mds, master)
+
+        self.rules = derive_rules(self.cfds, self.mds)
+        #: Master-side blocking indexes + match cache; master data is
+        #: immutable, so these persist across every clean()/apply().
+        self.md_indexes: Dict[str, MDBlockingIndex] = (
+            md_indexes if md_indexes is not None else {}
+        )
+        self._init_rule_maps()
+        self._init_relation_state()
+
+    @classmethod
+    def from_normalized(
+        cls,
+        cfds: Sequence[CFD],
+        mds: Sequence[MD],
+        master: Optional[Relation],
+        config: UniCleanConfig,
+        md_indexes: Optional[Dict[str, MDBlockingIndex]] = None,
+    ) -> "CleaningSession":
+        """Build a session over already-normalized rules, skipping the
+        (idempotent but not free) normalization and consistency checks —
+        the constructor ``UniClean.clean()`` uses per call."""
+        session = cls.__new__(cls)
+        session.config = config
+        session.cfds = list(cfds)
+        session.mds = list(mds)
+        session.master = master
+        session.rules = derive_rules(session.cfds, session.mds)
+        session.md_indexes = md_indexes if md_indexes is not None else {}
+        session._init_rule_maps()
+        session._init_relation_state()
+        return session
+
+    def _init_rule_maps(self) -> None:
+        """Static closure helpers derived from the bound rule set."""
+        # Per-tuple rules (constant CFDs, MDs): a perturbed cell in the
+        # rule's scope perturbs the rule's target on the *same* tuple.
+        pt: Dict[str, Dict[str, None]] = {}
+        for rule in self.rules:
+            if getattr(rule, "cfd", None) is not None and rule.cfd.is_variable:
+                continue
+            for attr in rule.scope_attrs():
+                pt.setdefault(attr, {})[rule.rhs_attr()] = None
+        self._pt_rhs_by_attr: Dict[str, Tuple[str, ...]] = {
+            attr: tuple(rhs) for attr, rhs in pt.items()
+        }
+        # Premise attributes of variable CFDs: a perturbed cell here can
+        # change group membership, which voids the scoped-replay locality
+        # argument — such deltas take the warm full replay.
+        var_lhs: Set[str] = set()
+        for rule in self.rules:
+            cfd = getattr(rule, "cfd", None)
+            if cfd is not None and cfd.is_variable:
+                var_lhs.update(rule.lhs_attrs())
+        self._var_lhs_attrs: frozenset = frozenset(var_lhs)
+
+    def _init_relation_state(self) -> None:
+        # Per-clean state (populated by clean()).
+        self.base: Optional[Relation] = None
+        self.working: Optional[Relation] = None
+        self.registry: Optional[GroupStoreRegistry] = None
+        #: Variable-CFD groupings of the *base* relation: scratch-run group
+        #: composition starts from base keys, so the delta closure must see
+        #: them (a tuple repaired out of a group still starts inside it).
+        self.base_registry: Optional[GroupStoreRegistry] = None
+        self.fix_log: FixLog = FixLog()
+        #: attr -> [(working store, base store)] for variable-CFD specs.
+        self._var_stores_by_attr: Dict[
+            str, List[Tuple[CFDGroupStore, CFDGroupStore]]
+        ] = {}
+        #: The same pairs, deduplicated (one entry per spec).
+        self._var_store_pairs: List[Tuple[CFDGroupStore, CFDGroupStore]] = []
+        self._check_index: Optional[ViolationIndex] = None
+        #: Per-cell contributions to cost(Dr, D) (nonzero entries only);
+        #: maintained incrementally by apply().
+        self._cell_costs: Dict[Cell, float] = {}
+        self._last_clean = False
+
+    # ------------------------------------------------------------------
+    # Shared state
+    # ------------------------------------------------------------------
+    def _ensure_md_indexes(self) -> None:
+        if self.mds and self.master is not None and not self.md_indexes:
+            self.md_indexes.update(
+                build_md_indexes(
+                    self.mds,
+                    self.master,
+                    top_l=self.config.top_l,
+                    use_suffix_tree=self.config.use_suffix_tree,
+                )
+            )
+
+    def _teardown_relation_state(self) -> None:
+        if self.registry is not None:
+            self.registry.detach()
+            self.registry = None
+        if self.base_registry is not None:
+            self.base_registry.detach()
+            self.base_registry = None
+        self._var_stores_by_attr = {}
+        self._var_store_pairs = []
+        self._check_index = None
+
+    def close(self) -> None:
+        """Detach all observers from the working relation (idempotent)."""
+        self._teardown_relation_state()
+
+    # ------------------------------------------------------------------
+    # Full clean
+    # ------------------------------------------------------------------
+    def clean(self, relation: Relation) -> CleaningResult:
+        """Run the configured phases on *relation* and keep the state.
+
+        The input relation is never modified; the session owns a private
+        base copy (which :meth:`apply` edits) and the working repair.
+        """
+        self._teardown_relation_state()
+        self.base = relation.clone()
+        self.working = self.base.clone()
+        self.fix_log = FixLog()
+        timings: Dict[str, float] = {}
+
+        if self.config.use_violation_index:
+            started = time.perf_counter()
+            self.registry = GroupStoreRegistry(self.working)
+            self.registry.ensure_rules(self.rules)
+            self.base_registry = GroupStoreRegistry(self.base)
+            variable_rules = [
+                rule
+                for rule in self.rules
+                if getattr(rule, "cfd", None) is not None and rule.cfd.is_variable
+            ]
+            self.base_registry.ensure_rules(variable_rules)
+            for store in self.registry.variable_cfd_stores():
+                base_store = self.base_registry.cfd_store(store.cfd)
+                self._var_store_pairs.append((store, base_store))
+                for attr in store.scope_attrs():
+                    self._var_stores_by_attr.setdefault(attr, []).append(
+                        (store, base_store)
+                    )
+            if self.cfds:
+                # A maintained index for satisfaction checks: reads the
+                # live shared stores, so D ⊨ Σ verification never rescans.
+                self._check_index = ViolationIndex(
+                    self.working,
+                    [r for cfd in self.cfds for r in derive_rules([cfd])],
+                    attach=False,
+                    registry=self.registry,
+                )
+            timings["setup"] = time.perf_counter() - started
+
+        self._ensure_md_indexes()
+        c_result, e_result, h_result = self._run_phases(None, self.fix_log, timings)
+        self._rebuild_cell_costs()
+        self._last_clean = relation_is_clean(
+            self.working, self.cfds, self.mds, self.master,
+            violation_index=self._check_index,
+            md_indexes=self.md_indexes,
+        )
+        return CleaningResult(
+            repaired=self.working,
+            fix_log=self.fix_log,
+            crepair_result=c_result,
+            erepair_result=e_result,
+            hrepair_result=h_result,
+            cost=sum(self._cell_costs.values()),
+            clean=self._last_clean,
+            timings=timings,
+        )
+
+    def _rebuild_cell_costs(self) -> None:
+        """Full pass of the Section 3.1 cost model, kept per cell so
+        apply() can maintain the total under deltas."""
+        assert self.base is not None and self.working is not None
+        costs: Dict[Cell, float] = {}
+        names = self.base.schema.names
+        for t in self.base:
+            r = self.working.by_tid(t.tid)
+            for attr in names:
+                if t[attr] != r[attr]:
+                    costs[(t.tid, attr)] = cell_cost(t[attr], r[attr], t.conf(attr))
+        self._cell_costs = costs
+
+    def _run_phases(
+        self,
+        scope_tids: Optional[List[int]],
+        log: FixLog,
+        timings: Dict[str, float],
+        escapes: Optional[Set[Cell]] = None,
+        scope_cells: Optional[List[Cell]] = None,
+    ) -> Tuple[
+        Optional[CRepairResult], Optional[ERepairResult], Optional[HRepairResult]
+    ]:
+        """Run the configured phases in place over *scope_tids* (or all)."""
+        assert self.working is not None
+        config = self.config
+        c_result: Optional[CRepairResult] = None
+        e_result: Optional[ERepairResult] = None
+        h_result: Optional[HRepairResult] = None
+
+        if config.run_crepair:
+            started = time.perf_counter()
+            c_result = crepair(
+                self.working,
+                self.cfds,
+                self.mds,
+                master=self.master,
+                eta=config.eta,
+                fix_log=log,
+                top_l=config.top_l,
+                use_suffix_tree=config.use_suffix_tree,
+                in_place=True,
+                use_violation_index=config.use_violation_index,
+                md_indexes=self.md_indexes,
+                registry=self.registry,
+                scope_tids=scope_tids,
+            )
+            if escapes is not None:
+                escapes |= c_result.escaped_cells
+            timings["crepair"] = timings.get("crepair", 0.0) + (
+                time.perf_counter() - started
+            )
+
+        protected: Set[Cell] = log.deterministic_cells()
+
+        if config.run_erepair:
+            started = time.perf_counter()
+            e_result = erepair(
+                self.working,
+                self.cfds,
+                self.mds,
+                master=self.master,
+                delta1=config.delta1,
+                delta2=config.delta2,
+                protected=protected,
+                fix_log=log,
+                top_l=config.top_l,
+                use_suffix_tree=config.use_suffix_tree,
+                in_place=True,
+                use_violation_index=config.use_violation_index,
+                md_indexes=self.md_indexes,
+                registry=self.registry,
+                scope_tids=scope_tids,
+                scope_cells=scope_cells,
+            )
+            timings["erepair"] = timings.get("erepair", 0.0) + (
+                time.perf_counter() - started
+            )
+
+        if config.run_hrepair:
+            started = time.perf_counter()
+            h_result = hrepair(
+                self.working,
+                self.cfds,
+                self.mds,
+                master=self.master,
+                protected=protected,
+                fix_log=log,
+                top_l=config.top_l,
+                use_suffix_tree=config.use_suffix_tree,
+                in_place=True,
+                use_violation_index=config.use_violation_index,
+                md_indexes=self.md_indexes,
+                registry=self.registry,
+                scope_tids=scope_tids,
+                scope_cells=scope_cells,
+            )
+            timings["hrepair"] = timings.get("hrepair", 0.0) + (
+                time.perf_counter() - started
+            )
+        return c_result, e_result, h_result
+
+    # ------------------------------------------------------------------
+    # Incremental apply
+    # ------------------------------------------------------------------
+    def apply(self, changeset: Changeset) -> ApplyResult:
+        """Re-clean after *changeset*; exact, and scoped when provably safe.
+
+        The changeset edits the session's **base** (dirty) relation; the
+        session then brings the working repair to the state a full
+        ``clean()`` of the edited base would produce — via the scoped
+        replay when the delta's closure is local, via a warm full replay
+        otherwise (see the module docstring).
+        """
+        if self.working is None or self.base is None:
+            raise DataError("CleaningSession.apply() requires a prior clean()")
+        # All-or-nothing: a bad op must not leave the session's base
+        # half-mutated (a later apply would silently break exactness).
+        changeset.validate_against(self.base)
+
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
+
+        if (
+            not self.config.use_violation_index
+            or self.registry is None
+            # Inserts change group composition outright — the scoped
+            # locality argument does not cover them, so skip the delta
+            # pre-processing the full replay would discard anyway.
+            or any(isinstance(op, Insert) for op in changeset.ops)
+        ):
+            changeset.apply_to(self.base)
+            return self._full_replay(timings)
+
+        pre_apply_log = self.fix_log
+        fixed_cells: Set[Cell] = {fix.cell for fix in pre_apply_log}
+        schema_attrs = tuple(self.working.schema.names)
+
+        # --- Seed the perturbed-cell set -------------------------------
+        seeds: Set[Cell] = set()
+        unsafe = False
+        # A from-scratch run groups tuples by their *base* keys: capture
+        # the base groups an edited/deleted tuple is leaving before the
+        # base mutates.
+        for op in changeset.ops:
+            if isinstance(op, CellEdit):
+                seeds.add((op.tid, op.attr))
+            else:  # Delete (inserts were dispatched above)
+                for wstore, bstore in self._var_store_pairs:
+                    for store in (wstore, bstore):
+                        key = store.key_of.get(op.tid)
+                        if key is None:
+                            continue
+                        rhs = store.rhs
+                        for mate in store.groups[key].tids:
+                            if mate != op.tid:
+                                seeds.add((mate, rhs))
+
+        applied = changeset.apply_to(self.base)
+        dead: Set[int] = set(applied.deleted_tids)
+        for tid in dead:
+            if self.working.has_tid(tid):
+                self.working.remove(tid)  # observers keep stores coherent
+        seeds = {(tid, attr) for tid, attr in seeds if tid not in dead}
+        log = pre_apply_log.without_tids(dead) if dead else pre_apply_log
+        self.fix_log = log
+        for tid in dead:
+            for attr in schema_attrs:
+                self._cell_costs.pop((tid, attr), None)
+
+        perturbed: Set[Cell] = set()
+        if not unsafe and seeds:
+            perturbed, safe = self._perturb_closure(seeds, fixed_cells)
+            unsafe = not safe
+        timings["delta"] = time.perf_counter() - started
+        if unsafe:
+            return self._full_replay(timings)
+
+        c_result = e_result = h_result = None
+        if perturbed:
+            started = time.perf_counter()
+            self._revert_cells(perturbed)
+            log = pre_apply_log.without_tids(dead).without_cells(perturbed)
+            scope = sorted({tid for tid, _attr in perturbed})
+            timings["delta"] += time.perf_counter() - started
+            escaped: Set[Cell] = set()
+            watch = self._escape_watch(perturbed, escaped)
+            self.working.add_observer(watch)
+            try:
+                c_result, e_result, h_result = self._run_phases(
+                    scope, log, timings, escapes=escaped,
+                    scope_cells=sorted(perturbed),
+                )
+            finally:
+                self.working.remove_observer(watch)
+            if escaped:
+                # A replay fix reached beyond the perturbed set (premise
+                # break, provision to an out-of-scope tuple): the
+                # locality argument is void — replay everything.
+                self.fix_log = log
+                return self._full_replay(timings)
+            self.fix_log = log
+
+        started = time.perf_counter()
+        # Incremental cost: contributions change only for perturbed /
+        # deleted cells (the escape watch guarantees no other writes).
+        for cell in perturbed:
+            tid, attr = cell
+            base_t = self.base.by_tid(tid)
+            value = self.working.by_tid(tid)[attr]
+            if base_t[attr] != value:
+                self._cell_costs[cell] = cell_cost(
+                    base_t[attr], value, base_t.conf(attr)
+                )
+            else:
+                self._cell_costs.pop(cell, None)
+        cost = sum(self._cell_costs.values())
+        # Scoped verification: tuples outside the perturbed set satisfied
+        # the rules before and were not written (escape watch); their
+        # partitions can only have shrunk.  Falls back to a full check
+        # when the previous state did not verify clean.
+        only = (
+            {tid for tid, _attr in perturbed} if self._last_clean else None
+        )
+        is_clean_now = relation_is_clean(
+            self.working, self.cfds, self.mds, self.master,
+            violation_index=self._check_index, md_indexes=self.md_indexes,
+            only_tids=only,
+        )
+        self._last_clean = is_clean_now
+        timings["verify"] = time.perf_counter() - started
+        return ApplyResult(
+            repaired=self.working,
+            fix_log=self.fix_log,
+            crepair_result=c_result,
+            erepair_result=e_result,
+            hrepair_result=h_result,
+            cost=cost,
+            clean=is_clean_now,
+            affected=len({tid for tid, _attr in perturbed}),
+            affected_cells=len(perturbed),
+            replays=1 if perturbed else 0,
+            timings=timings,
+        )
+
+    def _full_replay(self, timings: Dict[str, float]) -> ApplyResult:
+        """Exact fallback: re-clean the edited base inside the session.
+
+        Equivalent to a from-scratch ``clean()`` by construction, but the
+        master-side blocking indexes and match cache stay warm — the
+        dominant cost of a cold run.
+        """
+        assert self.base is not None
+        result = self.clean(self.base)
+        merged = dict(timings)
+        for key, value in result.timings.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return ApplyResult(
+            repaired=result.repaired,
+            fix_log=result.fix_log,
+            crepair_result=result.crepair_result,
+            erepair_result=result.erepair_result,
+            hrepair_result=result.hrepair_result,
+            cost=result.cost,
+            clean=result.clean,
+            affected=len(result.repaired),
+            affected_cells=len(result.repaired) * len(result.repaired.schema.names),
+            replays=0,
+            full_reclean=True,
+            timings=merged,
+        )
+
+    def _live_tids(self) -> Set[int]:
+        assert self.base is not None
+        return set(self.base.tids())
+
+    def _perturb_closure(
+        self, seeds: Set[Cell], fixed_cells: Set[Cell]
+    ) -> Tuple[Set[Cell], bool]:
+        """The perturbed-cell closure of *seeds*, with a safety verdict.
+
+        Propagation: a perturbed cell in a per-tuple rule's scope
+        (constant CFD, MD) perturbs that rule's target on the same tuple,
+        recursively; a perturbed cell that is a variable-CFD store's
+        target perturbs the target cells of the owner's current *and*
+        base groups (their votes are re-counted from base values).
+
+        The closure is **safe** — the scoped replay provably reproduces a
+        from-scratch run — only when no perturbed cell sits on a
+        variable-CFD premise (membership would change) and no perturbed
+        group contains a member whose premise there was rewritten by the
+        superseded run (membership *evolved*; a scoped replay would read
+        its final position, a scratch run its stage positions).  Returns
+        ``(perturbed, safe)``; an unsafe closure is abandoned eagerly.
+        """
+        live = self._live_tids()
+        perturbed: Set[Cell] = set()
+        processed: Set[Cell] = set()
+        stack = list(seeds)
+        while stack:
+            cell = stack.pop()
+            if cell in processed:
+                continue
+            processed.add(cell)
+            tid, attr = cell
+            if tid not in live:
+                continue
+            if attr in self._var_lhs_attrs:
+                return perturbed, False  # premise cell: membership changes
+            perturbed.add(cell)
+            for rhs in self._pt_rhs_by_attr.get(attr, ()):
+                if (tid, rhs) not in processed:
+                    stack.append((tid, rhs))
+            for wstore, bstore in self._var_stores_by_attr.get(attr, ()):
+                rhs = wstore.rhs
+                lhs = wstore.lhs
+                if attr != rhs:
+                    continue
+                for store in (wstore, bstore):
+                    key = store.key_of.get(tid)
+                    if key is None:
+                        continue
+                    group = store.groups.get(key)
+                    if group is None:
+                        continue
+                    for mate in group.tids:
+                        if mate not in live:
+                            continue
+                        for y in lhs:
+                            if (mate, y) in fixed_cells:
+                                return perturbed, False  # membership evolved
+                        mate_cell = (mate, rhs)
+                        if mate_cell not in processed:
+                            stack.append(mate_cell)
+        return perturbed, True
+
+    def _revert_cells(self, perturbed: Set[Cell]) -> None:
+        """Restore every perturbed cell to its base value and confidence
+        (values through ``set_value`` so every index stays coherent)."""
+        assert self.base is not None and self.working is not None
+        working = self.working
+        base = self.base
+        for tid, attr in sorted(perturbed):
+            t = working.by_tid(tid)
+            base_t = base.by_tid(tid)
+            working.set_value(t, attr, base_t[attr])
+            t.set_conf(attr, base_t.conf(attr))
+
+    def _escape_watch(self, perturbed: Set[Cell], escaped: Set[Cell]):
+        """A relation observer flagging replay writes outside *perturbed*."""
+
+        def watch(t, attr, old, new) -> None:
+            cell = (t.tid, attr)
+            if cell not in perturbed:
+                escaped.add(cell)
+
+        return watch
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_clean(self) -> bool:
+        """Whether the current working repair satisfies Σ and Γ."""
+        if self.working is None:
+            raise DataError("CleaningSession.is_clean() requires a prior clean()")
+        return relation_is_clean(
+            self.working, self.cfds, self.mds, self.master,
+            violation_index=self._check_index, md_indexes=self.md_indexes,
+        )

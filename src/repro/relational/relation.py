@@ -8,8 +8,12 @@ never modified.
 Cell mutations that go through :meth:`Relation.set_value` are broadcast to
 registered observers, which is how incremental indexes (the violation
 index, the entropy index) stay coherent with in-place :class:`CTuple`
-mutation.  Observers are *not* carried over by :meth:`clone` — each clone
-starts with a clean observer list.
+mutation.  Tuple inserts (:meth:`Relation.add`) and deletes
+(:meth:`Relation.remove`) are broadcast the same way, so a
+:class:`~repro.pipeline.changeset.Changeset` applied to an observed
+relation keeps every derived structure coherent without rebuilds.
+Observers are *not* carried over by :meth:`clone` — each clone starts
+with a clean observer list.
 """
 
 from __future__ import annotations
@@ -49,13 +53,22 @@ class Relation:
     Tuples are stored in insertion order, addressable by tid in O(1).
     """
 
-    __slots__ = ("schema", "_tuples", "_next_tid", "_observers")
+    __slots__ = (
+        "schema",
+        "_tuples",
+        "_next_tid",
+        "_observers",
+        "_insert_observers",
+        "_delete_observers",
+    )
 
     def __init__(self, schema: Schema, tuples: Iterable[CTuple] = ()):
         self.schema = schema
         self._tuples: Dict[int, CTuple] = {}
         self._next_tid = 0
         self._observers: List[Callable[[CTuple, str, Any, Any], None]] = []
+        self._insert_observers: List[Callable[[CTuple], None]] = []
+        self._delete_observers: List[Callable[[CTuple], None]] = []
         for t in tuples:
             self.add(t)
 
@@ -97,6 +110,8 @@ class Relation:
             t.tid = self._next_tid
         self._tuples[t.tid] = t
         self._next_tid = max(self._next_tid, t.tid) + 1
+        for observer in self._insert_observers:
+            observer(t)
         return t
 
     def add_row(
@@ -107,6 +122,22 @@ class Relation:
         """Convenience: build and insert a tuple from dicts."""
         return self.add(CTuple(self.schema, values, confidences))
 
+    def remove(self, tid: int) -> CTuple:
+        """Delete the tuple with identifier *tid*, notifying observers.
+
+        Tids are never reused: ``_next_tid`` stays monotonic so later
+        inserts cannot alias a removed tuple.  Returns the removed tuple
+        (its values stay intact, which delete observers rely on to locate
+        the tuple in their structures).
+        """
+        try:
+            t = self._tuples.pop(tid)
+        except KeyError:
+            raise DataError(f"relation {self.schema.name!r} has no tuple #{tid}") from None
+        for observer in self._delete_observers:
+            observer(t)
+        return t
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -116,6 +147,10 @@ class Relation:
             return self._tuples[tid]
         except KeyError:
             raise DataError(f"relation {self.schema.name!r} has no tuple #{tid}") from None
+
+    def has_tid(self, tid: int) -> bool:
+        """Whether a tuple with identifier *tid* is currently present."""
+        return tid in self._tuples
 
     def tids(self) -> Tuple[int, ...]:
         """All tuple identifiers, in insertion order."""
@@ -153,6 +188,31 @@ class Relation:
         """Unregister *observer* (a no-op when it was never registered)."""
         try:
             self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def add_insert_observer(self, observer: Callable[[CTuple], None]) -> None:
+        """Register *observer* for tuple inserts (called after :meth:`add`)."""
+        if observer not in self._insert_observers:
+            self._insert_observers.append(observer)
+
+    def remove_insert_observer(self, observer: Callable[[CTuple], None]) -> None:
+        """Unregister an insert observer (no-op when never registered)."""
+        try:
+            self._insert_observers.remove(observer)
+        except ValueError:
+            pass
+
+    def add_delete_observer(self, observer: Callable[[CTuple], None]) -> None:
+        """Register *observer* for tuple deletes (called after :meth:`remove`
+        with the removed tuple, whose cell values are still intact)."""
+        if observer not in self._delete_observers:
+            self._delete_observers.append(observer)
+
+    def remove_delete_observer(self, observer: Callable[[CTuple], None]) -> None:
+        """Unregister a delete observer (no-op when never registered)."""
+        try:
+            self._delete_observers.remove(observer)
         except ValueError:
             pass
 

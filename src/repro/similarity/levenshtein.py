@@ -3,14 +3,76 @@
 The paper's experiments "used edit distance for similarity test, defined as
 the minimum number of single-character insertions, deletions and
 substitutions needed to convert a value from v to v′" (Section 8).  The
-implementation below is the standard two-row dynamic program with an
-optional early-exit band for thresholded tests, which is what the MD
-matcher actually calls in the hot path.
+unbounded distance uses the standard two-row dynamic program; the
+thresholded test ``edit_distance(a, b, max_distance=k)`` — which is what
+MD premise verification actually calls on every match-cache miss, the
+hottest similarity path of the pipeline — runs the O(k·min(|a|,|b|))
+*diagonal band* DP (Ukkonen's cutoff): a cell ``(i, j)`` can lie on a
+path of cost ≤ k only when
+
+    |j - i| + |(len(b) - len(a)) - (j - i)|  ≤  k,
+
+so per row only a band of ≤ k+1 cells is computed, with an early exit as
+soon as the whole band exceeds the bound.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+
+def _banded_distance(a: str, b: str, k: int) -> int:
+    """Thresholded distance over the k-band; ``k + 1`` when it exceeds *k*.
+
+    Requires ``len(a) <= len(b)`` and ``len(b) - len(a) <= k``.
+    """
+    la, lb = len(a), len(b)
+    gap = lb - la
+    # Offsets of the band around the diagonal j - i ∈ [-lo, gap + hi]:
+    # a path spends |j - i| getting to the cell and |gap - (j - i)|
+    # getting home, so 2·lo + gap ≤ k bounds the halves.
+    half = (k - gap) // 2
+    lo_diag = -half                 # min j - i
+    hi_diag = gap + (k - gap) - half  # max j - i (uses the leftover parity)
+    inf = k + 1
+
+    # previous[i - row_lo] = d(i, j-1) for i in the previous row's window.
+    prev_lo = 0
+    previous = [min(i, inf) for i in range(0, min(la, -lo_diag if lo_diag < 0 else 0) + 1)]
+    # Row j = 0: window is i ∈ [0, min(la, -lo_diag)] with d(i, 0) = i.
+    for j in range(1, lb + 1):
+        row_lo = max(0, j - hi_diag)
+        row_hi = min(la, j - lo_diag)
+        if row_lo > row_hi:
+            return inf
+        current = []
+        bj = b[j - 1]
+        best = inf
+        for i in range(row_lo, row_hi + 1):
+            if i == 0:
+                val = j if j <= k else inf
+            else:
+                # previous row covers [prev_lo, prev_lo + len(previous) - 1]
+                p_idx = i - prev_lo
+                sub = previous[p_idx - 1] + (0 if a[i - 1] == bj else 1) \
+                    if 0 < p_idx <= len(previous) else inf
+                dele = previous[p_idx] + 1 if 0 <= p_idx < len(previous) else inf
+                ins = current[-1] + 1 if i > row_lo else inf
+                val = sub if sub < dele else dele
+                if ins < val:
+                    val = ins
+                if val > k:
+                    val = inf
+            current.append(val)
+            if val < best:
+                best = val
+        if best > k:
+            return inf
+        previous, prev_lo = current, row_lo
+    if la < prev_lo or la - prev_lo >= len(previous):
+        return inf
+    result = previous[la - prev_lo]
+    return result if result <= k else inf
 
 
 def edit_distance(a: str, b: str, max_distance: Optional[int] = None) -> int:
@@ -23,8 +85,8 @@ def edit_distance(a: str, b: str, max_distance: Optional[int] = None) -> int:
     max_distance:
         When given, the computation may stop early and return
         ``max_distance + 1`` as soon as the true distance provably exceeds
-        the bound.  This turns the O(|a||b|) DP into an O(max_distance ·
-        min(|a|,|b|)) banded DP, the standard trick for thresholded joins.
+        the bound.  This selects the O(max_distance · min(|a|,|b|))
+        diagonal-band DP, the standard trick for thresholded joins.
 
     Examples
     --------
@@ -34,6 +96,8 @@ def edit_distance(a: str, b: str, max_distance: Optional[int] = None) -> int:
     1
     >>> edit_distance("abc", "abc")
     0
+    >>> edit_distance("kitten", "sitting", max_distance=1)
+    2
     """
     if a == b:
         return 0
@@ -53,15 +117,18 @@ def edit_distance(a: str, b: str, max_distance: Optional[int] = None) -> int:
     if len(a) > len(b):
         a, b = b, a
     la, lb = len(a), len(b)
-    if max_distance is not None and lb - la > max_distance:
-        return max_distance + 1
+    if max_distance is not None:
+        if max_distance < 0:
+            return max_distance + 1 if lb > 0 else 0
+        if lb - la > max_distance:
+            return max_distance + 1
+        return _banded_distance(a, b, max_distance)
     if la == 0:
         return lb
     previous = list(range(la + 1))
     current = [0] * (la + 1)
     for j in range(1, lb + 1):
         current[0] = j
-        best_in_row = current[0]
         bj = b[j - 1]
         for i in range(1, la + 1):
             cost = 0 if a[i - 1] == bj else 1
@@ -70,16 +137,12 @@ def edit_distance(a: str, b: str, max_distance: Optional[int] = None) -> int:
                 current[i - 1] + 1,   # insertion
                 previous[i - 1] + cost,  # substitution / match
             )
-            if current[i] < best_in_row:
-                best_in_row = current[i]
-        if max_distance is not None and best_in_row > max_distance:
-            return max_distance + 1
         previous, current = current, previous
     return previous[la]
 
 
 def within_edit_distance(a: str, b: str, k: int) -> bool:
-    """Whether ``edit_distance(a, b) <= k`` (with early exit)."""
+    """Whether ``edit_distance(a, b) <= k`` (banded, with early exit)."""
     if k < 0:
         return False
     return edit_distance(a, b, max_distance=k) <= k

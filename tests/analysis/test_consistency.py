@@ -123,3 +123,28 @@ class TestActiveDomains:
                 CFD(schema, [], ["A"], rhs_pattern={"A": "1"})]
         domains = active_domains(schema, cfds, [], None)
         assert set(domains["A"]) == {"0", "1"}
+
+
+class TestIndexedViolationAlignment:
+    def test_duplicate_default_names_align_by_cfd_not_name(self, schema):
+        """Two unnamed CFDs over the same attributes share the default
+        name; a supplied violation index must map each expected rule to
+        its own partitions (regression: name-keyed mapping collapsed
+        them onto one position)."""
+        from repro.analysis.consistency import relation_violations
+        from repro.constraints.rules import derive_rules
+        from repro.indexing import ViolationIndex
+
+        cfd_a0 = CFD(schema, ["A"], ["B"], {"A": "a0", "B": "b0"})
+        cfd_a1 = CFD(schema, ["A"], ["B"], {"A": "a1", "B": "b1"})
+        assert cfd_a0.name == cfd_a1.name  # the colliding default
+        relation = Relation.from_dicts(
+            schema,
+            [{"A": "a0", "B": "WRONG"}, {"A": "a1", "B": "b1"}],
+        )
+        rules = [r for cfd in (cfd_a0, cfd_a1) for r in derive_rules([cfd])]
+        index = ViolationIndex(relation, rules, attach=False)
+        plain = relation_violations(relation, [cfd_a0, cfd_a1])
+        routed = relation_violations(relation, [cfd_a0, cfd_a1], index)
+        assert [(v.tids, v.attr) for v in plain] == [((0,), "B")]
+        assert [(v.tids, v.attr) for v in routed] == [((0,), "B")]

@@ -38,7 +38,10 @@ class TestPipeline:
 
     def test_timings_recorded(self, cleaner, dirty_tran):
         result = cleaner.clean(dirty_tran)
-        assert set(result.timings) == {"crepair", "erepair", "hrepair"}
+        # Phase timings always present; "setup" records the shared group
+        # store build of the indexed engine (session bookkeeping).
+        assert {"crepair", "erepair", "hrepair"} <= set(result.timings)
+        assert set(result.timings) <= {"setup", "crepair", "erepair", "hrepair"}
         assert result.total_time >= 0.0
 
     def test_cost_positive(self, cleaner, dirty_tran):

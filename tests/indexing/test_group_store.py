@@ -1,0 +1,120 @@
+"""The shared LHS-keyed group store: one grouping, many consumers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import CFD, MD
+from repro.constraints.rules import derive_rules
+from repro.indexing import (
+    EntropyIndex,
+    GroupStoreRegistry,
+    ViolationIndex,
+)
+from repro.relational import NULL, Relation, Schema
+
+SCHEMA = Schema("R", ["K", "A", "B"])
+MASTER_SCHEMA = Schema("Rm", ["K", "B"])
+CFDS = [
+    CFD(SCHEMA, ["K"], ["A"], name="fd_ka"),
+    CFD(SCHEMA, ["A"], ["B"], name="fd_ab"),
+]
+MDS = [MD(SCHEMA, MASTER_SCHEMA, [("K", "K")], [("B", "B")], name="md_kb")]
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+values = st.sampled_from(["a1", "a2", "b1", "b2", NULL])
+rows = st.lists(st.tuples(keys, values, values), min_size=1, max_size=12)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.integers(0, 11), st.sampled_from(["K", "A", "B"]), values),
+        st.tuples(st.just("insert"), keys, values, values),
+        st.tuples(st.just("delete"), st.integers(0, 11)),
+    ),
+    max_size=25,
+)
+
+
+def build(data) -> Relation:
+    return Relation.from_dicts(
+        SCHEMA, [{"K": k, "A": a, "B": b} for k, a, b in data]
+    )
+
+
+class TestSharing:
+    def test_same_cfd_resolves_to_same_store(self):
+        relation = build([("k1", "a1", "b1")])
+        registry = GroupStoreRegistry(relation)
+        assert registry.cfd_store(CFDS[0]) is registry.cfd_store(CFDS[0])
+
+    def test_entropy_index_and_violation_index_share_one_store(self):
+        """The ROADMAP 'unify groupings' item: eRepair's entropy stats and
+        the violation index partitions of the same CFD are views over ONE
+        backing group store — a cell change walks the grouping once."""
+        relation = build([("k1", "a1", "b1"), ("k1", "a2", "b1")])
+        registry = GroupStoreRegistry(relation)
+        rules = derive_rules(CFDS, MDS)
+        vindex = ViolationIndex(relation, rules, registry=registry)
+        entropy = EntropyIndex(CFDS[0], store=registry.cfd_store(CFDS[0]))
+        idx = next(
+            i for i, rule in enumerate(rules)
+            if getattr(rule, "cfd", None) is CFDS[0]
+        )
+        assert vindex._cfd_parts[idx] is entropy.store
+        # One relation-level observer dispatch updates both consumers.
+        t = relation.by_tid(0)
+        relation.set_value(t, "A", "zzz")
+        group = entropy.store.groups[("k1",)]
+        assert "zzz" in group.value_counts
+        assert vindex.members(idx, ("k1",)) == [0, 1]
+        vindex.detach()
+        entropy.detach()
+
+    def test_shared_entropy_index_rejects_direct_mutation(self):
+        relation = build([("k1", "a1", "b1")])
+        registry = GroupStoreRegistry(relation)
+        entropy = EntropyIndex(CFDS[0], store=registry.cfd_store(CFDS[0]))
+        try:
+            entropy.add_tuple(relation.by_tid(0))
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("shared EntropyIndex must reject mutators")
+
+
+class TestCoherence:
+    @given(rows, steps)
+    @settings(max_examples=60, deadline=None)
+    def test_stores_match_fresh_build_under_all_mutations(self, data, ops):
+        """Cell edits, inserts and deletes through the relation's observer
+        hooks keep every store equal to a freshly built one."""
+        relation = build(data)
+        registry = GroupStoreRegistry(relation)
+        registry.ensure_rules(derive_rules(CFDS, MDS))
+        for op in ops:
+            live = relation.tids()
+            if op[0] == "set" and live:
+                t = relation.by_tid(live[op[1] % len(live)])
+                relation.set_value(t, op[2], op[3])
+            elif op[0] == "insert":
+                relation.add_row({"K": op[1], "A": op[2], "B": op[3]})
+            elif op[0] == "delete" and len(live) > 1:
+                relation.remove(live[op[1] % len(live)])
+        registry.check_consistency()
+        registry.detach()
+
+    @given(rows, steps)
+    @settings(max_examples=40, deadline=None)
+    def test_entropy_view_tracks_shared_store(self, data, ops):
+        relation = build(data)
+        registry = GroupStoreRegistry(relation)
+        entropy = EntropyIndex(CFDS[1], store=registry.cfd_store(CFDS[1]))
+        for op in ops:
+            live = relation.tids()
+            if op[0] == "set" and live:
+                relation.set_value(relation.by_tid(live[op[1] % len(live)]), op[2], op[3])
+            elif op[0] == "insert":
+                relation.add_row({"K": op[1], "A": op[2], "B": op[3]})
+            elif op[0] == "delete" and len(live) > 1:
+                relation.remove(live[op[1] % len(live)])
+        entropy.check_consistency(relation)
+        entropy.detach()
+        registry.detach()

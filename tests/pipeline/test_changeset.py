@@ -1,0 +1,96 @@
+"""Unit tests for the Changeset delta API and its observer propagation."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.pipeline import Changeset, KEEP
+from repro.relational import NULL, Relation, Schema
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema("R", ["K", "A", "B"])
+
+
+@pytest.fixture()
+def relation(schema) -> Relation:
+    return Relation.from_dicts(
+        schema,
+        [
+            {"K": "k1", "A": "a1", "B": "b1"},
+            {"K": "k1", "A": "a2", "B": "b2"},
+            {"K": "k2", "A": "a3", "B": "b3"},
+        ],
+    )
+
+
+class TestBuilder:
+    def test_fluent_and_len(self):
+        cs = Changeset().edit(0, "A", "x").insert({"K": "k"}).delete(1)
+        assert len(cs) == 3
+        assert bool(cs)
+        assert not Changeset()
+
+    def test_edit_requires_value_or_conf(self):
+        with pytest.raises(DataError):
+            Changeset().edit(0, "A")
+
+    def test_repr_counts(self):
+        cs = Changeset().edit(0, "A", "x").edit(1, "B", "y").delete(2)
+        assert "2 edits" in repr(cs) and "1 deletes" in repr(cs)
+
+
+class TestApplyTo:
+    def test_edit_value_and_conf(self, relation):
+        cs = Changeset().edit(0, "A", "zz", conf=0.9).edit(1, "B", conf=0.5)
+        applied = cs.apply_to(relation)
+        t0, t1 = relation.by_tid(0), relation.by_tid(1)
+        assert t0["A"] == "zz" and t0.conf("A") == 0.9
+        assert t1["B"] == "b2" and t1.conf("B") == 0.5  # value kept
+        assert applied.edited_cells == [(0, "A"), (1, "B")]
+
+    def test_insert_assigns_tid_and_defaults_null(self, relation):
+        applied = Changeset().insert({"K": "k9"}).apply_to(relation)
+        (tid,) = applied.inserted_tids
+        t = relation.by_tid(tid)
+        assert t["K"] == "k9" and t["A"] is NULL
+
+    def test_delete_removes_tuple(self, relation):
+        applied = Changeset().delete(1).apply_to(relation)
+        assert applied.deleted_tids == [1]
+        assert not relation.has_tid(1)
+        with pytest.raises(DataError):
+            relation.by_tid(1)
+
+    def test_unknown_tid_raises(self, relation):
+        with pytest.raises(DataError):
+            Changeset().edit(99, "A", "x").apply_to(relation)
+
+    def test_touched_tids_excludes_deleted(self, relation):
+        cs = Changeset().edit(0, "A", "x").edit(1, "B", "y").delete(1)
+        applied = cs.apply_to(relation)
+        assert applied.touched_tids() == [0]
+
+    def test_observers_see_every_operation(self, relation):
+        events = []
+        relation.add_observer(lambda t, attr, old, new: events.append(("set", t.tid, attr)))
+        relation.add_insert_observer(lambda t: events.append(("ins", t.tid)))
+        relation.add_delete_observer(lambda t: events.append(("del", t.tid)))
+        applied = (
+            Changeset()
+            .edit(0, "A", "x")
+            .insert({"K": "k9"})
+            .delete(2)
+            .apply_to(relation)
+        )
+        new_tid = applied.inserted_tids[0]
+        assert events == [("set", 0, "A"), ("ins", new_tid), ("del", 2)]
+
+    def test_noop_edit_does_not_notify(self, relation):
+        events = []
+        relation.add_observer(lambda t, attr, old, new: events.append((t.tid, attr)))
+        Changeset().edit(0, "A", "a1").apply_to(relation)  # same value
+        assert events == []
+
+    def test_keep_sentinel_is_singleton(self):
+        assert KEEP is type(KEEP)()

@@ -1,0 +1,206 @@
+"""CleaningSession: persistent state, delta-driven re-cleaning, wrappers."""
+
+import pytest
+
+from repro.constraints import CFD, MD
+from repro.core import UniClean, UniCleanConfig
+from repro.exceptions import DataError
+from repro.pipeline import Changeset, CleaningSession
+from repro.relational import Relation, Schema
+
+SCHEMA = Schema("R", ["K", "A", "B"])
+MASTER_SCHEMA = Schema("Rm", ["K", "B"])
+
+CFDS = [
+    CFD(SCHEMA, ["K"], ["A"], name="fd_ka"),
+    CFD(SCHEMA, ["A"], ["B"], name="fd_ab"),
+    CFD(SCHEMA, ["K"], ["B"], {"K": "k1", "B": "b1"}, name="const_kb"),
+]
+MDS = [MD(SCHEMA, MASTER_SCHEMA, [("K", "K")], [("B", "B")], name="md_kb")]
+
+
+def build_relation(rows) -> Relation:
+    relation = Relation(SCHEMA)
+    for k, a, b, ck, ca, cb in rows:
+        relation.add_row({"K": k, "A": a, "B": b}, {"K": ck, "A": ca, "B": cb})
+    return relation
+
+
+def build_master() -> Relation:
+    return Relation.from_dicts(
+        MASTER_SCHEMA, [{"K": "k1", "B": "b1"}, {"K": "k2", "B": "b2"}]
+    )
+
+
+DIRTY = [
+    ("k1", "a1", "b2", 1.0, 1.0, 0.0),
+    ("k1", "a2", "b1", 1.0, 0.0, 0.5),
+    ("k2", "a2", "b2", 1.0, 1.0, 0.0),
+    ("k2", "a3", "b2", 0.0, 0.5, 0.0),
+    ("k3", "a3", "b3", 0.5, 0.0, 0.0),
+]
+
+
+def state(relation: Relation):
+    return {t.tid: {a: t[a] for a in relation.schema.names} for t in relation}
+
+
+def scratch_state(base: Relation, config: UniCleanConfig):
+    cleaner = UniClean(cfds=CFDS, mds=MDS, master=build_master(), config=config)
+    return state(cleaner.clean(base).repaired)
+
+
+@pytest.fixture()
+def session() -> CleaningSession:
+    return CleaningSession(
+        cfds=CFDS, mds=MDS, master=build_master(), config=UniCleanConfig(eta=0.8)
+    )
+
+
+class TestClean:
+    def test_matches_uniclean(self, session):
+        dirty = build_relation(DIRTY)
+        result = session.clean(dirty)
+        reference = UniClean(
+            cfds=CFDS, mds=MDS, master=build_master(), config=UniCleanConfig(eta=0.8)
+        ).clean(dirty)
+        assert state(result.repaired) == state(reference.repaired)
+        assert result.clean == reference.clean
+        assert [f.cell for f in result.fix_log] == [f.cell for f in reference.fix_log]
+
+    def test_input_never_modified(self, session):
+        dirty = build_relation(DIRTY)
+        before = state(dirty)
+        session.clean(dirty)
+        assert state(dirty) == before
+
+    def test_session_owns_private_base(self, session):
+        dirty = build_relation(DIRTY)
+        session.clean(dirty)
+        session.apply(Changeset().edit(0, "B", "zzz"))
+        assert dirty.by_tid(0)["B"] == "b2"  # caller's relation untouched
+
+
+class TestApply:
+    def test_requires_clean_first(self, session):
+        with pytest.raises(DataError):
+            session.apply(Changeset().edit(0, "A", "x"))
+
+    def test_invalid_changeset_is_all_or_nothing(self, session):
+        """A bad op must not leave the base half-mutated: the session
+        validates the whole changeset before touching anything."""
+        session.clean(build_relation(DIRTY))
+        before = state(session.base)
+        with pytest.raises(DataError):
+            session.apply(Changeset().edit(0, "B", "zzz").delete(999))
+        assert state(session.base) == before  # the edit did not land
+        # The session is still consistent: a later valid apply is exact.
+        out = session.apply(Changeset().edit(0, "B", "zzz"))
+        assert state(out.repaired) == scratch_state(session.base, session.config)
+
+    def test_edit_matches_scratch(self, session):
+        session.clean(build_relation(DIRTY))
+        out = session.apply(Changeset().edit(3, "K", "k1"))
+        assert state(out.repaired) == scratch_state(session.base, session.config)
+        assert out.clean
+
+    def test_insert_matches_scratch(self, session):
+        session.clean(build_relation(DIRTY))
+        out = session.apply(
+            Changeset().insert({"K": "k1", "A": "a9", "B": "b9"}, {"K": 1.0})
+        )
+        assert state(out.repaired) == scratch_state(session.base, session.config)
+
+    def test_delete_matches_scratch(self, session):
+        session.clean(build_relation(DIRTY))
+        out = session.apply(Changeset().delete(1))
+        assert not out.repaired.has_tid(1)
+        assert state(out.repaired) == scratch_state(session.base, session.config)
+        assert all(fix.tid != 1 for fix in out.fix_log)
+
+    def test_sequential_batches_match_scratch(self, session):
+        session.clean(build_relation(DIRTY))
+        batches = [
+            Changeset().edit(0, "B", "b9", conf=1.0),
+            Changeset().edit(4, "K", "k1").insert({"K": "k3", "A": "a3", "B": "b4"}),
+            Changeset().delete(2).edit(1, "A", "a1"),
+        ]
+        for batch in batches:
+            out = session.apply(batch)
+            assert state(out.repaired) == scratch_state(session.base, session.config)
+
+    def test_empty_changeset_is_noop(self, session):
+        result = session.clean(build_relation(DIRTY))
+        before = state(result.repaired)
+        out = session.apply(Changeset())
+        assert state(out.repaired) == before
+        assert out.affected == 0 and out.replays == 0
+
+    def test_affected_is_a_fraction_on_disjoint_edit(self):
+        # Two blocks with disjoint value spaces: an edit in one block must
+        # not drag the other into the replay scope.
+        rows = []
+        for i in range(10):
+            rows.append((f"x{i % 3}", f"xa{i % 3}", f"xb{i % 2}", 0.0, 0.0, 0.0))
+        for i in range(10):
+            rows.append((f"y{i % 3}", f"ya{i % 3}", f"yb{i % 2}", 0.0, 0.0, 0.0))
+        session = CleaningSession(cfds=CFDS, config=UniCleanConfig(eta=0.8))
+        session.clean(build_relation(rows))
+        out = session.apply(Changeset().edit(0, "B", "xb9"))
+        # Only x-block tuples can be in scope (no shared groups with y).
+        assert 0 < out.affected <= 10
+        assert state(out.repaired) == {
+            t.tid: {a: t[a] for a in SCHEMA.names}
+            for t in UniClean(cfds=CFDS, config=UniCleanConfig(eta=0.8))
+            .clean(session.base)
+            .repaired
+        }
+
+    def test_legacy_engine_falls_back_to_full_reclean(self):
+        config = UniCleanConfig(eta=0.8, use_violation_index=False)
+        session = CleaningSession(
+            cfds=CFDS, mds=MDS, master=build_master(), config=config
+        )
+        session.clean(build_relation(DIRTY))
+        out = session.apply(Changeset().edit(0, "B", "b9"))
+        assert out.full_reclean
+        assert state(out.repaired) == scratch_state(session.base, config)
+
+    def test_summary_renders(self, session):
+        session.clean(build_relation(DIRTY))
+        text = session.apply(Changeset().edit(0, "B", "b9")).summary()
+        assert "affected" in text and "clean=" in text
+
+
+class TestSharedState:
+    def test_md_indexes_persist_across_cleans(self, session):
+        session.clean(build_relation(DIRTY))
+        first = dict(session.md_indexes)
+        session.clean(build_relation(DIRTY))
+        assert dict(session.md_indexes) == first  # same objects, not rebuilt
+
+    def test_registry_shared_by_check_index(self, session):
+        session.clean(build_relation(DIRTY))
+        # The satisfaction-check index reads the registry's live stores.
+        store = session.registry.cfd_store(CFDS[0])
+        assert any(part is store for part in session._check_index._cfd_parts.values())
+
+    def test_close_detaches_observers(self, session):
+        session.clean(build_relation(DIRTY))
+        working = session.working
+        session.close()
+        assert working._observers == []
+        assert working._insert_observers == []
+        assert working._delete_observers == []
+
+
+class TestUniCleanWrapper:
+    def test_clean_twice_reuses_md_indexes(self):
+        cleaner = UniClean(
+            cfds=CFDS, mds=MDS, master=build_master(), config=UniCleanConfig(eta=0.8)
+        )
+        first = cleaner.clean(build_relation(DIRTY))
+        cached = dict(cleaner._md_indexes)
+        second = cleaner.clean(build_relation(DIRTY))
+        assert dict(cleaner._md_indexes) == cached
+        assert [f.cell for f in first.fix_log] == [f.cell for f in second.fix_log]
