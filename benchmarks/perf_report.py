@@ -19,17 +19,31 @@ Two workloads, both written to ``BENCH_repair.json``:
    fallback).  The script asserts **state equivalence** for every batch;
    timing numbers are informational only, so CI stays robust to noisy
    runners.
+3. **Sharded** (the ``ShardedCleaningSession`` partition-parallel path,
+   PART testbed): one unsharded ``clean()`` and one process-pool
+   sharded ``clean()`` over the same block-partitioned dataset,
+   followed by catalog-style micro-batches applied to both.  The script
+   asserts that the repaired relation, the per-cell cost total, the
+   satisfaction verdict **and the full ordered fix log** are identical;
+   timings (and the parallel speedup) are informational only.  The
+   speedup column is only meaningful when the machine actually has
+   ``n_workers`` cores — the summary records ``cpu_count`` so a 0.x
+   "speedup" on a 1-core CI runner reads as what it is (process
+   overhead), not a regression.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf_report.py
     PYTHONPATH=src python benchmarks/perf_report.py --sizes 240 480 960
+    PYTHONPATH=src python benchmarks/perf_report.py --sharded-size 100000 \
+        --sharded-workers 8 --sharded-blocks 64
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 import time
@@ -38,7 +52,7 @@ from typing import Any, Dict, List
 
 from repro.core import UniClean, UniCleanConfig
 from repro.evaluation import generate, run_uniclean
-from repro.pipeline import Changeset, CleaningSession
+from repro.pipeline import Changeset, CleaningSession, ShardedCleaningSession
 
 DEFAULT_SIZES = (240, 480, 960)
 PHASES = ("crepair", "erepair", "hrepair")
@@ -215,6 +229,135 @@ def run_incremental_report(
     }
 
 
+def _full_state(relation) -> Dict[int, tuple]:
+    names = relation.schema.names
+    return {
+        t.tid: tuple((repr(t[a]), t.conf(a)) for a in names) for t in relation
+    }
+
+
+def run_sharded_report(
+    size: int = 4000,
+    n_blocks: int = 16,
+    n_workers: int = 2,
+    batches: int = 3,
+    edits_per_batch: int = 8,
+    noise_rate: float = 0.04,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Partition-parallel vs unsharded cleaning on the PART testbed.
+
+    Asserts byte-identical observable state (relation, costs, verdict,
+    ordered fix log) for the initial clean and every micro-batch; the
+    recorded speedups are informational only.
+    """
+    ds = generate(
+        "partitioned", size=size, n_blocks=n_blocks,
+        noise_rate=noise_rate, seed=seed,
+    )
+    config = UniCleanConfig(eta=1.0)
+    rng = random.Random(seed)
+    rows: List[Dict[str, Any]] = []
+
+    reference = CleaningSession(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config
+    )
+    started = time.perf_counter()
+    reference_clean = reference.clean(ds.dirty)
+    unsharded_s = time.perf_counter() - started
+
+    sharded = ShardedCleaningSession(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config,
+        n_workers=n_workers, n_shards=n_workers,
+    )
+    try:
+        started = time.perf_counter()
+        sharded_clean = sharded.clean(ds.dirty)
+        sharded_s = time.perf_counter() - started
+
+        identical = (
+            _full_state(reference_clean.repaired)
+            == _full_state(sharded_clean.repaired)
+            and _fingerprint(reference_clean.fix_log)
+            == _fingerprint(sharded_clean.fix_log)
+            and abs(reference_clean.cost - sharded_clean.cost) < 1e-9
+            and reference_clean.clean == sharded_clean.clean
+        )
+        all_identical = identical
+        rows.append(
+            {
+                "stage": "clean",
+                "unsharded_s": round(unsharded_s, 6),
+                "sharded_s": round(sharded_s, 6),
+                "speedup": round(unsharded_s / sharded_s, 2) if sharded_s else None,
+                "state_identical": identical,
+            }
+        )
+
+        catalog_attrs = [a for a in ("cat", "score") if a in ds.schema]
+        tids = list(reference.base.tids())
+        for batch in range(batches):
+            changeset = Changeset()
+            for _ in range(edits_per_batch):
+                attr = rng.choice(catalog_attrs)
+                donor = reference.base.by_tid(rng.choice(tids))
+                changeset.edit(rng.choice(tids), attr, donor[attr])
+            started = time.perf_counter()
+            reference_out = reference.apply(Changeset(list(changeset.ops)))
+            unsharded_apply_s = time.perf_counter() - started
+            started = time.perf_counter()
+            sharded_out = sharded.apply(Changeset(list(changeset.ops)))
+            sharded_apply_s = time.perf_counter() - started
+            identical = (
+                _full_state(reference_out.repaired)
+                == _full_state(sharded_out.repaired)
+                and _fingerprint(reference_out.fix_log)
+                == _fingerprint(sharded_out.fix_log)
+                and abs(reference_out.cost - sharded_out.cost) < 1e-9
+                and reference_out.clean == sharded_out.clean
+            )
+            all_identical &= identical
+            rows.append(
+                {
+                    "stage": f"apply[{batch}]",
+                    "unsharded_s": round(unsharded_apply_s, 6),
+                    "sharded_s": round(sharded_apply_s, 6),
+                    "speedup": round(unsharded_apply_s / sharded_apply_s, 2)
+                    if sharded_apply_s
+                    else None,
+                    "mode": "full_reclean" if sharded_out.full_reclean else "scoped",
+                    "state_identical": identical,
+                }
+            )
+        summary = {
+            "size": size,
+            "n_blocks": n_blocks,
+            "n_workers": n_workers,
+            "cpu_count": os.cpu_count(),
+            "n_shards": sharded.plan.n_shards,
+            "degenerate_plan": sharded.plan.degenerate,
+            "collision_retries": sharded.stats["collision_retries"],
+            "scoped_applies": sharded.stats["scoped_applies"],
+            "unsharded_clean_s": round(unsharded_s, 6),
+            "sharded_clean_s": round(sharded_s, 6),
+            "clean_speedup": round(unsharded_s / sharded_s, 2) if sharded_s else None,
+            "all_state_identical": all_identical,
+        }
+    finally:
+        sharded.close()
+    return {
+        "workload": {
+            "dataset": "partitioned",
+            "size": size,
+            "n_blocks": n_blocks,
+            "noise_rate": noise_rate,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
@@ -224,6 +367,11 @@ def main(argv=None) -> int:
                         help="micro-batches for the incremental scenario")
     parser.add_argument("--edits-per-batch", type=int, default=10)
     parser.add_argument("--skip-incremental", action="store_true")
+    parser.add_argument("--sharded-size", type=int, default=4000,
+                        help="PART testbed rows for the sharded scenario")
+    parser.add_argument("--sharded-blocks", type=int, default=16)
+    parser.add_argument("--sharded-workers", type=int, default=2)
+    parser.add_argument("--skip-sharded", action="store_true")
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_repair.json",
@@ -259,6 +407,25 @@ def main(argv=None) -> int:
                 f"state_identical={entry['all_state_identical']}"
             )
             ok &= entry["all_state_identical"]
+
+    if not args.skip_sharded:
+        sharded = run_sharded_report(
+            size=args.sharded_size,
+            n_blocks=args.sharded_blocks,
+            n_workers=args.sharded_workers,
+        )
+        report["sharded"] = sharded
+        entry = sharded["summary"]
+        print(
+            f"  sharded size={entry['size']} shards={entry['n_shards']} "
+            f"workers={entry['n_workers']}: "
+            f"unsharded={entry['unsharded_clean_s']:.2f}s "
+            f"sharded={entry['sharded_clean_s']:.2f}s "
+            f"speedup={entry['clean_speedup']}x (cpus={entry['cpu_count']}) "
+            f"scoped_applies={entry['scoped_applies']} "
+            f"state_identical={entry['all_state_identical']}"
+        )
+        ok &= entry["all_state_identical"]
 
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")

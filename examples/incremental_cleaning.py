@@ -63,3 +63,8 @@ for batch in range(3):
     )
 
 print(f"final state satisfies the rules: {session.is_clean()}")
+print(
+    "tip: on block-partitioned workloads, ShardedCleaningSession(..., "
+    "n_workers=N) fans clean()/apply() out across a process pool with "
+    "byte-identical results — see examples/sharded_cleaning.py"
+)

@@ -57,8 +57,20 @@ except ImportError:
     pass
 
 try:  # pragma: no cover - trivial re-export
-    from repro.pipeline import ApplyResult, Changeset, CleaningSession  # noqa: F401
+    from repro.pipeline import (  # noqa: F401
+        ApplyResult,
+        Changeset,
+        CleaningSession,
+        ShardedCleaningSession,
+        ShardPlanner,
+    )
 
-    __all__ += ["ApplyResult", "Changeset", "CleaningSession"]
+    __all__ += [
+        "ApplyResult",
+        "Changeset",
+        "CleaningSession",
+        "ShardPlanner",
+        "ShardedCleaningSession",
+    ]
 except ImportError:
     pass

@@ -43,6 +43,7 @@ from repro.constraints.rules import (
     derive_rules,
 )
 from repro.core.fixes import Fix, FixKind, FixLog
+from repro.core.trace import WorklistTrace
 from repro.indexing.blocking import MDBlockingIndex
 from repro.indexing.group_store import GroupStoreRegistry
 from repro.indexing.violation_index import ViolationIndex
@@ -97,6 +98,7 @@ class _CRepair:
         shared_md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
         registry: Optional["GroupStoreRegistry"] = None,
         scope_tids: Optional[Sequence[int]] = None,
+        trace: Optional[WorklistTrace] = None,
     ):
         self.relation = relation
         self.rules = list(rules)
@@ -104,6 +106,11 @@ class _CRepair:
         self.fix_log = fix_log
         self.master = master
         self.scope_tids = scope_tids
+        #: Optional scheduling trace for partition-parallel log merging.
+        self.trace = trace
+        self._looping = False  # pushes before the main loop are roots
+        self._root_rank: Optional[Tuple] = None
+        self._children = 0
         self.scope_set: Optional[Set[int]] = (
             set(scope_tids) if scope_tids is not None else None
         )
@@ -170,6 +177,17 @@ class _CRepair:
         if key not in self.queued:
             self.queued.add(key)
             self.queue.append(key)
+            if self.trace is not None:
+                if self._looping:
+                    self._children += 1
+                else:
+                    assert self._root_rank is not None
+                    self.trace.root_ranks.append(self._root_rank)
+                    # Several pushes may share one init step: disambiguate
+                    # by a trailing counter (ranks must be strict).
+                    self._root_rank = self._root_rank[:-1] + (
+                        self._root_rank[-1] + 1,
+                    )
 
     def _asserted(self, t: CTuple, attr: str) -> bool:
         return t.has_conf_at_least(attr, self.eta)
@@ -329,10 +347,15 @@ class _CRepair:
     # Main loop — Fig. 4
     # ------------------------------------------------------------------
     def run(self) -> None:
-        relevant_attrs: Set[str] = set()
+        # Rule-declaration order, not set order: the iteration order feeds
+        # the worklist, and set-of-str order varies with the per-process
+        # hash seed — shard workers must schedule exactly like the parent.
+        relevant: Dict[str, None] = {}
         for rule in self.rules:
-            relevant_attrs.update(rule.lhs_attrs())
-            relevant_attrs.add(rule.rhs_attr())
+            for attr in rule.lhs_attrs():
+                relevant.setdefault(attr, None)
+            relevant.setdefault(rule.rhs_attr(), None)
+        relevant_attrs: Tuple[str, ...] = tuple(relevant)
         # Initialization (lines 1–6): propagate already-asserted attributes
         # and arm premise-free rules.  A scoped (delta-driven) run arms
         # only the dirty tuples — sound because the session's influence
@@ -344,25 +367,36 @@ class _CRepair:
         for idx, rule in enumerate(self.rules):
             if not rule.lhs_attrs():
                 for tid in scope:
+                    self._root_rank = (0, idx, tid, 0)
                     self._push(tid, idx)
         for tid in scope:
             t = self.relation.by_tid(tid)
+            self._root_rank = (1, tid, 0, 0)
             for attr in relevant_attrs:
                 if self._asserted(t, attr):
                     self.update(t, attr)
         # Fixpoint loop (lines 7–15).
+        self._looping = True
+        trace = self.trace
         while self.queue:
             tid, rule_idx = self.queue.popleft()
             self.queued.discard((tid, rule_idx))
             t = self.relation.by_tid(tid)
             rule = self.rules[rule_idx]
             self.fired += 1
+            if trace is not None:
+                self._children = 0
+                fixes_before = len(self.fix_log)
             if isinstance(rule, VariableCFDRule):
                 self.vcfd_infer(t, rule_idx)
             elif isinstance(rule, ConstantCFDRule):
                 self.ccfd_infer(t, rule_idx)
             else:
                 self.md_infer(t, rule_idx)
+            if trace is not None:
+                trace.pops.append(
+                    (self._children, len(self.fix_log) - fixes_before)
+                )
 
 
 def crepair(
@@ -379,6 +413,7 @@ def crepair(
     md_indexes: Optional[Mapping[str, MDBlockingIndex]] = None,
     registry: Optional[GroupStoreRegistry] = None,
     scope_tids: Optional[Sequence[int]] = None,
+    trace: Optional[WorklistTrace] = None,
 ) -> CRepairResult:
     """Find all deterministic fixes in *relation* (Theorem 5.1).
 
@@ -419,6 +454,10 @@ def crepair(
         :class:`~repro.pipeline.session.CleaningSession`.  Requires the
         caller to pass an influence-closed scope; arbitrary subsets do
         not reproduce full-run fixes.
+    trace:
+        Optional :class:`~repro.core.trace.WorklistTrace` recording the
+        worklist schedule, so partition-parallel runs can merge shard
+        fix logs into the exact unsharded order.
 
     Returns
     -------
@@ -440,6 +479,7 @@ def crepair(
         shared_md_indexes=md_indexes,
         registry=registry,
         scope_tids=scope_tids,
+        trace=trace,
     )
     try:
         state.run()

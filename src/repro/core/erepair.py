@@ -38,9 +38,10 @@ from repro.constraints.rules import (
     derive_rules,
 )
 from repro.core.fixes import Fix, FixKind, FixLog
+from repro.core.trace import RoundTrace
 from repro.indexing.blocking import MDBlockingIndex
 from repro.indexing.entropy_index import EntropyIndex
-from repro.indexing.group_store import GroupStoreRegistry
+from repro.indexing.group_store import GroupStoreRegistry, sort_key
 from repro.indexing.violation_index import ViolationIndex
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
@@ -73,6 +74,7 @@ class _ERepair:
         registry: Optional[GroupStoreRegistry] = None,
         scope_tids: Optional[Sequence[int]] = None,
         scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
+        trace: Optional[RoundTrace] = None,
     ):
         self.relation = relation
         self.master = master
@@ -82,6 +84,9 @@ class _ERepair:
         self.fix_log = fix_log
         self.scope_tids = scope_tids
         self.scope_cells = scope_cells
+        #: Optional per-fix scheduling tokens for sharded log merging.
+        self.trace = trace
+        self._token: Optional[Tuple] = None
         self.change_count: Dict[Tuple[int, str], int] = {}
         self.fixes_made = 0
         self.rounds = 0
@@ -189,6 +194,9 @@ class _ERepair:
                 source=source,
             )
         )
+        if self.trace is not None:
+            assert self._token is not None
+            self.trace.tokens.append(self._token)
         # set_value notifies the entropy indexes and the violation index,
         # which queues the touched partitions for the next round.
         self.relation.set_value(t, attr, value)
@@ -213,18 +221,26 @@ class _ERepair:
         # AVL (entropy, key) iteration order is preserved either way.
         if self.vindex is not None:
             dirty = set(self.vindex.pop_dirty_keys(rule_idx))
-            candidate_keys = [
-                group.key
+            candidates = [
+                (group.key, group.entropy)
                 for group in index.conflicting_groups()
                 if group.entropy < self.delta2 and group.key in dirty
             ]
         else:
-            candidate_keys = [
-                group.key
+            candidates = [
+                (group.key, group.entropy)
                 for group in index.conflicting_groups()
                 if group.entropy < self.delta2
             ]
-        for key in candidate_keys:
+        for key, snapshot_entropy in candidates:
+            if self.trace is not None:
+                # The AVL ordering key at snapshot time — the content rank
+                # that positions this group among all shards' candidates.
+                self._token = (
+                    self.rounds,
+                    rule_idx,
+                    (snapshot_entropy, tuple(sort_key(v) for v in key)),
+                )
             group = index.group(key)
             if group is None or group.entropy == 0.0:
                 continue  # already resolved as a side effect
@@ -255,6 +271,8 @@ class _ERepair:
         constant = rule.cfd.rhs_constant
         changed = False
         for t in self._candidates(rule_idx):
+            if self.trace is not None:
+                self._token = (self.rounds, rule_idx, (t.tid,))
             if not rule.cfd.lhs_matches(t):
                 continue
             if t[rhs] == constant:
@@ -273,6 +291,8 @@ class _ERepair:
         find_match = index.cached_find_match if self.vindex is not None else index.find_match
         changed = False
         for t in self._candidates(rule_idx):
+            if self.trace is not None:
+                self._token = (self.rounds, rule_idx, (t.tid,))
             match = find_match(t)
             if match is None:
                 continue
@@ -322,6 +342,7 @@ def erepair(
     registry: Optional[GroupStoreRegistry] = None,
     scope_tids: Optional[Sequence[int]] = None,
     scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
+    trace: Optional[RoundTrace] = None,
 ) -> ERepairResult:
     """Find reliable (entropy-based) fixes in *relation* (Section 6).
 
@@ -375,6 +396,7 @@ def erepair(
         registry=registry,
         scope_tids=scope_tids,
         scope_cells=scope_cells,
+        trace=trace,
     )
     try:
         state.run()

@@ -51,6 +51,7 @@ from repro.constraints.rules import (
 )
 from repro.core.cost import cell_cost
 from repro.core.fixes import Fix, FixKind, FixLog
+from repro.core.trace import RoundTrace
 from repro.indexing.blocking import MDBlockingIndex
 from repro.indexing.group_store import GroupStoreRegistry
 from repro.indexing.violation_index import ViolationIndex
@@ -130,6 +131,7 @@ class _HRepair:
         registry: Optional[GroupStoreRegistry] = None,
         scope_tids: Optional[Sequence[int]] = None,
         scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
+        trace: Optional[RoundTrace] = None,
     ):
         self.relation = relation
         self.rules = list(rules)
@@ -139,6 +141,9 @@ class _HRepair:
         self.max_rounds = max_rounds
         self.scope_tids = scope_tids
         self.scope_cells = scope_cells
+        #: Optional per-fix scheduling tokens for sharded log merging.
+        self.trace = trace
+        self._token: Optional[Tuple] = None
         if scope_tids is not None and not use_violation_index:
             raise ValueError("scoped (delta-driven) runs require the violation index")
         self.uf = _UnionFind()
@@ -253,6 +258,9 @@ class _HRepair:
                     source="heuristic",
                 )
             )
+            if self.trace is not None:
+                assert self._token is not None
+                self.trace.tokens.append(self._token)
             self.relation.set_value(t, attr, value)
             self.fixes_made += 1
 
@@ -302,6 +310,8 @@ class _HRepair:
         constant = rule.cfd.rhs_constant
         changed = False
         for t in self._candidates(rule_idx):
+            if self.trace is not None:
+                self._token = (self.rounds, rule_idx, (t.tid,))
             if not rule.cfd.lhs_matches(t):
                 continue
             current = t[rhs]
@@ -337,15 +347,27 @@ class _HRepair:
         if self.vindex is not None:
             by_tid = self.relation.by_tid
             for key in self.vindex.pop_dirty_keys(rule_idx):
-                group = [by_tid(tid) for tid in self.vindex.members(rule_idx, key)]
-                if group:
-                    changed |= self._resolve_variable_group(rule, rhs, key, group)
+                members = self.vindex.members(rule_idx, key)
+                if not members:
+                    continue
+                if self.trace is not None:
+                    # Pop order is ascending smallest member tid — the
+                    # content rank that interleaves shards' partitions.
+                    self._token = (self.rounds, rule_idx, (members[0],))
+                group = [by_tid(tid) for tid in members]
+                changed |= self._resolve_variable_group(rule, rhs, key, group)
         else:
             groups: Dict[Tuple[Any, ...], List[CTuple]] = {}
             for t in self.relation:
                 if rule.cfd.lhs_matches(t):
                     groups.setdefault(t.project(rule.cfd.lhs), []).append(t)
             for key, group in groups.items():
+                if self.trace is not None:
+                    self._token = (
+                        self.rounds,
+                        rule_idx,
+                        (min(t.tid for t in group),),
+                    )
                 changed |= self._resolve_variable_group(rule, rhs, key, group)
         return changed
 
@@ -457,6 +479,8 @@ class _HRepair:
         matches = index.cached_matches if self.vindex is not None else index.matches
         changed = False
         for t in self._candidates(rule_idx):
+            if self.trace is not None:
+                self._token = (self.rounds, rule_idx, (t.tid,))
             # All premise-satisfying master tuples place a demand on t[E];
             # a single match dictates a constant, conflicting matches are
             # resolved with null (which satisfies the null-tolerant check).
@@ -617,6 +641,7 @@ def hrepair(
     registry: Optional[GroupStoreRegistry] = None,
     scope_tids: Optional[Sequence[int]] = None,
     scope_cells: Optional[Sequence[Tuple[int, str]]] = None,
+    trace: Optional[RoundTrace] = None,
 ) -> HRepairResult:
     """Produce a consistent repair with heuristic *possible* fixes.
 
@@ -649,6 +674,7 @@ def hrepair(
         registry=registry,
         scope_tids=scope_tids,
         scope_cells=scope_cells,
+        trace=trace,
     )
     try:
         state.run()

@@ -13,11 +13,18 @@ from repro.datasets.generator import (
     NamePool,
     assign_confidences,
     corrupt_cell,
+    derive_rng,
+    derive_seed,
     inject_noise,
     split_rows,
     typo,
 )
 from repro.datasets.hosp import HOSP_SCHEMA, generate_hosp, hosp_rules
+from repro.datasets.partitioned import (
+    PART_SCHEMA,
+    generate_partitioned,
+    part_rules,
+)
 from repro.datasets.tpch import TPCH_SCHEMA, generate_tpch, tpch_cfds, tpch_mds
 
 __all__ = [
@@ -25,15 +32,20 @@ __all__ = [
     "DirtyDataset",
     "HOSP_SCHEMA",
     "NamePool",
+    "PART_SCHEMA",
     "TPCH_SCHEMA",
     "assign_confidences",
     "corrupt_cell",
     "dblp_rules",
+    "derive_rng",
+    "derive_seed",
     "generate_dblp",
     "generate_hosp",
+    "generate_partitioned",
     "generate_tpch",
     "hosp_rules",
     "inject_noise",
+    "part_rules",
     "split_rows",
     "tpch_cfds",
     "tpch_mds",

@@ -23,6 +23,7 @@ asserted cells are sampled from the *correct* cells only.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import string
 from dataclasses import dataclass, field
@@ -85,6 +86,34 @@ class DirtyDataset:
         """Realized fraction of erroneous cells."""
         total = len(self.dirty) * len(self.schema)
         return len(self.errors) / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def derive_seed(seed: int, *context: Any) -> int:
+    """A stable sub-seed for ``(seed, *context)``.
+
+    Uses SHA-256 over the repr of the context, so the derivation is
+    identical across processes and interpreter invocations (unlike
+    ``hash()``, which is salted per process).  This is what lets the
+    partitioned testbed generate each block independently: a worker
+    generating blocks ``{3, 7}`` draws exactly the bytes the full
+    generation draws for those blocks.
+    """
+    payload = repr((seed,) + context).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def derive_rng(seed: int, *context: Any) -> random.Random:
+    """A :class:`random.Random` seeded by :func:`derive_seed`.
+
+    Every noise/perturbation choice of a generator should draw from an
+    rng threaded explicitly like this — never from module-level
+    ``random`` state — so that per-shard and whole-dataset generation
+    are byte-identical.
+    """
+    return random.Random(derive_seed(seed, *context))
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.core.uniclean import CleaningResult, UniClean, UniCleanConfig
 from repro.datasets.dblp import generate_dblp
 from repro.datasets.generator import DirtyDataset
 from repro.datasets.hosp import generate_hosp
+from repro.datasets.partitioned import generate_partitioned
 from repro.datasets.tpch import generate_tpch
 from repro.evaluation.metrics import Metrics, matching_metrics, repair_metrics
 from repro.matching.matcher import MDMatcher
@@ -37,6 +38,7 @@ GENERATORS: Dict[str, Callable[..., DirtyDataset]] = {
     "hosp": generate_hosp,
     "dblp": generate_dblp,
     "tpch": generate_tpch,
+    "partitioned": generate_partitioned,
 }
 
 

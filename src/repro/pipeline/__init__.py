@@ -19,6 +19,11 @@ from repro.pipeline.changeset import (
     KEEP,
 )
 from repro.pipeline.session import ApplyResult, CleaningSession
+from repro.pipeline.sharding import (
+    ShardedCleaningSession,
+    ShardPlan,
+    ShardPlanner,
+)
 
 __all__ = [
     "AppliedChangeset",
@@ -29,4 +34,7 @@ __all__ = [
     "Delete",
     "Insert",
     "KEEP",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardedCleaningSession",
 ]

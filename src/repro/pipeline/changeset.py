@@ -173,12 +173,12 @@ class Changeset:
         """Check every operation against *relation* without mutating it.
 
         Simulates the op sequence (edits/deletes on a tid deleted
-        earlier in the same changeset fail; unknown tids and attributes
-        fail), raising :class:`~repro.exceptions.DataError` /
-        :class:`~repro.exceptions.SchemaError`.  Callers that must stay
-        transactional (:meth:`CleaningSession.apply`) run this before
-        :meth:`apply_to`, so a bad op cannot leave the relation
-        half-mutated.
+        earlier in the same changeset fail; unknown tids, unknown
+        attributes and out-of-range confidences fail), raising
+        :class:`~repro.exceptions.DataError` /
+        :class:`~repro.exceptions.SchemaError`.  :meth:`apply_to` runs
+        this before mutating anything, so a bad op can never leave the
+        relation — or its observer-maintained indexes — half-updated.
         """
         schema = relation.schema
         deleted: set = set()
@@ -190,12 +190,27 @@ class Changeset:
                         f"relation {schema.name!r}"
                     )
                 schema.check_attrs([op.attr])
+                if op.conf is not KEEP and op.conf is not None:
+                    try:
+                        in_range = 0.0 <= op.conf <= 1.0  # type: ignore[operator]
+                    except TypeError:
+                        in_range = False  # unorderable type: reject up front
+                    if not in_range:
+                        raise DataError(
+                            f"changeset sets confidence {op.conf!r} outside "
+                            f"[0, 1] on tuple #{op.tid}"
+                        )
             elif isinstance(op, Insert):
                 for attr in op.values:
                     schema.check_attrs([attr])
                 if op.confidences:
-                    for attr in op.confidences:
+                    for attr, conf in op.confidences.items():
                         schema.check_attrs([attr])
+                        if conf is not None and not 0.0 <= conf <= 1.0:
+                            raise DataError(
+                                f"changeset inserts confidence {conf!r} "
+                                f"outside [0, 1] for attribute {attr!r}"
+                            )
             else:
                 if op.tid in deleted or not relation.has_tid(op.tid):
                     raise DataError(
@@ -205,15 +220,19 @@ class Changeset:
                 deleted.add(op.tid)
 
     def apply_to(self, relation: Relation) -> AppliedChangeset:
-        """Apply every operation to *relation*, in order.
+        """Apply every operation to *relation*, in order — atomically.
 
         All mutations go through the relation's notifying entry points,
-        so observers (index registries) see each one.  Raises
-        :class:`~repro.exceptions.DataError` on unknown tids and
-        :class:`~repro.exceptions.SchemaError` on unknown attributes —
-        ops preceding the failing one remain applied (call
-        :meth:`validate_against` first for all-or-nothing semantics).
+        so observers (index registries) see each one.  The whole op
+        sequence is validated via :meth:`validate_against` **before any
+        mutation**: an edit or delete naming an unknown tid, an unknown
+        attribute, or an out-of-range confidence raises
+        :class:`~repro.exceptions.DataError` /
+        :class:`~repro.exceptions.SchemaError` while the relation — and
+        every observer-maintained index — is still untouched.  A
+        changeset therefore either applies in full or not at all.
         """
+        self.validate_against(relation)
         applied = AppliedChangeset()
         for op in self.ops:
             if isinstance(op, CellEdit):

@@ -60,6 +60,7 @@ from repro.core.crepair import CRepairResult, crepair
 from repro.core.erepair import ERepairResult, erepair
 from repro.core.fixes import FixLog
 from repro.core.hrepair import HRepairResult, hrepair
+from repro.core.trace import RoundTrace, WorklistTrace
 from repro.core.uniclean import CleaningResult, UniCleanConfig
 from repro.exceptions import DataError
 from repro.indexing.blocking import MDBlockingIndex, build_md_indexes
@@ -115,6 +116,15 @@ class CleaningSession:
     md_indexes:
         Optional pre-built master-side blocking indexes to adopt
         (``UniClean`` shares one set across its throwaway sessions).
+    collect_traces:
+        Record per-phase scheduling traces (:mod:`repro.core.trace`) and
+        the set of variable-CFD group keys ever materialized, per rule
+        spec.  Shard workers of
+        :class:`~repro.pipeline.sharding.ShardedCleaningSession` enable
+        this so the coordinator can merge shard fix logs into the exact
+        unsharded order and detect cross-shard group collisions.
+        Requires ``use_violation_index`` (key tracking rides the shared
+        group stores).
 
     Examples
     --------
@@ -133,8 +143,10 @@ class CleaningSession:
         master: Optional[Relation] = None,
         config: Optional[UniCleanConfig] = None,
         md_indexes: Optional[Dict[str, MDBlockingIndex]] = None,
+        collect_traces: bool = False,
     ):
         self.config = config or UniCleanConfig()
+        self._init_trace_support(collect_traces)
         self.cfds: List[CFD] = []
         for cfd in cfds:
             self.cfds.extend(cfd.normalize())
@@ -168,12 +180,19 @@ class CleaningSession:
         master: Optional[Relation],
         config: UniCleanConfig,
         md_indexes: Optional[Dict[str, MDBlockingIndex]] = None,
+        collect_traces: bool = False,
     ) -> "CleaningSession":
         """Build a session over already-normalized rules, skipping the
         (idempotent but not free) normalization and consistency checks —
-        the constructor ``UniClean.clean()`` uses per call."""
+        the constructor ``UniClean.clean()`` uses per call.  This is also
+        the pickling-safe shard-construction hook: a
+        :class:`~repro.pipeline.sharding.ShardedCleaningSession` worker
+        receives the already-normalized rule payload and builds its
+        per-shard session here, without re-running the (whole-rule-set)
+        consistency analysis in every process."""
         session = cls.__new__(cls)
         session.config = config
+        session._init_trace_support(collect_traces)
         session.cfds = list(cfds)
         session.mds = list(mds)
         session.master = master
@@ -182,6 +201,44 @@ class CleaningSession:
         session._init_rule_maps()
         session._init_relation_state()
         return session
+
+    def _init_trace_support(self, collect_traces: bool) -> None:
+        """Sharding-support state: per-phase scheduling traces, new-fix
+        segments, the perturbed set of the latest apply, and the set of
+        variable-CFD group keys ever materialized (per rule spec)."""
+        self.collect_traces = collect_traces
+        if collect_traces and not self.config.use_violation_index:
+            raise ValueError(
+                "collect_traces requires use_violation_index (group-key "
+                "tracking rides the shared group stores)"
+            )
+        #: Per-phase traces / new-fix segments of the latest phase run.
+        self.last_traces: Dict[str, object] = {}
+        self.last_segments: Dict[str, List] = {}
+        #: Perturbed cells of the latest scoped apply (empty after a full
+        #: replay or a clean()).
+        self.last_perturbed: Set[Cell] = set()
+        self._last_c_result: Optional[CRepairResult] = None
+        self._last_e_result: Optional[ERepairResult] = None
+        self._last_h_result: Optional[HRepairResult] = None
+        #: spec -> every LHS group key that ever existed on the working
+        #: relation since the last clean() (initial groups + every key a
+        #: repair write created, transient ones included).
+        self.ever_group_keys: Dict[Tuple, Set[Tuple]] = {}
+
+    def _track_group_keys(self) -> None:
+        assert self.registry is not None
+        self.ever_group_keys = {}
+        for store in self.registry.variable_cfd_stores():
+            spec = GroupStoreRegistry.cfd_spec(store.cfd)
+            seen = self.ever_group_keys.setdefault(spec, set())
+            seen.update(store.groups)
+
+            def tracker(t, old_key, new_key, _seen=seen):
+                if new_key is not None:
+                    _seen.add(new_key)
+
+            store.change_listeners.append(tracker)
 
     def _init_rule_maps(self) -> None:
         """Static closure helpers derived from the bound rule set."""
@@ -299,9 +356,12 @@ class CleaningSession:
                     attach=False,
                     registry=self.registry,
                 )
+            if self.collect_traces:
+                self._track_group_keys()
             timings["setup"] = time.perf_counter() - started
 
         self._ensure_md_indexes()
+        self.last_perturbed = set()
         c_result, e_result, h_result = self._run_phases(None, self.fix_log, timings)
         self._rebuild_cell_costs()
         self._last_clean = relation_is_clean(
@@ -350,6 +410,16 @@ class CleaningSession:
         e_result: Optional[ERepairResult] = None
         h_result: Optional[HRepairResult] = None
 
+        tracing = self.collect_traces
+        trace_c = WorklistTrace() if tracing and config.run_crepair else None
+        trace_e = RoundTrace() if tracing and config.run_erepair else None
+        trace_h = RoundTrace() if tracing and config.run_hrepair else None
+        self.last_traces = {
+            "crepair": trace_c, "erepair": trace_e, "hrepair": trace_h,
+        }
+        self.last_segments = {"crepair": [], "erepair": [], "hrepair": []}
+        mark = len(log)
+
         if config.run_crepair:
             started = time.perf_counter()
             c_result = crepair(
@@ -366,9 +436,13 @@ class CleaningSession:
                 md_indexes=self.md_indexes,
                 registry=self.registry,
                 scope_tids=scope_tids,
+                trace=trace_c,
             )
             if escapes is not None:
                 escapes |= c_result.escaped_cells
+            if tracing:
+                self.last_segments["crepair"] = log.fixes()[mark:]
+                mark = len(log)
             timings["crepair"] = timings.get("crepair", 0.0) + (
                 time.perf_counter() - started
             )
@@ -394,7 +468,11 @@ class CleaningSession:
                 registry=self.registry,
                 scope_tids=scope_tids,
                 scope_cells=scope_cells,
+                trace=trace_e,
             )
+            if tracing:
+                self.last_segments["erepair"] = log.fixes()[mark:]
+                mark = len(log)
             timings["erepair"] = timings.get("erepair", 0.0) + (
                 time.perf_counter() - started
             )
@@ -416,10 +494,18 @@ class CleaningSession:
                 registry=self.registry,
                 scope_tids=scope_tids,
                 scope_cells=scope_cells,
+                trace=trace_h,
             )
+            if tracing:
+                self.last_segments["hrepair"] = log.fixes()[mark:]
+                mark = len(log)
             timings["hrepair"] = timings.get("hrepair", 0.0) + (
                 time.perf_counter() - started
             )
+        #: Kept for shard workers, which report phase statistics upstream.
+        self._last_c_result = c_result
+        self._last_e_result = e_result
+        self._last_h_result = h_result
         return c_result, e_result, h_result
 
     # ------------------------------------------------------------------
@@ -436,9 +522,15 @@ class CleaningSession:
         """
         if self.working is None or self.base is None:
             raise DataError("CleaningSession.apply() requires a prior clean()")
-        # All-or-nothing: a bad op must not leave the session's base
-        # half-mutated (a later apply would silently break exactness).
-        changeset.validate_against(self.base)
+        # All-or-nothing is inherited from Changeset.apply_to, which
+        # validates every op before mutating anything; the bookkeeping
+        # below it (seeds, dead-tid pruning) only runs after it succeeds.
+        # A scoped apply whose closure turns out empty never reaches
+        # _run_phases: reset the sharding-support state here so workers
+        # cannot ship a stale previous run's segments upstream.
+        self.last_traces = {"crepair": None, "erepair": None, "hrepair": None}
+        self.last_segments = {"crepair": [], "erepair": [], "hrepair": []}
+        self.last_perturbed = set()
 
         timings: Dict[str, float] = {}
         started = time.perf_counter()
@@ -551,6 +643,7 @@ class CleaningSession:
         )
         self._last_clean = is_clean_now
         timings["verify"] = time.perf_counter() - started
+        self.last_perturbed = set(perturbed)
         return ApplyResult(
             repaired=self.working,
             fix_log=self.fix_log,

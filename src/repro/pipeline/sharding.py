@@ -1,0 +1,1169 @@
+"""Partition-parallel sharded cleaning: plan, fan out, merge — exactly.
+
+The three repair phases are embarrassingly parallel along the blocking
+structure of the rules themselves: a CFD violation never couples tuples
+that disagree on the rule's LHS key (``CFD.key_attrs()``), an MD check
+couples one data tuple with the *immutable* master relation only, and
+constant-CFD checks are per-tuple.  Co-partitioning the working relation
+so that no variable-CFD group straddles shards therefore lets one
+:class:`~repro.pipeline.session.CleaningSession` per shard run every
+phase independently — the pay-once-then-answer-under-updates shape of
+the session, scaled out across processes.
+
+Plan
+----
+:class:`ShardPlanner` computes the *coarsest common refinement* of all
+rules' shard keys: tuples are unioned whenever they share a variable-CFD
+group (``t[X] ≍ tp[X]`` and equal LHS projection — a hard correctness
+constraint) or an MD equality-blocking group
+(``MD.blocking_key_attrs()`` — an affinity constraint that keeps the
+per-shard MD match caches as hot as the unsharded one; pure-similarity
+MDs, whose blocking key is empty, are per-tuple against master and add
+no constraint).  The resulting connected components are packed into
+``n_shards`` balanced bins.  When the rule keys are incompatible — one
+component swallows the relation, as chained FDs over a denormalized
+schema can arrange — the plan *degenerates to a single shard* and the
+sharded session behaves exactly like (and costs no more than) an
+unsharded one.
+
+Exactness
+---------
+Because shards never interact, an unsharded run's behaviour restricted
+to one shard's tuples *is* the shard run (same fixes, same relative
+order).  Two mechanisms turn that into byte-identical observable state:
+
+* **Scheduling traces** (:mod:`repro.core.trace`): each shard session
+  records how its phases scheduled work, and the coordinator replays
+  the unified schedule to interleave per-shard fix logs into the exact
+  unsharded emission order.
+* **Group-key collision detection**: the plan is computed on *base*
+  group keys, but repairs may rewrite LHS cells and create new groups
+  mid-run.  Every shard session tracks the set of group keys that ever
+  existed per rule spec; if the same key ever materializes in two
+  shards, the shard-local trajectories may have diverged from the
+  global one, so the coordinator merges the colliding shards and
+  re-cleans.  Shard count strictly decreases per retry, so the loop
+  terminates — in the worst case at one shard, which is trivially
+  exact.
+
+``apply(changeset)`` routes each op to the shard owning its tid and
+mirrors the unsharded session's strategy choice: deltas that are scoped
+in every shard stay scoped (cost ∝ delta, no cross-process state
+shipping beyond the ops and the touched rows); inserts and edits to any
+variable-CFD premise attribute — edits that could re-shard tuples — take
+the re-plan path, which is the sharded counterpart of the session's warm
+full replay (master-side indexes stay hot in every worker process).
+
+Equivalence — repaired relation, per-cell costs, satisfaction verdict
+and the *full ordered fix log* — is property-tested against an unsharded
+session in ``tests/properties/test_property_sharding.py`` and re-checked
+by the ``sharded`` scenario of ``benchmarks/perf_report.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.consistency import assert_consistent
+from repro.constraints.cfd import CFD
+from repro.constraints.md import MD, NegativeMD, embed_negative
+from repro.core.crepair import CRepairResult
+from repro.core.erepair import ERepairResult
+from repro.core.fixes import Fix, FixLog
+from repro.core.hrepair import HRepairResult
+from repro.core.trace import merge_round_fixes, merge_worklist_fixes
+from repro.core.uniclean import CleaningResult, UniCleanConfig
+from repro.exceptions import DataError
+from repro.pipeline.changeset import CellEdit, Changeset, Delete, Insert, Op
+from repro.pipeline.session import ApplyResult, CleaningSession
+from repro.relational.relation import Relation
+
+Cell = Tuple[int, str]
+Key = Tuple[Any, ...]
+Spec = Tuple
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+@dataclass
+class ShardPlan:
+    """A co-partitioning of a relation's tids into shards.
+
+    ``shards[i]`` is the sorted tid list of shard *i*; ``shard_of`` is
+    the inverse map.  ``n_components`` counts the connected components
+    of the group-coupling graph (the finest legal partition);
+    ``degenerate`` flags a single-shard plan with ``reason`` saying why.
+    """
+
+    shards: List[List[int]]
+    shard_of: Dict[int, int]
+    n_components: int
+    degenerate: bool = False
+    reason: str = ""
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+class ShardPlanner:
+    """Computes shard plans from the rules' own blocking structure.
+
+    Parameters
+    ----------
+    cfds, mds:
+        *Normalized* rule sets (as a session holds them).
+    include_md_affinity:
+        Also co-locate MD equality-blocking groups (cache affinity; see
+        the module docstring).  Correctness never requires it.
+    """
+
+    def __init__(
+        self,
+        cfds: Sequence[CFD],
+        mds: Sequence[MD] = (),
+        include_md_affinity: bool = True,
+    ):
+        self.variable_cfds = [cfd for cfd in cfds if cfd.is_variable]
+        self.mds = [md for md in mds if md.blocking_key_attrs()]
+        self.include_md_affinity = include_md_affinity
+
+    def partition_attrs(self) -> frozenset:
+        """Attributes whose *edit* can move a tuple between variable-CFD
+        groups — and hence, potentially, between shards."""
+        out: Set[str] = set()
+        for cfd in self.variable_cfds:
+            out.update(cfd.lhs)
+        return frozenset(out)
+
+    def plan(self, relation: Relation, n_shards: int) -> ShardPlan:
+        """Partition *relation* into at most *n_shards* co-partitions."""
+        tids = list(relation.tids())
+        if n_shards <= 1 or len(tids) <= 1:
+            return ShardPlan(
+                shards=[tids],
+                shard_of={tid: 0 for tid in tids},
+                n_components=1 if tids else 0,
+                degenerate=True,
+                reason="single shard requested",
+            )
+
+        parent: Dict[int, int] = {tid: tid for tid in tids}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        for cfd in self.variable_cfds:
+            first_of: Dict[Key, int] = {}
+            lhs = cfd.lhs
+            for t in relation:
+                if not cfd.lhs_matches(t):
+                    continue
+                key = t.project(lhs)
+                anchor = first_of.setdefault(key, t.tid)
+                if anchor != t.tid:
+                    union(anchor, t.tid)
+        if self.include_md_affinity:
+            for md in self.mds:
+                attrs = md.blocking_key_attrs()
+                first_of = {}
+                for t in relation:
+                    if t.has_null(attrs):
+                        continue  # null keys never satisfy an equality premise
+                    key = t.project(attrs)
+                    anchor = first_of.setdefault(key, t.tid)
+                    if anchor != t.tid:
+                        union(anchor, t.tid)
+
+        components: Dict[int, List[int]] = {}
+        for tid in tids:
+            components.setdefault(find(tid), []).append(tid)
+        # Deterministic packing: biggest component first (ties by smallest
+        # member tid), always into the currently lightest bin.
+        ordered = sorted(components.values(), key=lambda c: (-len(c), c[0]))
+        if len(ordered) == 1:
+            return ShardPlan(
+                shards=[tids],
+                shard_of={tid: 0 for tid in tids},
+                n_components=1,
+                degenerate=True,
+                reason="rule keys are incompatible: one coupling component",
+            )
+        bins = min(n_shards, len(ordered))
+        shards: List[List[int]] = [[] for _ in range(bins)]
+        loads = [0] * bins
+        for component in ordered:
+            target = min(range(bins), key=lambda i: (loads[i], i))
+            shards[target].extend(component)
+            loads[target] += len(component)
+        for shard in shards:
+            shard.sort()
+        shard_of = {
+            tid: index for index, shard in enumerate(shards) for tid in shard
+        }
+        return ShardPlan(
+            shards=shards,
+            shard_of=shard_of,
+            n_components=len(ordered),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker protocol (runs in the coordinator process or in pool workers)
+# ----------------------------------------------------------------------
+@dataclass
+class _PhaseCounts:
+    crepair: Optional[Dict[str, int]] = None
+    erepair: Optional[Dict[str, int]] = None
+    hrepair: Optional[Dict[str, int]] = None
+
+
+@dataclass
+class _CleanOutcome:
+    """What one shard ships back after a (re)clean."""
+
+    shard_id: int
+    repaired: Optional[Relation]  # None when the caller knows state is unchanged
+    segments: Dict[str, List[Fix]]
+    traces: Dict[str, Any]
+    costs: Dict[Cell, float]
+    clean: bool
+    counts: _PhaseCounts
+    timings: Dict[str, float]
+    ever_keys: Dict[Spec, Set[Key]]
+
+
+@dataclass
+class _ApplyOutcome:
+    """What one shard ships back after an apply."""
+
+    shard_id: int
+    mode: str  # "scoped" | "full"
+    full: Optional[_CleanOutcome] = None
+    # Scoped fields:
+    perturbed: List[Cell] = field(default_factory=list)
+    dead: List[int] = field(default_factory=list)
+    rows: Dict[int, Tuple[List[Any], List[Optional[float]]]] = field(
+        default_factory=dict
+    )
+    segments: Dict[str, List[Fix]] = field(default_factory=dict)
+    traces: Dict[str, Any] = field(default_factory=dict)
+    costs: Dict[Cell, float] = field(default_factory=dict)
+    clean: bool = True
+    counts: _PhaseCounts = field(default_factory=_PhaseCounts)
+    timings: Dict[str, float] = field(default_factory=dict)
+    ever_keys: Dict[Spec, Set[Key]] = field(default_factory=dict)
+    replays: int = 0
+    affected: int = 0
+    affected_cells: int = 0
+
+
+def _result_counts(c_result, e_result, h_result) -> _PhaseCounts:
+    counts = _PhaseCounts()
+    if c_result is not None:
+        counts.crepair = {
+            "deterministic_fixes": c_result.deterministic_fixes,
+            "confirmed_cells": c_result.confirmed_cells,
+            "rules_fired": c_result.rules_fired,
+        }
+    if e_result is not None:
+        counts.erepair = {
+            "reliable_fixes": e_result.reliable_fixes,
+            "rounds": e_result.rounds,
+        }
+    if h_result is not None:
+        counts.hrepair = {
+            "possible_fixes": h_result.possible_fixes,
+            "merges": h_result.merges,
+            "upgrades": h_result.upgrades,
+            "unresolved": h_result.unresolved,
+            "rounds": h_result.rounds,
+        }
+    return counts
+
+
+class _WorkerState:
+    """Per-process shard host: long-lived sessions + shared master-side
+    indexes (blocking indexes and MD match caches are built once per
+    process and reused by every shard session it hosts)."""
+
+    def __init__(
+        self,
+        cfds: Sequence[CFD],
+        mds: Sequence[MD],
+        master: Optional[Relation],
+        config: UniCleanConfig,
+    ):
+        self.cfds = list(cfds)
+        self.mds = list(mds)
+        self.master = master
+        self.config = config
+        self.md_indexes: Dict[str, Any] = {}
+        self.sessions: Dict[int, CleaningSession] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self, _shard_id: int) -> bool:
+        for session in self.sessions.values():
+            session.close()
+        self.sessions.clear()
+        return True
+
+    # -- operations ----------------------------------------------------
+    def clean_shard(self, shard_id: int, relation: Relation) -> _CleanOutcome:
+        old = self.sessions.pop(shard_id, None)
+        if old is not None:
+            old.close()
+        session = CleaningSession.from_normalized(
+            self.cfds,
+            self.mds,
+            self.master,
+            self.config,
+            md_indexes=self.md_indexes,
+            collect_traces=True,
+        )
+        self.sessions[shard_id] = session
+        result = session.clean(relation)
+        return self._clean_outcome(shard_id, session, result.clean, result.timings)
+
+    def reclean_shard(self, shard_id: int) -> _CleanOutcome:
+        """Re-clean from the shard's current (possibly just-edited) base:
+        deterministic, so the shard state is reproduced, and the
+        log/traces become full-form — used when another shard's fallback
+        demands a full-form merge.  Ships the repaired relation because
+        the coordinator's merged copy may predate this shard's latest
+        scoped apply."""
+        session = self.sessions[shard_id]
+        result = session.clean(session.base)
+        return self._clean_outcome(shard_id, session, result.clean, result.timings)
+
+    def apply_shard(self, shard_id: int, ops: Sequence[Op]) -> _ApplyOutcome:
+        session = self.sessions[shard_id]
+        out = session.apply(Changeset(list(ops)))
+        if out.full_reclean:
+            return _ApplyOutcome(
+                shard_id=shard_id,
+                mode="full",
+                full=self._clean_outcome(
+                    shard_id, session, out.clean, out.timings
+                ),
+            )
+        schema_names = session.working.schema.names
+        perturbed = sorted(session.last_perturbed)
+        rows: Dict[int, Tuple[List[Any], List[Optional[float]]]] = {}
+        for tid in {tid for tid, _attr in perturbed}:
+            t = session.working.by_tid(tid)
+            rows[tid] = (
+                [t[attr] for attr in schema_names],
+                [t.conf(attr) for attr in schema_names],
+            )
+        return _ApplyOutcome(
+            shard_id=shard_id,
+            mode="scoped",
+            perturbed=perturbed,
+            dead=[op.tid for op in ops if isinstance(op, Delete)],
+            rows=rows,
+            segments={k: list(v) for k, v in session.last_segments.items()},
+            traces=dict(session.last_traces),
+            costs=dict(session._cell_costs),
+            clean=out.clean,
+            counts=_result_counts(
+                out.crepair_result, out.erepair_result, out.hrepair_result
+            ),
+            timings=out.timings,
+            ever_keys={s: set(k) for s, k in session.ever_group_keys.items()},
+            replays=out.replays,
+            affected=out.affected,
+            affected_cells=out.affected_cells,
+        )
+
+    def is_clean_shard(self, shard_id: int) -> bool:
+        return self.sessions[shard_id].is_clean()
+
+    # -- helpers -------------------------------------------------------
+    def _clean_outcome(
+        self,
+        shard_id: int,
+        session: CleaningSession,
+        clean: bool,
+        timings: Dict[str, float],
+    ) -> _CleanOutcome:
+        assert session.working is not None
+        return _CleanOutcome(
+            shard_id=shard_id,
+            repaired=session.working.clone(),
+            segments={k: list(v) for k, v in session.last_segments.items()},
+            traces=dict(session.last_traces),
+            costs=dict(session._cell_costs),
+            clean=clean,
+            counts=_result_counts(
+                session._last_c_result,
+                session._last_e_result,
+                session._last_h_result,
+            ),
+            timings=dict(timings),
+            ever_keys={s: set(k) for s, k in session.ever_group_keys.items()},
+        )
+
+
+# Module-level hooks for ProcessPoolExecutor (must be picklable by name).
+_PROCESS_STATE: Optional[_WorkerState] = None
+
+
+def _process_init(spec_blob: bytes) -> None:
+    global _PROCESS_STATE
+    cfds, mds, master, config = pickle.loads(spec_blob)
+    _PROCESS_STATE = _WorkerState(cfds, mds, master, config)
+
+
+def _process_call(shard_id: int, method: str, args: tuple):
+    assert _PROCESS_STATE is not None, "worker not initialized"
+    return getattr(_PROCESS_STATE, method)(shard_id, *args)
+
+
+class _SerialRunner:
+    """In-process execution (``n_workers=1``): no pickling, same protocol.
+
+    Keeping the serial path on the identical worker code means the
+    debugging story (“run it serial, step through”) exercises the exact
+    production logic.
+    """
+
+    def __init__(self, cfds, mds, master, config):
+        self._state = _WorkerState(cfds, mds, master, config)
+
+    def run(self, calls: Sequence[Tuple[int, str, tuple]]) -> List[Any]:
+        return [
+            getattr(self._state, method)(shard_id, *args)
+            for shard_id, method, args in calls
+        ]
+
+    def broadcast(self, method: str, args: tuple = ()) -> None:
+        getattr(self._state, method)(-1, *args)
+
+    def close(self) -> None:
+        self._state.reset(-1)
+
+
+class _ProcessRunner:
+    """One single-worker pool per slot, so shard→slot affinity holds and
+    every shard session survives in its worker across calls."""
+
+    def __init__(self, cfds, mds, master, config, n_workers: int):
+        spec_blob = pickle.dumps((cfds, mds, master, config))
+        self._slots = [
+            ProcessPoolExecutor(
+                max_workers=1, initializer=_process_init, initargs=(spec_blob,)
+            )
+            for _ in range(n_workers)
+        ]
+
+    def _slot(self, shard_id: int) -> ProcessPoolExecutor:
+        return self._slots[shard_id % len(self._slots)]
+
+    def run(self, calls: Sequence[Tuple[int, str, tuple]]) -> List[Any]:
+        futures = [
+            self._slot(shard_id).submit(_process_call, shard_id, method, args)
+            for shard_id, method, args in calls
+        ]
+        return [future.result() for future in futures]
+
+    def broadcast(self, method: str, args: tuple = ()) -> None:
+        futures = [
+            slot.submit(_process_call, -1, method, args) for slot in self._slots
+        ]
+        for future in futures:
+            future.result()
+
+    def close(self) -> None:
+        for slot in self._slots:
+            slot.shutdown(cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# The sharded session
+# ----------------------------------------------------------------------
+class ShardedCleaningSession:
+    """A drop-in :class:`CleaningSession` that fans the work out across
+    co-partitioned shards (see the module docstring for the plan and the
+    exactness argument).
+
+    Parameters
+    ----------
+    cfds, mds, negative_mds, master, config:
+        As for :class:`CleaningSession` (normalization, negative-MD
+        embedding and the optional consistency check run once, here).
+        ``config.use_violation_index`` must stay enabled — collision
+        detection rides the shared group stores.
+    n_workers:
+        Process-pool slots.  ``1`` (the default) runs every shard in
+        this process through the identical worker code path — the
+        debugging mode, and the right choice for small relations where
+        process startup dominates.
+    n_shards:
+        Target shard count (default ``n_workers``).  The planner may
+        produce fewer shards (fewer coupling components), and collision
+        retries may merge shards further.
+    include_md_affinity:
+        Forwarded to :class:`ShardPlanner`.
+
+    Examples
+    --------
+    >>> session = ShardedCleaningSession(cfds=sigma, mds=gamma,
+    ...                                  master=dm, n_workers=4)  # doctest: +SKIP
+    >>> result = session.clean(dirty)                             # doctest: +SKIP
+    >>> out = session.apply(Changeset().edit(3, "city", "Edi"))   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        cfds: Sequence[CFD] = (),
+        mds: Sequence[MD] = (),
+        negative_mds: Sequence[NegativeMD] = (),
+        master: Optional[Relation] = None,
+        config: Optional[UniCleanConfig] = None,
+        n_workers: int = 1,
+        n_shards: Optional[int] = None,
+        include_md_affinity: bool = True,
+    ):
+        self.config = config or UniCleanConfig()
+        if not self.config.use_violation_index:
+            raise ValueError(
+                "ShardedCleaningSession requires use_violation_index: "
+                "group-key collision detection rides the shared group stores"
+            )
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.cfds: List[CFD] = []
+        for cfd in cfds:
+            self.cfds.extend(cfd.normalize())
+        if negative_mds:
+            self.mds = embed_negative(list(mds), list(negative_mds))
+        else:
+            self.mds = []
+            for md in mds:
+                self.mds.extend(md.normalize())
+        if self.mds and master is None:
+            raise ValueError("MDs require master data")
+        self.master = master
+        if self.config.check_consistency and self.cfds:
+            assert_consistent(self.cfds[0].schema, self.cfds, self.mds, master)
+
+        self.n_workers = n_workers
+        self.n_shards = n_shards if n_shards is not None else n_workers
+        self.planner = ShardPlanner(
+            self.cfds, self.mds, include_md_affinity=include_md_affinity
+        )
+        self._partition_attrs = self.planner.partition_attrs()
+
+        self._runner: Optional[Any] = None
+        self._closed = False
+        self.plan: Optional[ShardPlan] = None
+        self.base: Optional[Relation] = None
+        self.working: Optional[Relation] = None
+        self.fix_log: FixLog = FixLog()
+        self._shard_views: Dict[int, _CleanOutcome] = {}
+        self._last_clean = False
+        #: Observability counters: plans, collision retries, apply modes.
+        self.stats: Dict[str, int] = {
+            "plans": 0,
+            "collision_retries": 0,
+            "scoped_applies": 0,
+            "full_applies": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_runner(self):
+        if self._runner is None:
+            if self.n_workers == 1:
+                self._runner = _SerialRunner(
+                    self.cfds, self.mds, self.master, self.config
+                )
+            else:
+                self._runner = _ProcessRunner(
+                    self.cfds, self.mds, self.master, self.config, self.n_workers
+                )
+        return self._runner
+
+    def close(self) -> None:
+        """Shut down worker processes / detach serial sessions.
+
+        The per-shard sessions die with their workers, so ``apply`` and
+        ``is_clean`` raise afterwards; a fresh ``clean()`` restarts the
+        session lifecycle.
+        """
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None
+        self._closed = True
+
+    def __enter__(self) -> "ShardedCleaningSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+    def clean(self, relation: Relation) -> CleaningResult:
+        """Shard *relation*, clean every shard, merge — exactly like an
+        unsharded ``CleaningSession.clean`` of the same relation."""
+        self._closed = False  # a fresh clean restarts the lifecycle
+        self.base = relation.clone()
+        return self._clean_base()
+
+    def _clean_base(self) -> CleaningResult:
+        assert self.base is not None
+        tids = list(self.base.tids())
+        if tids != sorted(tids):
+            # The exact-order merge ranks cRepair init work by tid, which
+            # equals the unsharded initialization (insertion) order only
+            # when tids ascend.  Every construction path in this library
+            # produces ascending tids; a caller who interleaved explicit
+            # out-of-order tids must normalize first.
+            raise ValueError(
+                "ShardedCleaningSession requires tids in ascending insertion "
+                "order (rebuild the relation, e.g. via restrict(sorted tids))"
+            )
+        runner = self._ensure_runner()
+        started = time.perf_counter()
+        plan = self.planner.plan(self.base, self.n_shards)
+        shard_sets = plan.shards
+        n_components = plan.n_components
+        degenerate, reason = plan.degenerate, plan.reason
+
+        while True:
+            self.stats["plans"] += 1
+            runner.broadcast("reset")
+            calls = [
+                (sid, "clean_shard", (self.base.restrict(tids),))
+                for sid, tids in enumerate(shard_sets)
+            ]
+            outcomes: List[_CleanOutcome] = runner.run(calls)
+            merged_sets = self._colliding_shard_sets(
+                shard_sets, [o.ever_keys for o in outcomes]
+            )
+            if merged_sets is None:
+                break
+            self.stats["collision_retries"] += 1
+            shard_sets = merged_sets
+            if len(shard_sets) == 1:
+                degenerate, reason = True, "collision retries merged all shards"
+
+        self.plan = ShardPlan(
+            shards=shard_sets,
+            shard_of={
+                tid: sid for sid, tids in enumerate(shard_sets) for tid in tids
+            },
+            n_components=n_components,
+            degenerate=degenerate,
+            reason=reason,
+        )
+        self._shard_views = {o.shard_id: o for o in outcomes}
+
+        self.working = self.base.clone()
+        for outcome in outcomes:
+            assert outcome.repaired is not None
+            for t in outcome.repaired:
+                self.working._tuples[t.tid] = t
+            outcome.repaired = None  # merged; free the per-shard copy
+        self.fix_log = self._merge_full_logs()
+        c_result, e_result, h_result = self._merged_phase_results()
+        self._last_clean = all(o.clean for o in outcomes)
+        timings = self._merged_timings((o.timings for o in outcomes), started)
+        return CleaningResult(
+            repaired=self.working,
+            fix_log=self.fix_log,
+            crepair_result=c_result,
+            erepair_result=e_result,
+            hrepair_result=h_result,
+            cost=self._total_cost(),
+            clean=self._last_clean,
+            timings=timings,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental apply
+    # ------------------------------------------------------------------
+    def apply(self, changeset: Changeset) -> ApplyResult:
+        """Re-clean under *changeset*; byte-identical to an unsharded
+        ``CleaningSession.apply`` of the same delta.
+
+        Ops route to the shard owning their tid.  Inserts and edits of
+        variable-CFD premise attributes (the only edits that can move a
+        tuple between shards) take the re-plan path — the sharded warm
+        full replay.  Everything else attempts the scoped path per
+        shard, falling back exactly when the unsharded session would.
+        """
+        if self._closed or self.working is None or self.base is None:
+            raise DataError(
+                "ShardedCleaningSession.apply() requires a prior clean() "
+                "(and a session that has not been close()d)"
+            )
+        changeset.validate_against(self.base)
+        started = time.perf_counter()
+
+        # An edit to a variable-CFD premise attribute can move a tuple
+        # between shards — unless the same changeset deletes the tuple,
+        # in which case the unsharded session drops the seed too (the
+        # tuple is gone before any replay reads it) and stays scoped.
+        deleted = {op.tid for op in changeset.ops if isinstance(op, Delete)}
+        needs_replan = any(
+            isinstance(op, Insert)
+            or (
+                isinstance(op, CellEdit)
+                and op.attr in self._partition_attrs
+                and op.tid not in deleted
+            )
+            for op in changeset.ops
+        )
+        if needs_replan:
+            return self._full_apply(changeset, started)
+
+        while True:
+            assert self.plan is not None
+            by_shard: Dict[int, List[Op]] = {}
+            for op in changeset.ops:
+                by_shard.setdefault(self.plan.shard_of[op.tid], []).append(op)
+            runner = self._ensure_runner()
+            calls = [
+                (sid, "apply_shard", (ops,)) for sid, ops in sorted(by_shard.items())
+            ]
+            outcomes: List[_ApplyOutcome] = runner.run(calls)
+
+            ever = {o.shard_id: self._outcome_ever_keys(o) for o in outcomes}
+            shard_sets = self.plan.shards
+            merged_sets = self._colliding_shard_sets(
+                shard_sets,
+                [
+                    ever.get(sid, self._shard_views[sid].ever_keys)
+                    for sid in range(len(shard_sets))
+                ],
+            )
+            if merged_sets is not None:
+                # The shard-local trajectories may have diverged from the
+                # global one: discard the attempt, re-clean the (pre-edit)
+                # base on the merged topology, and retry the delta.
+                self.stats["collision_retries"] += 1
+                self._reclean_on_sets(merged_sets)
+                continue
+
+            if any(o.mode == "full" for o in outcomes):
+                return self._finish_mixed_apply(changeset, outcomes, started)
+            return self._finish_scoped_apply(changeset, outcomes, started)
+
+    # -- apply paths ---------------------------------------------------
+    def _full_apply(self, changeset: Changeset, started: float) -> ApplyResult:
+        """The sharded warm full replay: edit the base, re-plan, re-clean.
+
+        Byte-identical to the unsharded fallback (a from-scratch clean of
+        the edited base); worker-cached master-side indexes keep it warm.
+        """
+        assert self.base is not None
+        self.stats["full_applies"] += 1
+        changeset.apply_to(self.base)
+        result = self._clean_base()
+        timings = dict(result.timings)
+        timings["wall"] = time.perf_counter() - started
+        return ApplyResult(
+            repaired=result.repaired,
+            fix_log=result.fix_log,
+            crepair_result=result.crepair_result,
+            erepair_result=result.erepair_result,
+            hrepair_result=result.hrepair_result,
+            cost=result.cost,
+            clean=result.clean,
+            affected=len(result.repaired),
+            affected_cells=len(result.repaired)
+            * len(result.repaired.schema.names),
+            replays=0,
+            full_reclean=True,
+            timings=timings,
+        )
+
+    def _finish_scoped_apply(
+        self,
+        changeset: Changeset,
+        outcomes: List[_ApplyOutcome],
+        started: float,
+    ) -> ApplyResult:
+        """Every shard stayed scoped: splice the merged log and state."""
+        assert self.base is not None and self.working is not None
+        assert self.plan is not None
+        self.stats["scoped_applies"] += 1
+        changeset.apply_to(self.base)
+
+        dead: Set[int] = set()
+        perturbed: Set[Cell] = set()
+        names = self.working.schema.names
+        for outcome in outcomes:
+            dead.update(outcome.dead)
+            perturbed.update(outcome.perturbed)
+            view = self._shard_views[outcome.shard_id]
+            view.costs = dict(outcome.costs)
+            view.clean = outcome.clean
+            view.ever_keys = self._outcome_ever_keys(outcome)
+            for tid, (values, confs) in outcome.rows.items():
+                t = self.working.by_tid(tid)
+                for attr, value, conf in zip(names, values, confs):
+                    t[attr] = value
+                    t.set_conf(attr, conf)
+        for tid in dead:
+            self._drop_dead_tid(tid)
+
+        log = self.fix_log
+        if dead:
+            log = log.without_tids(dead)
+        if perturbed:
+            log = log.without_cells(perturbed)
+        for fix in self._merge_apply_segments(outcomes):
+            log.record(fix)
+        self.fix_log = log
+
+        c_result, e_result, h_result = self._merged_apply_results(outcomes)
+        self._last_clean = all(v.clean for v in self._shard_views.values())
+        timings = self._merged_timings((o.timings for o in outcomes), started)
+        return ApplyResult(
+            repaired=self.working,
+            fix_log=self.fix_log,
+            crepair_result=c_result,
+            erepair_result=e_result,
+            hrepair_result=h_result,
+            cost=self._total_cost(),
+            clean=self._last_clean,
+            affected=len({tid for tid, _attr in perturbed}),
+            affected_cells=len(perturbed),
+            replays=sum(o.replays for o in outcomes),
+            timings=timings,
+        )
+
+    def _finish_mixed_apply(
+        self,
+        changeset: Changeset,
+        outcomes: List[_ApplyOutcome],
+        started: float,
+    ) -> ApplyResult:
+        """At least one shard fell back to its full replay — exactly the
+        situations where the unsharded session re-cleans everything, so
+        bring every shard to full-form and merge fresh logs."""
+        assert self.base is not None and self.plan is not None
+        self.stats["full_applies"] += 1
+        changeset.apply_to(self.base)
+        runner = self._ensure_runner()
+
+        full_by_shard: Dict[int, _CleanOutcome] = {
+            o.shard_id: o.full for o in outcomes if o.mode == "full"
+        }
+        # Shards that ran scoped (or saw no ops) re-clean from their
+        # current base: same state, full-form log.
+        reclean_ids = [
+            sid
+            for sid in range(len(self.plan.shards))
+            if sid not in full_by_shard
+        ]
+        recleaned: List[_CleanOutcome] = runner.run(
+            [(sid, "reclean_shard", ()) for sid in reclean_ids]
+        )
+        for outcome in recleaned:
+            full_by_shard[outcome.shard_id] = outcome
+        merged_sets = self._colliding_shard_sets(
+            self.plan.shards,
+            [
+                full_by_shard[sid].ever_keys
+                for sid in range(len(self.plan.shards))
+            ],
+        )
+        if merged_sets is not None:
+            # Rare: the full replays themselves collided across shards.
+            # The base is already edited, so this is a plain re-plan
+            # (whose own loop keeps merging until collision-free).
+            self.stats["collision_retries"] += 1
+            result = self._clean_base()
+            timings = dict(result.timings)
+            timings["wall"] = time.perf_counter() - started
+            return ApplyResult(
+                repaired=result.repaired,
+                fix_log=result.fix_log,
+                crepair_result=result.crepair_result,
+                erepair_result=result.erepair_result,
+                hrepair_result=result.hrepair_result,
+                cost=result.cost,
+                clean=result.clean,
+                affected=len(result.repaired),
+                affected_cells=len(result.repaired)
+                * len(result.repaired.schema.names),
+                replays=0,
+                full_reclean=True,
+                timings=timings,
+            )
+
+        for op in changeset.ops:
+            if isinstance(op, Delete):
+                self._drop_dead_tid(op.tid)
+        for sid, outcome in full_by_shard.items():
+            self._shard_views[sid] = outcome
+            if outcome.repaired is not None:
+                for t in outcome.repaired:
+                    self.working._tuples[t.tid] = t
+                outcome.repaired = None
+        self.fix_log = self._merge_full_logs()
+        c_result, e_result, h_result = self._merged_phase_results()
+        self._last_clean = all(v.clean for v in self._shard_views.values())
+        timings = self._merged_timings(
+            (v.timings for v in full_by_shard.values()), started
+        )
+        return ApplyResult(
+            repaired=self.working,
+            fix_log=self.fix_log,
+            crepair_result=c_result,
+            erepair_result=e_result,
+            hrepair_result=h_result,
+            cost=self._total_cost(),
+            clean=self._last_clean,
+            affected=len(self.working),
+            affected_cells=len(self.working) * len(self.working.schema.names),
+            replays=0,
+            full_reclean=True,
+            timings=timings,
+        )
+
+    def _drop_dead_tid(self, tid: int) -> None:
+        """Remove a deleted tuple from the merged working relation *and*
+        the plan (both the tid→shard map and the shard tid lists — a
+        later re-plan restricts the base by those lists, so a stale dead
+        tid would make ``Relation.restrict`` raise mid-recovery)."""
+        assert self.working is not None and self.plan is not None
+        if self.working.has_tid(tid):
+            self.working.remove(tid)
+        shard = self.plan.shard_of.pop(tid, None)
+        if shard is not None:
+            self.plan.shards[shard].remove(tid)
+
+    # ------------------------------------------------------------------
+    # Collision handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _colliding_shard_sets(
+        shard_sets: List[List[int]],
+        ever_keys_by_shard: Sequence[Dict[Spec, Set[Key]]],
+    ) -> Optional[List[List[int]]]:
+        """Merge shards that ever materialized the same group key.
+
+        Returns the merged tid sets, or ``None`` when the plan held (no
+        key ever existed in two shards — the certificate that the shard
+        trajectories compose into the global one).
+        """
+        n = len(shard_sets)
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        collided = False
+        owner: Dict[Tuple[Spec, Key], int] = {}
+        for shard, ever in enumerate(ever_keys_by_shard):
+            for spec, keys in ever.items():
+                for key in keys:
+                    holder = owner.setdefault((spec, key), shard)
+                    if holder != shard:
+                        ra, rb = find(holder), find(shard)
+                        if ra != rb:
+                            parent[rb] = ra
+                            collided = True
+        if not collided:
+            return None
+        merged: Dict[int, List[int]] = {}
+        for shard, tids in enumerate(shard_sets):
+            merged.setdefault(find(shard), []).extend(tids)
+        out = [sorted(tids) for _root, tids in sorted(merged.items())]
+        return out
+
+    def _reclean_on_sets(self, shard_sets: List[List[int]]) -> None:
+        """Rebuild every shard session on *shard_sets* from the current
+        (pre-delta) base — the recovery step of an apply-time collision."""
+        assert self.base is not None and self.plan is not None
+        runner = self._ensure_runner()
+        while True:
+            self.stats["plans"] += 1
+            runner.broadcast("reset")
+            outcomes: List[_CleanOutcome] = runner.run(
+                [
+                    (sid, "clean_shard", (self.base.restrict(tids),))
+                    for sid, tids in enumerate(shard_sets)
+                ]
+            )
+            merged = self._colliding_shard_sets(
+                shard_sets, [o.ever_keys for o in outcomes]
+            )
+            if merged is None:
+                break
+            self.stats["collision_retries"] += 1
+            shard_sets = merged
+        self.plan = ShardPlan(
+            shards=shard_sets,
+            shard_of={
+                tid: sid for sid, tids in enumerate(shard_sets) for tid in tids
+            },
+            n_components=self.plan.n_components,
+            degenerate=len(shard_sets) == 1,
+            reason="collision retries merged shards" if len(shard_sets) == 1 else "",
+        )
+        self._shard_views = {o.shard_id: o for o in outcomes}
+        for outcome in outcomes:
+            assert outcome.repaired is not None
+            for t in outcome.repaired:
+                self.working._tuples[t.tid] = t
+            outcome.repaired = None
+        self.fix_log = self._merge_full_logs()
+        self._last_clean = all(o.clean for o in outcomes)
+
+    @staticmethod
+    def _outcome_ever_keys(outcome: _ApplyOutcome) -> Dict[Spec, Set[Key]]:
+        if outcome.mode == "full":
+            assert outcome.full is not None
+            return outcome.full.ever_keys
+        return outcome.ever_keys
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def _ordered_views(self) -> List[_CleanOutcome]:
+        return [self._shard_views[sid] for sid in sorted(self._shard_views)]
+
+    def _merge_full_logs(self) -> FixLog:
+        views = self._ordered_views()
+        log = FixLog()
+        for fix in self._merge_segments(
+            [(v.segments, v.traces) for v in views]
+        ):
+            log.record(fix)
+        return log
+
+    def _merge_apply_segments(
+        self, outcomes: List[_ApplyOutcome]
+    ) -> List[Fix]:
+        parts = [
+            (o.segments, o.traces)
+            for o in sorted(outcomes, key=lambda o: o.shard_id)
+        ]
+        return self._merge_segments(parts)
+
+    @staticmethod
+    def _merge_segments(
+        parts: Sequence[Tuple[Dict[str, List[Fix]], Dict[str, Any]]]
+    ) -> List[Fix]:
+        """Interleave per-shard phase segments into the global fix order
+        (phases are contiguous in an unsharded log: c, then e, then h)."""
+        out: List[Fix] = []
+        crepair_parts = [
+            (segments["crepair"], traces["crepair"])
+            for segments, traces in parts
+            if traces.get("crepair") is not None
+        ]
+        if crepair_parts:
+            out.extend(merge_worklist_fixes(crepair_parts))
+        for phase in ("erepair", "hrepair"):
+            round_parts = [
+                (segments[phase], traces[phase])
+                for segments, traces in parts
+                if traces.get(phase) is not None
+            ]
+            if round_parts:
+                out.extend(merge_round_fixes(round_parts))
+        return out
+
+    def _merged_phase_results(
+        self,
+    ) -> Tuple[
+        Optional[CRepairResult], Optional[ERepairResult], Optional[HRepairResult]
+    ]:
+        views = self._ordered_views()
+        return self._merge_counts(
+            [v.counts for v in views], self.working, self.fix_log
+        )
+
+    def _merged_apply_results(self, outcomes: List[_ApplyOutcome]):
+        return self._merge_counts(
+            [o.counts for o in outcomes], self.working, self.fix_log
+        )
+
+    @staticmethod
+    def _merge_counts(counts: Sequence[_PhaseCounts], relation, log):
+        c_result = e_result = h_result = None
+        c_parts = [c.crepair for c in counts if c.crepair is not None]
+        if c_parts:
+            c_result = CRepairResult(
+                relation=relation,
+                fix_log=log,
+                deterministic_fixes=sum(p["deterministic_fixes"] for p in c_parts),
+                confirmed_cells=sum(p["confirmed_cells"] for p in c_parts),
+                rules_fired=sum(p["rules_fired"] for p in c_parts),
+            )
+        e_parts = [c.erepair for c in counts if c.erepair is not None]
+        if e_parts:
+            e_result = ERepairResult(
+                relation=relation,
+                fix_log=log,
+                reliable_fixes=sum(p["reliable_fixes"] for p in e_parts),
+                rounds=max(p["rounds"] for p in e_parts),
+            )
+        h_parts = [c.hrepair for c in counts if c.hrepair is not None]
+        if h_parts:
+            h_result = HRepairResult(
+                relation=relation,
+                fix_log=log,
+                possible_fixes=sum(p["possible_fixes"] for p in h_parts),
+                merges=sum(p["merges"] for p in h_parts),
+                upgrades=sum(p["upgrades"] for p in h_parts),
+                unresolved=sum(p["unresolved"] for p in h_parts),
+                rounds=max(p["rounds"] for p in h_parts),
+            )
+        return c_result, e_result, h_result
+
+    def _total_cost(self) -> float:
+        return sum(
+            sum(view.costs.values()) for view in self._shard_views.values()
+        )
+
+    def _merged_timings(self, timing_dicts, started: float) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for timings in timing_dicts:
+            for key, value in timings.items():
+                merged[key] = merged.get(key, 0.0) + value
+        merged["wall"] = time.perf_counter() - started
+        return merged
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_clean(self) -> bool:
+        """Whether the merged working repair satisfies Σ and Γ (conjunction
+        of per-shard verdicts; exact because no group key spans shards)."""
+        if self._closed or self.working is None or self.plan is None:
+            raise DataError(
+                "ShardedCleaningSession.is_clean() requires a prior clean() "
+                "(and a session that has not been close()d)"
+            )
+        runner = self._ensure_runner()
+        verdicts = runner.run(
+            [(sid, "is_clean_shard", ()) for sid in range(len(self.plan.shards))]
+        )
+        return all(verdicts)

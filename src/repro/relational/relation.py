@@ -57,6 +57,7 @@ class Relation:
         "schema",
         "_tuples",
         "_next_tid",
+        "_retired",
         "_observers",
         "_insert_observers",
         "_delete_observers",
@@ -66,11 +67,35 @@ class Relation:
         self.schema = schema
         self._tuples: Dict[int, CTuple] = {}
         self._next_tid = 0
+        self._retired: Set[int] = set()
         self._observers: List[Callable[[CTuple, str, Any, Any], None]] = []
         self._insert_observers: List[Callable[[CTuple], None]] = []
         self._delete_observers: List[Callable[[CTuple], None]] = []
         for t in tuples:
             self.add(t)
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool sharding ships relations across workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, Any]:
+        """Pickle tuples and tid bookkeeping; observers are process-local
+        callables (often closures over index state) and are dropped, the
+        same way :meth:`clone` starts with a clean observer list."""
+        return {
+            "schema": self.schema,
+            "tuples": list(self._tuples.values()),
+            "next_tid": self._next_tid,
+            "retired": sorted(self._retired),
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.schema = state["schema"]
+        self._tuples = {t.tid: t for t in state["tuples"]}
+        self._next_tid = state["next_tid"]
+        self._retired = set(state["retired"])
+        self._observers = []
+        self._insert_observers = []
+        self._delete_observers = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -99,6 +124,13 @@ class Relation:
     def add(self, t: CTuple) -> CTuple:
         """Insert tuple *t*, assigning a fresh tid when needed.
 
+        A fresh tid is assigned when ``t.tid`` is ``None``, collides with
+        a live tuple, or names a tid that was previously :meth:`remove`\\ d
+        — removed tids are *never* reused, so session state keyed by a
+        dead tid (per-cell cost maps, fix-log entries) can never alias a
+        later insert.  Explicit tids that were never assigned (gaps below
+        ``_next_tid``) are honoured.
+
         Returns the inserted tuple (same object).
         """
         if t.schema != self.schema:
@@ -106,7 +138,7 @@ class Relation:
                 f"tuple of schema {t.schema.name!r} cannot join relation "
                 f"of schema {self.schema.name!r}"
             )
-        if t.tid is None or t.tid in self._tuples:
+        if t.tid is None or t.tid in self._tuples or t.tid in self._retired:
             t.tid = self._next_tid
         self._tuples[t.tid] = t
         self._next_tid = max(self._next_tid, t.tid) + 1
@@ -125,18 +157,26 @@ class Relation:
     def remove(self, tid: int) -> CTuple:
         """Delete the tuple with identifier *tid*, notifying observers.
 
-        Tids are never reused: ``_next_tid`` stays monotonic so later
-        inserts cannot alias a removed tuple.  Returns the removed tuple
-        (its values stay intact, which delete observers rely on to locate
-        the tuple in their structures).
+        Tids are never reused: ``_next_tid`` stays monotonic *and* the
+        removed tid is retired, so a later :meth:`add` — even one passing
+        the same tid explicitly — cannot alias the dead tuple (it gets a
+        fresh tid instead).  Returns the removed tuple (its values stay
+        intact, which delete observers rely on to locate the tuple in
+        their structures).
         """
         try:
             t = self._tuples.pop(tid)
         except KeyError:
             raise DataError(f"relation {self.schema.name!r} has no tuple #{tid}") from None
+        self._retired.add(tid)
         for observer in self._delete_observers:
             observer(t)
         return t
+
+    def tid_retired(self, tid: int) -> bool:
+        """Whether *tid* belonged to a tuple that was removed (such tids
+        are never assigned again)."""
+        return tid in self._retired
 
     # ------------------------------------------------------------------
     # Access
@@ -274,6 +314,32 @@ class Relation:
         for t in self:
             twin._tuples[t.tid] = t.clone()  # keep identical tids
         twin._next_tid = self._next_tid
+        twin._retired = set(self._retired)
+        return twin
+
+    def restrict(self, tids: Iterable[int]) -> "Relation":
+        """A clone containing only the tuples named by *tids*.
+
+        Tids, tid bookkeeping (``_next_tid``, retired tids) and relative
+        insertion order are preserved, so cleaning a restriction produces
+        fixes addressed exactly like a clean of the full relation — the
+        shard construction primitive of
+        :mod:`repro.pipeline.sharding`.  Unknown tids raise
+        :class:`~repro.exceptions.DataError`.
+        """
+        wanted = set(tids)
+        missing = wanted - self._tuples.keys()
+        if missing:
+            raise DataError(
+                f"relation {self.schema.name!r} has no tuple "
+                f"#{min(missing)} to restrict to"
+            )
+        twin = Relation(self.schema)
+        for tid, t in self._tuples.items():
+            if tid in wanted:
+                twin._tuples[tid] = t.clone()
+        twin._next_tid = self._next_tid
+        twin._retired = set(self._retired)
         return twin
 
     def diff(self, other: "Relation") -> List[Tuple[int, str, Any, Any]]:

@@ -54,6 +54,16 @@ class SimilarityPredicate:
             return False
         return bool(self.test(left, right))
 
+    def __reduce__(self):
+        """Pickle by *name*: the test callable is usually a lambda, but
+        every built-in and parametric predicate (``eq``, ``edit<=K``,
+        ``jw>=T``, ...) can be reconstructed from its registry name.
+        Process-pool sharding relies on this to ship MDs to workers.
+        Custom predicates must be registered in :data:`DEFAULT_REGISTRY`
+        under a parseable/registered name to cross process boundaries.
+        """
+        return (_predicate_by_name, (self.name,))
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"SimilarityPredicate({self.name!r})"
 
@@ -169,3 +179,9 @@ class PredicateRegistry:
 DEFAULT_REGISTRY = PredicateRegistry()
 DEFAULT_REGISTRY.register(EQ)
 DEFAULT_REGISTRY.register(EQ_NORMALIZED)
+
+
+def _predicate_by_name(name: str) -> SimilarityPredicate:
+    """Unpickling hook: resolve a predicate through the default registry
+    (parametric names like ``edit<=2`` are parsed on demand)."""
+    return DEFAULT_REGISTRY.get(name)

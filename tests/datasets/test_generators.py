@@ -174,3 +174,96 @@ class TestTpchRuleSubsets:
     def test_rule_subsetting(self):
         ds = generate_tpch(size=40, master_size=25, n_cfds=20, n_mds=4)
         assert len(ds.cfds) == 20 and len(ds.mds) == 4
+
+
+class TestDeriveRng:
+    def test_stable_across_calls(self):
+        from repro.datasets import derive_rng, derive_seed
+
+        assert derive_seed(7, "block", 3) == derive_seed(7, "block", 3)
+        assert derive_seed(7, "block", 3) != derive_seed(7, "block", 4)
+        assert derive_rng(7, "x").random() == derive_rng(7, "x").random()
+
+    def test_process_stable(self):
+        """The derivation must not depend on the per-process hash seed."""
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        script = (
+            "from repro.datasets import derive_seed;"
+            "print(derive_seed(7, 'block', 3))"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": hash_seed},
+            ).stdout.strip()
+            for hash_seed in ("0", "12345")
+        }
+        assert len(outs) == 1
+
+
+class TestPartitionedTestbed:
+    def full_state(self, relation):
+        return {
+            t.tid: tuple((repr(t[a]), t.conf(a)) for a in relation.schema.names)
+            for t in relation
+        }
+
+    def test_deterministic(self):
+        from repro.datasets import generate_partitioned
+
+        a = generate_partitioned(size=120, n_blocks=6, seed=3)
+        b = generate_partitioned(size=120, n_blocks=6, seed=3)
+        assert self.full_state(a.dirty) == self.full_state(b.dirty)
+        assert self.full_state(a.master) == self.full_state(b.master)
+        assert a.errors == b.errors and a.true_matches == b.true_matches
+
+    def test_block_subset_is_byte_identical_restriction(self):
+        from repro.datasets import generate_partitioned
+
+        full = generate_partitioned(size=120, n_blocks=6, seed=3)
+        sub = generate_partitioned(size=120, n_blocks=6, seed=3, block_ids=[1, 4])
+        full_dirty = self.full_state(full.dirty)
+        sub_dirty = self.full_state(sub.dirty)
+        assert sub_dirty and all(
+            full_dirty[tid] == row for tid, row in sub_dirty.items()
+        )
+        sub_tids = set(sub_dirty)
+        assert sub.errors == {e for e in full.errors if e[0] in sub_tids}
+        assert sub.true_matches == {
+            m for m in full.true_matches if m[0] in sub_tids
+        }
+        sub_master = self.full_state(sub.master)
+        full_master = self.full_state(full.master)
+        assert all(full_master[tid] == row for tid, row in sub_master.items())
+
+    def test_clean_data_satisfies_cfds(self):
+        from repro.datasets import generate_partitioned
+
+        ds = generate_partitioned(size=120, n_blocks=6, seed=3)
+        assert satisfies_all(ds.clean, ds.cfds)
+
+    def test_rules_are_block_keyed(self):
+        from repro.datasets import generate_partitioned
+
+        ds = generate_partitioned(size=60, n_blocks=4, seed=3)
+        for cfd in ds.cfds:
+            for normalized in cfd.normalize():
+                if normalized.is_variable:
+                    assert "block" in normalized.key_attrs()
+        for md in ds.mds:
+            assert "block" in md.blocking_key_attrs()
+
+    def test_invalid_params_raise(self):
+        from repro.datasets import generate_partitioned
+
+        with pytest.raises(DataError):
+            generate_partitioned(size=4, n_blocks=8)
+        with pytest.raises(DataError):
+            generate_partitioned(size=20, n_blocks=2, block_ids=[5])

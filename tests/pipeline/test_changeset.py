@@ -94,3 +94,101 @@ class TestApplyTo:
 
     def test_keep_sentinel_is_singleton(self):
         assert KEEP is type(KEEP)()
+
+
+class TestAtomicity:
+    """ISSUE 3: apply_to validates everything before mutating anything."""
+
+    def snapshot(self, relation):
+        return {
+            t.tid: {a: (t[a], t.conf(a)) for a in relation.schema.names}
+            for t in relation
+        }
+
+    def test_failing_changeset_leaves_relation_untouched(self, relation):
+        before = self.snapshot(relation)
+        cs = (
+            Changeset()
+            .edit(0, "A", "poked")
+            .insert({"K": "k9"})
+            .delete(1)
+            .edit(99, "B", "missing")  # fails: unknown tid
+        )
+        with pytest.raises(DataError):
+            cs.apply_to(relation)
+        assert self.snapshot(relation) == before
+        assert len(relation) == 3  # no insert leaked through
+
+    def test_failing_changeset_leaves_group_stores_untouched(self, relation):
+        from repro.constraints import CFD
+        from repro.indexing.group_store import GroupStoreRegistry
+
+        registry = GroupStoreRegistry(relation)
+        store = registry.cfd_store(CFD(relation.schema, ["K"], ["A"], name="fd"))
+        keys_before = {key: set(g.tids) for key, g in store.groups.items()}
+        cs = Changeset().edit(0, "K", "k9").delete(77)  # second op fails
+        with pytest.raises(DataError):
+            cs.apply_to(relation)
+        assert {key: set(g.tids) for key, g in store.groups.items()} == keys_before
+        registry.detach()
+
+    def test_out_of_range_confidence_rejected_upfront(self, relation):
+        cs = Changeset().edit(0, "A", "v").edit(1, "A", conf=3.5)
+        with pytest.raises(DataError):
+            cs.apply_to(relation)
+        assert relation.by_tid(0)["A"] == "a1"
+
+    def test_edit_after_same_changeset_delete_fails_upfront(self, relation):
+        before = self.snapshot(relation)
+        cs = Changeset().delete(0).edit(0, "A", "zombie")
+        with pytest.raises(DataError):
+            cs.apply_to(relation)
+        assert self.snapshot(relation) == before
+
+
+class TestTidAliasingThroughSession:
+    """Regression: remove → re-add with the same explicit tid must not
+    alias dead per-cell session state (cost map, fix log)."""
+
+    def test_session_state_never_keyed_by_dead_tid(self):
+        from repro.constraints import CFD
+        from repro.core import UniCleanConfig
+        from repro.pipeline import CleaningSession
+        from repro.relational import CTuple
+
+        schema = Schema("S", ["K", "A"])
+        cfds = [CFD(schema, ["K"], ["A"], {"K": "k1", "A": "good"}, name="c")]
+        relation = Relation.from_dicts(
+            schema,
+            [{"K": "k1", "A": "bad"}, {"K": "k2", "A": "x"}],
+        )
+        session = CleaningSession(cfds=cfds, config=UniCleanConfig(eta=1.0))
+        result = session.clean(relation)
+        assert (0, "A") in {f.cell for f in result.fix_log}
+        out = session.apply(Changeset().delete(0))
+        assert all(f.tid != 0 for f in out.fix_log)
+        assert all(cell[0] != 0 for cell in session._cell_costs)
+        # Re-adding tid 0 explicitly to the session's base must yield a
+        # fresh tid: the old fix-log/cost history cannot re-attach.
+        ghost = CTuple(schema, {"K": "k1", "A": "bad"}, tid=0)
+        session.base.add(ghost)
+        assert ghost.tid != 0 and session.base.tid_retired(0)
+
+    def test_out_of_range_insert_confidence_rejected_upfront(self, relation):
+        before = {t.tid: t["A"] for t in relation}
+        cs = (
+            Changeset()
+            .edit(0, "A", "poked")
+            .insert({"K": "k9"}, confidences={"K": 5.0})
+        )
+        with pytest.raises(DataError):
+            cs.apply_to(relation)
+        assert {t.tid: t["A"] for t in relation} == before
+        assert len(relation) == 3
+
+    def test_non_numeric_confidence_rejected_upfront(self, relation):
+        before = {t.tid: t["A"] for t in relation}
+        cs = Changeset().edit(0, "A", "poked").edit(1, "A", conf="0.9")
+        with pytest.raises(DataError):
+            cs.apply_to(relation)
+        assert {t.tid: t["A"] for t in relation} == before

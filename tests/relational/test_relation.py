@@ -115,3 +115,57 @@ class TestToText:
     def test_null_rendering(self, schema):
         r = Relation.from_dicts(schema, [{"A": NULL, "B": "x"}])
         assert "NULL" in r.to_text()
+
+
+class TestTidRetirement:
+    """Removed tids are never reused — ISSUE 3 regression (tid aliasing)."""
+
+    def test_explicit_readd_of_removed_tid_gets_fresh_tid(self, rel, schema):
+        rel.remove(1)
+        ghost = CTuple(schema, {"A": "ghost"}, tid=1)
+        rel.add(ghost)
+        assert ghost.tid == 3  # not 1: the dead tid must not alias
+        assert not rel.has_tid(1)
+        assert rel.tid_retired(1)
+
+    def test_gap_tids_are_honoured(self, schema):
+        relation = Relation(schema)
+        relation.add(CTuple(schema, {"A": "late"}, tid=5))
+        early = CTuple(schema, {"A": "early"}, tid=2)
+        relation.add(early)
+        assert early.tid == 2  # never assigned, never retired: legal
+        assert relation._next_tid >= 6  # monotonic: gap adds never lower it
+
+    def test_retirement_survives_clone_and_restrict(self, rel):
+        rel.remove(0)
+        assert rel.clone().tid_retired(0)
+        assert rel.restrict([1]).tid_retired(0)
+
+    def test_retirement_survives_pickle(self, rel):
+        import pickle
+
+        rel.remove(2)
+        twin = pickle.loads(pickle.dumps(rel))
+        assert twin.tid_retired(2)
+        assert twin.tids() == rel.tids()
+        assert twin._next_tid == rel._next_tid
+
+
+class TestPickling:
+    def test_round_trip_preserves_values_and_confidences(self, rel):
+        import pickle
+
+        rel.by_tid(0).set_conf("A", 0.5)
+        twin = pickle.loads(pickle.dumps(rel))
+        assert twin.tids() == rel.tids()
+        assert twin.by_tid(0)["A"] == "a1"
+        assert twin.by_tid(0).conf("A") == 0.5
+
+    def test_observers_are_dropped(self, rel):
+        import pickle
+
+        rel.add_observer(lambda t, a, o, n: None)
+        twin = pickle.loads(pickle.dumps(rel))
+        assert twin._observers == []
+        assert twin._insert_observers == []
+        assert twin._delete_observers == []

@@ -72,3 +72,99 @@ class TestEditSimilarity:
 
     def test_bounds(self):
         assert 0.0 <= edit_similarity("hello", "help") <= 1.0
+
+
+class TestBandedAgainstClassicDP:
+    """ISSUE 3: adversarial coverage for the banded thresholded DP.
+
+    The contract: ``edit_distance(a, b, max_distance=k)`` equals the
+    true distance when it is ≤ k, and exactly ``k + 1`` otherwise.
+    Fuzzed against the textbook full-matrix DP over small alphabets
+    (including unicode), lengths 0–8 and bounds 0–4.
+    """
+
+    @staticmethod
+    def classic(a: str, b: str) -> int:
+        rows = len(a) + 1
+        cols = len(b) + 1
+        dp = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            dp[i][0] = i
+        for j in range(cols):
+            dp[0][j] = j
+        for i in range(1, rows):
+            for j in range(1, cols):
+                cost = 0 if a[i - 1] == b[j - 1] else 1
+                dp[i][j] = min(
+                    dp[i - 1][j] + 1,
+                    dp[i][j - 1] + 1,
+                    dp[i - 1][j - 1] + cost,
+                )
+        return dp[-1][-1]
+
+    def check(self, a: str, b: str, k: int) -> None:
+        true_distance = self.classic(a, b)
+        banded = edit_distance(a, b, max_distance=k)
+        expected = true_distance if true_distance <= k else k + 1
+        assert banded == expected, (a, b, k, banded, expected)
+        assert within_edit_distance(a, b, k) == (true_distance <= k)
+
+    def test_property_small_alphabet(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=400, deadline=None)
+        @given(
+            a=st.text(alphabet="ab", max_size=8),
+            b=st.text(alphabet="ab", max_size=8),
+            k=st.integers(min_value=0, max_value=4),
+        )
+        def run(a, b, k):
+            self.check(a, b, k)
+
+        run()
+
+    def test_property_three_letters(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=300, deadline=None)
+        @given(
+            a=st.text(alphabet="abc", max_size=7),
+            b=st.text(alphabet="abc", max_size=7),
+            k=st.integers(min_value=0, max_value=3),
+        )
+        def run(a, b, k):
+            self.check(a, b, k)
+
+        run()
+
+    def test_property_unicode(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            a=st.text(alphabet="αβñ", max_size=6),
+            b=st.text(alphabet="αβñ", max_size=6),
+            k=st.integers(min_value=0, max_value=4),
+        )
+        def run(a, b, k):
+            self.check(a, b, k)
+
+        run()
+
+    @pytest.mark.parametrize("k", range(5))
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            ("", ""),
+            ("", "abcd"),
+            ("abcd", ""),
+            ("aaaa", "aaab"),
+            ("ñandú", "nandu"),
+            ("αβγ", "αγβ"),
+        ],
+    )
+    def test_edges(self, a, b, k):
+        self.check(a, b, k)
