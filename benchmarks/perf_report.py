@@ -30,6 +30,18 @@ Two workloads, both written to ``BENCH_repair.json``:
    ``n_workers`` cores — the summary records ``cpu_count`` so a 0.x
    "speedup" on a 1-core CI runner reads as what it is (process
    overhead), not a regression.
+4. **Replan** (ISSUE 4 incremental re-planning): re-plan-heavy
+   micro-batches (each leads with inserts that grow one block's
+   coupling component) applied through ``apply_many`` to a sharded
+   session with component-stable shard ids, against an unsharded
+   reference applying the concatenated batch.  Rows record
+   ``shards_recleaned``/``shards_reused`` per batch and the
+   coordinator↔worker payload bytes (columnar vs the PR 3 pickled
+   form).  The script asserts byte-identical state, that re-plans
+   reuse unaffected shards (``shards_recleaned`` tracks touched
+   components, not total shards), and that columnar payloads are
+   ≤ 50% of the PR 3 bytes — all structural checks; wall-clock is
+   never asserted.
 
 Run from the repository root::
 
@@ -358,6 +370,165 @@ def run_sharded_report(
     }
 
 
+def run_replan_report(
+    size: int = 4000,
+    n_blocks: int = 16,
+    n_workers: int = 2,
+    n_shards: int = 8,
+    batches: int = 5,
+    inserts_per_batch: int = 1,
+    edits_per_batch: int = 4,
+    noise_rate: float = 0.04,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Incremental re-planning on the PART testbed (ISSUE 4).
+
+    Asserts byte-identical observable state per batch, shard-session
+    reuse across re-plans, and the columnar-payload size bound; records
+    per-batch ``shards_recleaned`` and coordinator byte counters.
+    """
+    from repro.datasets import replan_batch
+
+    ds = generate(
+        "partitioned", size=size, n_blocks=n_blocks,
+        noise_rate=noise_rate, seed=seed,
+    )
+    config = UniCleanConfig(eta=1.0)
+    rng = random.Random(seed)
+    rows: List[Dict[str, Any]] = []
+
+    reference = CleaningSession(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config
+    )
+    started = time.perf_counter()
+    reference_clean = reference.clean(ds.dirty)
+    unsharded_s = time.perf_counter() - started
+
+    sharded = ShardedCleaningSession(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config,
+        n_workers=n_workers, n_shards=n_shards,
+        track_legacy_bytes=n_workers > 1,
+    )
+    try:
+        started = time.perf_counter()
+        sharded_clean = sharded.clean(ds.dirty)
+        sharded_s = time.perf_counter() - started
+        all_identical = (
+            _full_state(reference_clean.repaired)
+            == _full_state(sharded_clean.repaired)
+            and _fingerprint(reference_clean.fix_log)
+            == _fingerprint(sharded_clean.fix_log)
+        )
+        clean_stats = dict(sharded.stats)
+        n_shards_planned = sharded.plan.n_shards
+
+        total_recleaned = total_reused = 0
+        for batch in range(batches):
+            changesets = replan_batch(
+                reference.base, rng,
+                inserts=inserts_per_batch, edits=edits_per_batch,
+            )
+            before = dict(sharded.stats)
+            started = time.perf_counter()
+            reference_out = reference.apply_many(
+                [Changeset(list(cs.ops)) for cs in changesets]
+            )
+            unsharded_apply_s = time.perf_counter() - started
+            started = time.perf_counter()
+            sharded_out = sharded.apply_many(
+                [Changeset(list(cs.ops)) for cs in changesets]
+            )
+            sharded_apply_s = time.perf_counter() - started
+            identical = (
+                _full_state(reference_out.repaired)
+                == _full_state(sharded_out.repaired)
+                and _fingerprint(reference_out.fix_log)
+                == _fingerprint(sharded_out.fix_log)
+                and abs(reference_out.cost - sharded_out.cost) < 1e-9
+                and reference_out.clean == sharded_out.clean
+            )
+            all_identical &= identical
+            recleaned = (
+                sharded.stats["shards_recleaned"] - before["shards_recleaned"]
+            )
+            reused = sharded.stats["shards_reused"] - before["shards_reused"]
+            total_recleaned += recleaned
+            total_reused += reused
+            rows.append(
+                {
+                    "batch": batch,
+                    "unsharded_s": round(unsharded_apply_s, 6),
+                    "sharded_s": round(sharded_apply_s, 6),
+                    "shards_recleaned": recleaned,
+                    "shards_reused": reused,
+                    "coordinator_bytes": (
+                        sharded.stats["bytes_to_workers"]
+                        + sharded.stats["bytes_from_workers"]
+                        - before["bytes_to_workers"]
+                        - before["bytes_from_workers"]
+                    ),
+                    "legacy_bytes": (
+                        sharded.stats["legacy_bytes_to_workers"]
+                        + sharded.stats["legacy_bytes_from_workers"]
+                        - before["legacy_bytes_to_workers"]
+                        - before["legacy_bytes_from_workers"]
+                    ),
+                    "state_identical": identical,
+                }
+            )
+
+        stats = sharded.stats
+        coordinator_bytes = (
+            stats["bytes_to_workers"] + stats["bytes_from_workers"]
+        )
+        legacy_bytes = (
+            stats["legacy_bytes_to_workers"]
+            + stats["legacy_bytes_from_workers"]
+        )
+        payload_ratio = (
+            round(coordinator_bytes / legacy_bytes, 4) if legacy_bytes else None
+        )
+        summary = {
+            "size": size,
+            "n_blocks": n_blocks,
+            "n_workers": n_workers,
+            "n_shards": n_shards_planned,
+            "cpu_count": os.cpu_count(),
+            "batches": batches,
+            "inserts_per_batch": inserts_per_batch,
+            "edits_per_batch": edits_per_batch,
+            "unsharded_clean_s": round(unsharded_s, 6),
+            "sharded_clean_s": round(sharded_s, 6),
+            "clean_bytes": clean_stats["bytes_to_workers"]
+            + clean_stats["bytes_from_workers"],
+            "shards_recleaned_total": total_recleaned,
+            "shards_reused_total": total_reused,
+            "collision_retries": stats["collision_retries"],
+            "coordinator_bytes": coordinator_bytes,
+            "legacy_bytes": legacy_bytes,
+            "payload_ratio": payload_ratio,
+            "all_state_identical": all_identical,
+            # Structural acceptance flags (never wall-clock):
+            "reuse_effective": total_reused > 0
+            and total_recleaned < batches * n_shards_planned,
+            "payload_bound_met": payload_ratio is None
+            or payload_ratio <= 0.5,
+        }
+    finally:
+        sharded.close()
+    return {
+        "workload": {
+            "dataset": "partitioned",
+            "size": size,
+            "n_blocks": n_blocks,
+            "noise_rate": noise_rate,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
@@ -372,6 +543,16 @@ def main(argv=None) -> int:
     parser.add_argument("--sharded-blocks", type=int, default=16)
     parser.add_argument("--sharded-workers", type=int, default=2)
     parser.add_argument("--skip-sharded", action="store_true")
+    parser.add_argument("--replan-size", type=int, default=4000,
+                        help="PART testbed rows for the replan scenario")
+    parser.add_argument("--replan-blocks", type=int, default=16)
+    parser.add_argument("--replan-workers", type=int, default=2)
+    parser.add_argument("--replan-shards", type=int, default=8)
+    parser.add_argument("--replan-batches", type=int, default=5)
+    parser.add_argument("--replan-inserts", type=int, default=1,
+                        help="inserts per replan batch (each forces a re-plan)")
+    parser.add_argument("--replan-edits", type=int, default=4)
+    parser.add_argument("--skip-replan", action="store_true")
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_repair.json",
@@ -427,12 +608,37 @@ def main(argv=None) -> int:
         )
         ok &= entry["all_state_identical"]
 
+    if not args.skip_replan:
+        replan = run_replan_report(
+            size=args.replan_size,
+            n_blocks=args.replan_blocks,
+            n_workers=args.replan_workers,
+            n_shards=args.replan_shards,
+            batches=args.replan_batches,
+            inserts_per_batch=args.replan_inserts,
+            edits_per_batch=args.replan_edits,
+        )
+        report["replan"] = replan
+        entry = replan["summary"]
+        print(
+            f"  replan size={entry['size']} shards={entry['n_shards']} "
+            f"batches={entry['batches']}: "
+            f"recleaned={entry['shards_recleaned_total']} "
+            f"reused={entry['shards_reused_total']} "
+            f"payload_ratio={entry['payload_ratio']} "
+            f"state_identical={entry['all_state_identical']}"
+        )
+        ok &= entry["all_state_identical"]
+        ok &= entry["reuse_effective"]
+        ok &= entry["payload_bound_met"]
+
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if not ok:
         print(
-            "ERROR: engines diverged (fix logs or incremental state); "
-            "timings are never asserted on",
+            "ERROR: a structural assertion failed (engine/state divergence, "
+            "no shard reuse across re-plans, or columnar payloads above "
+            "50% of the PR 3 bytes); timings are never asserted on",
             file=sys.stderr,
         )
         return 1

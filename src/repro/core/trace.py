@@ -41,6 +41,7 @@ when constructed with ``collect_traces=True``.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
@@ -65,6 +66,23 @@ class WorklistTrace:
 
     root_ranks: List[Rank] = field(default_factory=list)
     pops: List[Tuple[int, int]] = field(default_factory=list)
+
+    def pack_pops(self) -> Tuple[array, array]:
+        """The pop list as two parallel int columns ``(children, fixes)``
+        — the wire form used by :mod:`repro.pipeline.payload` (a list of
+        2-tuples pickles one opcode pair per pop; arrays pickle as raw
+        machine bytes)."""
+        return (
+            array("i", [children for children, _fixes in self.pops]),
+            array("i", [fixes for _children, fixes in self.pops]),
+        )
+
+    @staticmethod
+    def unpack_pops(
+        children: Sequence[int], fixes: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """Inverse of :meth:`pack_pops`."""
+        return list(zip(children, fixes))
 
 
 @dataclass

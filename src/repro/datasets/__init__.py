@@ -24,6 +24,7 @@ from repro.datasets.partitioned import (
     PART_SCHEMA,
     generate_partitioned,
     part_rules,
+    replan_batch,
 )
 from repro.datasets.tpch import TPCH_SCHEMA, generate_tpch, tpch_cfds, tpch_mds
 
@@ -46,6 +47,7 @@ __all__ = [
     "hosp_rules",
     "inject_noise",
     "part_rules",
+    "replan_batch",
     "split_rows",
     "tpch_cfds",
     "tpch_mds",

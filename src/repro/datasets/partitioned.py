@@ -30,6 +30,7 @@ CI use small instances of the same generator.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.constraints.cfd import CFD
@@ -287,3 +288,56 @@ def generate_partitioned(
             "block_ids": sorted(wanted) if block_ids is not None else None,
         },
     )
+
+
+def replan_batch(
+    base: Relation,
+    rng: random.Random,
+    inserts: int = 1,
+    edits: int = 4,
+    blocks: int = 1,
+) -> List["Changeset"]:
+    """One re-plan-heavy micro-batch against the PART testbed.
+
+    Returns a list of changesets (the shape ``apply_many`` consumes):
+    *inserts* near-duplicate rows of existing tuples — each joins the
+    donor's ``(block, site)`` group, growing exactly that block's
+    coupling component and forcing the re-plan path — plus *edits*
+    catalog-style corrections (``cat``/``score``), all confined to
+    *blocks* distinct blocks so the touched-component count (and hence
+    ``stats["shards_recleaned"]``) stays proportional to the delta, not
+    to the shard count.  Draws rows from the live *base* (typically
+    ``session.base``), so batches stay valid as the relation evolves.
+    """
+    from repro.pipeline.changeset import Changeset
+
+    by_block: Dict[str, List[int]] = {}
+    for t in base:
+        by_block.setdefault(t["block"], []).append(t.tid)
+    if not by_block:
+        raise DataError("replan_batch needs a non-empty base relation")
+    block_names = sorted(by_block)
+    chosen = [
+        block_names[rng.randrange(len(block_names))]
+        for _ in range(max(1, blocks))
+    ]
+
+    def pick_tid() -> int:
+        tids = by_block[chosen[rng.randrange(len(chosen))]]
+        return tids[rng.randrange(len(tids))]
+
+    insert_changeset = Changeset()
+    for _ in range(inserts):
+        donor = base.by_tid(pick_tid())
+        row = donor.as_dict()
+        row["score"] = str(rng.randrange(5, 100))
+        insert_changeset.insert(row)
+    edit_changeset = Changeset()
+    for _ in range(edits):
+        donor = base.by_tid(pick_tid())
+        attr = ("cat", "score")[rng.randrange(2)]
+        edit_changeset.edit(pick_tid(), attr, donor[attr])
+    out = [insert_changeset]
+    if edits:
+        out.append(edit_changeset)
+    return out

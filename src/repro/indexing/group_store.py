@@ -137,7 +137,7 @@ class CFDGroupStore:
     """
 
     __slots__ = ("cfd", "lhs", "rhs", "_lhs_set", "groups", "key_of",
-                 "entry_views", "change_listeners")
+                 "_interned", "entry_views", "change_listeners")
 
     def __init__(self, cfd: Any):
         self.cfd = cfd
@@ -146,6 +146,16 @@ class CFDGroupStore:
         self._lhs_set = frozenset(self.lhs)
         self.groups: Dict[Key, GroupStats] = {}
         self.key_of: Dict[int, Key] = {}
+        #: Canonical instance per distinct LHS key.  ``t.project`` builds
+        #: a fresh tuple on every call, so without interning each re-key
+        #: on the group-rewrite hot path allocates an identical tuple and
+        #: every downstream dict probe (groups, key_of comparisons,
+        #: ever-key tracking) re-hashes and equality-walks it; interned
+        #: keys make those probes identity hits.  Entries are never
+        #: evicted: growth is bounded by the keys *ever* seen — the same
+        #: envelope as the session's ``ever_group_keys`` tracking, which
+        #: collision detection needs to retain anyway.
+        self._interned: Dict[Key, Key] = {}
         #: Objects with ``group_will_change(group)`` / ``group_changed(group)``,
         #: called around every group mutation (EntropyIndex AVL maintenance).
         self.entry_views: List[Any] = []
@@ -168,10 +178,15 @@ class CFDGroupStore:
     # ------------------------------------------------------------------
     # Bulk construction (no notifications; callers re-sync views)
     # ------------------------------------------------------------------
+    def intern_key(self, key: Key) -> Key:
+        """The canonical instance of *key* (see ``_interned``)."""
+        return self._interned.setdefault(key, key)
+
     def build(self, relation: Relation) -> None:
         """(Re)build from *relation* in one scan, without notifications."""
         self.groups.clear()
         self.key_of.clear()
+        self._interned.clear()
         for t in relation:
             self.index_tuple(t)
 
@@ -179,7 +194,7 @@ class CFDGroupStore:
         """Slot *t* in silently (bulk load; no views/listeners fired)."""
         if not self.cfd.lhs_matches(t):
             return
-        key = t.project(self.lhs)
+        key = self.intern_key(t.project(self.lhs))
         group = self.groups.get(key)
         if group is None:
             group = self.groups[key] = GroupStats(key)
@@ -238,7 +253,11 @@ class CFDGroupStore:
         tid = t.tid
         old_key = self.key_of.get(tid)
         if attr in self._lhs_set:
-            new_key = t.project(self.lhs) if self.cfd.lhs_matches(t) else None
+            new_key = (
+                self.intern_key(t.project(self.lhs))
+                if self.cfd.lhs_matches(t)
+                else None
+            )
             if new_key != old_key:
                 # The RHS value the old group counted: the *old* value when
                 # the changed attribute occurs on both sides (e.g. FN → FN).
@@ -270,7 +289,7 @@ class CFDGroupStore:
         """Register a freshly inserted tuple."""
         key: Optional[Key] = None
         if self.cfd.lhs_matches(t):
-            key = t.project(self.lhs)
+            key = self.intern_key(t.project(self.lhs))
             self._slot_in(t.tid, key, t[self.rhs])
         for listener in self.change_listeners:
             listener(t, None, key)
@@ -327,7 +346,8 @@ class MDGroupStore:
     tuple is dirty even when its blocking key did not move).
     """
 
-    __slots__ = ("md", "key_attrs", "_scope", "groups", "key_of", "change_listeners")
+    __slots__ = ("md", "key_attrs", "_scope", "groups", "key_of",
+                 "_interned", "change_listeners")
 
     def __init__(self, md: Any):
         self.md = md
@@ -335,6 +355,9 @@ class MDGroupStore:
         self._scope = frozenset(md.scope_attrs())
         self.groups: Dict[Optional[Key], Set[int]] = {}
         self.key_of: Dict[int, Optional[Key]] = {}
+        #: Canonical instance per distinct blocking key (same hot-loop
+        #: rationale as ``CFDGroupStore._interned``).
+        self._interned: Dict[Key, Key] = {}
         self.change_listeners: List[ChangeListener] = []
 
     def scope_attrs(self) -> Tuple[str, ...]:
@@ -347,11 +370,14 @@ class MDGroupStore:
         if not self.key_attrs:
             return ()
         key = t.project(self.key_attrs)
-        return None if t.has_null(self.key_attrs) else key
+        if t.has_null(self.key_attrs):
+            return None
+        return self._interned.setdefault(key, key)
 
     def build(self, relation: Relation) -> None:
         self.groups.clear()
         self.key_of.clear()
+        self._interned.clear()
         for t in relation:
             self.index_tuple(t)
 

@@ -5,9 +5,15 @@
 * :class:`CleaningSession` — a long-lived engine that binds rules and
   master data once, owns all shared cleaning state, and re-cleans
   incrementally under changesets (``clean()`` + ``apply()``);
-* :class:`ApplyResult` — the outcome of one ``apply()`` call.
+* :class:`ApplyResult` — the outcome of one ``apply()`` call;
+* :mod:`~repro.pipeline.sharding` — the partition-parallel
+  :class:`ShardedCleaningSession` (component-stable shard ids, batched
+  ``apply_many``/``buffer``/``flush``);
+* :mod:`~repro.pipeline.payload` — the columnar coordinator↔worker wire
+  format.
 
-See the "Sessions and deltas" section of ``docs/architecture.md``.
+See the "Sessions and deltas", "Sharding" and "Incremental re-planning"
+sections of ``docs/architecture.md``.
 """
 
 from repro.pipeline.changeset import (

@@ -22,7 +22,7 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import Any, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import DataError
 from repro.relational.relation import Relation
@@ -97,6 +97,16 @@ class AppliedChangeset:
             seen.pop(tid, None)
         return list(seen)
 
+    def all_tids(self) -> set:
+        """Every tid the changeset touched — edited, inserted *or*
+        deleted.  This is the re-plan reuse guard of
+        :class:`~repro.pipeline.sharding.ShardedCleaningSession`: a
+        shard containing any of these tids cannot reuse its session."""
+        out = {tid for tid, _attr in self.edited_cells}
+        out.update(self.inserted_tids)
+        out.update(self.deleted_tids)
+        return out
+
 
 class Changeset:
     """An ordered micro-batch of relation edits (fluent builder).
@@ -109,6 +119,24 @@ class Changeset:
 
     def __init__(self, ops: Optional[List[Op]] = None):
         self.ops: List[Op] = list(ops) if ops else []
+
+    @classmethod
+    def concat(cls, changesets: Iterable["Changeset"]) -> "Changeset":
+        """One changeset carrying the ops of *changesets*, in order.
+
+        Applying the concatenation is equivalent to applying the parts
+        one after another — ops execute in insertion order either way —
+        which is what lets ``apply_many`` ship one coalesced per-shard
+        delta per coordinator round-trip instead of one per changeset.
+        (The one asymmetry: an op referencing a tid inserted by an
+        *earlier changeset of the same batch* cannot validate, because
+        tids are only assigned at apply time — the same rule that already
+        holds within a single changeset.)
+        """
+        ops: List[Op] = []
+        for changeset in changesets:
+            ops.extend(changeset.ops)
+        return cls(ops)
 
     # ------------------------------------------------------------------
     # Builders

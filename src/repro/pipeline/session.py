@@ -658,6 +658,20 @@ class CleaningSession:
             timings=timings,
         )
 
+    def apply_many(
+        self, changesets: Sequence[Changeset]
+    ) -> ApplyResult:
+        """Apply several changesets as one merged micro-batch.
+
+        Exactly ``apply(Changeset.concat(changesets))``: ops execute in
+        order, the delta pre-processing (closure, strategy choice, log
+        splice) runs once for the whole batch, and the final state is the
+        state a full ``clean()`` of the fully edited base produces.  This
+        is the unsharded counterpart of
+        :meth:`~repro.pipeline.sharding.ShardedCleaningSession.apply_many`.
+        """
+        return self.apply(Changeset.concat(changesets))
+
     def _full_replay(self, timings: Dict[str, float]) -> ApplyResult:
         """Exact fallback: re-clean the edited base inside the session.
 

@@ -46,6 +46,38 @@ order).  Two mechanisms turn that into byte-identical observable state:
   terminates — in the worst case at one shard, which is trivially
   exact.
 
+Incremental re-planning
+-----------------------
+Shards carry **component-stable ids**: when a shard is (re)cleaned its
+id is derived from the content of its tid set (a digest of the sorted
+tids), and that id addresses the shard's long-lived worker session for
+as long as the shard exists.  A re-plan — triggered by inserts or
+variable-CFD-premise edits — recomputes the coupling components of the
+edited base and *keeps* every previous shard whose membership is still
+exactly a union of current components and whose tuples the delta never
+touched: those shards' sessions (match caches, group stores, fix-log
+segments, traces) are reused verbatim, with **zero** coordinator↔worker
+traffic.  Only components orphaned by the delta are re-packed and
+re-cleaned, so ``stats["shards_recleaned"]`` tracks the *touched*
+components, not the shard count.  Reuse is sound because shards never
+interact while the collision certificate holds — and the certificate is
+re-checked across reused *and* fresh shards after every re-plan, with
+the usual merge-and-retry (and, ultimately, the single-shard plan) as
+the escape hatch; ``reuse_sessions=False`` forces the PR 3 behaviour of
+rebuilding every shard on every re-plan.
+
+Batching and the wire format
+----------------------------
+``apply_many([δ1, δ2, …])`` (and the ``buffer()``/``flush()`` pair)
+coalesces several changesets into one micro-batch: ops are routed and
+shipped as **one** per-shard delta per coordinator round-trip, and a
+batch that forces a re-plan pays for it once instead of once per
+changeset.  Everything that crosses the process boundary travels in the
+columnar form of :mod:`repro.pipeline.payload` — typed arrays over a
+per-message value dictionary instead of pickled object graphs — and the
+``n_workers=1`` serial executor skips serialization entirely (raw
+in-process objects; regression-tested to never call ``pickle.dumps``).
+
 ``apply(changeset)`` routes each op to the shard owning its tid and
 mirrors the unsharded session's strategy choice: deltas that are scoped
 in every shard stay scoped (cost ∝ delta, no cross-process state
@@ -57,16 +89,19 @@ full replay (master-side indexes stay hot in every worker process).
 Equivalence — repaired relation, per-cell costs, satisfaction verdict
 and the *full ordered fix log* — is property-tested against an unsharded
 session in ``tests/properties/test_property_sharding.py`` and re-checked
-by the ``sharded`` scenario of ``benchmarks/perf_report.py``.
+by the ``sharded`` and ``replan`` scenarios of
+``benchmarks/perf_report.py``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 import time
+from array import array
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.consistency import assert_consistent
 from repro.constraints.cfd import CFD
@@ -78,13 +113,28 @@ from repro.core.hrepair import HRepairResult
 from repro.core.trace import merge_round_fixes, merge_worklist_fixes
 from repro.core.uniclean import CleaningResult, UniCleanConfig
 from repro.exceptions import DataError
+from repro.pipeline import payload
 from repro.pipeline.changeset import CellEdit, Changeset, Delete, Insert, Op
 from repro.pipeline.session import ApplyResult, CleaningSession
 from repro.relational.relation import Relation
+from repro.relational.schema import Schema
 
 Cell = Tuple[int, str]
 Key = Tuple[Any, ...]
 Spec = Tuple
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def _shard_content_id(tids: Sequence[int]) -> str:
+    """A content-derived shard id: digest of the (sorted) tid set.
+
+    Stable across processes and re-plans — the property that lets a
+    re-plan recognise an unchanged shard and address its live session.
+    """
+    return hashlib.blake2b(
+        array("q", tids).tobytes(), digest_size=8
+    ).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -95,9 +145,11 @@ class ShardPlan:
     """A co-partitioning of a relation's tids into shards.
 
     ``shards[i]`` is the sorted tid list of shard *i*; ``shard_of`` is
-    the inverse map.  ``n_components`` counts the connected components
-    of the group-coupling graph (the finest legal partition);
-    ``degenerate`` flags a single-shard plan with ``reason`` saying why.
+    the inverse map; ``ids[i]`` is the shard's stable session address
+    (see :func:`_shard_content_id`).  ``n_components`` counts the
+    connected components of the group-coupling graph (the finest legal
+    partition); ``degenerate`` flags a single-shard plan with ``reason``
+    saying why.
     """
 
     shards: List[List[int]]
@@ -105,6 +157,7 @@ class ShardPlan:
     n_components: int
     degenerate: bool = False
     reason: str = ""
+    ids: List[str] = field(default_factory=list)
 
     @property
     def n_shards(self) -> int:
@@ -141,18 +194,13 @@ class ShardPlanner:
             out.update(cfd.lhs)
         return frozenset(out)
 
-    def plan(self, relation: Relation, n_shards: int) -> ShardPlan:
-        """Partition *relation* into at most *n_shards* co-partitions."""
+    def components(self, relation: Relation) -> List[List[int]]:
+        """Connected components of the group-coupling graph — the finest
+        legal partition of *relation* — biggest first (ties by smallest
+        member tid), members ascending."""
         tids = list(relation.tids())
-        if n_shards <= 1 or len(tids) <= 1:
-            return ShardPlan(
-                shards=[tids],
-                shard_of={tid: 0 for tid in tids},
-                n_components=1 if tids else 0,
-                degenerate=True,
-                reason="single shard requested",
-            )
-
+        if not tids:
+            return []
         parent: Dict[int, int] = {tid: tid for tid in tids}
 
         def find(x: int) -> int:
@@ -191,9 +239,37 @@ class ShardPlanner:
         components: Dict[int, List[int]] = {}
         for tid in tids:
             components.setdefault(find(tid), []).append(tid)
-        # Deterministic packing: biggest component first (ties by smallest
-        # member tid), always into the currently lightest bin.
-        ordered = sorted(components.values(), key=lambda c: (-len(c), c[0]))
+        out = [sorted(component) for component in components.values()]
+        out.sort(key=lambda component: (-len(component), component[0]))
+        return out
+
+    @staticmethod
+    def pack(components: List[List[int]], n_bins: int) -> List[List[int]]:
+        """Deterministic balanced packing: each component (expected
+        biggest-first) goes into the currently lightest bin."""
+        bins = max(1, min(n_bins, len(components)))
+        shards: List[List[int]] = [[] for _ in range(bins)]
+        loads = [0] * bins
+        for component in components:
+            target = min(range(bins), key=lambda i: (loads[i], i))
+            shards[target].extend(component)
+            loads[target] += len(component)
+        for shard in shards:
+            shard.sort()
+        return shards
+
+    def plan(self, relation: Relation, n_shards: int) -> ShardPlan:
+        """Partition *relation* into at most *n_shards* co-partitions."""
+        tids = list(relation.tids())
+        if n_shards <= 1 or len(tids) <= 1:
+            return ShardPlan(
+                shards=[tids],
+                shard_of={tid: 0 for tid in tids},
+                n_components=1 if tids else 0,
+                degenerate=True,
+                reason="single shard requested",
+            )
+        ordered = self.components(relation)
         if len(ordered) == 1:
             return ShardPlan(
                 shards=[tids],
@@ -202,15 +278,7 @@ class ShardPlanner:
                 degenerate=True,
                 reason="rule keys are incompatible: one coupling component",
             )
-        bins = min(n_shards, len(ordered))
-        shards: List[List[int]] = [[] for _ in range(bins)]
-        loads = [0] * bins
-        for component in ordered:
-            target = min(range(bins), key=lambda i: (loads[i], i))
-            shards[target].extend(component)
-            loads[target] += len(component)
-        for shard in shards:
-            shard.sort()
+        shards = self.pack(ordered, n_shards)
         shard_of = {
             tid: index for index, shard in enumerate(shards) for tid in shard
         }
@@ -235,7 +303,7 @@ class _PhaseCounts:
 class _CleanOutcome:
     """What one shard ships back after a (re)clean."""
 
-    shard_id: int
+    shard_id: str
     repaired: Optional[Relation]  # None when the caller knows state is unchanged
     segments: Dict[str, List[Fix]]
     traces: Dict[str, Any]
@@ -244,13 +312,17 @@ class _CleanOutcome:
     counts: _PhaseCounts
     timings: Dict[str, float]
     ever_keys: Dict[Spec, Set[Key]]
+    #: Coordinator-side flag: whether ``segments``/``traces`` still
+    #: describe a from-scratch clean of the shard's *current* base
+    #: (cleared once a scoped apply touches the shard).
+    fullform: bool = True
 
 
 @dataclass
 class _ApplyOutcome:
     """What one shard ships back after an apply."""
 
-    shard_id: int
+    shard_id: str
     mode: str  # "scoped" | "full"
     full: Optional[_CleanOutcome] = None
     # Scoped fields:
@@ -298,7 +370,9 @@ def _result_counts(c_result, e_result, h_result) -> _PhaseCounts:
 class _WorkerState:
     """Per-process shard host: long-lived sessions + shared master-side
     indexes (blocking indexes and MD match caches are built once per
-    process and reused by every shard session it hosts)."""
+    process and reused by every shard session it hosts).  Sessions are
+    keyed by the shard's stable content id, so they survive re-plans
+    that leave the shard's membership alone."""
 
     def __init__(
         self,
@@ -306,23 +380,52 @@ class _WorkerState:
         mds: Sequence[MD],
         master: Optional[Relation],
         config: UniCleanConfig,
+        track_legacy_bytes: bool = False,
     ):
         self.cfds = list(cfds)
         self.mds = list(mds)
         self.master = master
         self.config = config
+        self.track_legacy_bytes = track_legacy_bytes
         self.md_indexes: Dict[str, Any] = {}
-        self.sessions: Dict[int, CleaningSession] = {}
+        self.sessions: Dict[str, CleaningSession] = {}
+        self._schemas: Dict[Tuple[str, Tuple[str, ...]], Schema] = {}
+        for cfd in self.cfds:
+            schema = cfd.schema
+            self._schemas.setdefault((schema.name, schema.names), schema)
+        if master is not None:
+            schema = master.schema
+            self._schemas.setdefault((schema.name, schema.names), schema)
+
+    def schema_lookup(
+        self, name: str, names: Tuple[str, ...]
+    ) -> Optional[Schema]:
+        """Resolve (and cache) the schema of a decoded relation, reusing
+        the instance the rules/master already carry when shapes match."""
+        key = (name, names)
+        schema = self._schemas.get(key)
+        if schema is None:
+            schema = self._schemas[key] = Schema(name, names)
+        return schema
 
     # -- lifecycle -----------------------------------------------------
-    def reset(self, _shard_id: int) -> bool:
+    def reset(self, _shard_id) -> bool:
         for session in self.sessions.values():
             session.close()
         self.sessions.clear()
         return True
 
+    def retain_shards(self, _shard_id, keep: Sequence[str]) -> bool:
+        """Close every hosted session whose shard id is not in *keep* —
+        how a re-plan retires shards whose membership changed."""
+        wanted = set(keep)
+        for sid in list(self.sessions):
+            if sid not in wanted:
+                self.sessions.pop(sid).close()
+        return True
+
     # -- operations ----------------------------------------------------
-    def clean_shard(self, shard_id: int, relation: Relation) -> _CleanOutcome:
+    def clean_shard(self, shard_id: str, relation: Relation) -> _CleanOutcome:
         old = self.sessions.pop(shard_id, None)
         if old is not None:
             old.close()
@@ -338,18 +441,25 @@ class _WorkerState:
         result = session.clean(relation)
         return self._clean_outcome(shard_id, session, result.clean, result.timings)
 
-    def reclean_shard(self, shard_id: int) -> _CleanOutcome:
+    def reclean_shard(self, shard_id: str) -> _CleanOutcome:
         """Re-clean from the shard's current (possibly just-edited) base:
         deterministic, so the shard state is reproduced, and the
-        log/traces become full-form — used when another shard's fallback
-        demands a full-form merge.  Ships the repaired relation because
-        the coordinator's merged copy may predate this shard's latest
-        scoped apply."""
+        log/traces become full-form — used when a re-plan or another
+        shard's fallback demands a full-form merge.  Ships **no**
+        relation: the session's exactness invariant (a scoped apply
+        leaves exactly the state a from-scratch clean of the edited base
+        produces, and every scoped apply ships its perturbed rows) means
+        the coordinator's merged working already equals this re-clean's
+        result, so only the log/trace/cost metadata needs to travel."""
         session = self.sessions[shard_id]
         result = session.clean(session.base)
-        return self._clean_outcome(shard_id, session, result.clean, result.timings)
+        outcome = self._clean_outcome(
+            shard_id, session, result.clean, result.timings
+        )
+        outcome.repaired = None
+        return outcome
 
-    def apply_shard(self, shard_id: int, ops: Sequence[Op]) -> _ApplyOutcome:
+    def apply_shard(self, shard_id: str, ops: Sequence[Op]) -> _ApplyOutcome:
         session = self.sessions[shard_id]
         out = session.apply(Changeset(list(ops)))
         if out.full_reclean:
@@ -389,13 +499,13 @@ class _WorkerState:
             affected_cells=out.affected_cells,
         )
 
-    def is_clean_shard(self, shard_id: int) -> bool:
+    def is_clean_shard(self, shard_id: str) -> bool:
         return self.sessions[shard_id].is_clean()
 
     # -- helpers -------------------------------------------------------
     def _clean_outcome(
         self,
-        shard_id: int,
+        shard_id: str,
         session: CleaningSession,
         clean: bool,
         timings: Dict[str, float],
@@ -418,74 +528,299 @@ class _WorkerState:
         )
 
 
+# ----------------------------------------------------------------------
+# Wire framing (process pool only — the serial runner ships raw objects)
+# ----------------------------------------------------------------------
+def _encode_request(shard_id, method: str, args: tuple) -> bytes:
+    """Frame one worker call as a columnar message (see
+    :mod:`repro.pipeline.payload`)."""
+    table = payload.ValueTable()
+    body: Dict[str, Any] = {}
+    if method == "clean_shard":
+        body["relation"] = payload.encode_relation(args[0], table)
+    elif method == "apply_shard":
+        body["ops"] = payload.encode_ops(args[0], table)
+    elif method == "retain_shards":
+        body["keep"] = list(args[0])
+    elif args:
+        body["args"] = args
+    return pickle.dumps(
+        {"id": shard_id, "method": method, "body": body, "values": table.values},
+        _PROTOCOL,
+    )
+
+
+def _decode_request(blob: bytes, state: _WorkerState):
+    message = pickle.loads(blob)
+    method = message["method"]
+    body = message["body"]
+    values = message["values"]
+    if method == "clean_shard":
+        args: tuple = (
+            payload.decode_relation(
+                body["relation"], values, state.schema_lookup
+            ),
+        )
+    elif method == "apply_shard":
+        args = (payload.decode_ops(body["ops"], values),)
+    elif method == "retain_shards":
+        args = (body["keep"],)
+    else:
+        args = tuple(body.get("args", ()))
+    return message["id"], method, args
+
+
+def _encode_clean_outcome(
+    outcome: _CleanOutcome, table: payload.ValueTable
+) -> Dict[str, Any]:
+    return {
+        "shard_id": outcome.shard_id,
+        "repaired": (
+            payload.encode_relation(outcome.repaired, table)
+            if outcome.repaired is not None
+            else None
+        ),
+        "segments": {
+            phase: payload.encode_fixes(fixes, table)
+            for phase, fixes in outcome.segments.items()
+        },
+        "traces": {
+            phase: payload.encode_trace(trace, table)
+            for phase, trace in outcome.traces.items()
+        },
+        "costs": payload.encode_costs(outcome.costs, table),
+        "clean": outcome.clean,
+        "counts": outcome.counts,
+        "timings": outcome.timings,
+        "ever": payload.encode_ever_keys(outcome.ever_keys, table),
+    }
+
+
+def _decode_clean_outcome(blob: Dict[str, Any], values: List[Any]) -> _CleanOutcome:
+    return _CleanOutcome(
+        shard_id=blob["shard_id"],
+        repaired=(
+            payload.decode_relation(blob["repaired"], values)
+            if blob["repaired"] is not None
+            else None
+        ),
+        segments={
+            phase: payload.decode_fixes(part, values)
+            for phase, part in blob["segments"].items()
+        },
+        traces={
+            phase: payload.decode_trace(part, values)
+            for phase, part in blob["traces"].items()
+        },
+        costs=payload.decode_costs(blob["costs"], values),
+        clean=blob["clean"],
+        counts=blob["counts"],
+        timings=blob["timings"],
+        ever_keys=payload.decode_ever_keys(blob["ever"], values),
+    )
+
+
+def _encode_apply_outcome(
+    outcome: _ApplyOutcome, table: payload.ValueTable
+) -> Dict[str, Any]:
+    return {
+        "shard_id": outcome.shard_id,
+        "mode": outcome.mode,
+        "full": (
+            _encode_clean_outcome(outcome.full, table)
+            if outcome.full is not None
+            else None
+        ),
+        "perturbed": payload.encode_cells(outcome.perturbed, table),
+        "dead": payload.pack_ints(outcome.dead),
+        "rows": payload.encode_rows(outcome.rows, table),
+        "segments": {
+            phase: payload.encode_fixes(fixes, table)
+            for phase, fixes in outcome.segments.items()
+        },
+        "traces": {
+            phase: payload.encode_trace(trace, table)
+            for phase, trace in outcome.traces.items()
+        },
+        "costs": payload.encode_costs(outcome.costs, table),
+        "clean": outcome.clean,
+        "counts": outcome.counts,
+        "timings": outcome.timings,
+        "ever": payload.encode_ever_keys(outcome.ever_keys, table),
+        "replays": outcome.replays,
+        "affected": outcome.affected,
+        "affected_cells": outcome.affected_cells,
+    }
+
+
+def _decode_apply_outcome(blob: Dict[str, Any], values: List[Any]) -> _ApplyOutcome:
+    return _ApplyOutcome(
+        shard_id=blob["shard_id"],
+        mode=blob["mode"],
+        full=(
+            _decode_clean_outcome(blob["full"], values)
+            if blob["full"] is not None
+            else None
+        ),
+        perturbed=payload.decode_cells(blob["perturbed"], values),
+        dead=list(blob["dead"]),
+        rows=payload.decode_rows(blob["rows"], values),
+        segments={
+            phase: payload.decode_fixes(part, values)
+            for phase, part in blob["segments"].items()
+        },
+        traces={
+            phase: payload.decode_trace(part, values)
+            for phase, part in blob["traces"].items()
+        },
+        costs=payload.decode_costs(blob["costs"], values),
+        clean=blob["clean"],
+        counts=blob["counts"],
+        timings=blob["timings"],
+        ever_keys=payload.decode_ever_keys(blob["ever"], values),
+        replays=blob["replays"],
+        affected=blob["affected"],
+        affected_cells=blob["affected_cells"],
+    )
+
+
+def _encode_response(result: Any, track_legacy_bytes: bool) -> bytes:
+    legacy = (
+        len(pickle.dumps(result, _PROTOCOL)) if track_legacy_bytes else 0
+    )
+    table = payload.ValueTable()
+    if isinstance(result, _CleanOutcome):
+        body: Tuple[str, Any] = ("clean", _encode_clean_outcome(result, table))
+    elif isinstance(result, _ApplyOutcome):
+        body = ("apply", _encode_apply_outcome(result, table))
+    else:
+        body = ("raw", result)
+    return pickle.dumps(
+        {"body": body, "values": table.values, "legacy": legacy}, _PROTOCOL
+    )
+
+
+def _decode_response(blob: bytes) -> Tuple[Any, int]:
+    message = pickle.loads(blob)
+    tag, body = message["body"]
+    values = message["values"]
+    if tag == "clean":
+        result: Any = _decode_clean_outcome(body, values)
+    elif tag == "apply":
+        result = _decode_apply_outcome(body, values)
+    else:
+        result = body
+    return result, message["legacy"]
+
+
 # Module-level hooks for ProcessPoolExecutor (must be picklable by name).
 _PROCESS_STATE: Optional[_WorkerState] = None
 
 
 def _process_init(spec_blob: bytes) -> None:
     global _PROCESS_STATE
-    cfds, mds, master, config = pickle.loads(spec_blob)
-    _PROCESS_STATE = _WorkerState(cfds, mds, master, config)
+    cfds, mds, master, config, track_legacy_bytes = pickle.loads(spec_blob)
+    _PROCESS_STATE = _WorkerState(
+        cfds, mds, master, config, track_legacy_bytes=track_legacy_bytes
+    )
 
 
-def _process_call(shard_id: int, method: str, args: tuple):
+def _process_call(blob: bytes) -> bytes:
     assert _PROCESS_STATE is not None, "worker not initialized"
-    return getattr(_PROCESS_STATE, method)(shard_id, *args)
+    shard_id, method, args = _decode_request(blob, _PROCESS_STATE)
+    result = getattr(_PROCESS_STATE, method)(shard_id, *args)
+    return _encode_response(result, _PROCESS_STATE.track_legacy_bytes)
 
 
 class _SerialRunner:
-    """In-process execution (``n_workers=1``): no pickling, same protocol.
+    """In-process execution (``n_workers=1``): same protocol, raw Python
+    objects end to end — **zero** serialization (no ``pickle.dumps``
+    anywhere on this path; regression-tested).
 
     Keeping the serial path on the identical worker code means the
-    debugging story (“run it serial, step through”) exercises the exact
+    debugging story ("run it serial, step through") exercises the exact
     production logic.
     """
+
+    bytes_sent = 0
+    bytes_received = 0
+    legacy_bytes_sent = 0
+    legacy_bytes_received = 0
 
     def __init__(self, cfds, mds, master, config):
         self._state = _WorkerState(cfds, mds, master, config)
 
-    def run(self, calls: Sequence[Tuple[int, str, tuple]]) -> List[Any]:
+    def run(self, calls: Sequence[Tuple[str, str, tuple]]) -> List[Any]:
         return [
             getattr(self._state, method)(shard_id, *args)
             for shard_id, method, args in calls
         ]
 
     def broadcast(self, method: str, args: tuple = ()) -> None:
-        getattr(self._state, method)(-1, *args)
+        getattr(self._state, method)(None, *args)
 
     def close(self) -> None:
-        self._state.reset(-1)
+        self._state.reset(None)
 
 
 class _ProcessRunner:
-    """One single-worker pool per slot, so shard→slot affinity holds and
-    every shard session survives in its worker across calls."""
+    """One single-worker pool per slot; a shard's slot is derived from
+    its content id, so shard→slot affinity survives re-plans and every
+    live shard session stays in its worker across calls.  All traffic is
+    framed through the columnar codecs, and the byte counters record
+    exactly what crossed the boundary."""
 
-    def __init__(self, cfds, mds, master, config, n_workers: int):
-        spec_blob = pickle.dumps((cfds, mds, master, config))
+    def __init__(self, cfds, mds, master, config, n_workers: int,
+                 track_legacy_bytes: bool = False):
+        spec_blob = pickle.dumps(
+            (cfds, mds, master, config, track_legacy_bytes)
+        )
         self._slots = [
             ProcessPoolExecutor(
                 max_workers=1, initializer=_process_init, initargs=(spec_blob,)
             )
             for _ in range(n_workers)
         ]
+        self.track_legacy_bytes = track_legacy_bytes
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.legacy_bytes_sent = 0
+        self.legacy_bytes_received = 0
 
-    def _slot(self, shard_id: int) -> ProcessPoolExecutor:
-        return self._slots[shard_id % len(self._slots)]
+    def _slot(self, shard_id: Union[str, int]) -> ProcessPoolExecutor:
+        if isinstance(shard_id, str):
+            index = int(shard_id, 16) % len(self._slots)
+        else:  # legacy / broadcast addressing
+            index = shard_id % len(self._slots)
+        return self._slots[index]
 
-    def run(self, calls: Sequence[Tuple[int, str, tuple]]) -> List[Any]:
-        futures = [
-            self._slot(shard_id).submit(_process_call, shard_id, method, args)
-            for shard_id, method, args in calls
-        ]
-        return [future.result() for future in futures]
+    def run(self, calls: Sequence[Tuple[str, str, tuple]]) -> List[Any]:
+        futures = []
+        for shard_id, method, args in calls:
+            blob = _encode_request(shard_id, method, args)
+            self.bytes_sent += len(blob)
+            if self.track_legacy_bytes:
+                self.legacy_bytes_sent += len(
+                    pickle.dumps((shard_id, method, args), _PROTOCOL)
+                )
+            futures.append(self._slot(shard_id).submit(_process_call, blob))
+        out = []
+        for future in futures:
+            response = future.result()
+            self.bytes_received += len(response)
+            result, legacy = _decode_response(response)
+            self.legacy_bytes_received += legacy
+            out.append(result)
+        return out
 
     def broadcast(self, method: str, args: tuple = ()) -> None:
-        futures = [
-            slot.submit(_process_call, -1, method, args) for slot in self._slots
-        ]
+        blob = _encode_request(None, method, args)
+        futures = [slot.submit(_process_call, blob) for slot in self._slots]
         for future in futures:
-            future.result()
+            self.bytes_sent += len(blob)
+            response = future.result()
+            self.bytes_received += len(response)
+            _decode_response(response)
 
     def close(self) -> None:
         for slot in self._slots:
@@ -518,6 +853,16 @@ class ShardedCleaningSession:
         retries may merge shards further.
     include_md_affinity:
         Forwarded to :class:`ShardPlanner`.
+    reuse_sessions:
+        Reuse unaffected shard sessions across re-plans (the default;
+        see "Incremental re-planning" in the module docstring).
+        ``False`` is the documented escape hatch: every re-plan rebuilds
+        every shard from scratch, exactly the PR 3 behaviour.
+    track_legacy_bytes:
+        Benchmark-only: additionally pickle every payload the PR 3 way
+        and record the byte counts in ``stats`` so the columnar savings
+        can be asserted structurally (never enable in production — it
+        doubles the serialization work).
 
     Examples
     --------
@@ -525,6 +870,7 @@ class ShardedCleaningSession:
     ...                                  master=dm, n_workers=4)  # doctest: +SKIP
     >>> result = session.clean(dirty)                             # doctest: +SKIP
     >>> out = session.apply(Changeset().edit(3, "city", "Edi"))   # doctest: +SKIP
+    >>> out = session.apply_many([delta1, delta2])                # doctest: +SKIP
     """
 
     def __init__(
@@ -537,6 +883,8 @@ class ShardedCleaningSession:
         n_workers: int = 1,
         n_shards: Optional[int] = None,
         include_md_affinity: bool = True,
+        reuse_sessions: bool = True,
+        track_legacy_bytes: bool = False,
     ):
         self.config = config or UniCleanConfig()
         if not self.config.use_violation_index:
@@ -563,6 +911,8 @@ class ShardedCleaningSession:
 
         self.n_workers = n_workers
         self.n_shards = n_shards if n_shards is not None else n_workers
+        self.reuse_sessions = reuse_sessions
+        self.track_legacy_bytes = track_legacy_bytes
         self.planner = ShardPlanner(
             self.cfds, self.mds, include_md_affinity=include_md_affinity
         )
@@ -574,14 +924,26 @@ class ShardedCleaningSession:
         self.base: Optional[Relation] = None
         self.working: Optional[Relation] = None
         self.fix_log: FixLog = FixLog()
-        self._shard_views: Dict[int, _CleanOutcome] = {}
+        self._shard_views: Dict[str, _CleanOutcome] = {}
+        #: Shard ids with a live session in some worker.
+        self._session_ids: Set[str] = set()
+        #: Changesets queued by :meth:`buffer`, applied by :meth:`flush`.
+        self._pending: List[Changeset] = []
         self._last_clean = False
-        #: Observability counters: plans, collision retries, apply modes.
+        #: Observability counters: plans, collision retries, apply modes,
+        #: per-re-plan shard reuse, and coordinator↔worker payload bytes
+        #: (zero on the serial path, which never serializes).
         self.stats: Dict[str, int] = {
             "plans": 0,
             "collision_retries": 0,
             "scoped_applies": 0,
             "full_applies": 0,
+            "shards_recleaned": 0,
+            "shards_reused": 0,
+            "bytes_to_workers": 0,
+            "bytes_from_workers": 0,
+            "legacy_bytes_to_workers": 0,
+            "legacy_bytes_from_workers": 0,
         }
 
     # ------------------------------------------------------------------
@@ -595,20 +957,34 @@ class ShardedCleaningSession:
                 )
             else:
                 self._runner = _ProcessRunner(
-                    self.cfds, self.mds, self.master, self.config, self.n_workers
+                    self.cfds, self.mds, self.master, self.config,
+                    self.n_workers,
+                    track_legacy_bytes=self.track_legacy_bytes,
                 )
         return self._runner
+
+    def _sync_io_stats(self) -> None:
+        runner = self._runner
+        if runner is None:
+            return
+        self.stats["bytes_to_workers"] = runner.bytes_sent
+        self.stats["bytes_from_workers"] = runner.bytes_received
+        self.stats["legacy_bytes_to_workers"] = runner.legacy_bytes_sent
+        self.stats["legacy_bytes_from_workers"] = runner.legacy_bytes_received
 
     def close(self) -> None:
         """Shut down worker processes / detach serial sessions.
 
         The per-shard sessions die with their workers, so ``apply`` and
         ``is_clean`` raise afterwards; a fresh ``clean()`` restarts the
-        session lifecycle.
+        session lifecycle.  Changesets still sitting in the
+        :meth:`buffer` queue are discarded.
         """
         if self._runner is not None:
             self._runner.close()
             self._runner = None
+        self._session_ids = set()
+        self._pending = []
         self._closed = True
 
     def __enter__(self) -> "ShardedCleaningSession":
@@ -625,9 +1001,131 @@ class ShardedCleaningSession:
         unsharded ``CleaningSession.clean`` of the same relation."""
         self._closed = False  # a fresh clean restarts the lifecycle
         self.base = relation.clone()
-        return self._clean_base()
+        self.plan = None  # a new base invalidates every previous shard
+        self._shard_views = {}
+        return self._clean_base(touched=None)
 
-    def _clean_base(self) -> CleaningResult:
+    # -- re-plan core --------------------------------------------------
+    def _converge(
+        self,
+        shard_sets: List[List[int]],
+        valid: Dict[str, _CleanOutcome],
+        reclean_ids: Set[str],
+        address: Dict[Tuple[int, ...], str],
+    ) -> Tuple[List[str], List[List[int]], Set[str]]:
+        """Bring every shard of *shard_sets* to a valid full-form clean,
+        merging on group-key collisions until the plan holds.
+
+        *valid* seeds reusable views (shards whose sessions and stored
+        full-form outcomes match the current base); *reclean_ids* names
+        shards whose session is current but whose stored log is not
+        full-form (they re-clean in place, shipping no relation);
+        *address* pins existing shard ids to their tid sets.  Returns
+        ``(ids, shard_sets, cleaned_ids)`` with *valid* updated in
+        place.
+        """
+        runner = self._ensure_runner()
+        cleaned: Set[str] = set()
+        while True:
+            self.stats["plans"] += 1
+            ids: List[str] = []
+            for tids in shard_sets:
+                key = tuple(tids)
+                sid = address.get(key)
+                if sid is None:
+                    sid = address[key] = _shard_content_id(tids)
+                ids.append(sid)
+            keep = set(ids)
+            if self._session_ids - keep:
+                runner.broadcast("retain_shards", (sorted(keep),))
+                self._session_ids &= keep
+            calls: List[Tuple[str, str, tuple]] = []
+            for sid, tids in zip(ids, shard_sets):
+                if sid in valid and sid not in reclean_ids:
+                    continue
+                if sid in self._session_ids and sid in reclean_ids:
+                    calls.append((sid, "reclean_shard", ()))
+                else:
+                    assert self.base is not None
+                    calls.append(
+                        (sid, "clean_shard",
+                         (self.base.restrict(tids, copy=False),))
+                    )
+            outcomes: List[_CleanOutcome] = runner.run(calls)
+            self.stats["shards_recleaned"] += len(calls)
+            for outcome in outcomes:
+                valid[outcome.shard_id] = outcome
+                self._session_ids.add(outcome.shard_id)
+                reclean_ids.discard(outcome.shard_id)
+                cleaned.add(outcome.shard_id)
+            merged = self._colliding_shard_sets(
+                shard_sets, [valid[sid].ever_keys for sid in ids]
+            )
+            if merged is None:
+                self.stats["shards_reused"] += sum(
+                    1 for sid in ids if sid not in cleaned
+                )
+                return ids, shard_sets, cleaned
+            self.stats["collision_retries"] += 1
+            shard_sets = merged
+
+    def _sticky_shard_sets(
+        self,
+        components: List[List[int]],
+        touched: Set[int],
+        valid: Dict[str, _CleanOutcome],
+        reclean_ids: Set[str],
+        address: Dict[Tuple[int, ...], str],
+    ) -> List[List[int]]:
+        """The component-stable re-plan: keep every previous shard whose
+        membership is still exactly a union of current components and
+        whose tuples the delta never touched; re-pack the rest."""
+        assert self.plan is not None
+        comp_of: Dict[int, int] = {}
+        for index, component in enumerate(components):
+            for tid in component:
+                comp_of[tid] = index
+        used: Set[int] = set()
+        kept_sets: List[List[int]] = []
+        for index, tids in enumerate(self.plan.shards):
+            sid = self.plan.ids[index] if index < len(self.plan.ids) else None
+            if sid is None or sid not in self._session_ids or not tids:
+                continue
+            if touched.intersection(tids):
+                continue
+            comps: Set[int] = set()
+            intact = True
+            for tid in tids:
+                ci = comp_of.get(tid)
+                if ci is None:
+                    intact = False
+                    break
+                comps.add(ci)
+            if not intact:
+                continue
+            if sum(len(components[ci]) for ci in comps) != len(tids):
+                continue  # a coupled tuple now sits outside the shard
+            address[tuple(tids)] = sid
+            view = self._shard_views.get(sid)
+            if view is not None and view.fullform:
+                valid[sid] = view
+            else:
+                reclean_ids.add(sid)
+            used.update(comps)
+            kept_sets.append(tids)
+        pool = [
+            component
+            for index, component in enumerate(components)
+            if index not in used
+        ]
+        fresh_sets = (
+            self.planner.pack(pool, max(1, self.n_shards - len(kept_sets)))
+            if pool
+            else []
+        )
+        return kept_sets + fresh_sets
+
+    def _clean_base(self, touched: Optional[Set[int]] = None) -> CleaningResult:
         assert self.base is not None
         tids = list(self.base.tids())
         if tids != sorted(tids):
@@ -642,50 +1140,92 @@ class ShardedCleaningSession:
             )
         runner = self._ensure_runner()
         started = time.perf_counter()
-        plan = self.planner.plan(self.base, self.n_shards)
-        shard_sets = plan.shards
-        n_components = plan.n_components
-        degenerate, reason = plan.degenerate, plan.reason
 
-        while True:
-            self.stats["plans"] += 1
-            runner.broadcast("reset")
-            calls = [
-                (sid, "clean_shard", (self.base.restrict(tids),))
-                for sid, tids in enumerate(shard_sets)
-            ]
-            outcomes: List[_CleanOutcome] = runner.run(calls)
-            merged_sets = self._colliding_shard_sets(
-                shard_sets, [o.ever_keys for o in outcomes]
-            )
-            if merged_sets is None:
-                break
-            self.stats["collision_retries"] += 1
-            shard_sets = merged_sets
-            if len(shard_sets) == 1:
-                degenerate, reason = True, "collision retries merged all shards"
-
-        self.plan = ShardPlan(
-            shards=shard_sets,
-            shard_of={
-                tid: sid for sid, tids in enumerate(shard_sets) for tid in tids
-            },
-            n_components=n_components,
-            degenerate=degenerate,
-            reason=reason,
+        valid: Dict[str, _CleanOutcome] = {}
+        reclean_ids: Set[str] = set()
+        address: Dict[Tuple[int, ...], str] = {}
+        reuse_allowed = (
+            self.reuse_sessions
+            and touched is not None
+            and self.plan is not None
+            and bool(self.plan.ids)
+            and bool(self._session_ids)
         )
-        self._shard_views = {o.shard_id: o for o in outcomes}
+        if reuse_allowed:
+            components = self.planner.components(self.base)
+            shard_sets = self._sticky_shard_sets(
+                components, touched, valid, reclean_ids, address
+            )
+            n_components = len(components)
+            degenerate = len(shard_sets) == 1
+            reason = "one coupling component" if degenerate else ""
+        else:
+            plan = self.planner.plan(self.base, self.n_shards)
+            shard_sets = plan.shards
+            n_components = plan.n_components
+            degenerate, reason = plan.degenerate, plan.reason
+            runner.broadcast("reset")
+            self._session_ids = set()
+            self._shard_views = {}
 
-        self.working = self.base.clone()
-        for outcome in outcomes:
-            assert outcome.repaired is not None
-            for t in outcome.repaired:
-                self.working._tuples[t.tid] = t
-            outcome.repaired = None  # merged; free the per-shard copy
+        retries_before = self.stats["collision_retries"]
+        ids, shard_sets, cleaned = self._converge(
+            shard_sets, valid, reclean_ids, address
+        )
+        if len(shard_sets) == 1 and (
+            self.stats["collision_retries"] > retries_before
+        ):
+            degenerate, reason = True, "collision retries merged all shards"
+        elif reuse_allowed:
+            degenerate = len(shard_sets) == 1
+            reason = reason if degenerate else ""
+
+        self._install_plan(shard_sets, ids, n_components, degenerate, reason)
+        assert self.plan is not None
+        ids = self.plan.ids
+        shard_sets = self.plan.shards
+
+        old_working = self.working
+        working = Relation(self.base.schema)
+        working._next_tid = self.base._next_tid
+        working._retired = set(self.base._retired)
+        fresh_outcomes: List[_CleanOutcome] = []
+        #: tid → its repaired tuple; ``None`` marks a reused /
+        #: re-cleaned-in-place shard whose tuples the previous merged
+        #: working still holds (shards never interact, and scoped
+        #: applies ship their rows, so that restriction is exact).
+        repaired_of: Dict[int, Optional[Any]] = {}
+        for sid, tids_ in zip(ids, shard_sets):
+            view = valid[sid]
+            if sid in cleaned:
+                fresh_outcomes.append(view)
+            if view.repaired is not None:
+                for t in view.repaired:
+                    repaired_of[t.tid] = t
+                view.repaired = None  # merged; free the per-shard copy
+            else:
+                assert old_working is not None
+                for tid_ in tids_:
+                    repaired_of[tid_] = None
+        # Populate in base insertion order (= the unsharded working's
+        # iteration order); reused tuples are cloned so snapshots
+        # returned to earlier callers stay frozen.
+        for tid in self.base.tids():
+            t = repaired_of[tid]
+            working._tuples[tid] = (
+                old_working._tuples[tid].clone() if t is None else t
+            )
+        self.working = working
+        self._shard_views = {sid: valid[sid] for sid in ids}
         self.fix_log = self._merge_full_logs()
         c_result, e_result, h_result = self._merged_phase_results()
-        self._last_clean = all(o.clean for o in outcomes)
-        timings = self._merged_timings((o.timings for o in outcomes), started)
+        self._last_clean = all(
+            view.clean for view in self._shard_views.values()
+        )
+        timings = self._merged_timings(
+            (outcome.timings for outcome in fresh_outcomes), started
+        )
+        self._sync_io_stats()
         return CleaningResult(
             repaired=self.working,
             fix_log=self.fix_log,
@@ -700,16 +1240,44 @@ class ShardedCleaningSession:
     # ------------------------------------------------------------------
     # Incremental apply
     # ------------------------------------------------------------------
+    def buffer(self, changeset: Changeset) -> "ShardedCleaningSession":
+        """Queue *changeset* without applying it; :meth:`flush` applies
+        everything buffered as one coalesced micro-batch."""
+        self._pending.append(changeset)
+        return self
+
+    def flush(self) -> Optional[ApplyResult]:
+        """Apply the buffered changesets via :meth:`apply_many` (one
+        fan-out round-trip); ``None`` when the buffer is empty."""
+        if not self._pending:
+            return None
+        pending, self._pending = self._pending, []
+        return self.apply_many(pending)
+
     def apply(self, changeset: Changeset) -> ApplyResult:
         """Re-clean under *changeset*; byte-identical to an unsharded
-        ``CleaningSession.apply`` of the same delta.
+        ``CleaningSession.apply`` of the same delta.  See
+        :meth:`apply_many` for the batched form."""
+        return self.apply_many([changeset])
 
-        Ops route to the shard owning their tid.  Inserts and edits of
-        variable-CFD premise attributes (the only edits that can move a
-        tuple between shards) take the re-plan path — the sharded warm
-        full replay.  Everything else attempts the scoped path per
-        shard, falling back exactly when the unsharded session would.
+    def apply_many(
+        self, changesets: Union[Changeset, Sequence[Changeset]]
+    ) -> ApplyResult:
+        """Apply several changesets as **one** micro-batch — exactly
+        ``apply(Changeset.concat(changesets))``.
+
+        Ops route to the shard owning their tid and ship as one
+        coalesced per-shard delta per coordinator round-trip.  Inserts
+        and edits of variable-CFD premise attributes (the only edits
+        that can move a tuple between shards) send the whole batch down
+        the re-plan path — paid once for the batch, with unaffected
+        shards' sessions reused (see the module docstring).  Everything
+        else attempts the scoped path per shard, falling back exactly
+        when the unsharded session would.
         """
+        if isinstance(changesets, Changeset):
+            changesets = [changesets]
+        changeset = Changeset.concat(changesets)
         if self._closed or self.working is None or self.base is None:
             raise DataError(
                 "ShardedCleaningSession.apply() requires a prior clean() "
@@ -742,17 +1310,17 @@ class ShardedCleaningSession:
                 by_shard.setdefault(self.plan.shard_of[op.tid], []).append(op)
             runner = self._ensure_runner()
             calls = [
-                (sid, "apply_shard", (ops,)) for sid, ops in sorted(by_shard.items())
+                (self.plan.ids[index], "apply_shard", (ops,))
+                for index, ops in sorted(by_shard.items())
             ]
             outcomes: List[_ApplyOutcome] = runner.run(calls)
 
             ever = {o.shard_id: self._outcome_ever_keys(o) for o in outcomes}
-            shard_sets = self.plan.shards
             merged_sets = self._colliding_shard_sets(
-                shard_sets,
+                self.plan.shards,
                 [
                     ever.get(sid, self._shard_views[sid].ever_keys)
-                    for sid in range(len(shard_sets))
+                    for sid in self.plan.ids
                 ],
             )
             if merged_sets is not None:
@@ -760,7 +1328,9 @@ class ShardedCleaningSession:
                 # global one: discard the attempt, re-clean the (pre-edit)
                 # base on the merged topology, and retry the delta.
                 self.stats["collision_retries"] += 1
-                self._reclean_on_sets(merged_sets)
+                self._reclean_on_sets(
+                    merged_sets, dirty_ids={o.shard_id for o in outcomes}
+                )
                 continue
 
             if any(o.mode == "full" for o in outcomes):
@@ -772,12 +1342,14 @@ class ShardedCleaningSession:
         """The sharded warm full replay: edit the base, re-plan, re-clean.
 
         Byte-identical to the unsharded fallback (a from-scratch clean of
-        the edited base); worker-cached master-side indexes keep it warm.
+        the edited base).  Worker-cached master-side indexes keep it
+        warm, and the component-stable re-plan reuses every shard the
+        delta left alone.
         """
         assert self.base is not None
         self.stats["full_applies"] += 1
-        changeset.apply_to(self.base)
-        result = self._clean_base()
+        applied = changeset.apply_to(self.base)
+        result = self._clean_base(touched=applied.all_tids())
         timings = dict(result.timings)
         timings["wall"] = time.perf_counter() - started
         return ApplyResult(
@@ -818,6 +1390,12 @@ class ShardedCleaningSession:
             view.costs = dict(outcome.costs)
             view.clean = outcome.clean
             view.ever_keys = self._outcome_ever_keys(outcome)
+            if outcome.perturbed or outcome.dead or any(
+                outcome.segments.values()
+            ):
+                # The stored full-form segments no longer describe a
+                # from-scratch clean of this shard's (now-evolved) base.
+                view.fullform = False
             for tid, (values, confs) in outcome.rows.items():
                 t = self.working.by_tid(tid)
                 for attr, value, conf in zip(names, values, confs):
@@ -838,6 +1416,7 @@ class ShardedCleaningSession:
         c_result, e_result, h_result = self._merged_apply_results(outcomes)
         self._last_clean = all(v.clean for v in self._shard_views.values())
         timings = self._merged_timings((o.timings for o in outcomes), started)
+        self._sync_io_stats()
         return ApplyResult(
             repaired=self.working,
             fix_log=self.fix_log,
@@ -860,40 +1439,55 @@ class ShardedCleaningSession:
     ) -> ApplyResult:
         """At least one shard fell back to its full replay — exactly the
         situations where the unsharded session re-cleans everything, so
-        bring every shard to full-form and merge fresh logs."""
+        bring every shard to full-form and merge fresh logs.  Shards
+        whose stored view is still full-form (no scoped apply since
+        their last clean, no ops in this batch) skip the re-clean — and
+        the round-trip — entirely."""
         assert self.base is not None and self.plan is not None
         self.stats["full_applies"] += 1
-        changeset.apply_to(self.base)
+        applied = changeset.apply_to(self.base)
         runner = self._ensure_runner()
 
-        full_by_shard: Dict[int, _CleanOutcome] = {
+        views: Dict[str, _CleanOutcome] = {
             o.shard_id: o.full for o in outcomes if o.mode == "full"
         }
-        # Shards that ran scoped (or saw no ops) re-clean from their
-        # current base: same state, full-form log.
-        reclean_ids = [
-            sid
-            for sid in range(len(self.plan.shards))
-            if sid not in full_by_shard
-        ]
+        scoped_ids = {o.shard_id for o in outcomes if o.mode == "scoped"}
+        reclean_ids: List[str] = []
+        reused = 0
+        for sid in self.plan.ids:
+            if sid in views:
+                continue
+            view = self._shard_views[sid]
+            if sid not in scoped_ids and view.fullform:
+                views[sid] = view  # still exact and full-form: reuse
+                reused += 1
+            else:
+                reclean_ids.append(sid)
         recleaned: List[_CleanOutcome] = runner.run(
             [(sid, "reclean_shard", ()) for sid in reclean_ids]
         )
+        # Shards whose own apply fell back to a full replay re-cleaned
+        # inside apply_shard — count them alongside the explicit ones.
+        self.stats["shards_recleaned"] += len(reclean_ids) + len(
+            [o for o in outcomes if o.mode == "full"]
+        )
+        self.stats["shards_reused"] += reused
         for outcome in recleaned:
-            full_by_shard[outcome.shard_id] = outcome
+            views[outcome.shard_id] = outcome
         merged_sets = self._colliding_shard_sets(
-            self.plan.shards,
-            [
-                full_by_shard[sid].ever_keys
-                for sid in range(len(self.plan.shards))
-            ],
+            self.plan.shards, [views[sid].ever_keys for sid in self.plan.ids]
         )
         if merged_sets is not None:
             # Rare: the full replays themselves collided across shards.
             # The base is already edited, so this is a plain re-plan
             # (whose own loop keeps merging until collision-free).
+            # Adopt the just-recleaned views first — they are valid
+            # full-form outcomes for the current base of op-free shards.
+            for outcome in recleaned:
+                views_sid = outcome.shard_id
+                self._shard_views[views_sid] = outcome
             self.stats["collision_retries"] += 1
-            result = self._clean_base()
+            result = self._clean_base(touched=applied.all_tids())
             timings = dict(result.timings)
             timings["wall"] = time.perf_counter() - started
             return ApplyResult(
@@ -915,7 +1509,10 @@ class ShardedCleaningSession:
         for op in changeset.ops:
             if isinstance(op, Delete):
                 self._drop_dead_tid(op.tid)
-        for sid, outcome in full_by_shard.items():
+        fresh: List[_CleanOutcome] = []
+        for sid, outcome in views.items():
+            if outcome is not self._shard_views.get(sid):
+                fresh.append(outcome)
             self._shard_views[sid] = outcome
             if outcome.repaired is not None:
                 for t in outcome.repaired:
@@ -925,8 +1522,9 @@ class ShardedCleaningSession:
         c_result, e_result, h_result = self._merged_phase_results()
         self._last_clean = all(v.clean for v in self._shard_views.values())
         timings = self._merged_timings(
-            (v.timings for v in full_by_shard.values()), started
+            (outcome.timings for outcome in fresh), started
         )
+        self._sync_io_stats()
         return ApplyResult(
             repaired=self.working,
             fix_log=self.fix_log,
@@ -946,7 +1544,9 @@ class ShardedCleaningSession:
         """Remove a deleted tuple from the merged working relation *and*
         the plan (both the tid→shard map and the shard tid lists — a
         later re-plan restricts the base by those lists, so a stale dead
-        tid would make ``Relation.restrict`` raise mid-recovery)."""
+        tid would make ``Relation.restrict`` raise mid-recovery).  The
+        shard's id — its session address — survives the membership
+        change; the next re-plan re-validates membership against it."""
         assert self.working is not None and self.plan is not None
         if self.working.has_tid(tid):
             self.working.remove(tid)
@@ -996,44 +1596,83 @@ class ShardedCleaningSession:
         out = [sorted(tids) for _root, tids in sorted(merged.items())]
         return out
 
-    def _reclean_on_sets(self, shard_sets: List[List[int]]) -> None:
-        """Rebuild every shard session on *shard_sets* from the current
-        (pre-delta) base — the recovery step of an apply-time collision."""
+    def _reclean_on_sets(
+        self, shard_sets: List[List[int]], dirty_ids: Set[str]
+    ) -> None:
+        """Rebuild shard sessions on *shard_sets* from the current
+        (pre-delta) base — the recovery step of an apply-time collision.
+        Sessions of shards that saw no ops in the failed attempt
+        (*dirty_ids*) and whose membership the merge left alone are
+        reused."""
         assert self.base is not None and self.plan is not None
-        runner = self._ensure_runner()
-        while True:
-            self.stats["plans"] += 1
-            runner.broadcast("reset")
-            outcomes: List[_CleanOutcome] = runner.run(
-                [
-                    (sid, "clean_shard", (self.base.restrict(tids),))
-                    for sid, tids in enumerate(shard_sets)
-                ]
-            )
-            merged = self._colliding_shard_sets(
-                shard_sets, [o.ever_keys for o in outcomes]
-            )
-            if merged is None:
-                break
-            self.stats["collision_retries"] += 1
-            shard_sets = merged
-        self.plan = ShardPlan(
-            shards=shard_sets,
-            shard_of={
-                tid: sid for sid, tids in enumerate(shard_sets) for tid in tids
-            },
-            n_components=self.plan.n_components,
-            degenerate=len(shard_sets) == 1,
-            reason="collision retries merged shards" if len(shard_sets) == 1 else "",
+        assert self.working is not None
+        valid: Dict[str, _CleanOutcome] = {}
+        reclean_ids: Set[str] = set()
+        address: Dict[Tuple[int, ...], str] = {}
+        new_keys = {tuple(tids) for tids in shard_sets}
+        for index, tids in enumerate(self.plan.shards):
+            sid = self.plan.ids[index]
+            key = tuple(tids)
+            if key not in new_keys or sid not in self._session_ids:
+                continue
+            if sid in dirty_ids:
+                continue  # worker session diverged in the failed attempt
+            address[key] = sid
+            view = self._shard_views.get(sid)
+            if view is not None and view.fullform:
+                valid[sid] = view
+            else:
+                reclean_ids.add(sid)
+        ids, shard_sets, _cleaned = self._converge(
+            shard_sets, valid, reclean_ids, address
         )
-        self._shard_views = {o.shard_id: o for o in outcomes}
-        for outcome in outcomes:
-            assert outcome.repaired is not None
-            for t in outcome.repaired:
-                self.working._tuples[t.tid] = t
-            outcome.repaired = None
+        self._install_plan(
+            shard_sets,
+            ids,
+            self.plan.n_components,
+            degenerate=len(shard_sets) == 1,
+            reason="collision retries merged shards"
+            if len(shard_sets) == 1
+            else "",
+        )
+        ids = self.plan.ids
+        for sid in ids:
+            view = valid[sid]
+            if view.repaired is not None:
+                for t in view.repaired:
+                    self.working._tuples[t.tid] = t
+                view.repaired = None
+        self._shard_views = {sid: valid[sid] for sid in ids}
         self.fix_log = self._merge_full_logs()
-        self._last_clean = all(o.clean for o in outcomes)
+        self._last_clean = all(v.clean for v in self._shard_views.values())
+
+    def _install_plan(
+        self,
+        shard_sets: List[List[int]],
+        ids: List[str],
+        n_components: int,
+        degenerate: bool,
+        reason: str,
+    ) -> None:
+        """Install ``self.plan`` with shards in canonical order
+        (ascending smallest member tid) and the tid→shard inverse map."""
+        order = sorted(
+            range(len(shard_sets)),
+            key=lambda i: shard_sets[i][0] if shard_sets[i] else -1,
+        )
+        ordered_sets = [shard_sets[i] for i in order]
+        self.plan = ShardPlan(
+            shards=ordered_sets,
+            shard_of={
+                tid: index
+                for index, tids in enumerate(ordered_sets)
+                for tid in tids
+            },
+            n_components=n_components,
+            degenerate=degenerate,
+            reason=reason,
+            ids=[ids[i] for i in order],
+        )
 
     @staticmethod
     def _outcome_ever_keys(outcome: _ApplyOutcome) -> Dict[Spec, Set[Key]]:
@@ -1046,7 +1685,8 @@ class ShardedCleaningSession:
     # Merging
     # ------------------------------------------------------------------
     def _ordered_views(self) -> List[_CleanOutcome]:
-        return [self._shard_views[sid] for sid in sorted(self._shard_views)]
+        assert self.plan is not None
+        return [self._shard_views[sid] for sid in self.plan.ids]
 
     def _merge_full_logs(self) -> FixLog:
         views = self._ordered_views()
@@ -1164,6 +1804,7 @@ class ShardedCleaningSession:
             )
         runner = self._ensure_runner()
         verdicts = runner.run(
-            [(sid, "is_clean_shard", ()) for sid in range(len(self.plan.shards))]
+            [(sid, "is_clean_shard", ()) for sid in self.plan.ids]
         )
+        self._sync_io_stats()
         return all(verdicts)

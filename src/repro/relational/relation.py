@@ -317,7 +317,7 @@ class Relation:
         twin._retired = set(self._retired)
         return twin
 
-    def restrict(self, tids: Iterable[int]) -> "Relation":
+    def restrict(self, tids: Iterable[int], copy: bool = True) -> "Relation":
         """A clone containing only the tuples named by *tids*.
 
         Tids, tid bookkeeping (``_next_tid``, retired tids) and relative
@@ -326,6 +326,11 @@ class Relation:
         shard construction primitive of
         :mod:`repro.pipeline.sharding`.  Unknown tids raise
         :class:`~repro.exceptions.DataError`.
+
+        ``copy=False`` shares the tuple objects instead of cloning them —
+        a zero-copy *view* for consumers that only read the restriction
+        (or clone it themselves, as ``CleaningSession.clean`` does):
+        mutating a shared tuple mutates both relations.
         """
         wanted = set(tids)
         missing = wanted - self._tuples.keys()
@@ -337,7 +342,7 @@ class Relation:
         twin = Relation(self.schema)
         for tid, t in self._tuples.items():
             if tid in wanted:
-                twin._tuples[tid] = t.clone()
+                twin._tuples[tid] = t.clone() if copy else t
         twin._next_tid = self._next_tid
         twin._retired = set(self._retired)
         return twin

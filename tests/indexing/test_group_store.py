@@ -118,3 +118,38 @@ class TestCoherence:
         entropy.check_consistency(relation)
         entropy.detach()
         registry.detach()
+
+
+class TestKeyInterning:
+    """ISSUE 4 micro-opt: identical LHS keys resolve to one canonical
+    tuple, so re-keying on the group-rewrite hot loop stops allocating
+    (and re-hashing) equal tuples."""
+
+    def test_rekeying_returns_canonical_tuples(self):
+        relation = build([("k1", "a1", "b1"), ("k2", "a1", "b2")])
+        registry = GroupStoreRegistry(relation)
+        store = registry.cfd_store(CFDS[0])
+        t0, t1 = relation.by_tid(0), relation.by_tid(1)
+        # Move t1 into t0's group and back, twice: every materialization
+        # of the same key must be the same object.
+        seen = []
+        for _ in range(2):
+            relation.set_value(t1, "K", "k1")
+            seen.append(store.key_of[1])
+            relation.set_value(t1, "K", "k2")
+            seen.append(store.key_of[1])
+        assert seen[0] is seen[2] and seen[1] is seen[3]
+        assert store.key_of[0] is seen[0]
+        assert store.intern_key(("k1",)) is seen[0]
+        registry.detach()
+
+    def test_md_blocking_keys_are_interned(self):
+        relation = build([("k1", "a1", "b1"), ("k1", "a2", "b2")])
+        registry = GroupStoreRegistry(relation)
+        store = registry.md_store(MDS[0])
+        assert store.key_of[0] is store.key_of[1]
+        t1 = relation.by_tid(1)
+        relation.set_value(t1, "K", "k2")
+        relation.set_value(t1, "K", "k1")
+        assert store.key_of[1] is store.key_of[0]
+        registry.detach()

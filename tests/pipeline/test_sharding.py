@@ -265,6 +265,151 @@ class TestShardedCleaningSession:
             assert fingerprint(o1.fix_log) == fingerprint(o2.fix_log)
 
 
+class TestIncrementalReplan:
+    """ISSUE 4: component-stable shard ids, session reuse, batching."""
+
+    def make_pair(self, ds, **kwargs):
+        config = UniCleanConfig(eta=1.0)
+        reference = CleaningSession(
+            cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config
+        )
+        sharded = ShardedCleaningSession(
+            cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config, **kwargs
+        )
+        return reference, sharded
+
+    def test_insert_recleans_only_touched_component(self):
+        """An insert joining one block's component must re-clean exactly
+        that component's shard and reuse every other session."""
+        ds = generate_partitioned(size=160, n_blocks=8, seed=5)
+        reference, sharded = self.make_pair(ds, n_workers=1, n_shards=4)
+        reference.clean(ds.dirty)
+        sharded.clean(ds.dirty)
+        assert sharded.stats["shards_recleaned"] == 4
+        assert sharded.stats["shards_reused"] == 0
+
+        donor = reference.base.by_tid(list(reference.base.tids())[10])
+        changeset = Changeset().insert(donor.as_dict())
+        before = dict(sharded.stats)
+        o1 = reference.apply(Changeset(list(changeset.ops)))
+        o2 = sharded.apply(Changeset(list(changeset.ops)))
+        assert sharded.stats["collision_retries"] == 0
+        assert sharded.stats["shards_recleaned"] - before["shards_recleaned"] == 1
+        assert sharded.stats["shards_reused"] - before["shards_reused"] == 3
+        assert full_state(o1.repaired) == full_state(o2.repaired)
+        assert fingerprint(o1.fix_log) == fingerprint(o2.fix_log)
+        assert o1.cost == pytest.approx(o2.cost)
+        assert o1.clean == o2.clean
+
+    def test_shard_ids_are_stable_across_replans(self):
+        ds = generate_partitioned(size=160, n_blocks=8, seed=5)
+        _reference, sharded = self.make_pair(ds, n_workers=1, n_shards=4)
+        sharded.clean(ds.dirty)
+        ids_before = list(sharded.plan.ids)
+        donor = sharded.base.by_tid(list(sharded.base.tids())[10])
+        sharded.apply(Changeset().insert(donor.as_dict()))
+        ids_after = list(sharded.plan.ids)
+        # Three of four shards keep their session address.
+        assert len(set(ids_before) & set(ids_after)) == 3
+        assert len(set(ids_after)) == len(ids_after)
+
+    def test_apply_many_equals_concatenated_apply(self):
+        ds = generate_partitioned(size=160, n_blocks=8, seed=5)
+        reference, sharded = self.make_pair(ds, n_workers=1, n_shards=4)
+        reference.clean(ds.dirty)
+        sharded.clean(ds.dirty)
+        tids = list(reference.base.tids())
+        donor = reference.base.by_tid(tids[10])
+        parts = [
+            Changeset().edit(tids[3], "cat", "alpha"),
+            Changeset().insert(donor.as_dict()),
+            Changeset().edit(tids[40], "score", "9").delete(tids[25]),
+        ]
+        o1 = reference.apply(
+            Changeset.concat([Changeset(list(p.ops)) for p in parts])
+        )
+        o2 = sharded.apply_many([Changeset(list(p.ops)) for p in parts])
+        assert full_state(o1.repaired) == full_state(o2.repaired)
+        assert fingerprint(o1.fix_log) == fingerprint(o2.fix_log)
+        assert o1.cost == pytest.approx(o2.cost)
+        assert o1.full_reclean and o2.full_reclean
+
+    def test_buffer_flush_is_one_batch(self):
+        ds = generate_partitioned(size=160, n_blocks=8, seed=5)
+        reference, sharded = self.make_pair(ds, n_workers=1, n_shards=4)
+        reference.clean(ds.dirty)
+        sharded.clean(ds.dirty)
+        tids = list(reference.base.tids())
+        assert sharded.flush() is None
+        applies_before = (
+            sharded.stats["scoped_applies"] + sharded.stats["full_applies"]
+        )
+        sharded.buffer(Changeset().edit(tids[5], "score", "42"))
+        sharded.buffer(Changeset().edit(tids[6], "score", "43"))
+        o2 = sharded.flush()
+        o1 = reference.apply(
+            Changeset().edit(tids[5], "score", "42").edit(tids[6], "score", "43")
+        )
+        assert (
+            sharded.stats["scoped_applies"] + sharded.stats["full_applies"]
+            == applies_before + 1
+        )
+        assert full_state(o1.repaired) == full_state(o2.repaired)
+        assert fingerprint(o1.fix_log) == fingerprint(o2.fix_log)
+
+    def test_reuse_escape_hatch_recleans_everything(self):
+        """``reuse_sessions=False`` is the documented full re-plan
+        fallback: every re-plan rebuilds every shard (PR 3 behaviour),
+        and the result stays byte-identical."""
+        ds = generate_partitioned(size=160, n_blocks=8, seed=5)
+        reference, sharded = self.make_pair(
+            ds, n_workers=1, n_shards=4, reuse_sessions=False
+        )
+        reference.clean(ds.dirty)
+        sharded.clean(ds.dirty)
+        donor = reference.base.by_tid(list(reference.base.tids())[10])
+        changeset = Changeset().insert(donor.as_dict())
+        before = dict(sharded.stats)
+        o1 = reference.apply(Changeset(list(changeset.ops)))
+        o2 = sharded.apply(Changeset(list(changeset.ops)))
+        assert sharded.stats["shards_reused"] == 0
+        assert sharded.stats["shards_recleaned"] - before["shards_recleaned"] == 4
+        assert full_state(o1.repaired) == full_state(o2.repaired)
+        assert fingerprint(o1.fix_log) == fingerprint(o2.fix_log)
+
+    def test_scoped_apply_then_replan_recleans_stale_shard(self):
+        """A shard whose full-form log went stale through a scoped apply
+        cannot be reused verbatim by a later re-plan — but its session
+        still re-cleans in place (no relation shipped)."""
+        ds = generate_partitioned(size=160, n_blocks=8, seed=5)
+        reference, sharded = self.make_pair(ds, n_workers=1, n_shards=4)
+        reference.clean(ds.dirty)
+        sharded.clean(ds.dirty)
+        tids = list(reference.base.tids())
+        # Scoped edit in some shard: invalidates that shard's full-form.
+        scoped = Changeset().edit(tids[0], "score", "77")
+        reference.apply(Changeset(list(scoped.ops)))
+        sharded.apply(Changeset(list(scoped.ops)))
+        stale_shard = sharded.plan.shard_of[tids[0]]
+        stale_id = sharded.plan.ids[stale_shard]
+        assert not sharded._shard_views[stale_id].fullform
+        # Insert into a *different* shard: re-plan must reclean the
+        # stale shard too (its stored log is not full-form).
+        other_tid = next(
+            tid for tid in tids if sharded.plan.shard_of[tid] != stale_shard
+        )
+        donor = reference.base.by_tid(other_tid)
+        changeset = Changeset().insert(donor.as_dict())
+        before = dict(sharded.stats)
+        o1 = reference.apply(Changeset(list(changeset.ops)))
+        o2 = sharded.apply(Changeset(list(changeset.ops)))
+        delta = sharded.stats["shards_recleaned"] - before["shards_recleaned"]
+        assert delta == 2  # touched shard + stale shard, not all four
+        assert full_state(o1.repaired) == full_state(o2.repaired)
+        assert fingerprint(o1.fix_log) == fingerprint(o2.fix_log)
+        assert sharded._shard_views[stale_id].fullform
+
+
 class TestRestrict:
     def test_restrict_preserves_tids_and_bookkeeping(self):
         rel = Relation.from_dicts(SCHEMA, [{"blk": str(i)} for i in range(5)])

@@ -164,6 +164,50 @@ class TestShardedEquivalence:
             assert_same(reference_out, sharded_out)
             assert reference_out.full_reclean == sharded_out.full_reclean
 
+    @settings(max_examples=35, deadline=None)
+    @given(
+        data=rows,
+        batches=st.lists(
+            st.tuples(
+                st.tuples(blocks, keys, values, names),  # forced insert
+                ops,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_replan_reuse_is_byte_identical_to_fresh_plan(self, data, batches):
+        """ISSUE 4: K successive re-plans with session reuse must stay
+        byte-identical to (a) an unsharded session applying the same
+        deltas and (b) a *fresh* sharded plan of the final base —
+        relation, costs, verdict, ordered fix log."""
+        relation = build_relation(data)
+        reference = CleaningSession(
+            cfds=CFDS, mds=MDS, master=MASTER, config=CONFIG
+        )
+        sharded = ShardedCleaningSession(
+            cfds=CFDS, mds=MDS, master=MASTER, config=CONFIG, n_shards=2
+        )
+        assert_same(reference.clean(relation), sharded.clean(relation))
+        for (blk, k, a, nm), compact in batches:
+            # Every batch leads with an insert, so every batch re-plans.
+            changeset = Changeset().insert(
+                {"blk": blk, "K": k, "A": a, "B": "b1", "nm": nm}
+            )
+            for op in build_changeset(reference.base, compact).ops:
+                changeset.ops.append(op)
+            reference_out = reference.apply(Changeset(list(changeset.ops)))
+            sharded_out = sharded.apply(Changeset(list(changeset.ops)))
+            assert_same(reference_out, sharded_out)
+        # A fresh sharded plan over the final base reproduces the reused
+        # session's state byte for byte.
+        fresh = ShardedCleaningSession(
+            cfds=CFDS, mds=MDS, master=MASTER, config=CONFIG, n_shards=2
+        )
+        fresh_result = fresh.clean(reference.base)
+        assert full_state(sharded.working) == full_state(fresh_result.repaired)
+        assert fingerprint(sharded.fix_log) == fingerprint(fresh_result.fix_log)
+
     @settings(max_examples=25, deadline=None)
     @given(data=rows)
     def test_partial_pipelines(self, data):
