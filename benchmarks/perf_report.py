@@ -42,6 +42,18 @@ Two workloads, both written to ``BENCH_repair.json``:
    components, not total shards), and that columnar payloads are
    ≤ 50% of the PR 3 bytes — all structural checks; wall-clock is
    never asserted.
+5. **Snapshot** (ISSUE 5 durable session snapshots): a sharded session
+   over the PART re-plan workload is saved mid-stream (after
+   ``--snapshot-cut`` batches), restored into a fresh engine, and both
+   the restored and a never-stopped control session run the remaining
+   batches.  Rows record per-batch state equivalence and shard-reuse
+   counters (restored vs control); the summary adds the snapshot size in
+   bytes and structural acceptance flags — the restored trajectory must
+   be byte-identical, the restored session's reuse counters must match
+   the control's, and the first post-restore re-plan must *reuse*
+   restored shards rather than re-clean them.  Wall-clock for
+   save/restore is recorded but, as everywhere in this script, never
+   asserted.
 
 Run from the repository root::
 
@@ -529,6 +541,160 @@ def run_replan_report(
     }
 
 
+def run_snapshot_report(
+    size: int = 4000,
+    n_blocks: int = 16,
+    n_workers: int = 2,
+    n_shards: int = 8,
+    batches: int = 4,
+    cut: int = 2,
+    inserts_per_batch: int = 1,
+    edits_per_batch: int = 4,
+    noise_rate: float = 0.04,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Mid-stream save/restore on the PART re-plan workload (ISSUE 5).
+
+    A control session runs the whole workload uninterrupted; the subject
+    session is saved to disk after *cut* batches, restored into a fresh
+    engine, and must finish the workload byte-identically — with its
+    first post-restore re-plan reusing restored shards, not re-cleaning
+    them.  All asserted conditions are structural; timings and the
+    snapshot size are informational.
+    """
+    import shutil
+    import tempfile
+
+    from repro.datasets import replan_batch
+
+    ds = generate(
+        "partitioned", size=size, n_blocks=n_blocks,
+        noise_rate=noise_rate, seed=seed,
+    )
+    config = UniCleanConfig(eta=1.0)
+    rng = random.Random(seed)
+    rows: List[Dict[str, Any]] = []
+
+    control = ShardedCleaningSession(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config,
+        n_workers=n_workers, n_shards=n_shards,
+    )
+    subject = ShardedCleaningSession(
+        cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config,
+        n_workers=n_workers, n_shards=n_shards,
+    )
+    snap_dir = tempfile.mkdtemp(prefix="ucsnap-bench-")
+    snapshot_bytes = 0
+    save_s = restore_s = 0.0
+    all_identical = True
+    counters_match = True
+    restored_reused = restored_recleaned = -1
+    control_reused = control_recleaned = -1
+    try:
+        control.clean(ds.dirty)
+        subject.clean(ds.dirty)
+        # The save point must precede a batch, or no restore ever runs
+        # and the acceptance flags would blame a divergence that never
+        # happened.
+        cut = max(0, min(cut, batches - 1))
+        for batch in range(batches):
+            if batch == cut:
+                started = time.perf_counter()
+                snapshot_bytes = subject.save(snap_dir)
+                save_s = time.perf_counter() - started
+                subject.close()
+                started = time.perf_counter()
+                subject = ShardedCleaningSession.restore(snap_dir)
+                restore_s = time.perf_counter() - started
+            changesets = replan_batch(
+                control.base, rng,
+                inserts=inserts_per_batch, edits=edits_per_batch,
+            )
+            before_c = dict(control.stats)
+            before_s = dict(subject.stats)
+            started = time.perf_counter()
+            control_out = control.apply_many(
+                [Changeset(list(cs.ops)) for cs in changesets]
+            )
+            control_s = time.perf_counter() - started
+            started = time.perf_counter()
+            subject_out = subject.apply_many(
+                [Changeset(list(cs.ops)) for cs in changesets]
+            )
+            subject_s = time.perf_counter() - started
+            identical = (
+                _full_state(control_out.repaired)
+                == _full_state(subject_out.repaired)
+                and _fingerprint(control_out.fix_log)
+                == _fingerprint(subject_out.fix_log)
+                and abs(control_out.cost - subject_out.cost) < 1e-9
+                and control_out.clean == subject_out.clean
+            )
+            all_identical &= identical
+            reused_c = control.stats["shards_reused"] - before_c["shards_reused"]
+            recleaned_c = (
+                control.stats["shards_recleaned"]
+                - before_c["shards_recleaned"]
+            )
+            reused_s = subject.stats["shards_reused"] - before_s["shards_reused"]
+            recleaned_s = (
+                subject.stats["shards_recleaned"]
+                - before_s["shards_recleaned"]
+            )
+            if batch == cut:
+                restored_reused, restored_recleaned = reused_s, recleaned_s
+                control_reused, control_recleaned = reused_c, recleaned_c
+            counters_match &= (reused_c, recleaned_c) == (
+                reused_s, recleaned_s,
+            )
+            rows.append(
+                {
+                    "batch": batch,
+                    "restored": batch >= cut,
+                    "control_s": round(control_s, 6),
+                    "subject_s": round(subject_s, 6),
+                    "shards_reused": reused_s,
+                    "shards_recleaned": recleaned_s,
+                    "state_identical": identical,
+                }
+            )
+        summary = {
+            "size": size,
+            "n_blocks": n_blocks,
+            "n_workers": n_workers,
+            "n_shards": n_shards,
+            "cpu_count": os.cpu_count(),
+            "batches": batches,
+            "cut": cut,
+            "inserts_per_batch": inserts_per_batch,
+            "edits_per_batch": edits_per_batch,
+            "snapshot_bytes": snapshot_bytes,
+            "save_s": round(save_s, 6),
+            "restore_s": round(restore_s, 6),
+            "all_state_identical": all_identical,
+            # Structural acceptance flags (never wall-clock):
+            "reuse_counters_match": counters_match,
+            "restored_reuse_effective": restored_reused > 0
+            and restored_reused == control_reused
+            and restored_recleaned == control_recleaned,
+        }
+    finally:
+        control.close()
+        subject.close()
+        shutil.rmtree(snap_dir, ignore_errors=True)
+    return {
+        "workload": {
+            "dataset": "partitioned",
+            "size": size,
+            "n_blocks": n_blocks,
+            "noise_rate": noise_rate,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
@@ -553,6 +719,15 @@ def main(argv=None) -> int:
                         help="inserts per replan batch (each forces a re-plan)")
     parser.add_argument("--replan-edits", type=int, default=4)
     parser.add_argument("--skip-replan", action="store_true")
+    parser.add_argument("--snapshot-size", type=int, default=4000,
+                        help="PART testbed rows for the snapshot scenario")
+    parser.add_argument("--snapshot-blocks", type=int, default=16)
+    parser.add_argument("--snapshot-workers", type=int, default=2)
+    parser.add_argument("--snapshot-shards", type=int, default=8)
+    parser.add_argument("--snapshot-batches", type=int, default=4)
+    parser.add_argument("--snapshot-cut", type=int, default=2,
+                        help="save/restore after this many batches")
+    parser.add_argument("--skip-snapshot", action="store_true")
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_repair.json",
@@ -632,13 +807,37 @@ def main(argv=None) -> int:
         ok &= entry["reuse_effective"]
         ok &= entry["payload_bound_met"]
 
+    if not args.skip_snapshot:
+        snap = run_snapshot_report(
+            size=args.snapshot_size,
+            n_blocks=args.snapshot_blocks,
+            n_workers=args.snapshot_workers,
+            n_shards=args.snapshot_shards,
+            batches=args.snapshot_batches,
+            cut=args.snapshot_cut,
+        )
+        report["snapshot"] = snap
+        entry = snap["summary"]
+        print(
+            f"  snapshot size={entry['size']} shards={entry['n_shards']} "
+            f"cut={entry['cut']}/{entry['batches']}: "
+            f"bytes={entry['snapshot_bytes']} "
+            f"save={entry['save_s']:.2f}s restore={entry['restore_s']:.2f}s "
+            f"restored_reuse={entry['restored_reuse_effective']} "
+            f"state_identical={entry['all_state_identical']}"
+        )
+        ok &= entry["all_state_identical"]
+        ok &= entry["reuse_counters_match"]
+        ok &= entry["restored_reuse_effective"]
+
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if not ok:
         print(
             "ERROR: a structural assertion failed (engine/state divergence, "
-            "no shard reuse across re-plans, or columnar payloads above "
-            "50% of the PR 3 bytes); timings are never asserted on",
+            "no shard reuse across re-plans, columnar payloads above "
+            "50% of the PR 3 bytes, or a snapshot restore that diverged "
+            "or re-cleaned restored shards); timings are never asserted on",
             file=sys.stderr,
         )
         return 1

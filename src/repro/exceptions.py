@@ -42,6 +42,21 @@ class CleaningError(ReproError):
     """An error occurred while executing a cleaning algorithm."""
 
 
+class SnapshotError(ReproError):
+    """A session snapshot could not be written or restored."""
+
+
+class SnapshotCorrupt(SnapshotError):
+    """A snapshot failed structural validation (magic, version byte,
+    framing, or a checksum) and was refused.
+
+    :mod:`repro.pipeline.snapshot` raises this instead of ever loading
+    silently-wrong state: every section carries a SHA-256 digest and the
+    whole file a trailing one, so a truncated or bit-flipped snapshot is
+    detected before any of its payload is decoded.
+    """
+
+
 class NonTerminationError(CleaningError):
     """A bounded cleaning process exceeded its step budget.
 

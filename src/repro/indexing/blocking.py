@@ -197,6 +197,37 @@ class MDBlockingIndex:
             return None
         return min(matched, key=lambda s: s.tid or 0)
 
+    # ------------------------------------------------------------------
+    # Snapshot support (session persistence re-warms the cache)
+    # ------------------------------------------------------------------
+    def cache_entries(self) -> List[Tuple[Tuple[Any, ...], List[int]]]:
+        """The memoized match cache as ``(premise projection, master
+        tids)`` pairs, in insertion order.
+
+        Master tuples are referenced by tid — the master relation is
+        immutable and travels separately in a snapshot, so this is the
+        compact, relation-independent form :mod:`repro.pipeline.snapshot`
+        persists.
+        """
+        return [
+            (key, [s.tid for s in matched])
+            for key, matched in self._match_cache.items()
+        ]
+
+    def warm_cache(
+        self, entries: Iterable[Tuple[Tuple[Any, ...], Sequence[int]]]
+    ) -> None:
+        """Re-populate the match cache from :meth:`cache_entries` output.
+
+        Tids resolve against this index's own master relation, preserving
+        the original match lists (and their order) exactly — restoring a
+        session starts with the cache as warm as it was at save time.
+        """
+        for key, tids in entries:
+            self._match_cache[tuple(key)] = [
+                self.master.by_tid(tid) for tid in tids
+            ]
+
 
 def build_md_indexes(
     mds: Iterable[MD],

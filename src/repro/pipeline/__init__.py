@@ -10,12 +10,16 @@
   :class:`ShardedCleaningSession` (component-stable shard ids, batched
   ``apply_many``/``buffer``/``flush``);
 * :mod:`~repro.pipeline.payload` — the columnar coordinator↔worker wire
-  format.
+  format;
+* :mod:`~repro.pipeline.snapshot` — durable, checksummed session
+  snapshots (``CleaningSession.save``/``restore`` and the sharded
+  manifest-per-shard form).
 
-See the "Sessions and deltas", "Sharding" and "Incremental re-planning"
-sections of ``docs/architecture.md``.
+See the "Sessions and deltas", "Sharding", "Incremental re-planning"
+and "Snapshots and recovery" sections of ``docs/architecture.md``.
 """
 
+from repro.exceptions import SnapshotCorrupt, SnapshotError
 from repro.pipeline.changeset import (
     AppliedChangeset,
     CellEdit,
@@ -30,6 +34,7 @@ from repro.pipeline.sharding import (
     ShardPlan,
     ShardPlanner,
 )
+from repro.pipeline.snapshot import SNAPSHOT_VERSION
 
 __all__ = [
     "AppliedChangeset",
@@ -40,7 +45,10 @@ __all__ = [
     "Delete",
     "Insert",
     "KEEP",
+    "SNAPSHOT_VERSION",
     "ShardPlan",
     "ShardPlanner",
     "ShardedCleaningSession",
+    "SnapshotCorrupt",
+    "SnapshotError",
 ]

@@ -346,6 +346,59 @@ def decode_ever_keys(
 
 
 # ----------------------------------------------------------------------
+# MD match caches (session snapshots re-warm them on restore)
+# ----------------------------------------------------------------------
+def encode_match_caches(
+    caches: Dict[str, Sequence[Tuple[Key, Sequence[int]]]], table: ValueTable
+) -> List[Dict[str, Any]]:
+    """Per MD name: the cached premise projections as one flat reference
+    column (fixed width per MD) and the matched master tids as a
+    length-prefixed flat column.  Entry order is preserved, so a restored
+    cache dict iterates exactly like the saved one."""
+    out: List[Dict[str, Any]] = []
+    for name, entries in caches.items():
+        width = len(entries[0][0]) if entries else 0
+        flat_keys: List[Any] = []
+        lens: List[int] = []
+        flat_tids: List[int] = []
+        for key, tids in entries:
+            flat_keys.extend(key)
+            lens.append(len(tids))
+            flat_tids.extend(tids)
+        out.append(
+            {
+                "name": name,
+                "width": width,
+                "keys": table.refs(flat_keys),
+                "lens": pack_ints(lens),
+                "tids": pack_ints(flat_tids),
+            }
+        )
+    return out
+
+
+def decode_match_caches(
+    blobs: List[Dict[str, Any]], values: List[Any]
+) -> Dict[str, List[Tuple[Key, List[int]]]]:
+    out: Dict[str, List[Tuple[Key, List[int]]]] = {}
+    for blob in blobs:
+        width = blob["width"]
+        keys_flat = blob["keys"]
+        tids_flat = blob["tids"]
+        entries: List[Tuple[Key, List[int]]] = []
+        tid_at = 0
+        for index, n_tids in enumerate(blob["lens"]):
+            start = index * width
+            key = tuple(
+                values[ref] for ref in keys_flat[start : start + width]
+            )
+            entries.append((key, list(tids_flat[tid_at : tid_at + n_tids])))
+            tid_at += n_tids
+        out[blob["name"]] = entries
+    return out
+
+
+# ----------------------------------------------------------------------
 # Scheduling traces
 # ----------------------------------------------------------------------
 def encode_trace(trace: Any, table: ValueTable) -> Any:

@@ -328,7 +328,34 @@ class CleaningSession:
         self.working = self.base.clone()
         self.fix_log = FixLog()
         timings: Dict[str, float] = {}
+        self._attach_relation_state(timings)
+        self.last_perturbed = set()
+        c_result, e_result, h_result = self._run_phases(None, self.fix_log, timings)
+        self._rebuild_cell_costs()
+        self._last_clean = relation_is_clean(
+            self.working, self.cfds, self.mds, self.master,
+            violation_index=self._check_index,
+            md_indexes=self.md_indexes,
+        )
+        return CleaningResult(
+            repaired=self.working,
+            fix_log=self.fix_log,
+            crepair_result=c_result,
+            erepair_result=e_result,
+            hrepair_result=h_result,
+            cost=sum(self._cell_costs.values()),
+            clean=self._last_clean,
+            timings=timings,
+        )
 
+    def _attach_relation_state(self, timings: Dict[str, float]) -> None:
+        """Build the derived per-relation state over ``self.base`` /
+        ``self.working``: the shared group-store registries, the
+        satisfaction-check index, trace-time group-key tracking and the
+        master-side MD indexes.  All of it is a pure function of the two
+        relations and the bound rules, which is why a snapshot restore
+        (:mod:`repro.pipeline.snapshot`) rebuilds it here instead of
+        persisting it."""
         if self.config.use_violation_index:
             started = time.perf_counter()
             self.registry = GroupStoreRegistry(self.working)
@@ -361,24 +388,67 @@ class CleaningSession:
             timings["setup"] = time.perf_counter() - started
 
         self._ensure_md_indexes()
+
+    def _adopt_restored_state(
+        self,
+        base: Relation,
+        working: Relation,
+        fix_log: FixLog,
+        cell_costs: Dict[Cell, float],
+        ever_group_keys: Dict[Tuple, Set[Tuple]],
+        last_clean: bool,
+    ) -> None:
+        """Install snapshot state and rebuild everything derived from it.
+
+        The persisted pieces — relations, fix log, per-cell costs, the
+        ever-materialized group keys and the last satisfaction verdict —
+        are adopted as-is (insertion orders included; float sums replay
+        bit-identically).  Group stores, the check index and the MD
+        blocking indexes are rebuilt from the adopted relations via
+        :meth:`_attach_relation_state`; the match cache is re-warmed by
+        the caller (it needs the decoded entries)."""
+        self._teardown_relation_state()
+        self.base = base
+        self.working = working
+        self.fix_log = fix_log
+        self._attach_relation_state({})
         self.last_perturbed = set()
-        c_result, e_result, h_result = self._run_phases(None, self.fix_log, timings)
-        self._rebuild_cell_costs()
-        self._last_clean = relation_is_clean(
-            self.working, self.cfds, self.mds, self.master,
-            violation_index=self._check_index,
-            md_indexes=self.md_indexes,
-        )
-        return CleaningResult(
-            repaired=self.working,
-            fix_log=self.fix_log,
-            crepair_result=c_result,
-            erepair_result=e_result,
-            hrepair_result=h_result,
-            cost=sum(self._cell_costs.values()),
-            clean=self._last_clean,
-            timings=timings,
-        )
+        self._cell_costs = cell_costs
+        self._last_clean = last_clean
+        # The trackers installed by _attach_relation_state hold references
+        # to the per-spec sets: merge the persisted keys in place so both
+        # the session and its trackers keep seeing one set per spec.
+        for spec, keys in ever_group_keys.items():
+            self.ever_group_keys.setdefault(spec, set()).update(keys)
+
+    # ------------------------------------------------------------------
+    # Snapshots (see repro/pipeline/snapshot.py)
+    # ------------------------------------------------------------------
+    def save(self, path) -> int:
+        """Write a durable snapshot of this session to *path*.
+
+        Captures rules, master data, base and working relations, the fix
+        log, per-cell costs, the MD match cache and the ever-group-key
+        sets — everything a fresh process needs so that the restored
+        session's subsequent ``apply()``/``clean()`` observables are
+        byte-identical to this one's.  The write is atomic (temp file +
+        rename) and checksummed.  Returns the snapshot size in bytes.
+        Requires a prior :meth:`clean`.
+        """
+        from repro.pipeline import snapshot
+
+        return snapshot.save_session(self, path)
+
+    @classmethod
+    def restore(cls, path) -> "CleaningSession":
+        """Rebuild a session from a :meth:`save` snapshot at *path*.
+
+        Raises :class:`~repro.exceptions.SnapshotCorrupt` when the file
+        fails checksum/format validation.
+        """
+        from repro.pipeline import snapshot
+
+        return snapshot.restore_session(path)
 
     def _rebuild_cell_costs(self) -> None:
         """Full pass of the Section 3.1 cost model, kept per cell so

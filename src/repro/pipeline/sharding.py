@@ -459,6 +459,34 @@ class _WorkerState:
         outcome.repaired = None
         return outcome
 
+    def snapshot_shard(self, shard_id: str) -> bytes:
+        """Serialize the hosted session of *shard_id* (environment-free:
+        rules, config and master stay with the worker — see
+        :mod:`repro.pipeline.snapshot`)."""
+        from repro.pipeline import snapshot
+
+        return snapshot.encode_session(
+            self.sessions[shard_id], include_environment=False
+        )
+
+    def restore_shard(self, shard_id: str, blob: bytes) -> bool:
+        """Rebuild the session of *shard_id* from a :meth:`snapshot_shard`
+        blob, re-attaching it to this worker's rules, master data and
+        shared master-side indexes (whose match caches the snapshot
+        re-warms)."""
+        from repro.pipeline import snapshot
+
+        old = self.sessions.pop(shard_id, None)
+        if old is not None:
+            old.close()
+        self.sessions[shard_id] = snapshot.decode_session(
+            blob,
+            environment=(
+                self.cfds, self.mds, self.master, self.config, self.md_indexes
+            ),
+        )
+        return True
+
     def apply_shard(self, shard_id: str, ops: Sequence[Op]) -> _ApplyOutcome:
         session = self.sessions[shard_id]
         out = session.apply(Changeset(list(ops)))
@@ -542,6 +570,8 @@ def _encode_request(shard_id, method: str, args: tuple) -> bytes:
         body["ops"] = payload.encode_ops(args[0], table)
     elif method == "retain_shards":
         body["keep"] = list(args[0])
+    elif method == "restore_shard":
+        body["blob"] = args[0]  # already framed+checksummed snapshot bytes
     elif args:
         body["args"] = args
     return pickle.dumps(
@@ -565,6 +595,8 @@ def _decode_request(blob: bytes, state: _WorkerState):
         args = (payload.decode_ops(body["ops"], values),)
     elif method == "retain_shards":
         args = (body["keep"],)
+    elif method == "restore_shard":
+        args = (body["blob"],)
     else:
         args = tuple(body.get("args", ()))
     return message["id"], method, args
@@ -887,13 +919,6 @@ class ShardedCleaningSession:
         track_legacy_bytes: bool = False,
     ):
         self.config = config or UniCleanConfig()
-        if not self.config.use_violation_index:
-            raise ValueError(
-                "ShardedCleaningSession requires use_violation_index: "
-                "group-key collision detection rides the shared group stores"
-            )
-        if n_workers < 1:
-            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.cfds: List[CFD] = []
         for cfd in cfds:
             self.cfds.extend(cfd.normalize())
@@ -908,13 +933,61 @@ class ShardedCleaningSession:
         self.master = master
         if self.config.check_consistency and self.cfds:
             assert_consistent(self.cfds[0].schema, self.cfds, self.mds, master)
+        self._finish_init(
+            n_workers, n_shards, include_md_affinity, reuse_sessions,
+            track_legacy_bytes,
+        )
 
+    @classmethod
+    def from_normalized(
+        cls,
+        cfds: Sequence[CFD],
+        mds: Sequence[MD],
+        master: Optional[Relation],
+        config: UniCleanConfig,
+        n_workers: int = 1,
+        n_shards: Optional[int] = None,
+        include_md_affinity: bool = True,
+        reuse_sessions: bool = True,
+        track_legacy_bytes: bool = False,
+    ) -> "ShardedCleaningSession":
+        """Build a sharded session over already-normalized rules, skipping
+        normalization and the consistency analysis — the snapshot-restore
+        constructor (:mod:`repro.pipeline.snapshot` persists the session's
+        normalized rule forms)."""
+        session = cls.__new__(cls)
+        session.config = config
+        session.cfds = list(cfds)
+        session.mds = list(mds)
+        session.master = master
+        session._finish_init(
+            n_workers, n_shards, include_md_affinity, reuse_sessions,
+            track_legacy_bytes,
+        )
+        return session
+
+    def _finish_init(
+        self,
+        n_workers: int,
+        n_shards: Optional[int],
+        include_md_affinity: bool,
+        reuse_sessions: bool,
+        track_legacy_bytes: bool,
+    ) -> None:
+        if not self.config.use_violation_index:
+            raise ValueError(
+                "ShardedCleaningSession requires use_violation_index: "
+                "group-key collision detection rides the shared group stores"
+            )
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
+        self.include_md_affinity = include_md_affinity
         self.n_shards = n_shards if n_shards is not None else n_workers
         self.reuse_sessions = reuse_sessions
         self.track_legacy_bytes = track_legacy_bytes
         self.planner = ShardPlanner(
-            self.cfds, self.mds, include_md_affinity=include_md_affinity
+            self.cfds, self.mds, include_md_affinity=self.include_md_affinity
         )
         self._partition_attrs = self.planner.partition_attrs()
 
@@ -992,6 +1065,45 @@ class ShardedCleaningSession:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Snapshots (see repro/pipeline/snapshot.py)
+    # ------------------------------------------------------------------
+    def save(self, path) -> int:
+        """Write a durable snapshot of the whole sharded session to the
+        directory *path*: one checksummed snapshot per shard (pulled from
+        its worker) plus a manifest with the coordinator state, written
+        last so the directory is never observable half-saved.  Shard ids
+        (:func:`_shard_content_id`) name the files, so a later
+        :meth:`restore` re-attaches each shard to its worker slot.
+        Requires a prior :meth:`clean` and an empty :meth:`buffer` queue.
+        Returns total bytes written.
+        """
+        from repro.pipeline import snapshot
+
+        return snapshot.save_sharded(self, path)
+
+    @classmethod
+    def restore(
+        cls, path, n_workers: Optional[int] = None
+    ) -> "ShardedCleaningSession":
+        """Rebuild a sharded session from a :meth:`save` directory.
+
+        Restored shards keep their content ids, worker-slot affinity and
+        full-form views, so the next sticky re-plan reuses them instead
+        of re-cleaning; subsequent ``apply``/``apply_many`` observables
+        are byte-identical to the never-stopped session's.  *n_workers*
+        optionally overrides the saved pool size (shard state is
+        worker-agnostic).  The runner's payload byte counters restart at
+        the restore traffic itself; the logical counters (plans,
+        collision retries, apply modes, reuse) continue from their saved
+        values.  Raises :class:`~repro.exceptions.SnapshotCorrupt` on
+        any checksum/format failure, including a shard file that does
+        not match the manifest digest.
+        """
+        from repro.pipeline import snapshot
+
+        return snapshot.restore_sharded(path, n_workers=n_workers)
 
     # ------------------------------------------------------------------
     # Cleaning

@@ -169,3 +169,64 @@ class TestPickling:
         assert twin._observers == []
         assert twin._insert_observers == []
         assert twin._delete_observers == []
+
+
+class TestSnapshotRoundTrip:
+    """Seed-state gap coverage (ISSUE 5): the snapshot codec must carry
+    the full tid bookkeeping — retired tids included — and deliver a
+    relation whose observer machinery is live again, not just a bag of
+    tuples.  (The pickling tests above only established that observers
+    are *dropped*.)"""
+
+    @staticmethod
+    def roundtrip(relation):
+        from repro.pipeline import payload
+
+        table = payload.ValueTable()
+        blob = payload.encode_relation(relation, table)
+        return payload.decode_relation(blob, table.values)
+
+    def test_retired_tids_survive_and_stay_dead(self, rel, schema):
+        rel.remove(1)
+        twin = self.roundtrip(rel)
+        assert twin.tid_retired(1)
+        assert twin._retired == rel._retired
+        assert twin._next_tid == rel._next_tid
+        # The retirement contract holds post-restore: re-adding the dead
+        # tid explicitly cannot alias it — a fresh tid is assigned.
+        zombie = twin.add(CTuple(schema, {"A": "zz"}, tid=1))
+        assert zombie.tid != 1
+        assert zombie.tid >= rel._next_tid
+
+    def test_restored_observers_start_clean_and_reattach(self, rel):
+        rel.add_observer(lambda t, a, o, n: None)
+        rel.add_insert_observer(lambda t: None)
+        rel.add_delete_observer(lambda t: None)
+        twin = self.roundtrip(rel)
+        assert twin._observers == []
+        assert twin._insert_observers == []
+        assert twin._delete_observers == []
+
+        events = []
+        twin.add_observer(lambda t, a, o, n: events.append(("set", t.tid, a, o, n)))
+        twin.add_insert_observer(lambda t: events.append(("ins", t.tid)))
+        twin.add_delete_observer(lambda t: events.append(("del", t.tid)))
+        twin.set_value(twin.by_tid(0), "A", "a9")
+        inserted = twin.add_row({"A": "a3", "B": "b3"})
+        twin.remove(inserted.tid)
+        assert events == [
+            ("set", 0, "A", "a1", "a9"),
+            ("ins", inserted.tid),
+            ("del", inserted.tid),
+        ]
+
+    def test_values_confidences_and_order_survive(self, rel):
+        rel.by_tid(0).set_conf("A", 0.25)
+        rel.by_tid(2).set_conf("B", None)
+        twin = self.roundtrip(rel)
+        assert twin.tids() == rel.tids()  # insertion order preserved
+        for t in rel:
+            mate = twin.by_tid(t.tid)
+            for attr in rel.schema.names:
+                assert mate[attr] == t[attr]
+                assert mate.conf(attr) == t.conf(attr)
