@@ -54,6 +54,18 @@ Two workloads, both written to ``BENCH_repair.json``:
    restored shards rather than re-clean them.  Wall-clock for
    save/restore is recorded but, as everywhere in this script, never
    asserted.
+6. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
+   clean + micro-batch workload run under a battery of named fault
+   schedules (worker crash, torn response frame, hang + timeout,
+   transient error, persistent crash forcing escalation to the serial
+   fallback) via the deterministic injector in
+   :mod:`repro.pipeline.faults`, plus one auto-checkpointed run that is
+   restored from its newest checkpoint.  Every schedule must finish
+   **byte-identical** to the fault-free reference; rows record the
+   recovery counters (``dispatch_retries``, ``dispatch_timeouts``,
+   ``worker_respawns``, ``serial_fallbacks``) and the recovery overhead
+   in seconds — the equivalence flags are asserted on, wall-clock never
+   is.
 
 Run from the repository root::
 
@@ -695,6 +707,200 @@ def run_snapshot_report(
     }
 
 
+def run_faults_report(
+    size: int = 2000,
+    n_blocks: int = 16,
+    n_workers: int = 2,
+    n_shards: int = 8,
+    batches: int = 3,
+    edits_per_batch: int = 6,
+    noise_rate: float = 0.04,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Fault-injected sharded runs vs a fault-free reference (ISSUE 6).
+
+    Each named schedule drives the same clean + micro-batch workload
+    through the supervision layer; the assertion is equivalence only —
+    recovered observables must be byte-identical to the reference —
+    while retries/respawns/fallbacks and the recovery overhead are
+    recorded, never asserted.
+    """
+    import shutil
+    import tempfile
+
+    from repro.pipeline import FaultSpec, SupervisionPolicy
+    from repro.pipeline.faults import FaultInjector, injected
+
+    ds = generate(
+        "partitioned", size=size, n_blocks=n_blocks,
+        noise_rate=noise_rate, seed=seed,
+    )
+    config = UniCleanConfig(eta=1.0)
+    rows: List[Dict[str, Any]] = []
+
+    catalog_attrs = [a for a in ("cat", "score") if a in ds.schema]
+
+    def batch_plan(base, rng):
+        tids = list(base.tids())
+        out = []
+        for _ in range(batches):
+            changeset = Changeset()
+            for _ in range(edits_per_batch):
+                attr = rng.choice(catalog_attrs)
+                donor = base.by_tid(rng.choice(tids))
+                changeset.edit(rng.choice(tids), attr, donor[attr])
+            out.append(changeset)
+        return out
+
+    def run(session, injector=None, checkpoint_root=None):
+        started = time.perf_counter()
+        try:
+            if injector is None:
+                session.clean(ds.dirty)
+                plan = batch_plan(session.base, random.Random(seed))
+                for changeset in plan:
+                    session.apply(Changeset(list(changeset.ops)))
+            else:
+                with injected(injector):
+                    session.clean(ds.dirty)
+                    plan = batch_plan(session.base, random.Random(seed))
+                    for changeset in plan:
+                        session.apply(Changeset(list(changeset.ops)))
+            if checkpoint_root is not None:
+                # Drop the live session and come back from its newest
+                # checkpoint — the recovered twin must answer the same.
+                session.close()
+                session = ShardedCleaningSession.restore_latest(
+                    checkpoint_root, n_workers=n_workers
+                )
+            elapsed = time.perf_counter() - started
+            state = (
+                _full_state(session.working),
+                _fingerprint(session.fix_log.fixes()),
+                session._last_clean,
+            )
+            session._sync_io_stats()
+            stats = {
+                key: session.stats[key]
+                for key in (
+                    "dispatch_retries", "dispatch_timeouts",
+                    "worker_respawns", "serial_fallbacks",
+                    "checkpoints_written",
+                )
+            }
+            return state, stats, elapsed
+        finally:
+            session.close()
+
+    def make(**kwargs):
+        kwargs.setdefault("n_workers", n_workers)
+        kwargs.setdefault("n_shards", n_shards)
+        return ShardedCleaningSession(
+            cfds=ds.cfds, mds=ds.mds, master=ds.master, config=config,
+            **kwargs
+        )
+
+    policy = SupervisionPolicy(
+        timeout=120.0, max_retries=2, backoff_base=0.01, backoff_max=0.1
+    )
+    reference_state, _stats, reference_s = run(make(supervision=policy))
+
+    schedules = [
+        ("worker_crash",
+         [FaultSpec(point="dispatch", kind="crash", method="clean_shard")],
+         policy, None),
+        ("torn_response",
+         [FaultSpec(point="dispatch", kind="torn_response",
+                    method="apply_shard")],
+         policy, None),
+        ("hang_timeout",
+         [FaultSpec(point="dispatch", kind="hang", method="apply_shard",
+                    seconds=30.0)],
+         SupervisionPolicy(timeout=1.0, max_retries=2,
+                           backoff_base=0.01, backoff_max=0.1), None),
+        ("transient_error",
+         [FaultSpec(point="dispatch", kind="error", method="apply_shard",
+                    times=2)],
+         policy, None),
+        ("persistent_crash_escalation",
+         [FaultSpec(point="dispatch", kind="crash", times=10**6)],
+         SupervisionPolicy(timeout=120.0, max_retries=1,
+                           backoff_base=0.01, backoff_max=0.1), None),
+    ]
+
+    all_identical = True
+    for name, specs, schedule_policy, _unused in schedules:
+        injector = FaultInjector(specs)
+        state, stats, elapsed = run(
+            make(supervision=schedule_policy), injector
+        )
+        identical = state == reference_state
+        all_identical &= identical
+        rows.append(
+            {
+                "schedule": name,
+                "seconds": round(elapsed, 6),
+                "overhead": round(elapsed / reference_s, 2)
+                if reference_s else None,
+                "faults_fired": len(injector.log),
+                "state_identical": identical,
+                **stats,
+            }
+        )
+
+    checkpoint_root = tempfile.mkdtemp(prefix="ucfaults-bench-")
+    try:
+        state, stats, elapsed = run(
+            make(
+                supervision=policy,
+                checkpoint_dir=checkpoint_root,
+                checkpoint_every=1,
+                checkpoint_retain=2,
+            ),
+            checkpoint_root=checkpoint_root,
+        )
+        identical = state == reference_state
+        all_identical &= identical
+        rows.append(
+            {
+                "schedule": "checkpoint_restore",
+                "seconds": round(elapsed, 6),
+                "overhead": round(elapsed / reference_s, 2)
+                if reference_s else None,
+                "faults_fired": 0,
+                "state_identical": identical,
+                **stats,
+            }
+        )
+    finally:
+        shutil.rmtree(checkpoint_root, ignore_errors=True)
+
+    summary = {
+        "size": size,
+        "n_blocks": n_blocks,
+        "n_workers": n_workers,
+        "n_shards": n_shards,
+        "cpu_count": os.cpu_count(),
+        "batches": batches,
+        "edits_per_batch": edits_per_batch,
+        "reference_s": round(reference_s, 6),
+        "schedules": len(rows),
+        # The only acceptance flag — equivalence, never wall-clock:
+        "all_state_identical": all_identical,
+    }
+    return {
+        "workload": {
+            "dataset": "partitioned",
+            "size": size,
+            "n_blocks": n_blocks,
+            "noise_rate": noise_rate,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
@@ -728,6 +934,13 @@ def main(argv=None) -> int:
     parser.add_argument("--snapshot-cut", type=int, default=2,
                         help="save/restore after this many batches")
     parser.add_argument("--skip-snapshot", action="store_true")
+    parser.add_argument("--faults-size", type=int, default=2000,
+                        help="PART testbed rows for the faults scenario")
+    parser.add_argument("--faults-blocks", type=int, default=16)
+    parser.add_argument("--faults-workers", type=int, default=2)
+    parser.add_argument("--faults-shards", type=int, default=8)
+    parser.add_argument("--faults-batches", type=int, default=3)
+    parser.add_argument("--skip-faults", action="store_true")
     parser.add_argument(
         "--out", type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_repair.json",
@@ -830,14 +1043,36 @@ def main(argv=None) -> int:
         ok &= entry["reuse_counters_match"]
         ok &= entry["restored_reuse_effective"]
 
+    if not args.skip_faults:
+        faults = run_faults_report(
+            size=args.faults_size,
+            n_blocks=args.faults_blocks,
+            n_workers=args.faults_workers,
+            n_shards=args.faults_shards,
+            batches=args.faults_batches,
+        )
+        report["faults"] = faults
+        entry = faults["summary"]
+        for row in faults["rows"]:
+            print(
+                f"  faults[{row['schedule']}]: {row['seconds']:.2f}s "
+                f"(x{row['overhead']}) retries={row['dispatch_retries']} "
+                f"respawns={row['worker_respawns']} "
+                f"fallbacks={row['serial_fallbacks']} "
+                f"state_identical={row['state_identical']}"
+            )
+        ok &= entry["all_state_identical"]
+
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
     if not ok:
         print(
             "ERROR: a structural assertion failed (engine/state divergence, "
             "no shard reuse across re-plans, columnar payloads above "
-            "50% of the PR 3 bytes, or a snapshot restore that diverged "
-            "or re-cleaned restored shards); timings are never asserted on",
+            "50% of the PR 3 bytes, a snapshot restore that diverged "
+            "or re-cleaned restored shards, or a fault-injected run that "
+            "did not recover byte-identically); timings are never "
+            "asserted on",
             file=sys.stderr,
         )
         return 1

@@ -64,3 +64,44 @@ class NonTerminationError(CleaningError):
     paper; Theorem 4.7 shows termination is PSPACE-complete), so the bounded
     explorers raise this instead of looping forever.
     """
+
+
+class WorkerFailure(CleaningError):
+    """A worker process died (e.g. ``BrokenProcessPool``) and the failure
+    could not be recovered within the session's supervision policy.
+
+    Dispatch supervision (:mod:`repro.pipeline.supervision`) normally
+    absorbs a dead slot by respawning its executor and re-dispatching the
+    in-flight shard; this surfaces only when retries are disabled or
+    exhausted without a serial fallback.
+    """
+
+
+class ShardTimeout(WorkerFailure):
+    """A shard dispatch exceeded the supervision policy's per-dispatch
+    ``timeout`` and the hung worker could not be recovered.
+
+    The hung worker process is killed before this is raised, so a caller
+    never blocks forever on ``future.result()``.
+    """
+
+
+class RetriesExhausted(WorkerFailure):
+    """Bounded dispatch retries were exhausted and the supervision policy
+    forbids the in-process serial fallback.
+
+    ``__cause__`` carries the last underlying failure (a timeout, a dead
+    pool, or a torn frame).
+    """
+
+
+class TornFrame(ReproError):
+    """A CRC-framed coordinator↔worker message failed validation (magic,
+    length or CRC32) and was refused before decoding.
+
+    Dispatch supervision treats a torn frame as a transient transport
+    fault: a torn *request* (detected worker-side, before execution) is
+    simply re-sent; a torn *response* (detected coordinator-side, after
+    the worker executed) triggers the full slot-recovery path so the
+    retried call is exactly-once.
+    """

@@ -12,14 +12,26 @@
 * :mod:`~repro.pipeline.payload` — the columnar coordinator↔worker wire
   format;
 * :mod:`~repro.pipeline.snapshot` — durable, checksummed session
-  snapshots (``CleaningSession.save``/``restore`` and the sharded
-  manifest-per-shard form).
+  snapshots (``CleaningSession.save``/``restore``, the sharded
+  manifest-per-shard form, and retained checkpoints);
+* :mod:`~repro.pipeline.supervision` /
+  :mod:`~repro.pipeline.faults` — worker supervision (timeouts,
+  bounded retries, respawn, serial fallback) and the deterministic
+  fault-injection harness that exercises it.
 
-See the "Sessions and deltas", "Sharding", "Incremental re-planning"
-and "Snapshots and recovery" sections of ``docs/architecture.md``.
+See the "Sessions and deltas", "Sharding", "Incremental re-planning",
+"Snapshots and recovery" and "Fault tolerance and recovery" sections of
+``docs/architecture.md``.
 """
 
-from repro.exceptions import SnapshotCorrupt, SnapshotError
+from repro.exceptions import (
+    RetriesExhausted,
+    ShardTimeout,
+    SnapshotCorrupt,
+    SnapshotError,
+    TornFrame,
+    WorkerFailure,
+)
 from repro.pipeline.changeset import (
     AppliedChangeset,
     CellEdit,
@@ -28,6 +40,7 @@ from repro.pipeline.changeset import (
     Insert,
     KEEP,
 )
+from repro.pipeline.faults import FaultInjector, FaultSpec, InjectedFault
 from repro.pipeline.session import ApplyResult, CleaningSession
 from repro.pipeline.sharding import (
     ShardedCleaningSession,
@@ -35,6 +48,7 @@ from repro.pipeline.sharding import (
     ShardPlanner,
 )
 from repro.pipeline.snapshot import SNAPSHOT_VERSION
+from repro.pipeline.supervision import SupervisionPolicy
 
 __all__ = [
     "AppliedChangeset",
@@ -43,12 +57,20 @@ __all__ = [
     "Changeset",
     "CleaningSession",
     "Delete",
+    "FaultInjector",
+    "FaultSpec",
     "Insert",
+    "InjectedFault",
     "KEEP",
+    "RetriesExhausted",
     "SNAPSHOT_VERSION",
     "ShardPlan",
     "ShardPlanner",
+    "ShardTimeout",
     "ShardedCleaningSession",
     "SnapshotCorrupt",
     "SnapshotError",
+    "SupervisionPolicy",
+    "TornFrame",
+    "WorkerFailure",
 ]

@@ -1,0 +1,324 @@
+"""Deterministic, schedule-driven fault injection for sharded cleaning.
+
+Fault tolerance that is only exercised by real infrastructure failures is
+untested fault tolerance.  This module makes every failure mode the
+supervision layer handles (:mod:`repro.pipeline.supervision` and the
+supervised runner in :mod:`repro.pipeline.sharding`) reproducible on
+demand:
+
+* **worker crash** — the worker process exits hard mid-call (the
+  coordinator observes a ``BrokenProcessPool``);
+* **hang** — the worker sleeps past the per-dispatch timeout (the
+  coordinator observes a :class:`~repro.exceptions.ShardTimeout`);
+* **delay** — the worker sleeps briefly and then answers (exercises
+  backoff bookkeeping without a failure);
+* **transient error** — the worker raises :class:`InjectedFault` before
+  executing (a retry-safe pre-execution failure);
+* **torn request / torn response frame** — the CRC envelope of
+  :mod:`repro.pipeline.payload` is corrupted in flight (the coordinator
+  observes a :class:`~repro.exceptions.TornFrame`);
+* **coordinator kill** — the coordinator SIGKILLs itself at a dispatch
+  point (the crash-recovery drill for checkpointed restore);
+* **snapshot corruption** — bytes read back from a snapshot file are
+  flipped (the reader observes a
+  :class:`~repro.exceptions.SnapshotCorrupt`).
+
+Determinism
+-----------
+All scheduling state lives in the **coordinator**: each
+:class:`FaultSpec` counts its own matching fault-point hits and arms on
+the ``after``-th one (for ``times`` consecutive hits).  Worker-side
+faults are not scheduled in the worker — the coordinator embeds a
+one-shot *directive* in the request envelope and the worker merely obeys
+it (:func:`obey`).  A respawned worker therefore never replays a fault
+meant for its predecessor, and a given schedule produces the same fault
+sequence on every run.
+
+Named fault points
+------------------
+``"dispatch"``
+    Every supervised coordinator→worker call attempt (including
+    broadcasts and recovery re-dispatches).  Context: ``method`` (the
+    worker method) and ``target`` (the shard id, or ``None`` for a
+    broadcast).  All kinds except ``"corrupt"`` apply here.
+``"payload.unframe"``
+    Coordinator-side validation of a received frame
+    (:func:`repro.pipeline.payload.unframe`).  Kind ``"corrupt"``
+    mangles the bytes before validation.
+``"snapshot.read"``
+    Any snapshot bytes read back from disk
+    (:mod:`repro.pipeline.snapshot`).  Context: ``target`` (the file
+    path).  Kind ``"corrupt"`` mangles the bytes before validation, so
+    the checksummed framing raises ``SnapshotCorrupt``.
+
+Usage
+-----
+>>> from repro.pipeline.faults import FaultInjector, FaultSpec, injected
+>>> schedule = [FaultSpec(point="dispatch", kind="crash", after=1)]
+>>> with injected(FaultInjector(schedule)):       # doctest: +SKIP
+...     session.clean(relation)                   # doctest: +SKIP
+
+The injector is installed process-globally (:func:`install` /
+:func:`clear` / the :func:`injected` context manager); worker processes
+never see it.  ``FaultInjector.fuzz(seed)`` derives a random — but
+seed-deterministic — schedule for property tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "DispatchFaults",
+    "InjectedFault",
+    "active",
+    "clear",
+    "injected",
+    "install",
+    "kill_self",
+    "mangle",
+    "obey",
+]
+
+#: Fault kinds executed inside the worker, shipped as request directives.
+WORKER_KINDS = ("crash", "hang", "delay", "error")
+#: Fault kinds executed by the coordinator around the dispatch.
+COORDINATOR_KINDS = ("torn_request", "torn_response", "kill")
+#: The byte-mangling kind for ``payload.unframe`` / ``snapshot.read``.
+CORRUPT_KIND = "corrupt"
+
+_HANG_DEFAULT = 3600.0
+_DELAY_DEFAULT = 0.02
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected, retry-safe transient worker error.
+
+    Raised by :func:`obey` *before* the worker executes the call, so a
+    supervised re-send of the same request is always safe.
+    """
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    point:
+        Fault-point name (``"dispatch"``, ``"payload.unframe"``,
+        ``"snapshot.read"``).
+    kind:
+        One of :data:`WORKER_KINDS`, :data:`COORDINATOR_KINDS` or
+        ``"corrupt"``.
+    after:
+        Fire on the *n*-th matching hit of the point (0-based).
+    times:
+        Number of consecutive matching hits to affect.
+    seconds:
+        Sleep length for ``hang`` / ``delay`` (defaults: one hour for a
+        hang — the supervisor kills it long before — and 20 ms for a
+        delay).
+    method:
+        Optional filter: only hits whose context ``method`` equals this.
+    match:
+        Optional filter: only hits whose context ``target`` contains
+        this substring (shard id or file path).
+    """
+
+    point: str
+    kind: str
+    after: int = 0
+    times: int = 1
+    seconds: Optional[float] = None
+    method: Optional[str] = None
+    match: Optional[str] = None
+
+
+@dataclass
+class DispatchFaults:
+    """The injector's decision for one dispatch attempt."""
+
+    #: Worker-side directive ``(kind, seconds)`` embedded in the request.
+    directive: Optional[Tuple[str, Optional[float]]] = None
+    torn_request: bool = False
+    torn_response: bool = False
+    kill: bool = False
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.directive or self.torn_request or self.torn_response
+            or self.kill
+        )
+
+
+class FaultInjector:
+    """A deterministic, schedule-driven fault source.
+
+    Thread-compatible with the coordinator's single-threaded dispatch
+    loop: every fault decision advances per-spec hit counters, and
+    :attr:`log` records each fired fault as ``(point, kind, context)``
+    for assertions and reports.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()):
+        self.specs: List[FaultSpec] = [replace(spec) for spec in specs]
+        self._hits: List[int] = [0] * len(self.specs)
+        self.log: List[Tuple[str, str, Dict[str, Any]]] = []
+
+    # -- scheduling ----------------------------------------------------
+    def _draw(self, point: str, **ctx: Any) -> List[FaultSpec]:
+        armed: List[FaultSpec] = []
+        for index, spec in enumerate(self.specs):
+            if spec.point != point:
+                continue
+            if spec.method is not None and ctx.get("method") != spec.method:
+                continue
+            if spec.match is not None and spec.match not in str(
+                ctx.get("target", "")
+            ):
+                continue
+            count = self._hits[index]
+            self._hits[index] = count + 1
+            if spec.after <= count < spec.after + spec.times:
+                armed.append(spec)
+                self.log.append((point, spec.kind, dict(ctx)))
+        return armed
+
+    def plan_dispatch(
+        self, method: str, target: Optional[str]
+    ) -> DispatchFaults:
+        """Decide the faults of one ``"dispatch"`` attempt."""
+        plan = DispatchFaults()
+        for spec in self._draw("dispatch", method=method, target=target):
+            if spec.kind in WORKER_KINDS:
+                plan.directive = (spec.kind, spec.seconds)
+            elif spec.kind == "torn_request":
+                plan.torn_request = True
+            elif spec.kind == "torn_response":
+                plan.torn_response = True
+            elif spec.kind == "kill":
+                plan.kill = True
+        return plan
+
+    def mangle_at(self, point: str, data: bytes, target: Any = None) -> bytes:
+        """Return *data*, corrupted iff a ``"corrupt"`` spec arms at
+        *point* for *target*."""
+        for spec in self._draw(point, target=target):
+            if spec.kind == CORRUPT_KIND:
+                return mangle(data)
+        return data
+
+    # -- seeded schedules ----------------------------------------------
+    @classmethod
+    def fuzz(
+        cls,
+        seed: int,
+        n_faults: int = 2,
+        max_after: int = 8,
+        kinds: Sequence[str] = (
+            "crash", "delay", "error", "torn_request", "torn_response",
+        ),
+        hang_seconds: float = 3.0,
+    ) -> "FaultInjector":
+        """A random — but seed-deterministic — dispatch fault schedule."""
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(n_faults):
+            kind = rng.choice(list(kinds))
+            specs.append(
+                FaultSpec(
+                    point="dispatch",
+                    kind=kind,
+                    after=rng.randrange(max_after),
+                    times=rng.choice((1, 1, 2)),
+                    seconds=hang_seconds if kind == "hang" else None,
+                )
+            )
+        return cls(specs)
+
+
+# ----------------------------------------------------------------------
+# Fault actions
+# ----------------------------------------------------------------------
+def mangle(data: bytes) -> bytes:
+    """Deterministically corrupt *data* (flip one mid-payload byte)."""
+    if not data:
+        return b"\xff"
+    blob = bytearray(data)
+    blob[len(blob) // 2] ^= 0xFF
+    return bytes(blob)
+
+
+def obey(directive: Optional[Tuple[str, Optional[float]]]) -> None:
+    """Execute a worker-side fault directive (see :data:`WORKER_KINDS`).
+
+    Runs in the worker process, before the request is decoded into a
+    state-changing call — so ``error`` (and a torn request) are always
+    safe to retry against the same worker.
+    """
+    if not directive:
+        return
+    kind, seconds = directive
+    if kind == "crash":
+        os._exit(13)
+    elif kind == "hang":
+        time.sleep(seconds if seconds else _HANG_DEFAULT)
+    elif kind == "delay":
+        time.sleep(seconds if seconds else _DELAY_DEFAULT)
+    elif kind == "error":
+        raise InjectedFault("injected transient worker error")
+
+
+def kill_self() -> None:
+    """SIGKILL the current process — the coordinator-crash drill."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ----------------------------------------------------------------------
+# Process-global activation (coordinator only; workers never see it)
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(injector: Optional[FaultInjector]) -> None:
+    """Activate *injector* for this process (``None`` deactivates)."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def clear() -> None:
+    """Deactivate fault injection for this process."""
+    install(None)
+
+
+def active() -> Optional[FaultInjector]:
+    """The currently installed injector, or ``None``."""
+    return _ACTIVE
+
+
+class injected:
+    """Context manager: install an injector, always uninstall on exit.
+
+    >>> with injected(FaultInjector([...])):       # doctest: +SKIP
+    ...     session.clean(relation)                # doctest: +SKIP
+    """
+
+    def __init__(self, injector: FaultInjector):
+        self.injector = injector
+
+    def __enter__(self) -> FaultInjector:
+        install(self.injector)
+        return self.injector
+
+    def __exit__(self, *_exc) -> None:
+        clear()

@@ -37,10 +37,13 @@ structurally there and by the ``replan`` scenario of
 
 from __future__ import annotations
 
+import struct
+import zlib
 from array import array
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.fixes import Fix, FixKind
+from repro.exceptions import TornFrame
 from repro.core.trace import RoundTrace, WorklistTrace
 from repro.pipeline.changeset import KEEP, CellEdit, Delete, Insert, Op
 from repro.relational.relation import Relation
@@ -540,3 +543,54 @@ def decode_ops(blob: Dict[str, Any], values: List[Any]) -> List[Op]:
             out.append(Delete(tid=blob["delete_tid"][delete_at]))
             delete_at += 1
     return out
+
+
+# ----------------------------------------------------------------------
+# CRC frame envelope (coordinator<->worker transport integrity)
+# ----------------------------------------------------------------------
+#: Frame layout: 4-byte magic + big-endian u32 CRC32 + u64 length + body.
+FRAME_MAGIC = b"UCF1"
+_FRAME_HEADER = struct.Struct(">IQ")
+_FRAME_OVERHEAD = len(FRAME_MAGIC) + _FRAME_HEADER.size
+
+
+def frame(body: bytes) -> bytes:
+    """Wrap *body* in the CRC envelope every coordinator<->worker message
+    travels in.  A frame that arrives torn (truncated, bit-flipped, or
+    mis-split) fails :func:`unframe` instead of being decoded into wrong
+    state -- the supervised runner then retries the dispatch."""
+    return (
+        FRAME_MAGIC
+        + _FRAME_HEADER.pack(zlib.crc32(body) & 0xFFFFFFFF, len(body))
+        + body
+    )
+
+
+def unframe(data: bytes, label: str = "") -> bytes:
+    """Validate and strip the CRC envelope of :func:`frame`.
+
+    Raises :class:`~repro.exceptions.TornFrame` on any mismatch (magic,
+    length or CRC32) -- always *before* any payload bytes are decoded.
+    ``"payload.unframe"`` is a named fault point: an installed
+    :mod:`~repro.pipeline.faults` injector may corrupt the bytes here to
+    simulate a torn frame deterministically.
+    """
+    from repro.pipeline import faults as _faults
+
+    injector = _faults.active()
+    if injector is not None:
+        data = injector.mangle_at("payload.unframe", data, target=label)
+    if len(data) < _FRAME_OVERHEAD or data[: len(FRAME_MAGIC)] != FRAME_MAGIC:
+        raise TornFrame(f"torn frame{label and f' ({label})'}: bad envelope")
+    crc, length = _FRAME_HEADER.unpack(
+        data[len(FRAME_MAGIC): _FRAME_OVERHEAD]
+    )
+    body = data[_FRAME_OVERHEAD:]
+    if len(body) != length:
+        raise TornFrame(
+            f"torn frame{label and f' ({label})'}: length mismatch "
+            f"({len(body)} != {length})"
+        )
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise TornFrame(f"torn frame{label and f' ({label})'}: CRC mismatch")
+    return body

@@ -100,7 +100,9 @@ import pickle
 import time
 from array import array
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.consistency import assert_consistent
@@ -112,9 +114,21 @@ from repro.core.fixes import Fix, FixLog
 from repro.core.hrepair import HRepairResult
 from repro.core.trace import merge_round_fixes, merge_worklist_fixes
 from repro.core.uniclean import CleaningResult, UniCleanConfig
-from repro.exceptions import DataError
-from repro.pipeline import payload
+from repro.exceptions import (
+    DataError,
+    RetriesExhausted,
+    ShardTimeout,
+    TornFrame,
+    WorkerFailure,
+)
+from repro.pipeline import faults, payload
 from repro.pipeline.changeset import CellEdit, Changeset, Delete, Insert, Op
+from repro.pipeline.faults import InjectedFault
+from repro.pipeline.supervision import (
+    SlotFailure,
+    SupervisedSlot,
+    SupervisionPolicy,
+)
 from repro.pipeline.session import ApplyResult, CleaningSession
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -424,6 +438,24 @@ class _WorkerState:
                 self.sessions.pop(sid).close()
         return True
 
+    def merge_ever_keys(
+        self, shard_id: str, ever_keys: Dict[Spec, Set[Key]]
+    ) -> bool:
+        """Union remembered group keys into a rebuilt session.
+
+        Crash recovery rebuilds a lost shard session with a fresh
+        ``clean_shard`` of its current base — which resets the session's
+        ``ever_group_keys`` to the fresh clean's.  The collision
+        certificate, however, must keep every key the lost session ever
+        materialized, so the coordinator ships its stored view's keys
+        back in.  A superset only ever causes *more* shard merging,
+        which is always exact (any topology yields byte-identical
+        observables)."""
+        session = self.sessions[shard_id]
+        for spec, keys in ever_keys.items():
+            session.ever_group_keys.setdefault(spec, set()).update(keys)
+        return True
+
     # -- operations ----------------------------------------------------
     def clean_shard(self, shard_id: str, relation: Relation) -> _CleanOutcome:
         old = self.sessions.pop(shard_id, None)
@@ -559,9 +591,17 @@ class _WorkerState:
 # ----------------------------------------------------------------------
 # Wire framing (process pool only — the serial runner ships raw objects)
 # ----------------------------------------------------------------------
-def _encode_request(shard_id, method: str, args: tuple) -> bytes:
+def _encode_request(
+    shard_id,
+    method: str,
+    args: tuple,
+    fault: Optional[Tuple[str, Optional[float]]] = None,
+) -> bytes:
     """Frame one worker call as a columnar message (see
-    :mod:`repro.pipeline.payload`)."""
+    :mod:`repro.pipeline.payload`) inside a CRC envelope
+    (:func:`repro.pipeline.payload.frame`).  *fault* is an optional
+    one-shot worker-side fault directive (:mod:`repro.pipeline.faults`)
+    the coordinator embeds for deterministic fault injection."""
     table = payload.ValueTable()
     body: Dict[str, Any] = {}
     if method == "clean_shard":
@@ -574,14 +614,21 @@ def _encode_request(shard_id, method: str, args: tuple) -> bytes:
         body["blob"] = args[0]  # already framed+checksummed snapshot bytes
     elif args:
         body["args"] = args
-    return pickle.dumps(
-        {"id": shard_id, "method": method, "body": body, "values": table.values},
-        _PROTOCOL,
-    )
+    message = {
+        "id": shard_id, "method": method, "body": body, "values": table.values,
+    }
+    if fault is not None:
+        message["fault"] = fault
+    return payload.frame(pickle.dumps(message, _PROTOCOL))
 
 
 def _decode_request(blob: bytes, state: _WorkerState):
-    message = pickle.loads(blob)
+    return _decode_request_message(
+        pickle.loads(payload.unframe(blob, "request")), state
+    )
+
+
+def _decode_request_message(message: Dict[str, Any], state: _WorkerState):
     method = message["method"]
     body = message["body"]
     values = message["values"]
@@ -759,9 +806,17 @@ def _process_init(spec_blob: bytes) -> None:
 
 def _process_call(blob: bytes) -> bytes:
     assert _PROCESS_STATE is not None, "worker not initialized"
-    shard_id, method, args = _decode_request(blob, _PROCESS_STATE)
+    # Frame validation and the fault directive both run BEFORE the
+    # request is decoded into a state-changing call: a torn request and
+    # every worker-side injected fault are provably pre-execution, so a
+    # supervised re-send of the same request is always safe.
+    message = pickle.loads(payload.unframe(blob, "request"))
+    faults.obey(message.get("fault"))
+    shard_id, method, args = _decode_request_message(message, _PROCESS_STATE)
     result = getattr(_PROCESS_STATE, method)(shard_id, *args)
-    return _encode_response(result, _PROCESS_STATE.track_legacy_bytes)
+    return payload.frame(
+        _encode_response(result, _PROCESS_STATE.track_legacy_bytes)
+    )
 
 
 class _SerialRunner:
@@ -771,92 +826,400 @@ class _SerialRunner:
 
     Keeping the serial path on the identical worker code means the
     debugging story ("run it serial, step through") exercises the exact
-    production logic.
+    production logic.  The fault injector is consulted per dispatch so
+    its hit counters advance identically to the process runner's, but
+    only the ``kill`` (coordinator SIGKILL — the crash-recovery drill)
+    and ``delay`` kinds act here: there is no worker process to crash,
+    hang or respawn.
     """
 
     bytes_sent = 0
     bytes_received = 0
     legacy_bytes_sent = 0
     legacy_bytes_received = 0
+    dispatch_retries = 0
+    dispatch_timeouts = 0
+    worker_respawns = 0
+    serial_fallbacks = 0
 
     def __init__(self, cfds, mds, master, config):
         self._state = _WorkerState(cfds, mds, master, config)
 
     def run(self, calls: Sequence[Tuple[str, str, tuple]]) -> List[Any]:
-        return [
-            getattr(self._state, method)(shard_id, *args)
-            for shard_id, method, args in calls
-        ]
+        out = []
+        for shard_id, method, args in calls:
+            self._consult_faults(method, shard_id)
+            out.append(getattr(self._state, method)(shard_id, *args))
+        return out
 
     def broadcast(self, method: str, args: tuple = ()) -> None:
+        self._consult_faults(method, None)
         getattr(self._state, method)(None, *args)
+
+    @staticmethod
+    def _consult_faults(method: str, shard_id: Optional[str]) -> None:
+        injector = faults.active()
+        if injector is None:
+            return
+        plan = injector.plan_dispatch(method, shard_id)
+        if plan.kill:
+            faults.kill_self()
+        if plan.directive is not None and plan.directive[0] == "delay":
+            faults.obey(plan.directive)
 
     def close(self) -> None:
         self._state.reset(None)
 
 
 class _ProcessRunner:
-    """One single-worker pool per slot; a shard's slot is derived from
-    its content id, so shard→slot affinity survives re-plans and every
-    live shard session stays in its worker across calls.  All traffic is
-    framed through the columnar codecs, and the byte counters record
-    exactly what crossed the boundary."""
+    """The supervised runner: one single-worker pool per slot; a shard's
+    slot is derived from its content id, so shard→slot affinity survives
+    re-plans and every live shard session stays in its worker across
+    calls.  All traffic is framed through the columnar codecs inside a
+    CRC envelope, and the byte counters record exactly what crossed the
+    boundary.
+
+    Supervision (see :mod:`repro.pipeline.supervision`): every dispatch
+    is awaited under the policy's per-dispatch timeout with a bounded
+    per-slot retry budget.  Failures split into **soft** (the worker
+    provably never executed the call — a torn request or an injected
+    pre-execution error — so the one request is simply re-sent) and
+    **hard** (the worker is dead or of unknown state — a broken pool, a
+    timeout, or a torn *response* after execution): the slot is killed,
+    respawned, its resident shard sessions are rebuilt from the
+    coordinator's base via *recovery* (exact, because session state is a
+    deterministic function of the shard base), and the slot's in-flight
+    batch is re-run.  When the budget runs out the slot either escalates
+    to an in-process serial fallback (``policy.serial_fallback``) or the
+    typed failure propagates (:class:`~repro.exceptions.RetriesExhausted`
+    with the last failure as ``__cause__``; the direct typed error when
+    ``max_retries == 0``).
+    """
 
     def __init__(self, cfds, mds, master, config, n_workers: int,
-                 track_legacy_bytes: bool = False):
+                 track_legacy_bytes: bool = False,
+                 policy: Optional[SupervisionPolicy] = None,
+                 recovery=None):
+        self._spec = (cfds, mds, master, config)
         spec_blob = pickle.dumps(
             (cfds, mds, master, config, track_legacy_bytes)
         )
-        self._slots = [
-            ProcessPoolExecutor(
+
+        def _spawn() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
                 max_workers=1, initializer=_process_init, initargs=(spec_blob,)
             )
-            for _ in range(n_workers)
-        ]
+
+        self._slots = [SupervisedSlot(i, _spawn) for i in range(n_workers)]
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        #: ``recovery(exclude)`` → the worker-call sequence that rebuilds
+        #: every live shard session (minus *exclude*) from coordinator
+        #: state; installed by the owning session.
+        self._recovery = recovery
+        self._fallback_state: Optional[_WorkerState] = None
         self.track_legacy_bytes = track_legacy_bytes
         self.bytes_sent = 0
         self.bytes_received = 0
         self.legacy_bytes_sent = 0
         self.legacy_bytes_received = 0
+        self.dispatch_retries = 0
+        self.dispatch_timeouts = 0
+        self.worker_respawns = 0
+        self.serial_fallbacks = 0
 
-    def _slot(self, shard_id: Union[str, int]) -> ProcessPoolExecutor:
+    # -- addressing ----------------------------------------------------
+    def _slot_index(self, shard_id: Union[str, int, None]) -> int:
         if isinstance(shard_id, str):
-            index = int(shard_id, 16) % len(self._slots)
-        else:  # legacy / broadcast addressing
-            index = shard_id % len(self._slots)
-        return self._slots[index]
+            return int(shard_id, 16) % len(self._slots)
+        # legacy / broadcast addressing
+        return (shard_id or 0) % len(self._slots)
 
+    # -- the public runner protocol ------------------------------------
     def run(self, calls: Sequence[Tuple[str, str, tuple]]) -> List[Any]:
-        futures = []
-        for shard_id, method, args in calls:
-            blob = _encode_request(shard_id, method, args)
-            self.bytes_sent += len(blob)
-            if self.track_legacy_bytes:
-                self.legacy_bytes_sent += len(
-                    pickle.dumps((shard_id, method, args), _PROTOCOL)
-                )
-            futures.append(self._slot(shard_id).submit(_process_call, blob))
-        out = []
-        for future in futures:
-            response = future.result()
-            self.bytes_received += len(response)
-            result, legacy = _decode_response(response)
-            self.legacy_bytes_received += legacy
-            out.append(result)
-        return out
+        results: List[Any] = [None] * len(calls)
+        by_slot: Dict[int, List[int]] = {}
+        for i, (shard_id, _method, _args) in enumerate(calls):
+            by_slot.setdefault(self._slot_index(shard_id), []).append(i)
+        # Submit every slot's first attempt up front so healthy slots
+        # overlap; retries then serialize per slot.
+        first: Dict[int, Any] = {}
+        for index in sorted(by_slot):
+            slot = self._slots[index]
+            if slot.escalated:
+                first[index] = None
+                continue
+            try:
+                first[index] = self._submit_batch(slot, by_slot[index], calls)
+            except SlotFailure as failure:
+                first[index] = failure
+        for index in sorted(by_slot):
+            self._run_slot(
+                self._slots[index], by_slot[index], calls, results,
+                first[index],
+            )
+        return results
 
     def broadcast(self, method: str, args: tuple = ()) -> None:
-        blob = _encode_request(None, method, args)
-        futures = [slot.submit(_process_call, blob) for slot in self._slots]
-        for future in futures:
-            self.bytes_sent += len(blob)
-            response = future.result()
-            self.bytes_received += len(response)
-            _decode_response(response)
+        call = (None, method, args)
+        for slot in self._slots:
+            if not slot.escalated:
+                self._broadcast_slot(slot, call)
+        if self._fallback_state is not None:
+            getattr(self._fallback_state, method)(None, *args)
 
     def close(self) -> None:
         for slot in self._slots:
-            slot.shutdown(cancel_futures=True)
+            slot.kill()
+        if self._fallback_state is not None:
+            self._fallback_state.reset(None)
+            self._fallback_state = None
+
+    # -- encoding and single dispatches --------------------------------
+    def _encode_call(self, call: Tuple[Any, str, tuple]):
+        shard_id, method, args = call
+        injector = faults.active()
+        plan = (
+            injector.plan_dispatch(method, shard_id)
+            if injector is not None
+            else None
+        )
+        if plan is not None and plan.kill:
+            faults.kill_self()
+        blob = _encode_request(
+            shard_id, method, args,
+            fault=plan.directive if plan is not None else None,
+        )
+        if plan is not None and plan.torn_request:
+            blob = faults.mangle(blob)
+        self.bytes_sent += len(blob)
+        if self.track_legacy_bytes:
+            self.legacy_bytes_sent += len(
+                pickle.dumps((shard_id, method, args), _PROTOCOL)
+            )
+        return blob, plan
+
+    def _submit_one(self, slot: SupervisedSlot, call, index: int):
+        blob, plan = self._encode_call(call)
+        try:
+            future = slot.submit(_process_call, blob)
+        except WorkerFailure as exc:
+            slot.kill()
+            raise SlotFailure(exc, hard=True)
+        return index, future, plan
+
+    def _submit_batch(self, slot: SupervisedSlot, indices, calls):
+        return [self._submit_one(slot, calls[i], i) for i in indices]
+
+    def _receive(self, slot: SupervisedSlot, future, plan) -> Any:
+        """Await one response and decode it; every failure after this
+        point is **hard** (the worker may have executed the call)."""
+        try:
+            response = slot.result(future, self.policy.timeout)
+        except ShardTimeout as exc:
+            self.dispatch_timeouts += 1
+            slot.kill()  # never leave a hung worker behind
+            raise SlotFailure(exc, hard=True)
+        except WorkerFailure as exc:
+            slot.kill()
+            raise SlotFailure(exc, hard=True)
+        if plan is not None and plan.torn_response:
+            response = faults.mangle(response)
+        try:
+            body = payload.unframe(response, "response")
+        except TornFrame as exc:
+            # The worker DID execute the call; only the reply was lost.
+            # Re-running e.g. apply_shard against the same session would
+            # double-apply, so recovery must rebuild the slot's state.
+            raise SlotFailure(exc, hard=True)
+        self.bytes_received += len(response)
+        result, legacy = _decode_response(body)
+        self.legacy_bytes_received += legacy
+        return result
+
+    def _dispatch_once(self, slot: SupervisedSlot, call) -> Any:
+        """One supervised round-trip with no soft-retry absorption: any
+        failure surfaces as a hard :class:`SlotFailure` (the caller's
+        retry loop respawns and re-runs — recovery calls and broadcasts
+        are safe to repeat against a rebuilt slot)."""
+        _index, future, plan = self._submit_one(slot, call, -1)
+        try:
+            return self._receive(slot, future, plan)
+        except SlotFailure:
+            raise
+        except (TornFrame, InjectedFault) as exc:
+            raise SlotFailure(exc, hard=True)
+
+    # -- the supervised batch loop -------------------------------------
+    def _run_slot(self, slot: SupervisedSlot, indices, calls, results, first):
+        if slot.escalated:
+            self._run_fallback(indices, calls, results)
+            return
+        budget = [0]
+        submitted = first if isinstance(first, list) else None
+        pending: Optional[SlotFailure] = (
+            first if isinstance(first, SlotFailure) else None
+        )
+        while True:
+            if pending is None:
+                try:
+                    if submitted is None:
+                        submitted = self._submit_batch(slot, indices, calls)
+                    self._collect_batch(slot, submitted, calls, results, budget)
+                    return
+                except SlotFailure as exc:
+                    pending = exc
+            submitted = None
+            budget[0] += 1
+            if budget[0] > self.policy.max_retries:
+                slot.kill()
+                if self.policy.serial_fallback:
+                    self._escalate(slot, indices, calls, results)
+                    return
+                raise self._final_error(pending) from pending.error
+            self.dispatch_retries += 1
+            if pending.hard:
+                self.worker_respawns += 1
+                slot.respawn()
+            self.policy.sleep(budget[0] - 1)
+            if pending.hard:
+                try:
+                    self._rebuild_slot(slot, indices, calls)
+                except SlotFailure as exc:
+                    pending = exc
+                    continue
+            pending = None
+
+    def _collect_batch(self, slot, submitted, calls, results, budget):
+        for position in range(len(submitted)):
+            index, future, plan = submitted[position]
+            while True:
+                try:
+                    results[index] = self._receive(slot, future, plan)
+                    break
+                except SlotFailure:
+                    raise
+                except (TornFrame, InjectedFault) as exc:
+                    # Raised worker-side BEFORE execution (frame checks
+                    # and fault directives run first): re-sending this
+                    # one request is safe, and the rest of the batch is
+                    # untouched.  The soft retry shares the slot budget.
+                    budget[0] += 1
+                    if budget[0] > self.policy.max_retries:
+                        raise SlotFailure(exc, hard=False)
+                    self.dispatch_retries += 1
+                    self.policy.sleep(budget[0] - 1)
+                    index, future, plan = self._submit_one(
+                        slot, calls[index], index
+                    )
+
+    def _rebuild_slot(self, slot: SupervisedSlot, indices, calls) -> None:
+        """Re-create the shard sessions a dead slot hosted.
+
+        Exact because a shard session's state is a deterministic
+        function of its current base (the scoped-apply invariant: a
+        scoped apply leaves exactly the state a from-scratch clean of
+        the edited base produces) — so ``clean_shard`` over the
+        coordinator's base, plus the remembered ever-group-keys, equals
+        the lost state.  Shards whose in-flight batch call re-establishes
+        them anyway (``clean_shard`` / ``restore_shard``) are excluded by
+        the recovery callback."""
+        if self._recovery is None:
+            return
+        exclude = {
+            calls[i][0]
+            for i in indices
+            if calls[i][1] in ("clean_shard", "restore_shard")
+        }
+        for call in self._recovery(exclude):
+            if self._slot_index(call[0]) != slot.index:
+                continue
+            self._dispatch_once(slot, call)
+
+    # -- escalation to the in-process serial fallback ------------------
+    def _ensure_fallback(self) -> _WorkerState:
+        if self._fallback_state is None:
+            cfds, mds, master, config = self._spec
+            self._fallback_state = _WorkerState(cfds, mds, master, config)
+        return self._fallback_state
+
+    def _escalate(self, slot: SupervisedSlot, indices, calls, results):
+        """Degrade the slot to in-process execution: rebuild its resident
+        sessions in the coordinator (exact — see :meth:`_rebuild_slot`)
+        and run the in-flight batch there.  The slot stays escalated for
+        the rest of the runner's life."""
+        self.serial_fallbacks += 1
+        slot.escalated = True
+        state = self._ensure_fallback()
+        exclude = {
+            calls[i][0]
+            for i in indices
+            if calls[i][1] in ("clean_shard", "restore_shard")
+        }
+        if self._recovery is not None:
+            for shard_id, method, args in self._recovery(exclude):
+                if self._slot_index(shard_id) != slot.index:
+                    continue
+                getattr(state, method)(shard_id, *args)
+        self._run_fallback(indices, calls, results)
+
+    def _run_fallback(self, indices, calls, results) -> None:
+        state = self._ensure_fallback()
+        for i in indices:
+            shard_id, method, args = calls[i]
+            results[i] = getattr(state, method)(shard_id, *args)
+
+    # -- supervised broadcasts -----------------------------------------
+    def _broadcast_slot(self, slot: SupervisedSlot, call) -> None:
+        used = 0
+        pending: Optional[SlotFailure] = None
+        while True:
+            if pending is None:
+                try:
+                    self._dispatch_once(slot, call)
+                    return
+                except SlotFailure as exc:
+                    pending = exc
+            used += 1
+            if used > self.policy.max_retries:
+                slot.kill()
+                if self.policy.serial_fallback:
+                    self._escalate_broadcast(slot, call)
+                    return
+                raise self._final_error(pending) from pending.error
+            self.dispatch_retries += 1
+            if pending.hard:
+                self.worker_respawns += 1
+                slot.respawn()
+            self.policy.sleep(used - 1)
+            # "reset" wipes every session anyway — skip the rebuild.
+            if pending.hard and call[1] != "reset":
+                try:
+                    self._rebuild_slot(slot, (), [])
+                except SlotFailure as exc:
+                    pending = exc
+                    continue
+            pending = None
+
+    def _escalate_broadcast(self, slot: SupervisedSlot, call) -> None:
+        self.serial_fallbacks += 1
+        slot.escalated = True
+        state = self._ensure_fallback()
+        if self._recovery is not None and call[1] != "reset":
+            for shard_id, method, args in self._recovery(set()):
+                if self._slot_index(shard_id) != slot.index:
+                    continue
+                getattr(state, method)(shard_id, *args)
+        # The shared fallback state receives the broadcast itself exactly
+        # once, at the end of broadcast().
+
+    def _final_error(self, failure: SlotFailure) -> BaseException:
+        if self.policy.max_retries > 0:
+            return RetriesExhausted(
+                f"dispatch retries exhausted "
+                f"(max_retries={self.policy.max_retries}) and the "
+                f"supervision policy forbids the serial fallback"
+            )
+        return failure.error
 
 
 # ----------------------------------------------------------------------
@@ -917,6 +1280,10 @@ class ShardedCleaningSession:
         include_md_affinity: bool = True,
         reuse_sessions: bool = True,
         track_legacy_bytes: bool = False,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
     ):
         self.config = config or UniCleanConfig()
         self.cfds: List[CFD] = []
@@ -935,7 +1302,8 @@ class ShardedCleaningSession:
             assert_consistent(self.cfds[0].schema, self.cfds, self.mds, master)
         self._finish_init(
             n_workers, n_shards, include_md_affinity, reuse_sessions,
-            track_legacy_bytes,
+            track_legacy_bytes, supervision, checkpoint_dir,
+            checkpoint_every, checkpoint_retain,
         )
 
     @classmethod
@@ -950,6 +1318,10 @@ class ShardedCleaningSession:
         include_md_affinity: bool = True,
         reuse_sessions: bool = True,
         track_legacy_bytes: bool = False,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
     ) -> "ShardedCleaningSession":
         """Build a sharded session over already-normalized rules, skipping
         normalization and the consistency analysis — the snapshot-restore
@@ -962,7 +1334,8 @@ class ShardedCleaningSession:
         session.master = master
         session._finish_init(
             n_workers, n_shards, include_md_affinity, reuse_sessions,
-            track_legacy_bytes,
+            track_legacy_bytes, supervision, checkpoint_dir,
+            checkpoint_every, checkpoint_retain,
         )
         return session
 
@@ -973,6 +1346,10 @@ class ShardedCleaningSession:
         include_md_affinity: bool,
         reuse_sessions: bool,
         track_legacy_bytes: bool,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
     ) -> None:
         if not self.config.use_violation_index:
             raise ValueError(
@@ -990,9 +1367,22 @@ class ShardedCleaningSession:
             self.cfds, self.mds, include_md_affinity=self.include_md_affinity
         )
         self._partition_attrs = self.planner.partition_attrs()
+        self.supervision = (
+            supervision if supervision is not None else SupervisionPolicy()
+        )
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_retain = checkpoint_retain
+        self._ops_since_checkpoint = 0
 
         self._runner: Optional[Any] = None
         self._closed = False
+        #: Poisoned by an unrecovered worker failure: coordinator and
+        #: worker state may disagree (observables were never merged), so
+        #: apply/save/is_clean refuse until a fresh clean() or restore().
+        self._failed = False
         self.plan: Optional[ShardPlan] = None
         self.base: Optional[Relation] = None
         self.working: Optional[Relation] = None
@@ -1000,12 +1390,18 @@ class ShardedCleaningSession:
         self._shard_views: Dict[str, _CleanOutcome] = {}
         #: Shard ids with a live session in some worker.
         self._session_ids: Set[str] = set()
+        #: Shard id → current tid membership (aliases ``plan.shards`` so
+        #: delete-driven membership edits stay visible) — what crash
+        #: recovery restricts the base by to rebuild a lost session.
+        self._shard_tids: Dict[str, List[int]] = {}
         #: Changesets queued by :meth:`buffer`, applied by :meth:`flush`.
         self._pending: List[Changeset] = []
         self._last_clean = False
         #: Observability counters: plans, collision retries, apply modes,
-        #: per-re-plan shard reuse, and coordinator↔worker payload bytes
-        #: (zero on the serial path, which never serializes).
+        #: per-re-plan shard reuse, coordinator↔worker payload bytes
+        #: (zero on the serial path, which never serializes), and the
+        #: supervision ledger (retries, timeouts, respawns, fallbacks,
+        #: checkpoints).
         self.stats: Dict[str, int] = {
             "plans": 0,
             "collision_retries": 0,
@@ -1017,6 +1413,11 @@ class ShardedCleaningSession:
             "bytes_from_workers": 0,
             "legacy_bytes_to_workers": 0,
             "legacy_bytes_from_workers": 0,
+            "dispatch_retries": 0,
+            "dispatch_timeouts": 0,
+            "worker_respawns": 0,
+            "serial_fallbacks": 0,
+            "checkpoints_written": 0,
         }
 
     # ------------------------------------------------------------------
@@ -1033,6 +1434,8 @@ class ShardedCleaningSession:
                     self.cfds, self.mds, self.master, self.config,
                     self.n_workers,
                     track_legacy_bytes=self.track_legacy_bytes,
+                    policy=self.supervision,
+                    recovery=self._recovery_calls,
                 )
         return self._runner
 
@@ -1044,6 +1447,81 @@ class ShardedCleaningSession:
         self.stats["bytes_from_workers"] = runner.bytes_received
         self.stats["legacy_bytes_to_workers"] = runner.legacy_bytes_sent
         self.stats["legacy_bytes_from_workers"] = runner.legacy_bytes_received
+        self.stats["dispatch_retries"] = runner.dispatch_retries
+        self.stats["dispatch_timeouts"] = runner.dispatch_timeouts
+        self.stats["worker_respawns"] = runner.worker_respawns
+        self.stats["serial_fallbacks"] = runner.serial_fallbacks
+
+    def _recovery_calls(
+        self, exclude: Set[str]
+    ) -> List[Tuple[str, str, tuple]]:
+        """The worker-call sequence that rebuilds every live shard
+        session (minus *exclude*) from coordinator state after a worker
+        died — exact because a shard session's state is a deterministic
+        function of its current base (see ``_WorkerState.reclean_shard``),
+        and the remembered ever-group-keys are unioned back in so the
+        collision certificate keeps the lost session's memory."""
+        calls: List[Tuple[str, str, tuple]] = []
+        if self.base is None:
+            return calls
+        for sid in sorted(self._session_ids - set(exclude)):
+            tids = self._shard_tids.get(sid)
+            if tids is None:
+                continue
+            live = [tid for tid in tids if self.base.has_tid(tid)]
+            if not live:
+                continue
+            calls.append(
+                (sid, "clean_shard", (self.base.restrict(live, copy=False),))
+            )
+            view = self._shard_views.get(sid)
+            if view is not None and view.ever_keys:
+                calls.append(
+                    (sid, "merge_ever_keys",
+                     ({s: set(k) for s, k in view.ever_keys.items()},))
+                )
+        return calls
+
+    @contextmanager
+    def _absorb_failure(self):
+        """Poison the session when a typed supervision failure escapes:
+        some workers may have executed calls the coordinator never
+        merged, so coordinator and worker state can disagree (the
+        observables themselves are never half-merged — merging happens
+        strictly after every outcome arrived)."""
+        try:
+            yield
+        except (WorkerFailure, TornFrame, InjectedFault):
+            self._failed = True
+            raise
+
+    def _check_usable(self, what: str) -> None:
+        if self._failed:
+            raise DataError(
+                f"ShardedCleaningSession.{what} refused: the session is "
+                "in a failed state after an unrecovered worker failure — "
+                "run clean() again or restore() a snapshot/checkpoint"
+            )
+
+    def _maybe_checkpoint(self) -> None:
+        """The auto-checkpoint policy: after every ``checkpoint_every``
+        successful state-changing operations (clean/apply), write a
+        durable snapshot under ``checkpoint_dir`` and prune all but the
+        newest ``checkpoint_retain``."""
+        if self.checkpoint_dir is None or self.checkpoint_every <= 0:
+            return
+        self._ops_since_checkpoint += 1
+        if self._ops_since_checkpoint < self.checkpoint_every:
+            return
+        if self._pending:
+            return  # buffered deltas are not state yet; the flush counts
+        from repro.pipeline import snapshot
+
+        snapshot.save_checkpoint(
+            self, self.checkpoint_dir, retain=self.checkpoint_retain
+        )
+        self._ops_since_checkpoint = 0
+        self.stats["checkpoints_written"] += 1
 
     def close(self) -> None:
         """Shut down worker processes / detach serial sessions.
@@ -1081,11 +1559,19 @@ class ShardedCleaningSession:
         """
         from repro.pipeline import snapshot
 
-        return snapshot.save_sharded(self, path)
+        self._check_usable("save()")
+        with self._absorb_failure():
+            return snapshot.save_sharded(self, path)
 
     @classmethod
     def restore(
-        cls, path, n_workers: Optional[int] = None
+        cls,
+        path,
+        n_workers: Optional[int] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
     ) -> "ShardedCleaningSession":
         """Rebuild a sharded session from a :meth:`save` directory.
 
@@ -1099,11 +1585,46 @@ class ShardedCleaningSession:
         collision retries, apply modes, reuse) continue from their saved
         values.  Raises :class:`~repro.exceptions.SnapshotCorrupt` on
         any checksum/format failure, including a shard file that does
-        not match the manifest digest.
+        not match the manifest digest.  *supervision* and the
+        ``checkpoint_*`` knobs configure the restored session (they are
+        runtime policy, not snapshot state).
         """
         from repro.pipeline import snapshot
 
-        return snapshot.restore_sharded(path, n_workers=n_workers)
+        return snapshot.restore_sharded(
+            path,
+            n_workers=n_workers,
+            supervision=supervision,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_retain=checkpoint_retain,
+        )
+
+    @classmethod
+    def restore_latest(
+        cls,
+        checkpoint_dir,
+        n_workers: Optional[int] = None,
+        supervision: Optional[SupervisionPolicy] = None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
+    ) -> "ShardedCleaningSession":
+        """Restore the newest restorable checkpoint under
+        *checkpoint_dir* (written by the ``checkpoint_every`` policy),
+        falling back past corrupt or torn checkpoints to the newest one
+        that validates.  The restored session keeps checkpointing into
+        the same directory when *checkpoint_every* is set.  Raises
+        :class:`~repro.exceptions.SnapshotError` when no checkpoint
+        validates."""
+        from repro.pipeline import snapshot
+
+        return snapshot.restore_latest_checkpoint(
+            checkpoint_dir,
+            n_workers=n_workers,
+            supervision=supervision,
+            checkpoint_every=checkpoint_every,
+            checkpoint_retain=checkpoint_retain,
+        )
 
     # ------------------------------------------------------------------
     # Cleaning
@@ -1112,10 +1633,15 @@ class ShardedCleaningSession:
         """Shard *relation*, clean every shard, merge — exactly like an
         unsharded ``CleaningSession.clean`` of the same relation."""
         self._closed = False  # a fresh clean restarts the lifecycle
+        self._failed = False  # ... and clears a poisoned session
         self.base = relation.clone()
         self.plan = None  # a new base invalidates every previous shard
         self._shard_views = {}
-        return self._clean_base(touched=None)
+        self._shard_tids = {}
+        with self._absorb_failure():
+            result = self._clean_base(touched=None)
+        self._maybe_checkpoint()
+        return result
 
     # -- re-plan core --------------------------------------------------
     def _converge(
@@ -1147,10 +1673,21 @@ class ShardedCleaningSession:
                 if sid is None:
                     sid = address[key] = _shard_content_id(tids)
                 ids.append(sid)
+            # Update the coordinator's view of membership and liveness
+            # BEFORE the retain broadcast: a worker that dies during the
+            # broadcast is recovered against this state, so it must
+            # already describe the post-retain world.
+            for sid, tids in zip(ids, shard_sets):
+                self._shard_tids[sid] = tids
             keep = set(ids)
             if self._session_ids - keep:
-                runner.broadcast("retain_shards", (sorted(keep),))
                 self._session_ids &= keep
+                self._shard_tids = {
+                    sid: tids
+                    for sid, tids in self._shard_tids.items()
+                    if sid in keep
+                }
+                runner.broadcast("retain_shards", (sorted(keep),))
             calls: List[Tuple[str, str, tuple]] = []
             for sid, tids in zip(ids, shard_sets):
                 if sid in valid and sid not in reclean_ids:
@@ -1276,9 +1813,13 @@ class ShardedCleaningSession:
             shard_sets = plan.shards
             n_components = plan.n_components
             degenerate, reason = plan.degenerate, plan.reason
-            runner.broadcast("reset")
+            # Clear coordinator liveness BEFORE the reset broadcast:
+            # recovery of a worker that dies mid-reset must not try to
+            # rebuild sessions the reset is wiping anyway.
             self._session_ids = set()
             self._shard_views = {}
+            self._shard_tids = {}
+            runner.broadcast("reset")
 
         retries_before = self.stats["collision_retries"]
         ids, shard_sets, cleaned = self._converge(
@@ -1390,6 +1931,7 @@ class ShardedCleaningSession:
         if isinstance(changesets, Changeset):
             changesets = [changesets]
         changeset = Changeset.concat(changesets)
+        self._check_usable("apply()")
         if self._closed or self.working is None or self.base is None:
             raise DataError(
                 "ShardedCleaningSession.apply() requires a prior clean() "
@@ -1412,9 +1954,20 @@ class ShardedCleaningSession:
             )
             for op in changeset.ops
         )
-        if needs_replan:
-            return self._full_apply(changeset, started)
+        with self._absorb_failure():
+            if needs_replan:
+                result = self._full_apply(changeset, started)
+            else:
+                result = self._apply_routed(changeset, started)
+        self._maybe_checkpoint()
+        return result
 
+    def _apply_routed(
+        self, changeset: Changeset, started: float
+    ) -> ApplyResult:
+        """The scoped route of :meth:`apply_many`: coalesce ops per
+        shard, dispatch, and merge — retrying on the merged topology
+        when the collision certificate breaks."""
         while True:
             assert self.plan is not None
             by_shard: Dict[int, List[Op]] = {}
@@ -1785,6 +2338,12 @@ class ShardedCleaningSession:
             reason=reason,
             ids=[ids[i] for i in order],
         )
+        # The recovery registry aliases the plan's tid lists on purpose:
+        # _drop_dead_tid edits them in place, so recovery always sees
+        # current membership.
+        self._shard_tids = {
+            sid: tids for sid, tids in zip(self.plan.ids, self.plan.shards)
+        }
 
     @staticmethod
     def _outcome_ever_keys(outcome: _ApplyOutcome) -> Dict[Spec, Set[Key]]:
@@ -1914,9 +2473,11 @@ class ShardedCleaningSession:
                 "ShardedCleaningSession.is_clean() requires a prior clean() "
                 "(and a session that has not been close()d)"
             )
+        self._check_usable("is_clean()")
         runner = self._ensure_runner()
-        verdicts = runner.run(
-            [(sid, "is_clean_shard", ()) for sid in self.plan.ids]
-        )
+        with self._absorb_failure():
+            verdicts = runner.run(
+                [(sid, "is_clean_shard", ()) for sid in self.plan.ids]
+            )
         self._sync_io_stats()
         return all(verdicts)

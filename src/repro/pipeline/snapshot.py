@@ -235,10 +235,25 @@ def write_snapshot_file(path, blob: bytes) -> int:
     return len(blob)
 
 
+def _read_back(path) -> bytes:
+    """Read snapshot bytes back from disk through the ``"snapshot.read"``
+    fault point (:mod:`repro.pipeline.faults`): an armed ``corrupt`` spec
+    flips a byte *before* validation, so the checksummed framing raises
+    :class:`~repro.exceptions.SnapshotCorrupt` exactly as a real torn
+    file would."""
+    data = Path(path).read_bytes()
+    from repro.pipeline import faults
+
+    injector = faults.active()
+    if injector is not None:
+        data = injector.mangle_at("snapshot.read", data, target=os.fspath(path))
+    return data
+
+
 def read_snapshot_file(path, expect_kind: Optional[str] = None):
     """Read and validate a snapshot file; see :func:`unpack_snapshot`."""
     try:
-        data = Path(path).read_bytes()
+        data = _read_back(path)
     except FileNotFoundError:
         raise SnapshotError(f"no snapshot at {os.fspath(path)!r}") from None
     return unpack_snapshot(data, expect_kind)
@@ -543,7 +558,14 @@ def _encode_view(view, table: payload.ValueTable) -> Dict[str, Any]:
     return sharding._encode_clean_outcome(view, table)
 
 
-def restore_sharded(path, n_workers: Optional[int] = None):
+def restore_sharded(
+    path,
+    n_workers: Optional[int] = None,
+    supervision=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 0,
+    checkpoint_retain: int = 3,
+):
     """Rebuild a :class:`~repro.pipeline.sharding.ShardedCleaningSession`
     from a :func:`save_sharded` directory.
 
@@ -551,7 +573,9 @@ def restore_sharded(path, n_workers: Optional[int] = None):
     re-attached to its worker (content-id slot affinity puts each shard
     back where it lived), so the next sticky re-plan reuses the restored
     shards instead of re-cleaning them.  *n_workers* may override the
-    saved worker count — shard state is worker-agnostic.
+    saved worker count — shard state is worker-agnostic.  *supervision*
+    and the ``checkpoint_*`` knobs configure the restored session; they
+    are runtime policy, deliberately not snapshot state.
     """
     from repro.pipeline.sharding import ShardedCleaningSession, ShardPlan
 
@@ -579,6 +603,10 @@ def restore_sharded(path, n_workers: Optional[int] = None):
         include_md_affinity=meta["include_md_affinity"],
         reuse_sessions=meta["reuse_sessions"],
         track_legacy_bytes=meta["track_legacy_bytes"],
+        supervision=supervision,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        checkpoint_retain=checkpoint_retain,
     )
     lookup = _schema_lookup_for(*cfds, master)
     session.base = payload.decode_relation(
@@ -603,6 +631,11 @@ def restore_sharded(path, n_workers: Optional[int] = None):
         reason=plan_blob["reason"],
         ids=list(plan_blob["ids"]),
     )
+    # The crash-recovery registry aliases the plan's tid lists, exactly
+    # as _install_plan arranges for a live session.
+    session._shard_tids = {
+        sid: tids for sid, tids in zip(session.plan.ids, session.plan.shards)
+    }
     from repro.pipeline import sharding
 
     session._shard_views = {}
@@ -618,7 +651,7 @@ def restore_sharded(path, n_workers: Optional[int] = None):
     calls = []
     for sid, file_name, digest in meta["shard_files"]:
         try:
-            blob = (directory / file_name).read_bytes()
+            blob = _read_back(directory / file_name)
         except FileNotFoundError:
             raise SnapshotCorrupt(
                 f"sharded snapshot is missing shard file {file_name!r}"
@@ -636,3 +669,89 @@ def restore_sharded(path, n_workers: Optional[int] = None):
     session._session_ids = {sid for sid, _f, _d in meta["shard_files"]}
     session._sync_io_stats()
     return session
+
+
+# ----------------------------------------------------------------------
+# Checkpoints (a retained sequence of sharded snapshots)
+# ----------------------------------------------------------------------
+#: Checkpoint directories are named ``checkpoint-<seq>`` with a fixed-
+#: width sequence number, so lexicographic order is creation order.
+CHECKPOINT_PREFIX = "checkpoint-"
+
+
+def list_checkpoints(path) -> List[Path]:
+    """The checkpoint directories under *path*, oldest first."""
+    root = Path(path)
+    if not root.is_dir():
+        return []
+    out: List[Tuple[int, Path]] = []
+    for entry in root.iterdir():
+        if not entry.is_dir() or not entry.name.startswith(CHECKPOINT_PREFIX):
+            continue
+        suffix = entry.name[len(CHECKPOINT_PREFIX):]
+        if suffix.isdigit():
+            out.append((int(suffix), entry))
+    out.sort()
+    return [entry for _seq, entry in out]
+
+
+def save_checkpoint(session, path, retain: int = 3) -> Path:
+    """Write a sharded snapshot of *session* as the next checkpoint under
+    *path* and prune all but the newest *retain* checkpoints.
+
+    Each checkpoint is a :func:`save_sharded` directory; its manifest is
+    written last, so a checkpoint that lost a race with a crash simply
+    fails validation and :func:`restore_latest_checkpoint` falls back to
+    the previous one.  Returns the new checkpoint's path.
+    """
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    existing = list_checkpoints(root)
+    seq = (
+        int(existing[-1].name[len(CHECKPOINT_PREFIX):]) + 1 if existing else 1
+    )
+    target = root / f"{CHECKPOINT_PREFIX}{seq:06d}"
+    save_sharded(session, target)
+    if retain > 0:
+        import shutil
+
+        for stale in list_checkpoints(root)[:-retain]:
+            shutil.rmtree(stale, ignore_errors=True)
+    return target
+
+
+def restore_latest_checkpoint(
+    path,
+    n_workers: Optional[int] = None,
+    supervision=None,
+    checkpoint_every: int = 0,
+    checkpoint_retain: int = 3,
+):
+    """Restore the newest checkpoint under *path* that validates.
+
+    Corrupt, torn or half-written checkpoints (a flipped byte, a missing
+    shard file, a crash mid-save) are skipped newest-to-oldest until one
+    restores cleanly; raises :class:`~repro.exceptions.SnapshotError`
+    when none does.  The restored session checkpoints back into *path*
+    when *checkpoint_every* is set.
+    """
+    candidates = list_checkpoints(path)
+    last_error: Optional[Exception] = None
+    for candidate in reversed(candidates):
+        try:
+            return restore_sharded(
+                candidate,
+                n_workers=n_workers,
+                supervision=supervision,
+                checkpoint_dir=path,
+                checkpoint_every=checkpoint_every,
+                checkpoint_retain=checkpoint_retain,
+            )
+        except SnapshotError as exc:
+            last_error = exc
+    if last_error is not None:
+        raise SnapshotError(
+            f"no restorable checkpoint under {os.fspath(path)!r} "
+            f"(newest failure: {last_error})"
+        ) from last_error
+    raise SnapshotError(f"no checkpoints under {os.fspath(path)!r}")

@@ -1,0 +1,175 @@
+"""Worker supervision for partition-parallel sharded cleaning.
+
+The sharded coordinator (:mod:`repro.pipeline.sharding`) fans every
+round-trip out through per-slot single-worker process pools.  Before
+this module, one dead or hung worker aborted the whole session — a bare
+``future.result()`` with no timeout and no ``BrokenProcessPool``
+handling — and lost every cleaned shard with it.  This module supplies
+the two building blocks the supervised runner composes:
+
+* :class:`SupervisionPolicy` — the knobs: per-dispatch ``timeout``,
+  bounded ``max_retries`` with exponential backoff, and the
+  ``serial_fallback`` escape hatch (run the slot's shards in-process —
+  graceful degradation instead of failure).
+* :class:`SupervisedSlot` — one worker slot: lazily (re)spawns its
+  single-worker executor, maps raw pool failures onto the typed
+  exceptions of :mod:`repro.exceptions` (``ShardTimeout`` on a
+  per-dispatch timeout, ``WorkerFailure`` on a broken pool), and
+  guarantees ``kill()`` never blocks on — or leaks — a hung worker
+  process.
+
+Recovery is safe because shard cleans are deterministic and
+side-effect-free until the coordinator merges: a re-dispatched
+``clean_shard`` reproduces the lost outcome bit-for-bit, and a dead
+slot's resident sessions are rebuilt from the coordinator's base (plus
+the remembered ever-group-keys — see ``merge_ever_keys`` in
+``sharding._WorkerState``) before the in-flight batch is re-run.  The
+supervised dispatch loop itself lives in ``sharding._ProcessRunner``,
+next to the wire framing it supervises; this module stays free of any
+sharding import so both layers stay independently testable.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.exceptions import ShardTimeout, WorkerFailure
+
+__all__ = ["SupervisionPolicy", "SupervisedSlot", "SlotFailure"]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Supervision knobs for one sharded session.
+
+    Parameters
+    ----------
+    timeout:
+        Per-dispatch seconds a call may spend at the head of its slot's
+        queue before the worker is declared hung, killed and (budget
+        permitting) respawned.  ``None`` disables the timeout — the
+        pre-supervision behaviour of blocking forever.
+    max_retries:
+        Bounded retry budget **per slot per coordinator round-trip**.
+        ``0`` fails fast on the first fault.
+    backoff_base, backoff_factor, backoff_max:
+        Exponential backoff between retries:
+        ``min(backoff_max, backoff_base * backoff_factor ** attempt)``.
+    serial_fallback:
+        After the budget is exhausted, host the slot's shards in the
+        coordinator process (the ``n_workers=1`` code path) instead of
+        raising — graceful degradation, surfaced in
+        ``session.stats["serial_fallbacks"]``.  ``False`` raises the
+        typed failure instead.
+    """
+
+    timeout: Optional[float] = 600.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    serial_fallback: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff (seconds) before retry number *attempt* (0-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** attempt,
+        )
+
+    def sleep(self, attempt: int) -> None:
+        delay = self.backoff(attempt)
+        if delay > 0:
+            time.sleep(delay)
+
+
+class SlotFailure(Exception):
+    """Internal control-flow signal of the supervised dispatch loop.
+
+    Wraps the typed failure (*error*) plus whether recovery needs the
+    **hard** path (*hard* = the worker is dead or of unknown state: kill
+    the slot, respawn, rebuild resident sessions, re-run the slot's
+    batch) or the **soft** path (the worker provably never executed the
+    call: just re-send it).
+    """
+
+    def __init__(self, error: BaseException, hard: bool):
+        super().__init__(str(error))
+        self.error = error
+        self.hard = hard
+
+
+class SupervisedSlot:
+    """One worker slot: a lazily-spawned single-worker executor with
+    typed failure mapping and a kill that never blocks or leaks.
+
+    *factory* builds the slot's ``ProcessPoolExecutor`` (the caller
+    bakes in the initializer that installs the worker state).
+    ``escalated`` marks a slot that degraded to the in-process serial
+    fallback; the runner routes around it from then on.
+    """
+
+    def __init__(self, index: int, factory: Callable[[], ProcessPoolExecutor]):
+        self.index = index
+        self._factory = factory
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.escalated = False
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = self._factory()
+        return self._executor
+
+    def submit(self, fn: Callable[..., Any], *args: Any):
+        try:
+            return self.executor.submit(fn, *args)
+        except BrokenProcessPool as exc:
+            raise WorkerFailure(
+                f"worker slot {self.index} is broken: {exc}"
+            ) from exc
+
+    def result(self, future, timeout: Optional[float]) -> Any:
+        """Await *future*, mapping pool failures onto typed errors."""
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError as exc:
+            raise ShardTimeout(
+                f"worker slot {self.index} exceeded the per-dispatch "
+                f"timeout of {timeout}s"
+            ) from exc
+        except BrokenProcessPool as exc:
+            raise WorkerFailure(
+                f"worker process of slot {self.index} died: {exc}"
+            ) from exc
+
+    def kill(self) -> None:
+        """Tear the slot's executor down without ever blocking on a hung
+        worker: grab the worker pids first, shut down without waiting,
+        then kill any survivor outright."""
+        executor = self._executor
+        self._executor = None
+        if executor is None:
+            return
+        processes = list(getattr(executor, "_processes", {}).values())
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=5)
+            except Exception:
+                pass
+
+    def respawn(self) -> None:
+        """Kill the current executor; the next :meth:`submit` spawns a
+        fresh one (whose initializer rebuilds the worker state spec)."""
+        self.kill()

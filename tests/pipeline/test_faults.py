@@ -1,0 +1,622 @@
+"""Fault-tolerant sharded execution: supervision, injection, recovery.
+
+Every failure mode the supervision layer handles is driven here through
+the deterministic fault-injection harness of
+:mod:`repro.pipeline.faults`: worker crashes (respawn + exact rebuild),
+hangs (per-dispatch timeout), torn request/response frames (soft resend
+vs hard recovery — exactly-once), transient errors, escalation to the
+in-process serial fallback, typed failures that poison the session
+instead of exposing half-merged state, the auto-checkpoint policy, and
+the coordinator SIGKILL crash-recovery drill.
+
+The invariant under test throughout: a recovered session's observables
+(repaired relation with confidences, ordered fix log, cost, verdict)
+are **byte-identical** to a never-faulted twin's — recovery may change
+shard topology and stats, never results.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.datasets import generate_partitioned
+from repro.exceptions import (
+    DataError,
+    RetriesExhausted,
+    ShardTimeout,
+    SnapshotError,
+    WorkerFailure,
+)
+from repro.pipeline import (
+    Changeset,
+    FaultInjector,
+    FaultSpec,
+    ShardedCleaningSession,
+    SupervisionPolicy,
+)
+from repro.pipeline import snapshot
+from repro.pipeline.faults import DispatchFaults, injected
+
+SIZE = 48
+N_BLOCKS = 6
+SEED = 13
+
+_DATA = generate_partitioned(size=SIZE, n_blocks=N_BLOCKS, seed=SEED)
+
+FAST = SupervisionPolicy(
+    timeout=60.0, max_retries=2, backoff_base=0.01, backoff_max=0.05
+)
+
+
+def make_session(**kwargs):
+    kwargs.setdefault("n_workers", 2)
+    kwargs.setdefault("n_shards", 4)
+    kwargs.setdefault("supervision", FAST)
+    return ShardedCleaningSession(
+        cfds=_DATA.cfds, mds=_DATA.mds, master=_DATA.master, **kwargs
+    )
+
+
+def dirty():
+    return _DATA.dirty.clone()
+
+
+def deltas(n=3):
+    tids = sorted(_DATA.dirty.tids())
+    return [
+        Changeset().edit(tids[i], "name", f"edited-{i}") for i in range(n)
+    ]
+
+
+def observables(session):
+    names = session.working.schema.names
+    return (
+        [
+            (t.tid, tuple(repr(t[a]) for a in names),
+             tuple(t.conf(a) for a in names))
+            for t in session.working
+        ],
+        [
+            (f.kind.value, f.rule_name, f.tid, f.attr, repr(f.old_value),
+             repr(f.new_value), repr(f.source))
+            for f in session.fix_log.fixes()
+        ],
+        session._last_clean,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Observables of a never-faulted run: clean + three applies."""
+    session = make_session()
+    session.clean(dirty())
+    trail = [observables(session)]
+    for delta in deltas():
+        session.apply(delta)
+        trail.append(observables(session))
+    final = observables(session)
+    session.close()
+    return {"trail": trail, "final": final}
+
+
+def run_faulted(injector, *, check_against=None, **kwargs):
+    """Clean + three applies under *injector*; return (session, obs)."""
+    session = make_session(**kwargs)
+    with injected(injector):
+        session.clean(dirty())
+        for delta in deltas():
+            session.apply(delta)
+    result = observables(session)
+    if check_against is not None:
+        assert result == check_against
+    return session, result
+
+
+# ----------------------------------------------------------------------
+# The injector itself
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_schedule_arms_on_the_nth_matching_hit(self):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash", after=2, times=2)]
+        )
+        plans = [
+            injector.plan_dispatch("clean_shard", f"s{i}") for i in range(6)
+        ]
+        assert [bool(p) for p in plans] == [
+            False, False, True, True, False, False
+        ]
+        assert [kind for _p, kind, _ctx in injector.log] == ["crash", "crash"]
+
+    def test_method_and_target_filters(self):
+        injector = FaultInjector(
+            [
+                FaultSpec(point="dispatch", kind="error",
+                          method="apply_shard"),
+                FaultSpec(point="dispatch", kind="torn_request",
+                          match="beef"),
+            ]
+        )
+        assert not injector.plan_dispatch("clean_shard", "0000")
+        plan = injector.plan_dispatch("apply_shard", "dead")
+        assert plan.directive == ("error", None) and not plan.torn_request
+        plan = injector.plan_dispatch("clean_shard", "beef00")
+        assert plan.torn_request and plan.directive is None
+
+    def test_fuzz_is_seed_deterministic(self):
+        a = FaultInjector.fuzz(seed=42, n_faults=3)
+        b = FaultInjector.fuzz(seed=42, n_faults=3)
+        assert [vars(s) for s in a.specs] == [vars(s) for s in b.specs]
+        c = FaultInjector.fuzz(seed=43, n_faults=3)
+        assert [vars(s) for s in a.specs] != [vars(s) for s in c.specs]
+
+    def test_corrupt_only_fires_at_its_point(self):
+        injector = FaultInjector(
+            [FaultSpec(point="snapshot.read", kind="corrupt")]
+        )
+        data = b"payload-bytes"
+        assert injector.mangle_at("payload.unframe", data) == data
+        assert injector.mangle_at("snapshot.read", data) != data
+
+    def test_dispatch_faults_truthiness(self):
+        assert not DispatchFaults()
+        assert DispatchFaults(kill=True)
+        assert DispatchFaults(directive=("delay", None))
+
+
+# ----------------------------------------------------------------------
+# Worker-side faults: crash, hang, delay, transient error
+# ----------------------------------------------------------------------
+class TestWorkerFaults:
+    def test_crash_respawns_and_recovers_byte_identically(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash", method="clean_shard")]
+        )
+        session, _ = run_faulted(
+            injector, check_against=reference["final"]
+        )
+        assert session.stats["worker_respawns"] >= 1
+        assert session.stats["dispatch_retries"] >= 1
+        assert session.stats["serial_fallbacks"] == 0
+        assert injector.log and injector.log[0][1] == "crash"
+        session.close()
+
+    def test_crash_during_apply_recovers_byte_identically(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash", method="apply_shard")]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        assert session.stats["worker_respawns"] >= 1
+        session.close()
+
+    def test_hung_worker_times_out_with_typed_error(self):
+        """Satellite regression: the bare ``future.result()`` calls are
+        gone — a hung worker surfaces as ShardTimeout within the
+        configured per-dispatch timeout, never a forever-block."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="hang",
+                       method="clean_shard", seconds=30.0)]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=0.5, max_retries=0, serial_fallback=False
+            )
+        )
+        started = time.perf_counter()
+        with injected(injector):
+            with pytest.raises(ShardTimeout):
+                session.clean(dirty())
+        assert time.perf_counter() - started < 15.0
+        assert session.stats["dispatch_timeouts"] == 0  # synced below
+        session._sync_io_stats()
+        assert session.stats["dispatch_timeouts"] >= 1
+        session.close()
+
+    def test_hang_recovers_through_retry(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="hang",
+                       method="apply_shard", seconds=30.0)]
+        )
+        session, _ = run_faulted(
+            injector,
+            check_against=reference["final"],
+            supervision=SupervisionPolicy(
+                timeout=0.5, max_retries=2,
+                backoff_base=0.01, backoff_max=0.05,
+            ),
+        )
+        session._sync_io_stats()
+        assert session.stats["dispatch_timeouts"] >= 1
+        assert session.stats["worker_respawns"] >= 1
+        session.close()
+
+    def test_delay_is_harmless(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="delay", times=5,
+                       seconds=0.01)]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        assert session.stats["worker_respawns"] == 0
+        session.close()
+
+    def test_transient_error_is_soft_retried(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="error",
+                       method="apply_shard", times=2)]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        assert session.stats["dispatch_retries"] >= 1
+        assert session.stats["worker_respawns"] == 0  # pre-execution: soft
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Torn frames: soft resend vs hard exactly-once recovery
+# ----------------------------------------------------------------------
+class TestTornFrames:
+    def test_torn_request_is_resent_without_respawn(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="torn_request",
+                       method="apply_shard")]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        assert session.stats["dispatch_retries"] >= 1
+        assert session.stats["worker_respawns"] == 0
+        session.close()
+
+    def test_torn_response_takes_hard_recovery(self, reference):
+        """The worker executed the call but the reply frame was torn:
+        naive re-send would double-apply, so the slot is rebuilt and the
+        batch re-run — and the observables stay byte-identical."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="torn_response",
+                       method="apply_shard")]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        assert session.stats["worker_respawns"] >= 1
+        session.close()
+
+    def test_torn_response_on_clean_recovers(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="torn_response",
+                       method="clean_shard")]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Budget exhaustion: escalation or typed failure — never silence
+# ----------------------------------------------------------------------
+class TestEscalation:
+    def test_persistent_crash_escalates_to_serial_fallback(self, reference):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash", times=1000)]
+        )
+        session, _ = run_faulted(
+            injector,
+            check_against=reference["final"],
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=1,
+                backoff_base=0.01, backoff_max=0.05,
+            ),
+        )
+        assert session.stats["serial_fallbacks"] >= 1
+        # The escalated session keeps answering (now in-process).
+        out = session.apply(Changeset().edit(sorted(dirty().tids())[5],
+                                             "name", "post-escalation"))
+        assert out.repaired is session.working
+        session.close()
+
+    def test_retries_exhausted_without_fallback(self):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash", times=1000)]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=1, serial_fallback=False,
+                backoff_base=0.01, backoff_max=0.05,
+            )
+        )
+        with injected(injector):
+            with pytest.raises(RetriesExhausted) as err:
+                session.clean(dirty())
+        assert isinstance(err.value.__cause__, WorkerFailure)
+        session.close()
+
+    def test_max_retries_zero_raises_the_direct_error(self):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash",
+                       method="clean_shard")]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=0, serial_fallback=False
+            )
+        )
+        with injected(injector):
+            with pytest.raises(WorkerFailure):
+                session.clean(dirty())
+        session.close()
+
+    def test_typed_failure_poisons_session_until_next_clean(self):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash",
+                       method="apply_shard")]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=0, serial_fallback=False
+            )
+        )
+        session.clean(dirty())
+        with injected(injector):
+            with pytest.raises(WorkerFailure):
+                session.apply(deltas(1)[0])
+        # Never half-merged: every stateful entry point refuses.
+        with pytest.raises(DataError, match="failed state"):
+            session.apply(deltas(1)[0])
+        with pytest.raises(DataError, match="failed state"):
+            session.is_clean()
+        with pytest.raises(DataError, match="failed state"):
+            session.save("/nonexistent-never-written")
+        # A fresh clean() clears the poisoning and is exact again.
+        session.clean(dirty())
+        reference = make_session(n_workers=1)
+        reference.clean(dirty())
+        assert observables(session) == observables(reference)
+        reference.close()
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Executor lifecycle: no leaked or blocking worker processes
+# ----------------------------------------------------------------------
+def _worker_pids(session):
+    runner = session._runner
+    pids = []
+    for slot in runner._slots:
+        executor = slot._executor
+        if executor is not None and executor._processes:
+            pids.extend(executor._processes.keys())
+    return pids
+
+
+def _assert_dead(pids, budget=10.0):
+    deadline = time.monotonic() + budget
+    remaining = set(pids)
+    while remaining and time.monotonic() < deadline:
+        for pid in list(remaining):
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                remaining.discard(pid)
+        if remaining:
+            time.sleep(0.05)
+    assert not remaining, f"leaked worker processes: {sorted(remaining)}"
+
+
+class TestExecutorLifecycle:
+    def test_context_manager_reaps_workers(self):
+        with make_session() as session:
+            session.clean(dirty())
+            pids = _worker_pids(session)
+            assert pids
+        _assert_dead(pids)
+
+    def test_close_does_not_block_on_hung_worker(self):
+        """Satellite regression: close() force-kills instead of joining a
+        worker that will never return."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="hang",
+                       method="apply_shard", seconds=120.0)]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=0.5, max_retries=0, serial_fallback=False
+            )
+        )
+        session.clean(dirty())
+        pids = _worker_pids(session)
+        started = time.perf_counter()
+        with injected(injector):
+            with pytest.raises(ShardTimeout):
+                session.apply(deltas(1)[0])
+        session.close()
+        assert time.perf_counter() - started < 30.0
+        _assert_dead(pids)
+
+    def test_respawned_worker_does_not_replay_faults(self, reference):
+        """Fault scheduling lives in the coordinator: a respawned worker
+        never re-fires its predecessor's directive, so a times=1 crash
+        cannot loop forever."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash",
+                       method="clean_shard", times=1)]
+        )
+        session, _ = run_faulted(injector, check_against=reference["final"])
+        assert session.stats["worker_respawns"] == 1
+        assert len([e for e in injector.log if e[1] == "crash"]) == 1
+        session.close()
+
+
+# ----------------------------------------------------------------------
+# Auto-checkpoint policy
+# ----------------------------------------------------------------------
+class TestCheckpointPolicy:
+    def test_checkpoint_every_n_with_retention(self, tmp_path, reference):
+        root = tmp_path / "ck"
+        session = make_session(
+            checkpoint_dir=root, checkpoint_every=1, checkpoint_retain=2
+        )
+        session.clean(dirty())
+        for delta in deltas():
+            session.apply(delta)
+        # clean + 3 applies = 4 written, 2 retained (newest).
+        assert session.stats["checkpoints_written"] == 4
+        kept = snapshot.list_checkpoints(root)
+        assert [p.name for p in kept] == [
+            "checkpoint-000003", "checkpoint-000004"
+        ]
+        session.close()
+
+        restored = ShardedCleaningSession.restore_latest(root, n_workers=2)
+        assert observables(restored) == reference["final"]
+        restored.close()
+
+    def test_checkpoint_every_two_counts_operations(self, tmp_path):
+        session = make_session(
+            checkpoint_dir=tmp_path / "ck2", checkpoint_every=2
+        )
+        session.clean(dirty())           # op 1
+        assert session.stats["checkpoints_written"] == 0
+        session.apply(deltas(1)[0])      # op 2 -> checkpoint
+        assert session.stats["checkpoints_written"] == 1
+        session.close()
+
+    def test_no_checkpointing_without_dir(self, tmp_path):
+        session = make_session(checkpoint_every=1)
+        session.clean(dirty())
+        assert session.stats["checkpoints_written"] == 0
+        session.close()
+
+    def test_restore_latest_skips_corrupt_newest(self, tmp_path, reference):
+        root = tmp_path / "ck3"
+        session = make_session(
+            checkpoint_dir=root, checkpoint_every=1, checkpoint_retain=3
+        )
+        session.clean(dirty())
+        for delta in deltas():
+            session.apply(delta)
+        session.close()
+        newest = snapshot.list_checkpoints(root)[-1]
+        manifest = newest / "manifest.snap"
+        blob = bytearray(manifest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        manifest.write_bytes(bytes(blob))
+
+        restored = ShardedCleaningSession.restore_latest(root, n_workers=2)
+        # The newest *restorable* checkpoint is one apply behind.
+        assert observables(restored) == reference["trail"][-2]
+        restored.close()
+
+    def test_restore_latest_raises_when_nothing_validates(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            ShardedCleaningSession.restore_latest(tmp_path / "empty")
+
+    def test_injected_snapshot_corruption_detected(self, tmp_path):
+        session = make_session(n_workers=1)
+        session.clean(dirty())
+        session.save(tmp_path / "snap")
+        session.close()
+        injector = FaultInjector(
+            [FaultSpec(point="snapshot.read", kind="corrupt",
+                       match="manifest")]
+        )
+        from repro.exceptions import SnapshotCorrupt
+
+        with injected(injector):
+            with pytest.raises(SnapshotCorrupt):
+                ShardedCleaningSession.restore(tmp_path / "snap")
+
+
+# ----------------------------------------------------------------------
+# The coordinator crash-recovery drill
+# ----------------------------------------------------------------------
+_DRILL_SCRIPT = """
+import json, sys
+from repro.datasets import generate_partitioned
+from repro.pipeline import (Changeset, FaultInjector, FaultSpec,
+                            ShardedCleaningSession)
+from repro.pipeline.faults import injected
+
+size, n_blocks, seed, ck_dir, kill_after = (
+    int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3]), sys.argv[4],
+    int(sys.argv[5]),
+)
+data = generate_partitioned(size=size, n_blocks=n_blocks, seed=seed)
+session = ShardedCleaningSession(
+    cfds=data.cfds, mds=data.mds, master=data.master,
+    n_workers=1, n_shards=4,
+    checkpoint_dir=ck_dir, checkpoint_every=1, checkpoint_retain=3,
+)
+tids = sorted(data.dirty.tids())
+injector = FaultInjector([FaultSpec(
+    point="dispatch", kind="kill", method="apply_shard", after=kill_after,
+)])
+with injected(injector):
+    session.clean(data.dirty.clone())
+    for i in range(6):
+        session.apply(Changeset().edit(tids[i], "name", f"edited-{i}"))
+print("SURVIVED", file=sys.stderr)  # must never be reached
+"""
+
+
+class TestCoordinatorCrashDrill:
+    def test_sigkill_mid_batch_restores_byte_identically(self, tmp_path):
+        """The acceptance drill: SIGKILL the coordinator mid-batch,
+        restore the newest checkpoint, replay the remaining deltas, and
+        compare byte-identically against a never-faulted twin."""
+        ck_dir = tmp_path / "drill"
+        kill_after = 3  # die on the 4th apply_shard dispatch
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _DRILL_SCRIPT, str(SIZE), str(N_BLOCKS),
+             str(SEED), str(ck_dir), str(kill_after)],
+            capture_output=True, text=True, env=env, timeout=240,
+        )
+        # SIGKILLed mid-batch, not a clean exit.
+        assert proc.returncode == -signal.SIGKILL, (
+            proc.returncode, proc.stderr
+        )
+        assert "SURVIVED" not in proc.stderr
+
+        checkpoints = snapshot.list_checkpoints(ck_dir)
+        assert checkpoints, "the drill died before its first checkpoint"
+        # checkpoint-<n> is written after the clean (n=1) and after each
+        # apply (n=k+1): the newest one tells how many applies committed.
+        committed = int(checkpoints[-1].name.split("-")[1]) - 1
+        assert 0 <= committed < 6
+
+        restored = ShardedCleaningSession.restore_latest(
+            ck_dir, n_workers=2
+        )
+        tids = sorted(_DATA.dirty.tids())
+        for i in range(committed, 6):
+            restored.apply(Changeset().edit(tids[i], "name", f"edited-{i}"))
+
+        twin = make_session()
+        twin.clean(dirty())
+        for i in range(6):
+            twin.apply(Changeset().edit(tids[i], "name", f"edited-{i}"))
+
+        assert observables(restored) == observables(twin)
+        restored.close()
+        twin.close()
+
+
+# ----------------------------------------------------------------------
+# Faults never reach workers' own scheduling state
+# ----------------------------------------------------------------------
+class TestSerialRunnerFaults:
+    def test_serial_runner_ignores_worker_kinds(self, reference):
+        """n_workers=1 has no worker process to crash or hang: worker
+        directives are no-ops there, and results stay exact."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash", times=1000)]
+        )
+        session = make_session(n_workers=1)
+        with injected(injector):
+            session.clean(dirty())
+            for delta in deltas():
+                session.apply(delta)
+        assert observables(session) == reference["final"]
+        session.close()

@@ -651,3 +651,96 @@ class TestGoldenFixture:
         out = session.apply(Changeset().edit(1, "B", "b2"))
         assert out.fix_log is session.fix_log
         assert session.is_clean() == out.clean
+
+
+# ----------------------------------------------------------------------
+# Retained checkpoints
+# ----------------------------------------------------------------------
+class TestCheckpointRetention:
+    """The checkpoint store under a directory: monotone sequence numbers,
+    bounded retention, and newest-restorable fallback."""
+
+    def _checkpointed(self, root, n=5):
+        session = make_sharded()
+        session.clean(build_relation())
+        snapshot.save_checkpoint(session, root, retain=n)
+        trail = [
+            (full_state(session.working), fingerprint(session.fix_log.fixes()))
+        ]
+        for i in range(1, n):
+            session.apply(Changeset().edit(1, "B", f"b-ck-{i}"))
+            snapshot.save_checkpoint(session, root, retain=n)
+            trail.append(
+                (full_state(session.working),
+                 fingerprint(session.fix_log.fixes()))
+            )
+        session.close()
+        return trail
+
+    def test_keeps_only_the_newest_k(self, tmp_path):
+        root = tmp_path / "ck"
+        session = make_sharded()
+        session.clean(build_relation())
+        for i in range(5):
+            snapshot.save_checkpoint(session, root, retain=2)
+            session.apply(Changeset().edit(1, "B", f"b-{i}"))
+        session.close()
+        kept = snapshot.list_checkpoints(root)
+        # Sequence numbers keep counting up even as old ones are pruned.
+        assert [p.name for p in kept] == [
+            "checkpoint-000004", "checkpoint-000005"
+        ]
+
+    def test_restores_the_newest(self, tmp_path):
+        root = tmp_path / "ck"
+        trail = self._checkpointed(root)
+        restored = snapshot.restore_latest_checkpoint(root)
+        got = (full_state(restored.working),
+               fingerprint(restored.fix_log.fixes()))
+        assert got == trail[-1]
+        restored.close()
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        root = tmp_path / "ck"
+        trail = self._checkpointed(root)
+        newest = snapshot.list_checkpoints(root)[-1]
+        manifest = newest / "manifest.snap"
+        blob = bytearray(manifest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        manifest.write_bytes(bytes(blob))
+        restored = snapshot.restore_latest_checkpoint(root)
+        got = (full_state(restored.working),
+               fingerprint(restored.fix_log.fixes()))
+        assert got == trail[-2]
+        restored.close()
+
+    def test_half_written_newest_falls_back(self, tmp_path):
+        """A crash mid-save leaves shard files without a valid manifest
+        (the manifest is written last): that checkpoint is skipped."""
+        root = tmp_path / "ck"
+        trail = self._checkpointed(root)
+        torn = root / "checkpoint-000009"
+        torn.mkdir()
+        (torn / "shard-0.snap").write_bytes(b"half-written")
+        restored = snapshot.restore_latest_checkpoint(root)
+        got = (full_state(restored.working),
+               fingerprint(restored.fix_log.fixes()))
+        assert got == trail[-1]
+        restored.close()
+
+    def test_raises_when_nothing_restorable(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no checkpoints"):
+            snapshot.restore_latest_checkpoint(tmp_path)
+        bad = tmp_path / "checkpoint-000001"
+        bad.mkdir()
+        (bad / "manifest.snap").write_bytes(b"garbage")
+        with pytest.raises(SnapshotError, match="no restorable"):
+            snapshot.restore_latest_checkpoint(tmp_path)
+
+    def test_non_checkpoint_entries_are_ignored(self, tmp_path):
+        root = tmp_path / "ck"
+        self._checkpointed(root, n=2)
+        (root / "checkpoint-notanumber").mkdir()
+        (root / "unrelated.txt").write_text("x")
+        names = [p.name for p in snapshot.list_checkpoints(root)]
+        assert names == ["checkpoint-000001", "checkpoint-000002"]

@@ -1,0 +1,137 @@
+"""Property test: fuzzed fault schedules never corrupt results.
+
+For *any* seeded fault schedule drawn by :meth:`FaultInjector.fuzz` —
+worker crashes, hangs-as-delays, injected errors, torn request and
+response frames, at arbitrary dispatch counts — a sharded run over the
+PART workload either
+
+* completes, in which case its observables (repaired relation with
+  confidences, ordered fix log, verdict) are **byte-identical** to the
+  fault-free reference run, or
+* raises a typed failure (:class:`WorkerFailure` and subclasses,
+  :class:`TornFrame`, :class:`InjectedFault`), in which case the session
+  is poisoned and refuses further stateful use until the next
+  ``clean()``.
+
+It is never silently wrong: no completed run may differ from the
+reference, and no failure may escape as an untyped exception or leave a
+half-merged session answering queries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import generate_partitioned
+from repro.exceptions import DataError, TornFrame, WorkerFailure
+from repro.pipeline import (
+    Changeset,
+    FaultInjector,
+    ShardedCleaningSession,
+    SupervisionPolicy,
+)
+from repro.pipeline.faults import InjectedFault, injected
+
+SIZE = 48
+N_BLOCKS = 6
+SEED = 29
+
+_DATA = generate_partitioned(size=SIZE, n_blocks=N_BLOCKS, seed=SEED)
+
+TYPED_FAILURES = (WorkerFailure, TornFrame, InjectedFault)
+
+# Small budgets keep the worst case (a schedule that defeats every
+# retry) fast; hangs are fuzzed as delays so the timeout never gates.
+POLICY = SupervisionPolicy(
+    timeout=60.0, max_retries=1, backoff_base=0.01, backoff_max=0.05
+)
+
+
+def _deltas(n=2):
+    tids = sorted(_DATA.dirty.tids())
+    return [Changeset().edit(tids[i], "name", f"edited-{i}")
+            for i in range(n)]
+
+
+def _observables(session):
+    names = session.working.schema.names
+    return (
+        [
+            (t.tid, tuple(repr(t[a]) for a in names),
+             tuple(t.conf(a) for a in names))
+            for t in session.working
+        ],
+        [
+            (f.kind.value, f.rule_name, f.tid, f.attr, repr(f.old_value),
+             repr(f.new_value), repr(f.source))
+            for f in session.fix_log.fixes()
+        ],
+        session._last_clean,
+    )
+
+
+def _run(session):
+    session.clean(_DATA.dirty.clone())
+    for delta in _deltas():
+        session.apply(delta)
+    return _observables(session)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    session = ShardedCleaningSession(
+        cfds=_DATA.cfds, mds=_DATA.mds, master=_DATA.master,
+        n_workers=1, n_shards=4,
+    )
+    result = _run(session)
+    session.close()
+    return result
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=8, deadline=None)
+def test_fuzzed_schedules_recover_or_fail_typed(seed, reference):
+    injector = FaultInjector.fuzz(seed=seed, n_faults=2)
+    session = ShardedCleaningSession(
+        cfds=_DATA.cfds, mds=_DATA.mds, master=_DATA.master,
+        n_workers=2, n_shards=4, supervision=POLICY,
+    )
+    try:
+        with injected(injector):
+            try:
+                result = _run(session)
+            except TYPED_FAILURES:
+                # Typed failure: the session must be poisoned, not
+                # half-merged — every stateful entry point refuses.
+                with pytest.raises(DataError, match="failed state"):
+                    session.apply(_deltas(1)[0])
+                return
+        # Completed: must be byte-identical to the fault-free run.
+        assert result == reference
+    finally:
+        session.close()
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=4, deadline=None)
+def test_fuzzed_schedules_with_fallback_always_complete(seed, reference):
+    """With the serial fallback and a healthy retry budget, every fuzzed
+    schedule of recoverable kinds completes byte-identically: escalation
+    is the backstop that turns persistent faults into exact answers."""
+    injector = FaultInjector.fuzz(
+        seed=seed, n_faults=1, kinds=("crash", "torn_response", "delay")
+    )
+    session = ShardedCleaningSession(
+        cfds=_DATA.cfds, mds=_DATA.mds, master=_DATA.master,
+        n_workers=2, n_shards=4,
+        supervision=SupervisionPolicy(
+            timeout=60.0, max_retries=2,
+            backoff_base=0.01, backoff_max=0.05, serial_fallback=True,
+        ),
+    )
+    try:
+        with injected(injector):
+            result = _run(session)
+        assert result == reference
+    finally:
+        session.close()
