@@ -54,7 +54,24 @@ Two workloads, both written to ``BENCH_repair.json``:
    restored shards rather than re-clean them.  Wall-clock for
    save/restore is recorded but, as everywhere in this script, never
    asserted.
-6. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
+6. **Columnar** (ISSUE 7 columnar resident core): a 1M-row PART-style
+   blocking-scan/check workload — build the relation, bulk-build its
+   group stores + violation index, and run the full CFD check — once on
+   the per-tuple dict backend with the reference engine and once on the
+   columnar backend with the vectorized engine.  Rows record relation
+   build, partition bulk build (``index_s``) and check-scan
+   (``check_s``) seconds plus the tracemalloc ``peak_mem_bytes`` of
+   each resident representation; the summary records the check-scan
+   speedup (the hot loop every repair round repeats over the maintained
+   partitions), the one-off index-build and end-to-end speedups, and
+   the memory ratio.  The script asserts that both engines report the **identical
+   violation list** and that the columnar representation peaks lower
+   than the per-tuple one (both structural); the speedup is recorded,
+   never asserted.  The ``replan`` scenario additionally records the
+   wire-payload byte delta between the columnar ref-bridge encode and
+   the forced per-tuple encode of the same relation and asserts the two
+   blobs are byte-identical (delta 0).
+7. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
    clean + micro-batch workload run under a battery of named fault
    schedules (worker crash, torn response frame, hang + timeout,
    transient error, persistent crash forcing escalation to the serial
@@ -501,6 +518,32 @@ def run_replan_report(
                 }
             )
 
+        # Wire-bridge check (ISSUE 7): the columnar ref-bridge encode of
+        # the session base must emit the byte-identical blob the forced
+        # per-tuple encode produces — the recorded delta must be 0.
+        import pickle
+
+        from repro.pipeline import payload as _payload
+        from repro.relational import columns as _relcolumns
+
+        base = reference.base
+        columnar_table = _payload.ValueTable()
+        columnar_blob = pickle.dumps(
+            (_payload.encode_relation(base, columnar_table),
+             columnar_table.values),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        with _relcolumns.using_backend(False):
+            flat_base = pickle.loads(pickle.dumps(base))
+        tuple_table = _payload.ValueTable()
+        tuple_blob = pickle.dumps(
+            (_payload.encode_relation(flat_base, tuple_table),
+             tuple_table.values),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        encode_bytes_delta = len(columnar_blob) - len(tuple_blob)
+        encode_identical = columnar_blob == tuple_blob
+
         stats = sharded.stats
         coordinator_bytes = (
             stats["bytes_to_workers"] + stats["bytes_from_workers"]
@@ -531,12 +574,16 @@ def run_replan_report(
             "coordinator_bytes": coordinator_bytes,
             "legacy_bytes": legacy_bytes,
             "payload_ratio": payload_ratio,
+            "columnar_encode_bytes": len(columnar_blob),
+            "tuple_encode_bytes": len(tuple_blob),
+            "encode_bytes_delta": encode_bytes_delta,
             "all_state_identical": all_identical,
             # Structural acceptance flags (never wall-clock):
             "reuse_effective": total_reused > 0
             and total_recleaned < batches * n_shards_planned,
             "payload_bound_met": payload_ratio is None
             or payload_ratio <= 0.5,
+            "encode_identical": encode_identical,
         }
     finally:
         sharded.close()
@@ -694,6 +741,170 @@ def run_snapshot_report(
         control.close()
         subject.close()
         shutil.rmtree(snap_dir, ignore_errors=True)
+    return {
+        "workload": {
+            "dataset": "partitioned",
+            "size": size,
+            "n_blocks": n_blocks,
+            "noise_rate": noise_rate,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
+def run_columnar_report(
+    size: int = 1_000_000,
+    n_blocks: int = 1024,
+    noise_rate: float = 0.04,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Columnar resident core vs per-tuple representation (ISSUE 7).
+
+    One blocking-scan/check workload — build the relation, bulk-build
+    the group stores and violation index behind it, then run the full
+    CFD check over the maintained partitions — measured on both
+    backings.  Index build (``index_s``) and the check scan
+    (``check_s``) are timed separately: the repair pipeline builds its
+    partitions once per session and re-checks every resolution round,
+    so the check scan is the repeated blocking-scan/check hot loop and
+    ``scan_speedup`` compares exactly that.  The cyclic GC is parked
+    during the timed regions (collector pauses over a multi-million
+    object heap would otherwise dominate both engines equally).
+    ``peak_mem_bytes`` is the tracemalloc peak while building and
+    holding each resident representation of the same rows.  Asserted:
+    identical violation lists and the columnar representation peaking
+    below the per-tuple one.  Recorded, never asserted: seconds and
+    speedups.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.analysis.consistency import relation_violations
+    from repro.constraints.rules import derive_rules
+    from repro.indexing.group_store import GroupStoreRegistry
+    from repro.indexing.violation_index import ViolationIndex
+    from repro.relational import Relation
+    from repro.relational import columns as _relcolumns
+
+    ds = generate(
+        "partitioned", size=size, n_blocks=n_blocks,
+        noise_rate=noise_rate, seed=seed,
+    )
+    schema = ds.dirty.schema
+    names = schema.names
+    raw_rows = [
+        ([t[a] for a in names], [t.conf(a) for a in names])
+        for t in ds.dirty
+    ]
+    cfds = ds.cfds
+    rules = derive_rules(cfds, ds.mds)
+    del ds
+    gc.collect()
+
+    def build(columnar: bool):
+        tracemalloc.start()
+        with _relcolumns.using_backend(columnar):
+            relation = Relation(schema)
+        append = relation.append_row_values
+        started = time.perf_counter()
+        for values, confs in raw_rows:
+            append(values, confs)
+        build_s = time.perf_counter() - started
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return relation, build_s, peak
+
+    def scan(relation, engine: str):
+        gc.collect()
+        gc.disable()
+        try:
+            with _relcolumns.using_engine(engine):
+                started = time.perf_counter()
+                registry = GroupStoreRegistry(relation, attach=False)
+                registry.ensure_rules(rules)
+                index = ViolationIndex(
+                    relation, derive_rules(cfds), attach=False, registry=registry
+                )
+                index_s = time.perf_counter() - started
+                started = time.perf_counter()
+                violations = relation_violations(
+                    relation, cfds, violation_index=index
+                )
+                check_s = time.perf_counter() - started
+        finally:
+            gc.enable()
+        fingerprint = [
+            (v.constraint.name, v.tids, v.attr) for v in violations
+        ]
+        return fingerprint, index_s, check_s
+
+    rows: List[Dict[str, Any]] = []
+
+    relation, build_s, dict_peak = build(columnar=False)
+    reference_violations, ref_index_s, ref_check_s = scan(relation, "reference")
+    rows.append(
+        {
+            "backend": "dict",
+            "engine": "reference",
+            "build_s": round(build_s, 6),
+            "peak_mem_bytes": dict_peak,
+            "index_s": round(ref_index_s, 6),
+            "check_s": round(ref_check_s, 6),
+            "violations": len(reference_violations),
+        }
+    )
+    del relation
+    gc.collect()
+
+    relation, build_s, columnar_peak = build(columnar=True)
+    vectorized_violations, vec_index_s, vec_check_s = scan(relation, "vectorized")
+    rows.append(
+        {
+            "backend": "columnar",
+            "engine": "vectorized",
+            "build_s": round(build_s, 6),
+            "peak_mem_bytes": columnar_peak,
+            "index_s": round(vec_index_s, 6),
+            "check_s": round(vec_check_s, 6),
+            "violations": len(vectorized_violations),
+            "resident_column_bytes": relation.column_store.nbytes(),
+        }
+    )
+    del relation
+    gc.collect()
+
+    summary = {
+        "size": size,
+        "n_blocks": n_blocks,
+        "noise_rate": noise_rate,
+        "seed": seed,
+        "dict_peak_mem_bytes": dict_peak,
+        "columnar_peak_mem_bytes": columnar_peak,
+        "mem_ratio": round(columnar_peak / dict_peak, 4) if dict_peak else None,
+        "reference_check_s": round(ref_check_s, 6),
+        "vectorized_check_s": round(vec_check_s, 6),
+        # The blocking-scan/check hot loop (re-run every repair round):
+        "scan_speedup": round(ref_check_s / vec_check_s, 2)
+        if vec_check_s
+        else None,
+        # One-off partition bulk build, for transparency:
+        "reference_index_s": round(ref_index_s, 6),
+        "vectorized_index_s": round(vec_index_s, 6),
+        "index_speedup": round(ref_index_s / vec_index_s, 2)
+        if vec_index_s
+        else None,
+        "end_to_end_speedup": round(
+            (ref_index_s + ref_check_s) / (vec_index_s + vec_check_s), 2
+        )
+        if vec_index_s + vec_check_s
+        else None,
+        "violations": len(reference_violations),
+        # Structural acceptance flags (never wall-clock):
+        "violations_identical": reference_violations == vectorized_violations,
+        "mem_improved": columnar_peak < dict_peak,
+    }
     return {
         "workload": {
             "dataset": "partitioned",
@@ -934,6 +1145,10 @@ def main(argv=None) -> int:
     parser.add_argument("--snapshot-cut", type=int, default=2,
                         help="save/restore after this many batches")
     parser.add_argument("--skip-snapshot", action="store_true")
+    parser.add_argument("--columnar-size", type=int, default=1_000_000,
+                        help="rows for the columnar blocking-scan scenario")
+    parser.add_argument("--columnar-blocks", type=int, default=1024)
+    parser.add_argument("--skip-columnar", action="store_true")
     parser.add_argument("--faults-size", type=int, default=2000,
                         help="PART testbed rows for the faults scenario")
     parser.add_argument("--faults-blocks", type=int, default=16)
@@ -1019,6 +1234,7 @@ def main(argv=None) -> int:
         ok &= entry["all_state_identical"]
         ok &= entry["reuse_effective"]
         ok &= entry["payload_bound_met"]
+        ok &= entry["encode_identical"]
 
     if not args.skip_snapshot:
         snap = run_snapshot_report(
@@ -1042,6 +1258,29 @@ def main(argv=None) -> int:
         ok &= entry["all_state_identical"]
         ok &= entry["reuse_counters_match"]
         ok &= entry["restored_reuse_effective"]
+
+    if not args.skip_columnar:
+        columnar = run_columnar_report(
+            size=args.columnar_size,
+            n_blocks=args.columnar_blocks,
+        )
+        report["columnar"] = columnar
+        entry = columnar["summary"]
+        print(
+            f"  columnar size={entry['size']}: "
+            f"check reference={entry['reference_check_s']:.2f}s "
+            f"vectorized={entry['vectorized_check_s']:.2f}s "
+            f"speedup={entry['scan_speedup']}x "
+            f"(index build {entry['reference_index_s']:.2f}s/"
+            f"{entry['vectorized_index_s']:.2f}s, "
+            f"e2e x{entry['end_to_end_speedup']}) "
+            f"mem={entry['columnar_peak_mem_bytes']}/"
+            f"{entry['dict_peak_mem_bytes']}B "
+            f"(x{entry['mem_ratio']}) "
+            f"violations_identical={entry['violations_identical']}"
+        )
+        ok &= entry["violations_identical"]
+        ok &= entry["mem_improved"]
 
     if not args.skip_faults:
         faults = run_faults_report(
@@ -1069,7 +1308,9 @@ def main(argv=None) -> int:
         print(
             "ERROR: a structural assertion failed (engine/state divergence, "
             "no shard reuse across re-plans, columnar payloads above "
-            "50% of the PR 3 bytes, a snapshot restore that diverged "
+            "50% of the PR 3 bytes, a non-identical columnar encode or "
+            "violation list, a columnar representation that did not peak "
+            "below the per-tuple one, a snapshot restore that diverged "
             "or re-cleaned restored shards, or a fault-injected run that "
             "did not recover byte-identically); timings are never "
             "asserted on",

@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.constraints.cfd import CFD, Violation
 from repro.constraints.md import MD
 from repro.constraints.rules import ConstantCFDRule, derive_rules
+from repro.relational import columns as _columns
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
@@ -107,6 +108,8 @@ def relation_violations(
                 )
             positions.append(by_key[key])
     only = set(only_tids) if only_tids is not None else None
+    if _columns.vectorized_for(relation):
+        return _violations_vectorized(relation, rules, positions, index, strict, only)
     out: List[Violation] = []
     for rule, idx in zip(rules, positions):
         rhs = rule.rhs_attr()
@@ -158,6 +161,99 @@ def relation_violations(
                         if other_value != value:
                             out.append(Violation(rule.cfd, (witness, tid), rhs))
                     seen.setdefault(value, tid)
+    return out
+
+
+def _violations_vectorized(
+    relation: Relation,
+    rules: Sequence[Any],
+    positions: Sequence[int],
+    index: Any,
+    strict: bool,
+    only: Optional[Set[int]],
+) -> List[Violation]:
+    """The vectorized check engine behind :func:`relation_violations`.
+
+    Same partition semantics as the reference loop, but every RHS read
+    is a ref-column index (``rhs_data[row]``) and every value test a
+    canonical reference comparison — no ``by_tid`` →
+    ``dict.__getitem__`` chain, no per-tuple object touched beyond its
+    stored row index.  The pair check also prunes on the maintained RHS
+    value counts: partitions whose counts hold a single ``==``-class
+    cannot pair-violate and are skipped before any member is read, so
+    the per-group sorting work scales with the *dirty* partitions, not
+    with all of them.  The ``seen`` lists key canonical refs, whose
+    equality (and therefore first-encounter order) is exactly the value
+    equality the reference engine's value-keyed maps use, so the
+    emitted violation list is identical element for element.  Gated by
+    :func:`repro.relational.columns.check_engine`.
+
+    The ``only_tids`` delta mode keeps the index-query path (its scopes
+    are small; the full-scan restructuring would not pay for itself).
+    """
+    store = relation.column_store
+    table = store.table
+    canon = table.canon
+    null_c = table.null_canon
+    row_of = store.row_of
+    out: List[Violation] = []
+    for rule, idx in zip(rules, positions):
+        rhs = rule.rhs_attr()
+        is_constant = isinstance(rule, ConstantCFDRule)
+        rhs_data = store.values[store.index_of[rhs]].data
+        part = index.partition(idx)
+
+        def rule_member_tids(idx=idx, part=part):
+            if only is not None:
+                return sorted(t for t in only if index.is_member(idx, t))
+            if part is not None:
+                return sorted(part.key_of)
+            return index.member_tids(idx)  # pragma: no cover - MD rules
+
+        if strict:
+            const_c = (
+                table.canon_ref(rule.cfd.rhs_constant) if is_constant else -1
+            )
+            for tid in rule_member_tids():
+                c = canon[rhs_data[row_of[tid]]]
+                if c == null_c or (is_constant and c != const_c):
+                    out.append(Violation(rule.cfd, (tid,), rhs))
+        elif is_constant:
+            const_c = table.canon_ref(rule.cfd.rhs_constant)
+            for tid in rule_member_tids():
+                c = canon[rhs_data[row_of[tid]]]
+                if c != null_c and c != const_c:
+                    out.append(Violation(rule.cfd, (tid,), rhs))
+            continue  # tolerant constant rules have no pair check
+
+        # Pair check among tuples agreeing on X.  Tolerant mode skips
+        # null RHS values; strict compares them like any other value.
+        cfd = rule.cfd
+        if only is not None:
+            group_iter = index.groups_of_tids(idx, only)
+        else:
+            # A partition can only emit pair violations when its RHS
+            # counts hold ≥ 2 distinct ``==``-classes (canon equality is
+            # value equality, and so is ``value_counts``'s dict keying) —
+            # skip the clean majority outright, and order the survivors
+            # by smallest member tid exactly as ``iter_groups`` does over
+            # all of them (omitted partitions emit nothing either way).
+            hot = [g for g in part.groups.values() if len(g.value_counts) > 1]
+            hot.sort(key=lambda g: min(g.tids))
+            group_iter = ((g.key, sorted(g.tids)) for g in hot)
+        for _key, tids in group_iter:
+            seen: List[Tuple[int, int]] = []
+            seen_refs: Set[int] = set()
+            for tid in tids:
+                c = canon[rhs_data[row_of[tid]]]
+                if c == null_c and not strict:
+                    continue
+                for other_c, witness in seen:
+                    if other_c != c:
+                        out.append(Violation(cfd, (witness, tid), rhs))
+                if c not in seen_refs:
+                    seen_refs.add(c)
+                    seen.append((c, tid))
     return out
 
 

@@ -32,11 +32,17 @@ import math
 from collections import Counter
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.constraints.cfd import WILDCARD, is_wildcard
 from repro.exceptions import DataError
+from repro.relational import columns as _columns
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
 
 Key = Tuple[Any, ...]
+
+#: Cache sentinel distinct from every legitimate membership entry
+#: (``None`` is a real MD pseudo-key, ``False`` a real non-member mark).
+_MISSING = object()
 
 ChangeListener = Callable[[CTuple, Optional[Key], Optional[Key]], None]
 
@@ -187,8 +193,117 @@ class CFDGroupStore:
         self.groups.clear()
         self.key_of.clear()
         self._interned.clear()
-        for t in relation:
-            self.index_tuple(t)
+        self.bulk_index(relation)
+
+    def bulk_index(self, relation: Relation) -> None:
+        """Index every tuple of *relation* (assumed not yet indexed here),
+        taking the columnar array scan when the backing store and the
+        active check engine allow it — the blocking-scan hot loop of
+        every fresh :class:`GroupStoreRegistry`."""
+        if _columns.vectorized_for(relation):
+            self._bulk_index_columnar(relation)
+        else:
+            for t in relation:
+                self.index_tuple(t)
+
+    def _bulk_index_columnar(self, relation: Relation) -> None:
+        """One pass over the ref columns instead of ``len(relation)``
+        pattern matches: membership (non-null LHS + constant-premise
+        canon-ref equality) and the key→group resolution are computed
+        once per *distinct* LHS ref combination and cached — with the
+        group's mutators pre-bound, so each row costs one dict probe (a
+        bare ref for single-attribute LHS, a C-built ref tuple
+        otherwise) plus three container updates with no attribute
+        resolution.  LHS key tuples are materialized from table-resident value
+        instances, which unifies the store's key interning with the
+        process-wide :data:`~repro.relational.columns.GLOBAL_TABLE`.
+        Byte-identical to the per-tuple loop: group/key insertion order
+        is first-encounter in relation order either way, and per-group
+        value counts key the first encountered value instance just as
+        the per-row ``counts[v] += 1`` would.
+        """
+        store = relation.column_store
+        table = store.table
+        vals = table.values
+        canon = table.canon
+        null_c = table.null_canon
+        index_of = store.index_of
+        lhs_cols = [store.values[index_of[a]].data for a in self.lhs]
+        rhs_data = store.values[index_of[self.rhs]].data
+        pattern = self.cfd.lhs_pattern
+        const_checks: List[Tuple[int, int]] = []
+        for pos, attr in enumerate(self.lhs):
+            pv = pattern.get(attr, WILDCARD)
+            if not is_wildcard(pv):
+                const_checks.append((pos, table.canon_ref(pv)))
+        intern_key = self.intern_key
+        groups = self.groups
+        key_of = self.key_of
+        value_of = vals.__getitem__
+        tids, rows = relation._live_rows()
+        if not lhs_cols:
+            # Empty LHS (pure-constant pattern): every live row belongs
+            # to the single ``()`` partition.
+            key = intern_key(())
+            member_tids = list(tids)
+            rhs_refs = (
+                rhs_data if rows is None else [rhs_data[row] for row in rows]
+            )
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = GroupStats(key)
+            group.tids.update(member_tids)
+            group.value_counts.update(map(value_of, rhs_refs))
+            group._invalidate()
+            key_of.update(dict.fromkeys(member_tids, key))
+            return
+        single = len(lhs_cols) == 1
+        cache: Dict[Any, Any] = {}
+        if rows is None:
+            lhs_iter = lhs_cols[0] if single else zip(*lhs_cols)
+            packed = zip(lhs_iter, tids, rhs_data)
+        elif single:
+            col0 = lhs_cols[0]
+            packed = (
+                (col0[row], tid, rhs_data[row])
+                for tid, row in zip(tids, rows)
+            )
+        else:
+            packed = (
+                (tuple(col[row] for col in lhs_cols), tid, rhs_data[row])
+                for tid, row in zip(tids, rows)
+            )
+        for refs, tid, rv in packed:
+            entry = cache.get(refs, _MISSING)
+            if entry is _MISSING:
+                ref_tuple = (refs,) if single else refs
+                member = True
+                for r in ref_tuple:
+                    if canon[r] == null_c:  # nulls never match (Section 7)
+                        member = False
+                        break
+                if member:
+                    for pos, want in const_checks:
+                        if canon[ref_tuple[pos]] != want:
+                            member = False
+                            break
+                if member:
+                    key = intern_key(tuple(vals[r] for r in ref_tuple))
+                    group = groups.get(key)
+                    if group is None:
+                        group = groups[key] = GroupStats(key)
+                    # Bound methods: the hot loop below re-slots without
+                    # re-resolving ``group.tids.add`` etc. per row.
+                    entry = cache[refs] = (key, group.tids.add, group.value_counts)
+                else:
+                    cache[refs] = False
+                    continue
+            elif entry is False:
+                continue
+            key, add_tid, counts = entry
+            add_tid(tid)
+            counts[value_of(rv)] += 1
+            key_of[tid] = key
 
     def index_tuple(self, t: CTuple) -> None:
         """Slot *t* in silently (bulk load; no views/listeners fired)."""
@@ -378,8 +493,66 @@ class MDGroupStore:
         self.groups.clear()
         self.key_of.clear()
         self._interned.clear()
-        for t in relation:
-            self.index_tuple(t)
+        self.bulk_index(relation)
+
+    def bulk_index(self, relation: Relation) -> None:
+        """Index every tuple of *relation* (columnar array scan when the
+        backing store and check engine allow)."""
+        if _columns.vectorized_for(relation):
+            self._bulk_index_columnar(relation)
+        else:
+            for t in relation:
+                self.index_tuple(t)
+
+    def _bulk_index_columnar(self, relation: Relation) -> None:
+        """The MD analog of :meth:`CFDGroupStore._bulk_index_columnar`:
+        null detection and key interning happen once per distinct
+        blocking-key ref combination (``None`` pseudo-key for rows with a
+        null in the key, ``()`` when the MD has no equality premise),
+        with the member set's ``add`` pre-bound in the cache entry."""
+        store = relation.column_store
+        table = store.table
+        vals = table.values
+        canon = table.canon
+        null_c = table.null_canon
+        groups = self.groups
+        key_of = self.key_of
+        tids, rows = relation._live_rows()
+        if not self.key_attrs:
+            groups.setdefault((), set()).update(tids)
+            key_of.update(dict.fromkeys(tids, ()))
+            return
+        interned = self._interned
+        key_cols = [store.values[store.index_of[a]].data for a in self.key_attrs]
+        single = len(key_cols) == 1
+        cache: Dict[Any, Any] = {}
+        if rows is None:
+            key_iter = key_cols[0] if single else zip(*key_cols)
+            packed = zip(key_iter, tids)
+        elif single:
+            col0 = key_cols[0]
+            packed = ((col0[row], tid) for tid, row in zip(tids, rows))
+        else:
+            packed = (
+                (tuple(col[row] for col in key_cols), tid)
+                for tid, row in zip(tids, rows)
+            )
+        for refs, tid in packed:
+            entry = cache.get(refs, _MISSING)
+            if entry is _MISSING:
+                ref_tuple = (refs,) if single else refs
+                if any(canon[r] == null_c for r in ref_tuple):
+                    key = None
+                else:
+                    key_tuple = tuple(vals[r] for r in ref_tuple)
+                    key = interned.setdefault(key_tuple, key_tuple)
+                members = groups.get(key)
+                if members is None:
+                    members = groups[key] = set()
+                entry = cache[refs] = (key, members.add)
+            key, add_tid = entry
+            add_tid(tid)
+            key_of[tid] = key
 
     def index_tuple(self, t: CTuple) -> None:
         key = self._key(t)
@@ -528,9 +701,16 @@ class GroupStoreRegistry:
                     self._register(mstore)
                     fresh.append(mstore)
         if fresh:
-            for t in self.relation:
+            if _columns.vectorized_for(self.relation):
+                # Column-at-a-time: each store scans the ref arrays once
+                # (C-speed zips + per-distinct-key caching) instead of
+                # sharing one per-tuple walk.
                 for store in fresh:
-                    store.index_tuple(t)
+                    store._bulk_index_columnar(self.relation)
+            else:
+                for t in self.relation:
+                    for store in fresh:
+                        store.index_tuple(t)
 
     def stores(self) -> List[AnyStore]:
         """All registered stores (CFD stores first, then MD stores)."""

@@ -152,17 +152,49 @@ SchemaLookup = Callable[[str, Tuple[str, ...]], Optional[Schema]]
 
 def encode_relation(relation: Relation, table: ValueTable) -> Dict[str, Any]:
     """One column of value references and one of confidence references
-    per attribute, plus tid/bookkeeping arrays — no per-tuple dicts."""
+    per attribute, plus tid/bookkeeping arrays — no per-tuple dicts.
+
+    Column-backed relations take the ref-bridge fast path: resident
+    cells are already interned integers, so encoding is a resident-ref →
+    message-ref remap over the column arrays (one dictionary hit per
+    *distinct* resident value instead of one per cell), never touching a
+    tuple object.  The interning walk follows the exact row-major,
+    value-then-confidence order of the per-tuple path, so the emitted
+    blob — including message-table reference numbering — is
+    byte-identical for both backings.
+    """
     names = relation.schema.names
+    store = relation.column_store
     cols: List[List[int]] = [[] for _ in names]
     confs: List[List[int]] = [[] for _ in names]
     ref = table.ref
-    for t in relation:
-        values = t._values
-        conf = t._conf
-        for index, attr in enumerate(names):
-            cols[index].append(ref(values[attr]))
-            confs[index].append(ref(conf[attr]))
+    if store is not None:
+        resident_values = store.table.values
+        vcols = [store.values[store.index_of[a]].data for a in names]
+        ccols = [store.confs[store.index_of[a]].data for a in names]
+        span = range(len(names))
+        remap: Dict[int, int] = {}
+        tids, rows = relation._live_rows()
+        row_iter = range(len(tids)) if rows is None else rows
+        for row in row_iter:
+            for index in span:
+                r = vcols[index][row]
+                m = remap.get(r)
+                if m is None:
+                    m = remap[r] = ref(resident_values[r])
+                cols[index].append(m)
+                r = ccols[index][row]
+                m = remap.get(r)
+                if m is None:
+                    m = remap[r] = ref(resident_values[r])
+                confs[index].append(m)
+    else:
+        for t in relation:
+            values = t._values
+            conf = t._conf
+            for index, attr in enumerate(names):
+                cols[index].append(ref(values[attr]))
+                confs[index].append(ref(conf[attr]))
     return {
         "schema": (relation.schema.name, tuple(names)),
         "tids": pack_ints(list(relation.tids())),
@@ -189,17 +221,44 @@ def decode_relation(
     tuples = relation._tuples
     cols = blob["cols"]
     confs = blob["confs"]
-    for row, tid in enumerate(blob["tids"]):
-        t = CTuple.__new__(CTuple)
-        t.schema = schema
-        t.tid = tid
-        t._values = {
-            attr: values[cols[index][row]] for index, attr in enumerate(names)
-        }
-        t._conf = {
-            attr: values[confs[index][row]] for index, attr in enumerate(names)
-        }
-        tuples[tid] = t
+    store = relation.column_store
+    if store is not None:
+        # Ref bridge: remap message refs straight into the resident
+        # table and append column rows — no per-tuple dicts are built.
+        from repro.relational.columns import ColumnTuple
+
+        resident_ref = store.table.ref
+        remap: Dict[int, int] = {}
+        make = ColumnTuple.make
+        append = store.append_refs
+        for row, tid in enumerate(blob["tids"]):
+            vrefs: List[int] = []
+            for col in cols:
+                r = col[row]
+                m = remap.get(r)
+                if m is None:
+                    m = remap[r] = resident_ref(values[r])
+                vrefs.append(m)
+            crefs: List[int] = []
+            for col in confs:
+                r = col[row]
+                m = remap.get(r)
+                if m is None:
+                    m = remap[r] = resident_ref(values[r])
+                crefs.append(m)
+            tuples[tid] = make(store, append(tid, vrefs, crefs), tid)
+    else:
+        for row, tid in enumerate(blob["tids"]):
+            t = CTuple.__new__(CTuple)
+            t.schema = schema
+            t.tid = tid
+            t._values = {
+                attr: values[cols[index][row]] for index, attr in enumerate(names)
+            }
+            t._conf = {
+                attr: values[confs[index][row]] for index, attr in enumerate(names)
+            }
+            tuples[tid] = t
     relation._next_tid = blob["next_tid"]
     relation._retired = set(blob["retired"])
     return relation

@@ -1865,7 +1865,7 @@ class ShardedCleaningSession:
         # returned to earlier callers stay frozen.
         for tid in self.base.tids():
             t = repaired_of[tid]
-            working._tuples[tid] = (
+            working._install(
                 old_working._tuples[tid].clone() if t is None else t
             )
         self.working = working
@@ -2181,7 +2181,7 @@ class ShardedCleaningSession:
             self._shard_views[sid] = outcome
             if outcome.repaired is not None:
                 for t in outcome.repaired:
-                    self.working._tuples[t.tid] = t
+                    self.working._install(t)
                 outcome.repaired = None
         self.fix_log = self._merge_full_logs()
         c_result, e_result, h_result = self._merged_phase_results()
@@ -2305,7 +2305,7 @@ class ShardedCleaningSession:
             view = valid[sid]
             if view.repaired is not None:
                 for t in view.repaired:
-                    self.working._tuples[t.tid] = t
+                    self.working._install(t)
                 view.repaired = None
         self._shard_views = {sid: valid[sid] for sid in ids}
         self.fix_log = self._merge_full_logs()

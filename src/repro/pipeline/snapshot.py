@@ -17,7 +17,10 @@ anything else:
   per-shard snapshots, whose worker already holds them);
 * the **base** (dirty) and **working** (repaired) relations, columnar
   (:mod:`repro.pipeline.payload`), insertion order and tid bookkeeping
-  (``_next_tid``, retired tids) included;
+  (``_next_tid``, retired tids) included — when the resident relations
+  are column-backed (:mod:`repro.relational.columns`) the encode/decode
+  is a resident-ref ↔ snapshot-ref remap over the column arrays, never a
+  per-tuple walk, and the emitted bytes are identical either way;
 * the ordered **fix log** and the per-cell **cost map** (entry order is
   preserved so float sums replay bit-identically);
 * the **MD match cache** as ``premise projection → master tids`` (master

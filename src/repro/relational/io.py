@@ -17,6 +17,7 @@ from repro.exceptions import DataError
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
+from repro.relational.tuples import CTuple
 
 _CF_SUFFIX = ".cf"
 
@@ -102,16 +103,26 @@ def read_csv(
         if missing:
             raise DataError(f"CSV is missing columns for attributes {missing}")
         relation = Relation(schema)
+        # Schema-order column positions once, then one list per row into
+        # the bulk-load fast path (columnar relations intern straight
+        # into their ref columns; no intermediate dicts or CTuples).
+        positions = [value_cols[name] for name in schema.names]
+        conf_positions = [conf_cols.get(name) for name in schema.names]
+        check_conf = CTuple._check_conf
         for row in reader:
-            values = {}
-            confs = {}
-            for attr, i in value_cols.items():
-                raw = row[i] if i < len(row) else ""
-                values[attr] = NULL if raw == "" else raw
-            for attr, i in conf_cols.items():
-                raw = row[i] if i < len(row) else ""
-                confs[attr] = None if raw == "" else float(raw)
-            relation.add_row(values, confs)
+            width = len(row)
+            values = [
+                NULL if i >= width or row[i] == "" else row[i]
+                for i in positions
+            ]
+            confs = [
+                None if i is None or i >= width or row[i] == "" else float(row[i])
+                for i in conf_positions
+            ]
+            if conf_cols:
+                for conf in confs:
+                    check_conf(conf)
+            relation.append_row_values(values, confs)
         return relation
     finally:
         if close:

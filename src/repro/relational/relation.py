@@ -14,6 +14,16 @@ mutation.  Tuple inserts (:meth:`Relation.add`) and deletes
 relation keeps every derived structure coherent without rebuilds.
 Observers are *not* carried over by :meth:`clone` — each clone starts
 with a clean observer list.
+
+Relations are **columnar-backed by default** (see
+:mod:`repro.relational.columns`): cells live in per-attribute interned
+ref columns and resident tuples are :class:`~repro.relational.columns.ColumnTuple`
+row-views, which keeps the whole tuple API intact while exposing bulk
+ref-level accessors (:meth:`Relation.column`, :meth:`Relation.rows_where`,
+:meth:`Relation.group_rows_by`, :meth:`Relation.project_refs`) to the
+vectorized check engine.  Pass ``columnar=False`` (or flip the
+``REPRO_COLUMNAR`` env default) to get the original dict-of-CTuple
+backing.
 """
 
 from __future__ import annotations
@@ -32,7 +42,10 @@ from typing import (
     Tuple,
 )
 
-from repro.exceptions import DataError
+from repro.exceptions import DataError, SchemaError
+from repro.relational import columns as _columns
+from repro.relational.attribute import NULL
+from repro.relational.columns import ColumnStore, ColumnTuple, ValueTable
 from repro.relational.schema import Schema
 from repro.relational.tuples import CTuple
 
@@ -47,6 +60,11 @@ class Relation:
     tuples:
         Optional initial tuples; tids are (re-)assigned on insertion when
         absent or conflicting.
+    columnar:
+        Backing store: ``True`` for interned ref columns (resident tuples
+        are row-views), ``False`` for the original dict-of-CTuple layout,
+        ``None`` (default) for the process-wide default
+        (:func:`repro.relational.columns.default_columnar`).
 
     Notes
     -----
@@ -61,9 +79,15 @@ class Relation:
         "_observers",
         "_insert_observers",
         "_delete_observers",
+        "_columns",
     )
 
-    def __init__(self, schema: Schema, tuples: Iterable[CTuple] = ()):
+    def __init__(
+        self,
+        schema: Schema,
+        tuples: Iterable[CTuple] = (),
+        columnar: Optional[bool] = None,
+    ):
         self.schema = schema
         self._tuples: Dict[int, CTuple] = {}
         self._next_tid = 0
@@ -71,8 +95,23 @@ class Relation:
         self._observers: List[Callable[[CTuple, str, Any, Any], None]] = []
         self._insert_observers: List[Callable[[CTuple], None]] = []
         self._delete_observers: List[Callable[[CTuple], None]] = []
+        if columnar is None:
+            columnar = _columns.default_columnar()
+        self._columns: Optional[ColumnStore] = (
+            ColumnStore(schema) if columnar else None
+        )
         for t in tuples:
             self.add(t)
+
+    @property
+    def column_store(self) -> Optional[ColumnStore]:
+        """The columnar backing store, or ``None`` for dict-backed relations."""
+        return self._columns
+
+    @property
+    def value_table(self) -> Optional[ValueTable]:
+        """The interning table cells reference (columnar relations only)."""
+        return self._columns.table if self._columns is not None else None
 
     # ------------------------------------------------------------------
     # Pickling (process-pool sharding ships relations across workers)
@@ -80,22 +119,48 @@ class Relation:
     def __getstate__(self) -> Dict[str, Any]:
         """Pickle tuples and tid bookkeeping; observers are process-local
         callables (often closures over index state) and are dropped, the
-        same way :meth:`clone` starts with a clean observer list."""
+        same way :meth:`clone` starts with a clean observer list.
+
+        Column-backed relations pickle their rows as detached plain
+        tuples (refs are process-local), keeping the state shape — and
+        therefore the wire/snapshot formats built on it — identical for
+        both backends.
+        """
+        tuples = list(self._tuples.values())
+        if self._columns is not None:
+            tuples = [t.clone() for t in tuples]  # detach row-views
         return {
             "schema": self.schema,
-            "tuples": list(self._tuples.values()),
+            "tuples": tuples,
             "next_tid": self._next_tid,
             "retired": sorted(self._retired),
         }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.schema = state["schema"]
-        self._tuples = {t.tid: t for t in state["tuples"]}
-        self._next_tid = state["next_tid"]
-        self._retired = set(state["retired"])
         self._observers = []
         self._insert_observers = []
         self._delete_observers = []
+        self._tuples = {}
+        self._columns = (
+            ColumnStore(self.schema) if _columns.default_columnar() else None
+        )
+        store = self._columns
+        if store is None:
+            self._tuples = {t.tid: t for t in state["tuples"]}
+        else:
+            names = self.schema.names
+            for t in state["tuples"]:
+                values = t._values
+                conf = t._conf
+                row = store.append_values(
+                    t.tid,
+                    [values[n] for n in names],
+                    [conf[n] for n in names],
+                )
+                self._tuples[t.tid] = ColumnTuple.make(store, row, t.tid)
+        self._next_tid = state["next_tid"]
+        self._retired = set(state["retired"])
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,15 +176,47 @@ class Relation:
         relation = cls(schema)
         if confidences is None:
             for row in rows:
-                relation.add(CTuple(schema, row))
+                relation.add_row(row)
         else:
             conf_list = list(confidences)
             row_list = list(rows)
             if len(conf_list) != len(row_list):
                 raise DataError("rows and confidences must have equal length")
             for row, conf in zip(row_list, conf_list):
-                relation.add(CTuple(schema, row, conf))
+                relation.add_row(row, conf)
         return relation
+
+    def _absorb(self, t: CTuple) -> CTuple:
+        """Make *t* resident: dict backends keep the object itself;
+        columnar backends copy its cells into the column store (by ref
+        when *t* is already a row-view over the same value table) and
+        return a fresh row-view carrying ``t.tid``."""
+        store = self._columns
+        if store is None:
+            return t
+        if isinstance(t, ColumnTuple):
+            row = store.adopt_row(t.tid, t._store, t._row)
+        else:
+            names = self.schema.names
+            values = t._values
+            conf = t._conf
+            row = store.append_values(
+                t.tid, [values[n] for n in names], [conf[n] for n in names]
+            )
+        return ColumnTuple.make(store, row, t.tid)
+
+    def _install(self, t: CTuple) -> CTuple:
+        """Install *t* as the resident tuple for its (already-assigned)
+        tid without firing observers or touching tid bookkeeping — the
+        shard-merge primitive (:mod:`repro.pipeline.sharding` swaps
+        repaired tuples into ``working`` wholesale).  Any current
+        resident for the tid is replaced; for columnar relations the
+        replacement gets a fresh row, so shared-store views of the old
+        row are unaffected (same semantics as rebinding the dict slot).
+        """
+        resident = self._absorb(t)
+        self._tuples[resident.tid] = resident
+        return resident
 
     def add(self, t: CTuple) -> CTuple:
         """Insert tuple *t*, assigning a fresh tid when needed.
@@ -131,7 +228,10 @@ class Relation:
         later insert.  Explicit tids that were never assigned (gaps below
         ``_next_tid``) are honoured.
 
-        Returns the inserted tuple (same object).
+        Returns the resident tuple: the same object for dict-backed
+        relations, a row-view over the column store otherwise (the input
+        handle's ``tid`` is updated either way, but only the returned
+        tuple addresses the resident row).
         """
         if t.schema != self.schema:
             raise DataError(
@@ -140,19 +240,86 @@ class Relation:
             )
         if t.tid is None or t.tid in self._tuples or t.tid in self._retired:
             t.tid = self._next_tid
-        self._tuples[t.tid] = t
-        self._next_tid = max(self._next_tid, t.tid) + 1
+        resident = self._absorb(t)
+        self._tuples[resident.tid] = resident
+        self._next_tid = max(self._next_tid, resident.tid) + 1
         for observer in self._insert_observers:
-            observer(t)
-        return t
+            observer(resident)
+        return resident
 
     def add_row(
         self,
         values: Mapping[str, Any],
         confidences: Optional[Mapping[str, Optional[float]]] = None,
     ) -> CTuple:
-        """Convenience: build and insert a tuple from dicts."""
-        return self.add(CTuple(self.schema, values, confidences))
+        """Convenience: build and insert a tuple from dicts.
+
+        Columnar relations skip the intermediate :class:`CTuple` and
+        write straight into the columns (same validation, same errors).
+        """
+        store = self._columns
+        if store is None:
+            return self.add(CTuple(self.schema, values, confidences))
+        schema = self.schema
+        for extra in values:
+            if extra not in schema:
+                raise SchemaError(
+                    f"value for unknown attribute {extra!r} of schema {schema.name!r}"
+                )
+        row_values = [values.get(name, NULL) for name in schema.names]
+        if confidences:
+            for name, conf in confidences.items():
+                if name not in schema:
+                    raise SchemaError(
+                        f"confidence for unknown attribute {name!r} "
+                        f"of schema {schema.name!r}"
+                    )
+                CTuple._check_conf(conf)
+            row_confs = [confidences.get(name) for name in schema.names]
+        else:
+            row_confs = [None] * len(schema.names)
+        return self.append_row_values(row_values, row_confs)
+
+    def append_row_values(
+        self,
+        values: Sequence[Any],
+        confs: Optional[Sequence[Optional[float]]] = None,
+    ) -> CTuple:
+        """Fast-path insert of one row given schema-order value (and
+        confidence) sequences — the bulk-load primitive behind CSV reads
+        and the benchmarks.  Values are trusted (no per-attribute
+        validation beyond the length check); the fresh tid is assigned
+        as usual and insert observers fire.
+        """
+        names = self.schema.names
+        if len(values) != len(names):
+            raise DataError(
+                f"expected {len(names)} values for schema "
+                f"{self.schema.name!r}, got {len(values)}"
+            )
+        if confs is None:
+            confs = [None] * len(names)
+        elif len(confs) != len(names):
+            raise DataError(
+                f"expected {len(names)} confidences for schema "
+                f"{self.schema.name!r}, got {len(confs)}"
+            )
+        tid = self._next_tid
+        store = self._columns
+        if store is None:
+            resident = CTuple.__new__(CTuple)
+            resident.schema = self.schema
+            resident.tid = tid
+            resident._values = dict(zip(names, values))
+            resident._conf = dict(zip(names, confs))
+        else:
+            row = store.append_values(tid, values, confs)
+            resident = ColumnTuple.make(store, row, tid)
+        self._tuples[tid] = resident
+        self._next_tid = tid + 1
+        for observer in self._insert_observers:
+            observer(resident)
+        return resident
 
     def remove(self, tid: int) -> CTuple:
         """Delete the tuple with identifier *tid*, notifying observers.
@@ -169,6 +336,10 @@ class Relation:
         except KeyError:
             raise DataError(f"relation {self.schema.name!r} has no tuple #{tid}") from None
         self._retired.add(tid)
+        if self._columns is not None:
+            # Tombstone, never compact: the view keeps reading its (dead)
+            # row, preserving the values-stay-intact contract below.
+            self._columns.kill(tid)
         for observer in self._delete_observers:
             observer(t)
         return t
@@ -280,10 +451,54 @@ class Relation:
         """ρ: the tuples satisfying *predicate* (no copy)."""
         return [t for t in self if predicate(t)]
 
+    def _live_rows(self) -> Tuple[List[int], Optional[List[int]]]:
+        """``(tids, rows)`` for columnar scans.
+
+        ``rows is None`` signals the contiguous fast path: the store is
+        fully live (no tombstones) and this relation owns every row, so
+        column ``.data`` arrays align 1:1 with ``tids`` and can be zipped
+        at C speed.  Otherwise ``rows[i]`` is the store row of
+        ``tids[i]`` (shared stores, tombstoned rows).  Correctness never
+        depends on the dead bitmap — scans are always driven by this
+        relation's resident tuples.
+        """
+        store = self._columns
+        tids = list(self._tuples.keys())
+        if store.n_dead == 0 and len(store.row_tids) == len(tids):
+            return tids, None
+        return tids, [t._row for t in self._tuples.values()]
+
+    def _value_columns(self, attrs: Sequence[str]) -> List[Sequence[int]]:
+        """The raw ref arrays of *attrs* (columnar relations only)."""
+        store = self._columns
+        index_of = store.index_of
+        return [store.values[index_of[a]].data for a in attrs]
+
     def project(self, attrs: Sequence[str]) -> Set[Tuple[Any, ...]]:
         """π: the set of distinct value tuples over *attrs*."""
         self.schema.check_attrs(attrs)
-        return {t.project(attrs) for t in self}
+        store = self._columns
+        if store is None:
+            return {t.project(attrs) for t in self}
+        # Dedup on ref tuples (int compares), materialize values once per
+        # distinct ref combination.
+        values = store.table.values
+        cols = self._value_columns(attrs)
+        tids, rows = self._live_rows()
+        out: Set[Tuple[Any, ...]] = set()
+        seen: Set[Tuple[int, ...]] = set()
+        if rows is None:
+            for refs in zip(*cols):
+                if refs not in seen:
+                    seen.add(refs)
+                    out.add(tuple(values[r] for r in refs))
+        else:
+            for row in rows:
+                refs = tuple(col[row] for col in cols)
+                if refs not in seen:
+                    seen.add(refs)
+                    out.add(tuple(values[r] for r in refs))
+        return out
 
     def group_by(self, attrs: Sequence[str]) -> Dict[Tuple[Any, ...], List[CTuple]]:
         """Partition tuples by their values on *attrs*.
@@ -292,15 +507,152 @@ class Relation:
         for every ``ȳ`` at once.
         """
         self.schema.check_attrs(attrs)
+        store = self._columns
         groups: Dict[Tuple[Any, ...], List[CTuple]] = {}
-        for t in self:
-            groups.setdefault(t.project(attrs), []).append(t)
+        if store is None:
+            for t in self:
+                groups.setdefault(t.project(attrs), []).append(t)
+            return groups
+        values = store.table.values
+        cols = self._value_columns(attrs)
+        residents = list(self._tuples.values())
+        tids, rows = self._live_rows()
+        # Ref-tuple -> member list of its (==)-keyed group, so the value
+        # tuple is materialized once per distinct ref combination while
+        # group identity keeps dict (==) semantics.
+        by_refs: Dict[Tuple[int, ...], List[CTuple]] = {}
+        if rows is None:
+            packed = zip(residents, *cols)
+        else:
+            packed = (
+                (t, *(col[row] for col in cols))
+                for t, row in zip(residents, rows)
+            )
+        for item in packed:
+            t = item[0]
+            refs = item[1:]
+            members = by_refs.get(refs)
+            if members is None:
+                key = tuple(values[r] for r in refs)
+                members = by_refs[refs] = groups.setdefault(key, [])
+            members.append(t)
         return groups
 
     def active_domain(self, attr: str) -> Set[Any]:
         """``adom(attr)``: the set of values of *attr* occurring in the data."""
         self.schema.check_attrs([attr])
-        return {t[attr] for t in self}
+        store = self._columns
+        if store is None:
+            return {t[attr] for t in self}
+        values = store.table.values
+        data = store.values[store.index_of[attr]].data
+        tids, rows = self._live_rows()
+        out: Set[Any] = set()
+        seen: Set[int] = set()
+        if rows is None:
+            for ref in data:
+                if ref not in seen:
+                    seen.add(ref)
+                    out.add(values[ref])
+        else:
+            for row in rows:
+                ref = data[row]
+                if ref not in seen:
+                    seen.add(ref)
+                    out.add(values[ref])
+        return out
+
+    # ------------------------------------------------------------------
+    # Bulk ref-level accessors (columnar backing store)
+    # ------------------------------------------------------------------
+    def _require_columns(self) -> ColumnStore:
+        if self._columns is None:
+            raise DataError(
+                f"relation {self.schema.name!r} is dict-backed; "
+                "ref-level accessors need a columnar relation"
+            )
+        return self._columns
+
+    def column(self, attr: str) -> List[int]:
+        """The interned value refs of *attr*, aligned with :meth:`tids`."""
+        self.schema.check_attrs([attr])
+        store = self._require_columns()
+        data = store.values[store.index_of[attr]].data
+        tids, rows = self._live_rows()
+        if rows is None:
+            return list(data)
+        return [data[row] for row in rows]
+
+    def project_refs(self, attrs: Sequence[str]) -> List[Tuple[int, ...]]:
+        """Ref tuples over *attrs*, aligned with :meth:`tids`."""
+        self.schema.check_attrs(attrs)
+        self._require_columns()
+        cols = self._value_columns(attrs)
+        tids, rows = self._live_rows()
+        if rows is None:
+            return list(zip(*cols)) if cols else [() for _ in tids]
+        return [tuple(col[row] for col in cols) for row in rows]
+
+    def rows_where(self, attr: str, value: Any) -> List[CTuple]:
+        """The resident tuples with ``t[attr] == value`` (insertion order).
+
+        Columnar relations resolve *value* to its canonical ref (without
+        interning it) and scan one int column; equality semantics are
+        identical to the per-tuple ``==`` scan.
+        """
+        self.schema.check_attrs([attr])
+        store = self._columns
+        if store is None:
+            return [t for t in self if t[attr] == value]
+        table = store.table
+        try:
+            wanted = table.find_canon(value)
+        except TypeError:  # unhashable probe: no ref shortcut possible
+            return [t for t in self if t[attr] == value]
+        if wanted is None:
+            return []
+        canon = table.canon
+        data = store.values[store.index_of[attr]].data
+        residents = list(self._tuples.values())
+        tids, rows = self._live_rows()
+        if rows is None:
+            return [
+                t for t, ref in zip(residents, data) if canon[ref] == wanted
+            ]
+        return [
+            t for t, row in zip(residents, rows) if canon[data[row]] == wanted
+        ]
+
+    def group_rows_by(self, attrs: Sequence[str]) -> Dict[Tuple[Any, ...], List[int]]:
+        """Member tids per distinct value tuple over *attrs* (both in
+        first-encounter order) — :meth:`group_by` at the tid level."""
+        self.schema.check_attrs(attrs)
+        store = self._columns
+        groups: Dict[Tuple[Any, ...], List[int]] = {}
+        if store is None:
+            for t in self:
+                groups.setdefault(t.project(attrs), []).append(t.tid)
+            return groups
+        values = store.table.values
+        cols = self._value_columns(attrs)
+        tids, rows = self._live_rows()
+        by_refs: Dict[Tuple[int, ...], List[int]] = {}
+        if rows is None:
+            packed = zip(tids, *cols)
+        else:
+            packed = (
+                (tid, *(col[row] for col in cols))
+                for tid, row in zip(tids, rows)
+            )
+        for item in packed:
+            tid = item[0]
+            refs = item[1:]
+            members = by_refs.get(refs)
+            if members is None:
+                key = tuple(values[r] for r in refs)
+                members = by_refs[refs] = groups.setdefault(key, [])
+            members.append(tid)
+        return groups
 
     # ------------------------------------------------------------------
     # Copying / comparison
@@ -310,9 +662,21 @@ class Relation:
 
         Tids are preserved so fixes can be traced back to original tuples.
         """
-        twin = Relation(self.schema)
-        for t in self:
-            twin._tuples[t.tid] = t.clone()  # keep identical tids
+        columnar = self._columns is not None
+        twin = Relation(self.schema, columnar=columnar)
+        if columnar:
+            # Compact rebuild: copy refs row by row (values are shared
+            # through the process-wide table, never re-interned) and hand
+            # each tid a fresh row-view.
+            source = self._columns
+            store = twin._columns
+            make = ColumnTuple.make
+            for tid, t in self._tuples.items():
+                row = store.adopt_row(tid, source, t._row)
+                twin._tuples[tid] = make(store, row, tid)
+        else:
+            for t in self:
+                twin._tuples[t.tid] = t.clone()  # keep identical tids
         twin._next_tid = self._next_tid
         twin._retired = set(self._retired)
         return twin
@@ -330,7 +694,9 @@ class Relation:
         ``copy=False`` shares the tuple objects instead of cloning them —
         a zero-copy *view* for consumers that only read the restriction
         (or clone it themselves, as ``CleaningSession.clean`` does):
-        mutating a shared tuple mutates both relations.
+        mutating a shared tuple mutates both relations.  For columnar
+        relations this shares the backing columns too — the twin holds
+        the same store and the same row-views, no refs are copied.
         """
         wanted = set(tids)
         missing = wanted - self._tuples.keys()
@@ -339,10 +705,25 @@ class Relation:
                 f"relation {self.schema.name!r} has no tuple "
                 f"#{min(missing)} to restrict to"
             )
-        twin = Relation(self.schema)
-        for tid, t in self._tuples.items():
-            if tid in wanted:
-                twin._tuples[tid] = t.clone() if copy else t
+        columnar = self._columns is not None
+        twin = Relation(self.schema, columnar=False)
+        if not columnar:
+            for tid, t in self._tuples.items():
+                if tid in wanted:
+                    twin._tuples[tid] = t.clone() if copy else t
+        elif copy:
+            source = self._columns
+            store = twin._columns = ColumnStore(self.schema, source.table)
+            make = ColumnTuple.make
+            for tid, t in self._tuples.items():
+                if tid in wanted:
+                    row = store.adopt_row(tid, source, t._row)
+                    twin._tuples[tid] = make(store, row, tid)
+        else:
+            twin._columns = self._columns  # shared columns, shared views
+            for tid, t in self._tuples.items():
+                if tid in wanted:
+                    twin._tuples[tid] = t
         twin._next_tid = self._next_tid
         twin._retired = set(self._retired)
         return twin

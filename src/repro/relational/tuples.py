@@ -6,6 +6,12 @@ accuracy of the attribute".  :class:`CTuple` stores values and confidences
 side by side.  A confidence of ``None`` means *unavailable*, which the
 cleaning algorithms treat as below any threshold (Section 6: "low or
 unavailable").
+
+:class:`CTuple` here is the *standalone*, dict-backed form; tuples
+resident in a columnar :class:`~repro.relational.relation.Relation` are
+:class:`~repro.relational.columns.ColumnTuple` row-views — a subclass
+whose cells live in interned ref columns but which honours every method
+below (clones and pickles of a row-view detach back into this class).
 """
 
 from __future__ import annotations
