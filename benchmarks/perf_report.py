@@ -71,7 +71,16 @@ Two workloads, both written to ``BENCH_repair.json``:
    wire-payload byte delta between the columnar ref-bridge encode and
    the forced per-tuple encode of the same relation and asserts the two
    blobs are byte-identical (delta 0).
-7. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
+7. **Repair-engine** (ISSUE 8 columnar repair kernels): one full traced
+   ``CleaningSession.clean()`` of the PART testbed on the columnar
+   backend under ``REPRO_REPAIR_ENGINE=reference`` and
+   ``=vectorized``.  Rows record the per-phase seconds (``setup`` /
+   ``crepair`` / ``erepair`` / ``hrepair``) and the tracemalloc peak of
+   each run; the summary records per-phase and total speedups.  The
+   script asserts that the ordered fix log, repaired state, cost,
+   verdict and phase traces are **byte-identical** between the engines;
+   timings and memory are informational only.
+8. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
    clean + micro-batch workload run under a battery of named fault
    schedules (worker crash, torn response frame, hang + timeout,
    transient error, persistent crash forcing escalation to the serial
@@ -918,6 +927,126 @@ def run_columnar_report(
     }
 
 
+def run_repair_engine_report(
+    size: int = 20_000,
+    n_blocks: int = 64,
+    noise_rate: float = 0.04,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """Vectorized vs reference repair engine (ISSUE 8 columnar kernels).
+
+    One full traced ``CleaningSession.clean()`` of the PART testbed on
+    the columnar backend, once per ``REPRO_REPAIR_ENGINE`` setting.
+    Rows record the per-phase seconds straight from the session timings
+    (``setup`` / ``crepair`` / ``erepair`` / ``hrepair``), the
+    tracemalloc peak across the clean, and the fix count.  Asserted:
+    the ordered fix log (every field), repaired state, per-cell cost
+    total, clean verdict and phase scheduling traces are identical
+    between the engines — the standing byte-identity invariant.
+    Recorded, never asserted: seconds, speedups and memory.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.relational import columns as _relcolumns
+
+    def run(engine: str):
+        gc.collect()
+        with _relcolumns.using_backend(True), \
+                _relcolumns.using_repair_engine(engine):
+            ds = generate(
+                "partitioned", size=size, n_blocks=n_blocks,
+                noise_rate=noise_rate, seed=seed,
+            )
+            session = CleaningSession(
+                cfds=ds.cfds, mds=ds.mds, master=ds.master,
+                collect_traces=True,
+            )
+            tracemalloc.start()
+            result = session.clean(ds.dirty)
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        return {
+            "fingerprint": _fingerprint(result.fix_log),
+            "state": _state(result.repaired),
+            "cost": result.cost,
+            "clean": result.clean,
+            "traces": dict(session.last_traces),
+            "timings": dict(result.timings),
+            "peak": peak,
+        }
+
+    rows: List[Dict[str, Any]] = []
+    runs: Dict[str, Dict[str, Any]] = {}
+    for engine in ("reference", "vectorized"):
+        outcome = runs[engine] = run(engine)
+        timings = outcome["timings"]
+        rows.append(
+            {
+                "engine": engine,
+                "setup_s": round(timings.get("setup", 0.0), 6),
+                "crepair_s": round(timings.get("crepair", 0.0), 6),
+                "erepair_s": round(timings.get("erepair", 0.0), 6),
+                "hrepair_s": round(timings.get("hrepair", 0.0), 6),
+                "total_s": round(sum(timings.values()), 6),
+                "peak_mem_bytes": outcome["peak"],
+                "fixes": len(outcome["fingerprint"]),
+                "clean": outcome["clean"],
+            }
+        )
+
+    reference, vectorized = runs["reference"], runs["vectorized"]
+    identical = (
+        reference["fingerprint"] == vectorized["fingerprint"]
+        and reference["state"] == vectorized["state"]
+        and reference["cost"] == vectorized["cost"]
+        and reference["clean"] == vectorized["clean"]
+        and reference["traces"] == vectorized["traces"]
+    )
+
+    def speedup(phase: str):
+        ref = reference["timings"].get(phase, 0.0)
+        vec = vectorized["timings"].get(phase, 0.0)
+        return round(ref / vec, 2) if vec else None
+
+    summary = {
+        "size": size,
+        "n_blocks": n_blocks,
+        "noise_rate": noise_rate,
+        "seed": seed,
+        "fixes": len(reference["fingerprint"]),
+        "reference_total_s": round(sum(reference["timings"].values()), 6),
+        "vectorized_total_s": round(sum(vectorized["timings"].values()), 6),
+        # Per-phase speedups (recorded, never asserted):
+        "crepair_speedup": speedup("crepair"),
+        "erepair_speedup": speedup("erepair"),
+        "hrepair_speedup": speedup("hrepair"),
+        "total_speedup": round(
+            sum(reference["timings"].values())
+            / sum(vectorized["timings"].values()),
+            2,
+        )
+        if sum(vectorized["timings"].values())
+        else None,
+        "reference_peak_mem_bytes": reference["peak"],
+        "vectorized_peak_mem_bytes": vectorized["peak"],
+        # The structural acceptance flag (never wall-clock):
+        "repair_identical": identical,
+    }
+    return {
+        "workload": {
+            "dataset": "partitioned",
+            "size": size,
+            "n_blocks": n_blocks,
+            "noise_rate": noise_rate,
+            "seed": seed,
+            "backend": "columnar",
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
 def run_faults_report(
     size: int = 2000,
     n_blocks: int = 16,
@@ -1149,6 +1278,10 @@ def main(argv=None) -> int:
                         help="rows for the columnar blocking-scan scenario")
     parser.add_argument("--columnar-blocks", type=int, default=1024)
     parser.add_argument("--skip-columnar", action="store_true")
+    parser.add_argument("--repair-size", type=int, default=20_000,
+                        help="PART testbed rows for the repair-engine scenario")
+    parser.add_argument("--repair-blocks", type=int, default=64)
+    parser.add_argument("--skip-repair-engine", action="store_true")
     parser.add_argument("--faults-size", type=int, default=2000,
                         help="PART testbed rows for the faults scenario")
     parser.add_argument("--faults-blocks", type=int, default=16)
@@ -1282,6 +1415,26 @@ def main(argv=None) -> int:
         ok &= entry["violations_identical"]
         ok &= entry["mem_improved"]
 
+    if not args.skip_repair_engine:
+        repair = run_repair_engine_report(
+            size=args.repair_size,
+            n_blocks=args.repair_blocks,
+        )
+        report["repair_engine"] = repair
+        entry = repair["summary"]
+        print(
+            f"  repair-engine size={entry['size']} fixes={entry['fixes']}: "
+            f"reference={entry['reference_total_s']:.2f}s "
+            f"vectorized={entry['vectorized_total_s']:.2f}s "
+            f"speedup={entry['total_speedup']}x "
+            f"(c x{entry['crepair_speedup']} e x{entry['erepair_speedup']} "
+            f"h x{entry['hrepair_speedup']}) "
+            f"mem={entry['vectorized_peak_mem_bytes']}/"
+            f"{entry['reference_peak_mem_bytes']}B "
+            f"repair_identical={entry['repair_identical']}"
+        )
+        ok &= entry["repair_identical"]
+
     if not args.skip_faults:
         faults = run_faults_report(
             size=args.faults_size,
@@ -1310,7 +1463,8 @@ def main(argv=None) -> int:
             "no shard reuse across re-plans, columnar payloads above "
             "50% of the PR 3 bytes, a non-identical columnar encode or "
             "violation list, a columnar representation that did not peak "
-            "below the per-tuple one, a snapshot restore that diverged "
+            "below the per-tuple one, a repair-engine run that was not "
+            "byte-identical to the reference path, a snapshot restore that diverged "
             "or re-cleaned restored shards, or a fault-injected run that "
             "did not recover byte-identically); timings are never "
             "asserted on",

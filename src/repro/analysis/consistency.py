@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.constraints.cfd import CFD, Violation
 from repro.constraints.md import MD
 from repro.constraints.rules import ConstantCFDRule, derive_rules
+from repro.indexing.group_store import hot_groups
 from repro.relational import columns as _columns
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
@@ -238,9 +239,12 @@ def _violations_vectorized(
             # skip the clean majority outright, and order the survivors
             # by smallest member tid exactly as ``iter_groups`` does over
             # all of them (omitted partitions emit nothing either way).
-            hot = [g for g in part.groups.values() if len(g.value_counts) > 1]
-            hot.sort(key=lambda g: min(g.tids))
-            group_iter = ((g.key, sorted(g.tids)) for g in hot)
+            # The pruning (GroupStats.is_hot + ordering) is shared with
+            # the vectorized repair phases.
+            group_iter = (
+                (g.key, sorted(g.tids))
+                for g in hot_groups(part.groups.values())
+            )
         for _key, tids in group_iter:
             seen: List[Tuple[int, int]] = []
             seen_refs: Set[int] = set()

@@ -55,6 +55,37 @@ def cell_cost(old: Any, new: Any, confidence: Optional[float]) -> float:
     return conf * value_distance(old, new)
 
 
+class RefCostCache:
+    """Memoized :func:`cell_cost` over interned value refs.
+
+    The vectorized hRepair scores each candidate value against every
+    mismatching member of an equivalence class; within one class — and
+    across classes sharing values — the same ``(old, new, confidence)``
+    triple recurs constantly.  Keys are the *exact* refs, not canon refs:
+    two ``==``-equal values of different types (``0`` vs ``0.0``) share a
+    canon but could in principle behave differently under
+    :func:`value_distance`, and the standing invariant is byte-identity
+    with the per-value reference path, so nothing coarser than identity
+    of the interned instances is assumed.
+    """
+
+    __slots__ = ("_table", "_memo")
+
+    def __init__(self, table: Any):
+        self._table = table
+        self._memo: dict = {}
+
+    def cost(self, old_ref: int, new_ref: int, conf_ref: int) -> float:
+        key = (old_ref, new_ref, conf_ref)
+        c = self._memo.get(key)
+        if c is None:
+            vals = self._table.values
+            c = self._memo[key] = cell_cost(
+                vals[old_ref], vals[new_ref], vals[conf_ref]
+            )
+        return c
+
+
 def repair_cost(repaired: Relation, original: Relation) -> float:
     """``cost(Dr, D)``: total weighted distance of the repair.
 

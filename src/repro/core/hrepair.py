@@ -49,12 +49,13 @@ from repro.constraints.rules import (
     VariableCFDRule,
     derive_rules,
 )
-from repro.core.cost import cell_cost
+from repro.core.cost import RefCostCache, cell_cost
 from repro.core.fixes import Fix, FixKind, FixLog
 from repro.core.trace import RoundTrace
 from repro.indexing.blocking import MDBlockingIndex
-from repro.indexing.group_store import GroupStoreRegistry
+from repro.indexing.group_store import GroupStoreRegistry, cfd_member_tids
 from repro.indexing.violation_index import ViolationIndex
+from repro.relational import columns as _columns
 from repro.relational.attribute import NULL, is_null
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
@@ -148,6 +149,9 @@ class _HRepair:
             raise ValueError("scoped (delta-driven) runs require the violation index")
         self.uf = _UnionFind()
         self.targets: Dict[Cell, Tuple] = {}  # root -> target
+        #: Lazily built per-run memo of cell costs keyed by interned refs
+        #: (vectorized engine only).
+        self._cost_cache: Optional[RefCostCache] = None
         self.fixes_made = 0
         self.merges = 0
         self.upgrades = 0
@@ -343,6 +347,8 @@ class _HRepair:
         rule = self.rules[rule_idx]
         assert isinstance(rule, VariableCFDRule)
         rhs = rule.rhs_attr()
+        if _columns.repair_vectorized_for(self.relation):
+            return self._resolve_variable_vectorized(rule, rule_idx, rhs)
         changed = False
         if self.vindex is not None:
             by_tid = self.relation.by_tid
@@ -370,6 +376,208 @@ class _HRepair:
                     )
                 changed |= self._resolve_variable_group(rule, rhs, key, group)
         return changed
+
+    def _resolve_variable_vectorized(
+        self, rule: VariableCFDRule, rule_idx: int, rhs: str
+    ) -> bool:
+        """The equivalence-class construction of :meth:`resolve_variable`
+        over ref columns, with the hot-group prune shared with the
+        vectorized check engine.
+
+        With the violation index, each popped dirty partition is pruned
+        through its :class:`~repro.indexing.group_store.GroupStats`: a
+        cold group (≤ 1 distinct RHS ``==``-class) always makes
+        :meth:`_resolve_variable_group` return ``False`` with zero
+        observable side effects — no fix, no token, no unresolved entry —
+        so skipping it before materializing any tuple is exact.  Without
+        the index, the grouping itself comes from a single columnar
+        membership scan (:func:`~repro.indexing.group_store.cfd_member_tids`)
+        in the reference path's first-encounter order.
+        """
+        changed = False
+        if self.vindex is not None:
+            part = self.vindex.partition(rule_idx)
+            for key in self.vindex.pop_dirty_keys(rule_idx):
+                stats = part.groups.get(key) if part is not None else None
+                if stats is None or not stats.tids:
+                    continue
+                if not stats.is_hot:
+                    continue  # cold: provably resolution-free
+                member_tids = sorted(stats.tids)
+                if self.trace is not None:
+                    # Pop order is ascending smallest member tid — the
+                    # content rank that interleaves shards' partitions.
+                    self._token = (self.rounds, rule_idx, (member_tids[0],))
+                changed |= self._resolve_variable_group_refs(
+                    rule, rhs, key, member_tids
+                )
+        else:
+            for key, member_tids in cfd_member_tids(
+                self.relation, rule.cfd
+            ).items():
+                if self.trace is not None:
+                    self._token = (self.rounds, rule_idx, (min(member_tids),))
+                changed |= self._resolve_variable_group_refs(
+                    rule, rhs, key, member_tids
+                )
+        return changed
+
+    def _resolve_variable_group_refs(
+        self,
+        rule: VariableCFDRule,
+        rhs: str,
+        key: Tuple[Any, ...],
+        member_tids: Sequence[int],
+    ) -> bool:
+        """Ref-level :meth:`_resolve_variable_group`: membership filter,
+        distinct-value collection and null detection run on canon refs
+        (canon equality is ``==`` equality), materializing row-views only
+        on the rare frozen-conflict premise-breaking path and inside
+        ``_sync`` when fixes actually land.  The distinct-value map keeps
+        the *first-encountered* ref per canon class, which is exactly the
+        instance the reference path's ``set`` retains.
+        """
+        relation = self.relation
+        store = relation.column_store
+        table = store.table
+        vals = table.values
+        canon = table.canon
+        null_c = table.null_canon
+        data = store.values[store.index_of[rhs]].data
+        tuples = relation._tuples
+        target = self._target
+        # Tombstoned cells (target null) stay null: re-filling them
+        # would undo an earlier conflict resolution.
+        members: List[int] = []
+        rhs_refs: List[int] = []
+        for tid in member_tids:
+            if target((tid, rhs))[0] != "null":
+                members.append(tid)
+                rhs_refs.append(data[tuples[tid]._row])
+        values_by_canon: Dict[int, int] = {}  # canon -> first-seen ref
+        has_free_nulls = False
+        for r in rhs_refs:
+            c = canon[r]
+            if c == null_c:
+                has_free_nulls = True
+            elif c not in values_by_canon:
+                values_by_canon[c] = r
+        if len(values_by_canon) < 2 and not (values_by_canon and has_free_nulls):
+            return False  # consistent (nulls alone never violate)
+        signature = ("v", rule.name, key)
+        if signature in self.unresolved:
+            return False
+        cells = [(tid, rhs) for tid in members]
+        frozen_values = {
+            self._target(cell)[1] for cell in cells if self._is_frozen(cell)
+        }
+        if len(frozen_values) > 1:
+            # Two deterministic fixes disagree — break the premise of a
+            # frozen participant (see _resolve_variable_group).
+            broken = False
+            by_tid = relation.by_tid
+            for tid in sorted(members):
+                if self._is_frozen((tid, rhs)):
+                    if self._break_premise(by_tid(tid), rule.cfd.lhs, rule.name):
+                        broken = True
+                        break
+            if not broken:
+                self.unresolved.add(signature)
+                return False
+            return True
+        if frozen_values:
+            # One deterministic value dictates the group (see
+            # _resolve_variable_group for why non-frozen members take it
+            # as an ordinary const target instead of joining the class).
+            value = next(iter(frozen_values))
+            frozen_cells = [cell for cell in cells if self._is_frozen(cell)]
+            if len(frozen_cells) > 1:
+                self._merge(frozen_cells, ("frozen", value), rule.name)
+            for cell in cells:
+                if self._is_frozen(cell):
+                    continue
+                tgt = self._target(cell)
+                if tgt[0] == "const" and tgt[1] != value:
+                    self._set_target(cell, _NULL, rule.name)
+                else:
+                    self._set_target(cell, _const(value), rule.name)
+            return True
+        const_targets = {
+            self._target(cell)[1]
+            for cell in cells
+            if self._target(cell)[0] == "const"
+        }
+        if len(const_targets) > 1:
+            merged_target = _NULL
+        elif const_targets:
+            merged_target = _const(next(iter(const_targets)))
+        else:
+            merged_target = _const(
+                self._cheapest_value_refs(members, rhs_refs, values_by_canon, rhs)
+            )
+        self._merge(cells, merged_target, rule.name)
+        return True
+
+    def _cheapest_value_refs(
+        self,
+        members: Sequence[int],
+        rhs_refs: Sequence[int],
+        values_by_canon: Dict[int, int],
+        rhs: str,
+    ) -> Any:
+        """Ref-level :meth:`_cheapest_value` (Section 3.1 cost model).
+
+        Vote counts come from one pass over canon refs (``np.unique``
+        for large groups); each candidate's total cost accumulates over
+        the members *in member order* through the per-run
+        :class:`~repro.core.cost.RefCostCache`, preserving the reference
+        path's float addition order bit for bit (the memo only collapses
+        repeated ``(old, new, conf)`` ref triples, whose costs are
+        identical floats by construction).
+        """
+        relation = self.relation
+        store = relation.column_store
+        table = store.table
+        vals = table.values
+        canon = table.canon
+        cache = self._cost_cache
+        if cache is None:
+            cache = self._cost_cache = RefCostCache(table)
+        cost = cache.cost
+        conf_data = store.confs[store.index_of[rhs]].data
+        tuples = relation._tuples
+        conf_refs = [conf_data[tuples[tid]._row] for tid in members]
+        n = len(rhs_refs)
+        np = _columns.numpy_or_none()
+        canons: Sequence[int]
+        counts: Dict[int, int]
+        if np is not None and n >= 16:
+            arr = np.fromiter(
+                (canon[r] for r in rhs_refs), dtype=np.int64, count=n
+            )
+            uniq, cnts = np.unique(arr, return_counts=True)
+            counts = dict(zip(uniq.tolist(), cnts.tolist()))
+            canons = arr.tolist()
+        else:
+            canons = [canon[r] for r in rhs_refs]
+            counts = {}
+            for c in canons:
+                counts[c] = counts.get(c, 0) + 1
+        best_value = None
+        best_key = None
+        for cand_canon, cand_ref in sorted(
+            values_by_canon.items(), key=lambda kv: repr(vals[kv[1]])
+        ):
+            value = vals[cand_ref]
+            total = 0.0
+            for i in range(n):
+                if canons[i] != cand_canon:
+                    total += cost(rhs_refs[i], cand_ref, conf_refs[i])
+            rank = (total, -counts[cand_canon], repr(value))
+            if best_key is None or rank < best_key:
+                best_key = rank
+                best_value = value
+        return best_value
 
     def _resolve_variable_group(
         self,

@@ -122,6 +122,14 @@ class GroupStats:
         """``k = |π_B(Δ(ȳ))|``."""
         return len(self.value_counts)
 
+    @property
+    def is_hot(self) -> bool:
+        """Whether the group *can* hold a variable-CFD conflict: more
+        than one distinct RHS value (``==``-class).  Cold groups (k ≤ 1)
+        are provably side-effect-free for both the violation scan and
+        hRepair's group resolution, so vectorized engines skip them."""
+        return len(self.value_counts) > 1
+
     def _invalidate(self) -> None:
         self._entropy = None
 
@@ -130,6 +138,91 @@ class GroupStats:
             f"GroupStats({self.key!r}, n={self.size}, "
             f"values={dict(self.value_counts)}, H={self.entropy:.3f})"
         )
+
+
+def hot_groups(groups: Iterable[GroupStats]) -> List[GroupStats]:
+    """The conflicted groups of a partition, ordered by smallest member
+    tid — the deterministic scan order the vectorized check engine and
+    the vectorized hRepair share.  Skipping cold groups is exact: a
+    group whose RHS values all agree can neither witness a variable-CFD
+    violation nor produce a fix, a token, or an unresolved entry."""
+    hot = [g for g in groups if g.is_hot]
+    hot.sort(key=lambda g: min(g.tids))
+    return hot
+
+
+def cfd_member_tids(relation: Relation, cfd: Any) -> Dict[Key, List[int]]:
+    """Member tids per LHS key of *cfd* — keys and members both in
+    first-encounter relation order, exactly the grouping the per-tuple
+    loop ``groups.setdefault(t.project(lhs), []).append(t.tid)`` (guarded
+    by ``lhs_matches``) builds.  Columnar relations scan the ref columns
+    with membership resolved once per distinct LHS ref combination (the
+    :meth:`CFDGroupStore._bulk_index_columnar` idiom); dict relations
+    take the per-tuple loop itself.
+    """
+    lhs = cfd.key_attrs()
+    groups: Dict[Key, List[int]] = {}
+    if not _columns.repair_vectorized_for(relation):
+        for t in relation:
+            if cfd.lhs_matches(t):
+                groups.setdefault(t.project(lhs), []).append(t.tid)
+        return groups
+    store = relation.column_store
+    table = store.table
+    vals = table.values
+    canon = table.canon
+    null_c = table.null_canon
+    index_of = store.index_of
+    lhs_cols = [store.values[index_of[a]].data for a in lhs]
+    pattern = cfd.lhs_pattern
+    const_checks: List[Tuple[int, int]] = []
+    for pos, attr in enumerate(lhs):
+        pv = pattern.get(attr, WILDCARD)
+        if not is_wildcard(pv):
+            const_checks.append((pos, table.canon_ref(pv)))
+    tids, rows = relation._live_rows()
+    if not lhs_cols:
+        # Empty LHS (pure-constant pattern): one ``()`` partition.
+        if tids:
+            groups[()] = list(tids)
+        return groups
+    single = len(lhs_cols) == 1
+    cache: Dict[Any, Any] = {}
+    if rows is None:
+        lhs_iter = lhs_cols[0] if single else zip(*lhs_cols)
+        packed = zip(lhs_iter, tids)
+    elif single:
+        col0 = lhs_cols[0]
+        packed = ((col0[row], tid) for tid, row in zip(tids, rows))
+    else:
+        packed = (
+            (tuple(col[row] for col in lhs_cols), tid)
+            for tid, row in zip(tids, rows)
+        )
+    for refs, tid in packed:
+        members = cache.get(refs, _MISSING)
+        if members is _MISSING:
+            ref_tuple = (refs,) if single else refs
+            member = True
+            for r in ref_tuple:
+                if canon[r] == null_c:  # nulls never match (Section 7)
+                    member = False
+                    break
+            if member:
+                for pos, want in const_checks:
+                    if canon[ref_tuple[pos]] != want:
+                        member = False
+                        break
+            if member:
+                key = tuple(vals[r] for r in ref_tuple)
+                members = cache[refs] = groups.setdefault(key, [])
+            else:
+                cache[refs] = None
+                continue
+        elif members is None:
+            continue
+        members.append(tid)
+    return groups
 
 
 class CFDGroupStore:

@@ -48,7 +48,12 @@ Two process-wide switches, both overridable per call site:
   :func:`set_check_engine`) routes violation checks and group-store bulk
   builds through the original per-tuple loops.  The vectorized engine is
   byte-identical to the reference engine by construction and by the
-  property tests in ``tests/properties/test_property_columnar.py``.
+  property tests in ``tests/properties/test_property_columnar.py``;
+* repair engine — ``REPRO_REPAIR_ENGINE=reference`` (or
+  :func:`set_repair_engine`) routes the cRepair/eRepair/hRepair kernels
+  through the original per-tuple loops instead of the ref-column
+  (and numpy-accelerated) paths.  The same byte-identity contract
+  applies, enforced by ``tests/properties/test_property_repair_engines.py``.
 """
 
 from __future__ import annotations
@@ -57,6 +62,12 @@ import os
 from array import array
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # numpy accelerates the repair kernels; every caller falls back to
+    # pure python when it is absent, so the import is best-effort.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is in the image
+    _np = None
 
 from repro.exceptions import SchemaError
 from repro.relational.attribute import NULL
@@ -73,10 +84,15 @@ __all__ = [
     "check_engine",
     "default_columnar",
     "materializations",
+    "numpy_or_none",
+    "repair_engine",
+    "repair_vectorized_for",
     "set_check_engine",
     "set_default_columnar",
+    "set_repair_engine",
     "using_backend",
     "using_engine",
+    "using_repair_engine",
     "vectorized_for",
 ]
 
@@ -86,6 +102,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 _DEFAULT_COLUMNAR: bool = os.environ.get("REPRO_COLUMNAR", "1") != "0"
 _CHECK_ENGINE: str = os.environ.get("REPRO_CHECK_ENGINE", "vectorized")
+_REPAIR_ENGINE: str = os.environ.get("REPRO_REPAIR_ENGINE", "vectorized")
 _ENGINES = ("vectorized", "reference")
 
 #: Counter of on-demand ``_values``/``_conf`` dict materializations by
@@ -126,6 +143,40 @@ def vectorized_for(relation: Any) -> bool:
     return _CHECK_ENGINE == "vectorized" and getattr(relation, "column_store", None) is not None
 
 
+def repair_engine() -> str:
+    """The active repair engine: ``"vectorized"`` or ``"reference"``."""
+    return _REPAIR_ENGINE
+
+
+def set_repair_engine(name: str) -> str:
+    """Select the repair engine; returns the previous one."""
+    global _REPAIR_ENGINE
+    if name not in _ENGINES:
+        raise ValueError(f"unknown repair engine {name!r}; expected one of {_ENGINES}")
+    previous = _REPAIR_ENGINE
+    _REPAIR_ENGINE = name
+    return previous
+
+
+def repair_vectorized_for(relation: Any) -> bool:
+    """Whether the vectorized repair kernels apply to *relation* right now
+    (the flag is on *and* the relation is column-backed — dict relations
+    always take the reference per-tuple path)."""
+    return (
+        _REPAIR_ENGINE == "vectorized"
+        and getattr(relation, "column_store", None) is not None
+    )
+
+
+def numpy_or_none() -> Any:
+    """The ``numpy`` module when importable, else ``None`` — repair
+    kernels branch on this and keep a pure-python fallback.  Note that
+    numpy views over :class:`IntColumn` buffers (``np.frombuffer``) go
+    stale when the column widens, so callers must build views fresh at
+    each use site, never cache them across mutations."""
+    return _np
+
+
 @contextmanager
 def using_backend(columnar: bool) -> Iterator[None]:
     """Temporarily force the backend default (tests)."""
@@ -144,6 +195,16 @@ def using_engine(name: str) -> Iterator[None]:
         yield
     finally:
         set_check_engine(previous)
+
+
+@contextmanager
+def using_repair_engine(name: str) -> Iterator[None]:
+    """Temporarily force the repair engine (tests)."""
+    previous = set_repair_engine(name)
+    try:
+        yield
+    finally:
+        set_repair_engine(previous)
 
 
 def materializations() -> int:
@@ -325,12 +386,20 @@ class Bitmap:
 # ----------------------------------------------------------------------
 # The per-relation store
 # ----------------------------------------------------------------------
+#: Compaction auto-trigger thresholds: stores smaller than the row floor
+#: never compact (tiny scans gain nothing and tests rely on tombstones
+#: staying inspectable), larger ones compact once live rows drop below
+#: the ratio of total rows.
+COMPACT_MIN_ROWS = 64
+COMPACT_LIVE_RATIO = 0.5
+
+
 class ColumnStore:
     """Typed ref columns + bookkeeping for one columnar relation."""
 
     __slots__ = (
         "schema", "table", "index_of", "values", "confs", "nulls",
-        "dead", "row_tids", "row_of", "n_dead",
+        "dead", "row_tids", "row_of", "n_dead", "shared",
     )
 
     def __init__(self, schema: Schema, table: Optional[ValueTable] = None):
@@ -350,6 +419,11 @@ class ColumnStore:
         #: reused, so a dead tid can never alias a later insert's row).
         self.row_of: Dict[int, int] = {}
         self.n_dead = 0
+        #: ``True`` once a zero-copy view shares these columns
+        #: (``Relation.restrict(copy=False)``).  Shared stores are never
+        #: tombstoned or compacted by any one owner: neither owner can
+        #: know which rows the other still considers live.
+        self.shared = False
 
     # -- rows ----------------------------------------------------------
     def append_refs(
@@ -399,6 +473,60 @@ class ColumnStore:
             self.row_tids[row] = -1 - tid
             self.dead.set(row, True)
             self.n_dead += 1
+
+    # -- compaction ----------------------------------------------------
+    def should_compact(self) -> bool:
+        """Whether a delete-heavy store is worth compacting: not shared,
+        at least :data:`COMPACT_MIN_ROWS` physical rows, and live rows
+        below :data:`COMPACT_LIVE_RATIO` of the total."""
+        n = len(self.row_tids)
+        return (
+            not self.shared
+            and n >= COMPACT_MIN_ROWS
+            and (n - self.n_dead) < n * COMPACT_LIVE_RATIO
+        )
+
+    def compact(self) -> Dict[int, int]:
+        """Drop tombstoned rows and rebuild the columns densely.
+
+        Keeps exactly the rows that are both live (``tid >= 0``) and
+        *current* (``row_of[tid] == row`` — a re-install of the same tid
+        leaves an earlier live-looking duplicate row behind; compaction
+        is where those finally get reclaimed).  Tids are stable: every
+        surviving tid maps to the same value/conf cells afterwards, only
+        its physical row index changes.  Returns the old-row → new-row
+        remap so the owning relation can re-point resident row-views.
+        Retired tids lose their ``row_of`` entry — their cells are gone.
+        """
+        if self.shared:
+            raise ValueError("cannot compact a shared column store")
+        keep = [
+            row
+            for row, tid in enumerate(self.row_tids)
+            if tid >= 0 and self.row_of.get(tid) == row
+        ]
+        remap = {row: new for new, row in enumerate(keep)}
+        for cols in (self.values, self.confs):
+            for i, col in enumerate(cols):
+                data = col.data
+                cols[i] = IntColumn(
+                    array(data.typecode, (data[row] for row in keep))
+                )
+        new_nulls = []
+        for bitmap in self.nulls:
+            fresh = Bitmap()
+            for row in keep:
+                fresh.append(bitmap.get(row))
+            new_nulls.append(fresh)
+        self.nulls = new_nulls
+        dead = Bitmap()
+        for _ in keep:
+            dead.append(False)
+        self.dead = dead
+        self.row_tids = [self.row_tids[row] for row in keep]
+        self.row_of = {tid: row for row, tid in enumerate(self.row_tids)}
+        self.n_dead = 0
+        return remap
 
     # -- cells ---------------------------------------------------------
     def value_at(self, row: int, index: int) -> Any:

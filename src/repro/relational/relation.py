@@ -336,13 +336,59 @@ class Relation:
         except KeyError:
             raise DataError(f"relation {self.schema.name!r} has no tuple #{tid}") from None
         self._retired.add(tid)
-        if self._columns is not None:
-            # Tombstone, never compact: the view keeps reading its (dead)
-            # row, preserving the values-stay-intact contract below.
-            self._columns.kill(tid)
+        store = self._columns
+        if store is not None and not store.shared:
+            # Tombstone the row, then re-home the popped view onto a
+            # private single-row store: a later compaction rewrites this
+            # relation's columns in place, so a handle still reading the
+            # parent store would silently pick up another tuple's cells.
+            # Shared stores (zero-copy restrict views) are left alone:
+            # killing the row would tombstone it for the other owner too,
+            # which only *reads* the restriction — removing from a view
+            # must never mutate the parent's columns.
+            store.kill(tid)
+            t = self._detach_view(t)
+            if store.should_compact():
+                self._compact_columns()
         for observer in self._delete_observers:
             observer(t)
         return t
+
+    def _detach_view(self, t: CTuple) -> CTuple:
+        """Re-home a popped row-view onto a private single-row store so
+        its cells survive compaction of this relation's columns."""
+        if not isinstance(t, ColumnTuple):
+            return t
+        solo = ColumnStore(self.schema, t._store.table)
+        t._row = solo.adopt_row(t.tid, t._store, t._row)
+        t._store = solo
+        return t
+
+    def _compact_columns(self) -> None:
+        """Compact the backing store and re-point resident row-views."""
+        remap = self._columns.compact()
+        for t in self._tuples.values():
+            t._row = remap[t._row]
+
+    def compact(self, force: bool = False) -> bool:
+        """Reclaim tombstoned rows in the backing columns.
+
+        Returns whether a compaction ran.  No-op for dict-backed
+        relations, for shared stores (zero-copy views — neither owner
+        may move the other's rows), and — unless *force* — below the
+        auto-trigger thresholds (:data:`repro.relational.columns.COMPACT_MIN_ROWS`
+        rows, live ratio under
+        :data:`repro.relational.columns.COMPACT_LIVE_RATIO`).  Tids,
+        values, confidences and iteration order are all unchanged; only
+        physical row indexes move, invisibly behind the tuple API.
+        """
+        store = self._columns
+        if store is None or store.shared:
+            return False
+        if not force and not store.should_compact():
+            return False
+        self._compact_columns()
+        return True
 
     def tid_retired(self, tid: int) -> bool:
         """Whether *tid* belonged to a tuple that was removed (such tids
@@ -654,6 +700,53 @@ class Relation:
             members.append(tid)
         return groups
 
+    def value_refs(
+        self, attr: str, tids: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Interned value refs of *attr* — aligned with :meth:`tids` when
+        *tids* is ``None``, else with the given tid sequence.
+
+        Explicit tids resolve rows through the resident tuples (not the
+        store's ``row_of`` map), so shared-store views and post-install
+        duplicates can never leak a stale row.
+        """
+        self.schema.check_attrs([attr])
+        store = self._require_columns()
+        data = store.values[store.index_of[attr]].data
+        if tids is None:
+            _, rows = self._live_rows()
+            if rows is None:
+                return list(data)
+            return [data[row] for row in rows]
+        tuples = self._tuples
+        return [data[tuples[tid]._row] for tid in tids]
+
+    def conf_refs(
+        self, attr: str, tids: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Interned confidence refs of *attr* (same alignment contract
+        as :meth:`value_refs`)."""
+        self.schema.check_attrs([attr])
+        store = self._require_columns()
+        data = store.confs[store.index_of[attr]].data
+        if tids is None:
+            _, rows = self._live_rows()
+            if rows is None:
+                return list(data)
+            return [data[row] for row in rows]
+        tuples = self._tuples
+        return [data[tuples[tid]._row] for tid in tids]
+
+    def canon_refs(
+        self, attr: str, tids: Optional[Sequence[int]] = None
+    ) -> List[int]:
+        """Canonical value refs of *attr* — canon equality *is* ``==``
+        value equality (invariant 19), so two cells compare equal exactly
+        when their canon refs are the same int."""
+        store = self._require_columns()
+        canon = store.table.canon
+        return [canon[r] for r in self.value_refs(attr, tids)]
+
     # ------------------------------------------------------------------
     # Copying / comparison
     # ------------------------------------------------------------------
@@ -721,6 +814,9 @@ class Relation:
                     twin._tuples[tid] = make(store, row, tid)
         else:
             twin._columns = self._columns  # shared columns, shared views
+            # Mark the store shared: from now on neither owner may
+            # tombstone or compact rows the other might still hold.
+            self._columns.shared = True
             for tid, t in self._tuples.items():
                 if tid in wanted:
                     twin._tuples[tid] = t

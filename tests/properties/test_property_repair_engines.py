@@ -1,0 +1,236 @@
+"""Property tests: the vectorized repair engine is byte-identical to
+the per-tuple reference repair path.
+
+``REPRO_REPAIR_ENGINE`` selects how cRepair seeds its worklist and
+resolves constant-CFD targets, how eRepair scores and applies majority
+candidates, and how hRepair builds its equivalence classes — ref-column
+kernels versus the seed-era per-tuple loops.  The standing invariant is
+that the choice is *unobservable*: ordered fix logs (every field),
+per-cell cost maps, phase scheduling traces, repaired states and clean
+verdicts must match byte for byte under every
+``REPRO_COLUMNAR`` × ``REPRO_REPAIR_ENGINE`` configuration.
+
+Three families:
+
+1. **Testbed equivalence** — full cleans of the HOSP and PART testbeds
+   under all four backend×repair-engine configurations.
+2. **Fuzzed mutation interleavings** — arbitrary edit / insert / remove
+   sequences applied before cleaning; the whole repair trajectory must
+   stay identical across configurations.
+3. **Flag mechanics** — the engine switch validates its input, restores
+   on exit, and degrades to the reference path for dict-backed
+   relations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import CFD, MD
+from repro.core import UniCleanConfig
+from repro.evaluation import generate
+from repro.pipeline import CleaningSession
+from repro.relational import NULL, Relation, Schema
+from repro.relational.columns import (
+    repair_engine,
+    repair_vectorized_for,
+    set_repair_engine,
+    using_backend,
+    using_repair_engine,
+)
+
+#: backend (columnar?) × repair engine; the last entry is the seed-era
+#: configuration every other one must reproduce byte for byte.  The
+#: dict+vectorized row checks the graceful degrade: without a column
+#: store the flag is inert and the reference path runs.
+CONFIGS = [
+    ("columnar+vectorized", True, "vectorized"),
+    ("columnar+reference", True, "reference"),
+    ("dict+vectorized", False, "vectorized"),
+    ("dict+reference", False, "reference"),
+]
+
+
+def _fingerprint(log):
+    return [
+        (f.kind.value, f.rule_name, f.tid, f.attr, repr(f.old_value),
+         repr(f.new_value), repr(f.old_conf), repr(f.new_conf),
+         repr(f.source))
+        for f in log
+    ]
+
+
+def _full_state(relation):
+    names = relation.schema.names
+    return {
+        t.tid: tuple((repr(t[a]), t.conf(a)) for a in names) for t in relation
+    }
+
+
+def _observables(session, result):
+    return {
+        "fix_log": _fingerprint(result.fix_log),
+        "cost": result.cost,
+        "cell_costs": dict(session._cell_costs),
+        "clean": result.clean,
+        "state": _full_state(result.repaired),
+        "traces": dict(session.last_traces),
+    }
+
+
+def _assert_all_match(results, reference_name):
+    reference = results[reference_name]
+    for name, observed in results.items():
+        for key in reference:
+            assert observed[key] == reference[key], (
+                f"{name} diverged from {reference_name} on {key}"
+            )
+
+
+# ----------------------------------------------------------------------
+# 1. Testbed equivalence
+# ----------------------------------------------------------------------
+def _clean_observables(dataset, columnar, engine, **params):
+    with using_backend(columnar), using_repair_engine(engine):
+        ds = generate(dataset, **params)
+        session = CleaningSession(
+            cfds=ds.cfds, mds=ds.mds, master=ds.master,
+            config=UniCleanConfig(eta=1.0), collect_traces=True,
+        )
+        result = session.clean(ds.dirty)
+        return _observables(session, result)
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+def test_hosp_repair_identical_across_engines(seed):
+    results = {
+        name: _clean_observables(
+            "hosp", columnar, engine,
+            size=150, master_size=75, noise_rate=0.08, seed=seed,
+        )
+        for name, columnar, engine in CONFIGS
+    }
+    assert results["dict+reference"]["fix_log"]  # workload must repair
+    _assert_all_match(results, "dict+reference")
+
+
+@pytest.mark.parametrize("seed", [11, 23])
+def test_part_repair_identical_across_engines(seed):
+    results = {
+        name: _clean_observables(
+            "partitioned", columnar, engine,
+            size=600, n_blocks=8, noise_rate=0.05, seed=seed,
+        )
+        for name, columnar, engine in CONFIGS
+    }
+    assert results["dict+reference"]["fix_log"]
+    _assert_all_match(results, "dict+reference")
+
+
+# ----------------------------------------------------------------------
+# 2. Fuzzed mutation interleavings
+# ----------------------------------------------------------------------
+SCHEMA = Schema("R", ["K", "A", "B"])
+MASTER_SCHEMA = Schema("Rm", ["K", "B"])
+CFDS = [
+    CFD(SCHEMA, ["K"], ["A"], name="fd_ka"),
+    CFD(SCHEMA, ["K"], ["B"], {"K": "k1", "B": "b1"}, name="const_kb"),
+]
+MDS = [MD(SCHEMA, MASTER_SCHEMA, [("K", "K")], [("B", "B")], name="md_kb")]
+MASTER_ROWS = [{"K": "k1", "B": "b1"}, {"K": "k2", "B": "b2"}]
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+values = st.sampled_from(["a1", "a2", "b1", "b2", 0, 0.0, False, NULL])
+rows = st.lists(st.tuples(keys, values, values), min_size=1, max_size=8)
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("set"),
+            st.integers(min_value=0, max_value=99),
+            st.sampled_from(["K", "A", "B"]),
+            values,
+        ),
+        st.tuples(st.just("insert"), keys, values, values),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=99)),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+def _build_and_mutate(data, mutations):
+    relation = Relation(SCHEMA)
+    for k, a, b in data:
+        relation.add_row({"K": k, "A": a, "B": b}, {"K": 0.5})
+    for op in mutations:
+        live = list(relation.tids())
+        if op[0] == "set":
+            if not live:
+                continue
+            _tag, raw, attr, value = op
+            t = relation.by_tid(live[raw % len(live)])
+            relation.set_value(t, attr, value)
+        elif op[0] == "insert":
+            _tag, k, a, b = op
+            relation.add_row({"K": k, "A": a, "B": b})
+        else:
+            if not live:
+                continue
+            relation.remove(live[op[1] % len(live)])
+    return relation
+
+
+def _trajectory(data, mutations, columnar, engine):
+    with using_backend(columnar), using_repair_engine(engine):
+        relation = _build_and_mutate(data, mutations)
+        if not len(relation):
+            return None
+        master = Relation.from_dicts(MASTER_SCHEMA, MASTER_ROWS)
+        session = CleaningSession(
+            cfds=CFDS, mds=MDS, master=master,
+            config=UniCleanConfig(eta=1.0), collect_traces=True,
+        )
+        result = session.clean(relation)
+        return _observables(session, result)
+
+
+class TestFuzzedRepairTrajectories:
+    @given(rows, ops)
+    @settings(max_examples=25, deadline=None)
+    def test_trajectory_identical_across_engines(self, data, mutations):
+        results = {
+            name: _trajectory(data, mutations, columnar, engine)
+            for name, columnar, engine in CONFIGS
+        }
+        reference = results["dict+reference"]
+        if reference is None:
+            assert all(observed is None for observed in results.values())
+            return
+        _assert_all_match(results, "dict+reference")
+
+
+# ----------------------------------------------------------------------
+# 3. Flag mechanics
+# ----------------------------------------------------------------------
+class TestRepairEngineFlag:
+    def test_set_repair_engine_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_repair_engine("turbo")
+
+    def test_using_repair_engine_restores(self):
+        before = repair_engine()
+        with using_repair_engine("reference"):
+            assert repair_engine() == "reference"
+        assert repair_engine() == before
+
+    def test_dict_backed_relations_degrade_to_reference(self):
+        flat = Relation(SCHEMA, columnar=False)
+        flat.add_row({"K": "k1", "A": "a1", "B": "b1"})
+        with using_repair_engine("vectorized"):
+            assert not repair_vectorized_for(flat)
+        with using_backend(True):
+            columnar = Relation.from_dicts(SCHEMA, [{"K": "k1"}])
+        with using_repair_engine("vectorized"):
+            assert repair_vectorized_for(columnar)
+        with using_repair_engine("reference"):
+            assert not repair_vectorized_for(columnar)

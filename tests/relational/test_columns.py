@@ -498,3 +498,122 @@ class TestEngineSwitches:
         with using_engine("reference"):
             assert check_engine() == "reference"
         assert check_engine() == before
+
+
+class TestCompaction:
+    """Satellite (a): ``ColumnStore.compact`` reclaims tombstoned rows
+    without disturbing tids, values, confidences or iteration order."""
+
+    def _columnar(self, schema, n):
+        with using_backend(True):
+            relation = Relation(schema)
+        for i in range(n):
+            relation.add_row(
+                {"A": f"a{i}", "B": f"b{i % 3}", "C": i}, {"A": 0.5}
+            )
+        return relation
+
+    def test_manual_compact_reclaims_dead_rows(self, schema):
+        relation = self._columnar(schema, 10)
+        for tid in (1, 3, 5):
+            relation.remove(tid)
+        store = relation.column_store
+        assert store.n_dead == 3 and len(store.row_tids) == 10
+        assert relation.compact(force=True)
+        assert store.n_dead == 0 and len(store.row_tids) == 7
+        assert store.live_rows() == 7
+
+    def test_tids_and_cells_stable_across_compaction(self, schema):
+        relation = self._columnar(schema, 12)
+        before = {
+            t.tid: tuple((t[a], t.conf(a)) for a in schema.names)
+            for t in relation
+        }
+        order = list(relation.tids())
+        for tid in (0, 2, 4, 6, 8):
+            relation.remove(tid)
+            del before[tid]
+            order.remove(tid)
+        assert relation.compact(force=True)
+        after = {
+            t.tid: tuple((t[a], t.conf(a)) for a in schema.names)
+            for t in relation
+        }
+        assert after == before
+        assert list(relation.tids()) == order  # iteration order preserved
+        for tid in (0, 2, 4, 6, 8):
+            assert relation.tid_retired(tid) and not relation.has_tid(tid)
+
+    def test_auto_trigger_on_live_ratio(self, schema):
+        from repro.relational.columns import COMPACT_MIN_ROWS
+
+        relation = self._columnar(schema, COMPACT_MIN_ROWS)
+        store = relation.column_store
+        # Kill exactly half: live == n/2 is not *below* the ratio yet.
+        doomed = list(relation.tids())[: COMPACT_MIN_ROWS // 2 + 1]
+        for tid in doomed[:-1]:
+            relation.remove(tid)
+        assert len(store.row_tids) == COMPACT_MIN_ROWS
+        assert not store.should_compact()
+        # One more drop crosses the live-ratio threshold and compacts
+        # inside remove() itself.
+        relation.remove(doomed[-1])
+        assert store.n_dead == 0
+        assert len(store.row_tids) == COMPACT_MIN_ROWS // 2 - 1
+        assert list(relation.tids()) == [t.tid for t in relation]
+
+    def test_below_min_rows_never_auto_compacts(self, schema):
+        relation = self._columnar(schema, 8)
+        for tid in list(relation.tids())[:7]:
+            relation.remove(tid)
+        store = relation.column_store
+        assert store.n_dead == 7  # tombstones stay: fuzz suites rely on it
+        assert not relation.compact()  # thresholds not met without force
+
+    def test_removed_handle_survives_auto_compaction(self, schema):
+        from repro.relational.columns import COMPACT_MIN_ROWS
+
+        relation = self._columnar(schema, COMPACT_MIN_ROWS)
+        doomed = list(relation.tids())[: COMPACT_MIN_ROWS // 2 + 1]
+        removed = [relation.remove(tid) for tid in doomed]
+        # The popped views were detached onto private stores before the
+        # auto-compaction moved rows; their cells stay readable.
+        for i, t in zip(doomed, removed):
+            assert t[schema.names[0]] == f"a{i}"
+            assert t.conf("A") == 0.5
+
+    def test_no_tid_reuse_after_compaction(self, schema):
+        relation = self._columnar(schema, 6)
+        relation.remove(2)
+        relation.compact(force=True)
+        fresh = relation.add_row({"A": "new", "B": "b", "C": 99})
+        assert fresh.tid == 6  # monotonic, not the reclaimed slot's tid
+        assert relation.tid_retired(2)
+
+    def test_shared_store_refuses_compaction(self, schema):
+        relation = self._columnar(schema, 6)
+        view = relation.restrict(list(relation.tids())[:3], copy=False)
+        store = relation.column_store
+        assert store.shared
+        assert not relation.compact(force=True)
+        with pytest.raises(ValueError):
+            store.compact()
+        assert list(view.tids()) == list(relation.tids())[:3]
+
+    def test_group_store_coherent_across_compaction(self, schema):
+        from repro.constraints import CFD
+        from repro.indexing.group_store import GroupStoreRegistry
+
+        relation = self._columnar(schema, 16)
+        registry = GroupStoreRegistry(relation)
+        registry.cfd_store(CFD(schema, ["B"], ["A"], name="fd_ba"))
+        for tid in (0, 3, 6, 9):
+            relation.remove(tid)
+        assert relation.compact(force=True)
+        registry.check_consistency()
+
+    def test_compact_noop_for_dict_backend(self, schema):
+        relation = Relation(schema, columnar=False)
+        relation.add_row({"A": "x", "B": "y", "C": 1})
+        relation.remove(list(relation.tids())[0])
+        assert not relation.compact(force=True)

@@ -230,3 +230,53 @@ class TestSnapshotRoundTrip:
             for attr in rel.schema.names:
                 assert mate[attr] == t[attr]
                 assert mate.conf(attr) == t.conf(attr)
+
+
+class TestSharedViewRemoval:
+    """Satellite (b) regression: removing from a zero-copy
+    ``restrict(copy=False)`` view must not tombstone rows in the parent's
+    shared columns."""
+
+    def _columnar(self, schema):
+        from repro.relational.columns import using_backend
+
+        with using_backend(True):
+            return Relation.from_dicts(
+                schema,
+                [
+                    {"A": "a1", "B": "b1"},
+                    {"A": "a1", "B": "b2"},
+                    {"A": "a2", "B": "b1"},
+                ],
+            )
+
+    def test_view_remove_leaves_parent_columns_alive(self, schema):
+        parent = self._columnar(schema)
+        store = parent.column_store
+        view = parent.restrict(list(parent.tids()), copy=False)
+        assert store.shared and view.column_store is store
+
+        removed = view.remove(0)
+        # The view forgot the tuple; the parent (and its columns) did not.
+        assert not view.has_tid(0) and view.tid_retired(0)
+        assert parent.has_tid(0)
+        assert store.n_dead == 0 and not store.dead.get(0)
+        assert store.row_tids[0] == 0  # no -1-tid tombstone
+        assert parent.by_tid(0)["A"] == "a1"
+        assert removed["A"] == "a1"  # popped handle still readable
+
+    def test_parent_remove_also_spares_shared_columns(self, schema):
+        parent = self._columnar(schema)
+        store = parent.column_store
+        view = parent.restrict([1], copy=False)
+        parent.remove(2)  # view doesn't hold 2, but the columns are shared
+        assert store.n_dead == 0
+        assert view.by_tid(1)["B"] == "b2"
+
+    def test_copy_view_remove_still_tombstones_its_own_store(self, schema):
+        parent = self._columnar(schema)
+        view = parent.restrict(list(parent.tids()), copy=True)
+        view.remove(0)
+        assert view.column_store is not parent.column_store
+        assert view.column_store.n_dead == 1
+        assert parent.column_store.n_dead == 0
