@@ -80,7 +80,19 @@ Two workloads, both written to ``BENCH_repair.json``:
    script asserts that the ordered fix log, repaired state, cost,
    verdict and phase traces are **byte-identical** between the engines;
    timings and memory are informational only.
-8. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
+8. **Match-engine** (ISSUE 9 set-based similarity join): a scaled
+   DBLP-style master (``--match-size`` rows, default 500K) probed with
+   typo'd/exact/foreign titles under a pure-similarity MD, once with
+   the filtered inverted-index join (``REPRO_MATCH_ENGINE=join``) and
+   once with the exhaustive full scan the reference engine falls back
+   to on ``use_suffix_tree=False`` (the exact comparator — top-``l``
+   retrieval is lossy, so it cannot anchor a match-identity check).
+   Rows record index build / lookup seconds, candidates examined,
+   similarity verify calls and the tracemalloc peak per engine.  The
+   script asserts that the per-probe match lists are **identical** and
+   that the join engine verified **fewer** pairs than the scan — both
+   structural; wall-clock is recorded, never asserted.
+9. **Faults** (ISSUE 6 fault-tolerant execution): the same sharded
    clean + micro-batch workload run under a battery of named fault
    schedules (worker crash, torn response frame, hang + timeout,
    transient error, persistent crash forcing escalation to the serial
@@ -1047,6 +1059,148 @@ def run_repair_engine_report(
     }
 
 
+def run_match_engine_report(
+    size: int = 500_000,
+    queries: int = 24,
+    seed: int = 7,
+) -> Dict[str, Any]:
+    """Similarity-join vs exhaustive-scan MD matching (ISSUE 9).
+
+    A DBLP-style master of *size* ``(title, ee)`` rows is probed with
+    *queries* lookups — typo'd master titles (a true match exists),
+    exact master titles, and foreign strings (no match) — under the
+    pure-similarity MD ``title ≈₂ title → ee ⇌ ee``.  The ``join``
+    engine answers through the filtered inverted-index pipeline; the
+    comparator is the reference engine's exhaustive full scan
+    (``use_suffix_tree=False``), the only *exact* reference — top-``l``
+    suffix-tree retrieval is lossy and cannot anchor an identity check.
+    Asserted: per-probe match lists identical, and strictly fewer
+    similarity verifications on the join side (the point of the filter
+    chain).  Recorded, never asserted: seconds, speedups and memory.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.constraints import MD
+    from repro.datasets.generator import NamePool, derive_rng, typo
+    from repro.indexing import MDBlockingIndex
+    from repro.relational import Relation, Schema
+    from repro.similarity import edit_within
+
+    schema = Schema("PUB", ["title", "ee"])
+    pool = NamePool(derive_rng(seed, "match-engine", "master"))
+    master = Relation(schema)
+    append = master.append_row_values
+    started = time.perf_counter()
+    titles: List[str] = []
+    for i in range(size):
+        title = f"{pool.word(2)} {pool.word(2)} {pool.word(3)}"
+        titles.append(title)
+        append([title, f"db/journals/x/{i}"], [1.0, 1.0])
+    master_build_s = time.perf_counter() - started
+
+    probe_rng = derive_rng(seed, "match-engine", "probes")
+    probes_rel = Relation(schema)
+    for i in range(queries):
+        kind = i % 3
+        if kind == 0:  # one random edit of a master title: a true match
+            value = typo(probe_rng.choice(titles), probe_rng)
+        elif kind == 1:  # verbatim master title
+            value = probe_rng.choice(titles)
+        else:  # foreign string, far from every master title
+            value = f"zz{probe_rng.randrange(10**9):09d}qx{pool.word(4)}"
+        probes_rel.append_row_values([value, "probe"], [1.0, 1.0])
+    probes = [probes_rel.by_tid(tid) for tid in probes_rel.tids()]
+
+    md = MD(
+        schema, schema, [("title", "title", edit_within(2))], [("ee", "ee")]
+    )
+
+    def run(engine: str):
+        gc.collect()
+        tracemalloc.start()
+        started = time.perf_counter()
+        if engine == "join":
+            index = MDBlockingIndex(md, master, engine="join")
+        else:
+            index = MDBlockingIndex(
+                md, master, use_suffix_tree=False, engine="reference"
+            )
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        match_tids = [[s.tid for s in index.matches(p)] for p in probes]
+        lookup_s = time.perf_counter() - started
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        stats: Dict[str, Any] = {
+            "candidates": index.stats["candidates"],
+            "verify_calls": index.verify_calls,
+        }
+        if index.join_index is not None:
+            stats["join_stats"] = dict(index.join_index.stats)
+            stats["profile_cache_hits"] = index.join_index.profiles.hits
+        return match_tids, build_s, lookup_s, peak, stats
+
+    rows: List[Dict[str, Any]] = []
+    runs: Dict[str, Any] = {}
+    for engine in ("reference_scan", "join"):
+        match_tids, build_s, lookup_s, peak, stats = run(engine)
+        runs[engine] = (match_tids, lookup_s, stats)
+        rows.append(
+            {
+                "engine": engine,
+                "build_s": round(build_s, 6),
+                "lookup_s": round(lookup_s, 6),
+                "peak_mem_bytes": peak,
+                "candidates": stats["candidates"],
+                "verify_calls": stats["verify_calls"],
+                "matched_probes": sum(1 for m in match_tids if m),
+                **(
+                    {"join_stats": stats["join_stats"],
+                     "profile_cache_hits": stats["profile_cache_hits"]}
+                    if "join_stats" in stats
+                    else {}
+                ),
+            }
+        )
+
+    scan_tids, scan_lookup_s, scan_stats = runs["reference_scan"]
+    join_tids, join_lookup_s, join_stats = runs["join"]
+    summary = {
+        "size": size,
+        "queries": queries,
+        "seed": seed,
+        "master_build_s": round(master_build_s, 6),
+        "reference_lookup_s": round(scan_lookup_s, 6),
+        "join_lookup_s": round(join_lookup_s, 6),
+        "lookup_speedup": round(scan_lookup_s / join_lookup_s, 2)
+        if join_lookup_s
+        else None,
+        "reference_verify_calls": scan_stats["verify_calls"],
+        "join_verify_calls": join_stats["verify_calls"],
+        "verify_reduction": round(
+            scan_stats["verify_calls"] / join_stats["verify_calls"], 1
+        )
+        if join_stats["verify_calls"]
+        else None,
+        "matched_probes": sum(1 for m in scan_tids if m),
+        # Structural acceptance flags (never wall-clock):
+        "matches_identical": join_tids == scan_tids,
+        "fewer_verify_calls": join_stats["verify_calls"]
+        < scan_stats["verify_calls"],
+    }
+    return {
+        "workload": {
+            "dataset": "dblp-style",
+            "size": size,
+            "queries": queries,
+            "seed": seed,
+        },
+        "rows": rows,
+        "summary": summary,
+    }
+
+
 def run_faults_report(
     size: int = 2000,
     n_blocks: int = 16,
@@ -1282,6 +1436,11 @@ def main(argv=None) -> int:
                         help="PART testbed rows for the repair-engine scenario")
     parser.add_argument("--repair-blocks", type=int, default=64)
     parser.add_argument("--skip-repair-engine", action="store_true")
+    parser.add_argument("--match-size", type=int, default=500_000,
+                        help="DBLP-style master rows for the match-engine "
+                             "scenario")
+    parser.add_argument("--match-queries", type=int, default=24)
+    parser.add_argument("--skip-match-engine", action="store_true")
     parser.add_argument("--faults-size", type=int, default=2000,
                         help="PART testbed rows for the faults scenario")
     parser.add_argument("--faults-blocks", type=int, default=16)
@@ -1435,6 +1594,26 @@ def main(argv=None) -> int:
         )
         ok &= entry["repair_identical"]
 
+    if not args.skip_match_engine:
+        match = run_match_engine_report(
+            size=args.match_size,
+            queries=args.match_queries,
+        )
+        report["match_engine"] = match
+        entry = match["summary"]
+        print(
+            f"  match-engine size={entry['size']} queries={entry['queries']}: "
+            f"scan={entry['reference_lookup_s']:.2f}s "
+            f"join={entry['join_lookup_s']:.2f}s "
+            f"speedup={entry['lookup_speedup']}x "
+            f"verify_calls={entry['join_verify_calls']}/"
+            f"{entry['reference_verify_calls']} "
+            f"(x{entry['verify_reduction']} fewer) "
+            f"matches_identical={entry['matches_identical']}"
+        )
+        ok &= entry["matches_identical"]
+        ok &= entry["fewer_verify_calls"]
+
     if not args.skip_faults:
         faults = run_faults_report(
             size=args.faults_size,
@@ -1464,7 +1643,9 @@ def main(argv=None) -> int:
             "50% of the PR 3 bytes, a non-identical columnar encode or "
             "violation list, a columnar representation that did not peak "
             "below the per-tuple one, a repair-engine run that was not "
-            "byte-identical to the reference path, a snapshot restore that diverged "
+            "byte-identical to the reference path, a match-engine run whose "
+            "match lists diverged from the exhaustive scan or that verified "
+            "no fewer pairs, a snapshot restore that diverged "
             "or re-cleaned restored shards, or a fault-injected run that "
             "did not recover byte-identically); timings are never "
             "asserted on",

@@ -291,10 +291,12 @@ def relation_is_clean(
                 rhs, master_attr = normalized.rhs_pair
                 bindex = shared.get(normalized.name)
                 if bindex is None or not bindex.is_exact:
-                    # Equality blocking is lossless; the suffix-tree
-                    # top-l retrieval used during *repair* is not — a
-                    # satisfaction verdict must stay exhaustive, so
-                    # similarity-only MDs get a full-candidate index.
+                    # A satisfaction verdict must stay exhaustive.
+                    # Equality blocking and the join engine are lossless
+                    # (is_exact), so their shared repair-time indexes are
+                    # reused as-is; only the reference engine's top-l
+                    # suffix-tree retrieval forces a fresh full-candidate
+                    # index here.
                     bindex = MDBlockingIndex(
                         normalized, master, use_suffix_tree=False
                     )

@@ -28,7 +28,7 @@ from repro.relational.attribute import is_null
 from repro.relational.relation import Relation
 from repro.relational.schema import Schema
 from repro.relational.tuples import CTuple
-from repro.similarity.predicates import EQ, SimilarityPredicate
+from repro.similarity.predicates import EQ, JoinFilterSpec, SimilarityPredicate, join_filter_for
 
 
 class MDClause:
@@ -49,6 +49,15 @@ class MDClause:
     def is_equality(self) -> bool:
         """Whether the predicate is exact equality (drives confidence, §3.1)."""
         return self.predicate.is_equality
+
+    def join_filter(self) -> Optional[JoinFilterSpec]:
+        """Filter parameters for the similarity-join engine, or ``None``.
+
+        Maps the clause predicate to a lossless filter family (edit-k ⇒
+        q-gram count bound, Jaccard-t ⇒ prefix length); ``None`` when no
+        bound family applies and matching must scan.
+        """
+        return join_filter_for(self.predicate)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MDClause):

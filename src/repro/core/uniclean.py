@@ -47,6 +47,13 @@ class UniCleanConfig:
         Top-``l`` LCS blocking fan-out for MD search (paper: l ≤ 20).
     use_suffix_tree:
         Disable to fall back to full master scans (ablation baseline).
+    match_engine:
+        MD match engine for blocking indexes: ``"join"`` (filtered
+        inverted-index similarity join, exact) or ``"reference"``
+        (top-``l`` suffix-tree retrieval).  ``None`` defers to the
+        process-wide ``REPRO_MATCH_ENGINE`` flag.  Read with ``getattr``
+        defaults everywhere: configs pickled before this field existed
+        (persisted snapshots) must keep loading.
     use_violation_index:
         Drive all three phases from the incremental
         :class:`~repro.indexing.violation_index.ViolationIndex` (dirty
@@ -65,6 +72,7 @@ class UniCleanConfig:
     delta2: float = 0.8
     top_l: int = 20
     use_suffix_tree: bool = True
+    match_engine: Optional[str] = None
     use_violation_index: bool = True
     check_consistency: bool = False
     run_crepair: bool = True

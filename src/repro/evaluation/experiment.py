@@ -281,6 +281,7 @@ def exp5_scalability(
     asserted_rate: float = 0.4,
     seed: int = 7,
     use_suffix_tree: bool = True,
+    match_engine: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Phase runtimes while varying |D|, |Dm|, |Σ| or |Γ|.
 
@@ -312,7 +313,9 @@ def exp5_scalability(
         else:
             raise ValueError(f"vary must be D, Dm, Sigma or Gamma, got {vary!r}")
         ds = generate(dataset, **params)
-        config = UniCleanConfig(eta=1.0, use_suffix_tree=use_suffix_tree)
+        config = UniCleanConfig(
+            eta=1.0, use_suffix_tree=use_suffix_tree, match_engine=match_engine
+        )
         result = run_uniclean(ds, config)
         rows.append(
             {

@@ -13,9 +13,20 @@ l ≤ 20 typically suffices") using two complementary indexes:
 
 :class:`MDBlockingIndex` combines both: when the MD has equality premise
 clauses the (small) exact bucket is scanned and every clause verified;
-otherwise suffix-tree candidates from a similarity clause seed the scan.
-A ``use_suffix_tree=False`` escape hatch forces full scans — that is the
-baseline of the blocking ablation benchmark.
+otherwise similarity candidates seed the scan.  The similarity side is
+engine-switched (``REPRO_MATCH_ENGINE``):
+
+* ``join`` (default) — the filtered inverted-index similarity join of
+  :mod:`repro.matching.simjoin`: length/prefix/count filters over a
+  q-gram index, then exact verification.  Lossless, so :attr:`is_exact`
+  holds and ``matches()`` is exhaustive by construction;
+* ``reference`` — the paper's per-lookup top-``l`` LCS retrieval from a
+  generalized suffix tree.  Fast but *lossy*: the cap can drop true
+  matches (``is_exact`` is False), which downstream code compensates for
+  with rare-path exhaustive re-verification.
+
+A ``use_suffix_tree=False`` escape hatch forces full scans under either
+engine — that is the baseline of the blocking ablation benchmark.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.constraints.md import MD
 from repro.relational.attribute import is_null
+from repro.relational.columns import match_engine
 from repro.relational.relation import Relation
 from repro.relational.tuples import CTuple
 from repro.indexing.suffix_tree import GeneralizedSuffixTree
@@ -72,7 +84,10 @@ class MDBlockingIndex:
         The ``l`` of the top-``l`` LCS retrieval (paper default ≤ 20).
     use_suffix_tree:
         When false, similarity clauses fall back to scanning all of
-        ``Dm`` (the ablation baseline).
+        ``Dm`` (the ablation baseline) under either engine.
+    engine:
+        ``"join"`` or ``"reference"``; defaults to the process-wide
+        :func:`~repro.relational.columns.match_engine` flag.
     """
 
     def __init__(
@@ -81,15 +96,23 @@ class MDBlockingIndex:
         master: Relation,
         top_l: int = 20,
         use_suffix_tree: bool = True,
+        engine: Optional[str] = None,
     ):
         self.md = md
         self.master = master
         self.top_l = top_l
         self.use_suffix_tree = use_suffix_tree
+        self.engine = match_engine() if engine is None else engine
+        if self.engine not in ("join", "reference"):
+            raise ValueError(f"unknown match engine {self.engine!r}")
         self._eq_clauses = [c for c in md.premise if c.is_equality]
         self._sim_clauses = [c for c in md.premise if not c.is_equality]
         self._premise_attrs = tuple(dict.fromkeys(c.attr for c in md.premise))
         self._match_cache: Dict[Tuple[Any, ...], List[CTuple]] = {}
+        #: Retrieval-effort counters (the match-engine benchmark reads
+        #: these): premise lookups, master tuples examined post-filter,
+        #: and residual per-tuple predicate evaluations.
+        self.stats: Dict[str, int] = {"lookups": 0, "candidates": 0, "verify_calls": 0}
         self._exact: Optional[ExactIndex] = None
         if self._eq_clauses:
             self._exact = ExactIndex(master, [c.master_attr for c in self._eq_clauses])
@@ -97,19 +120,60 @@ class MDBlockingIndex:
         # a usable edit budget; built lazily only when needed.
         self._trees: Dict[str, GeneralizedSuffixTree] = {}
         self._tree_values: Dict[str, Dict[int, List[CTuple]]] = {}
+        #: The similarity-join index (join engine, pure-similarity premise).
+        self.join_index = None
+        self._join_clause = None
+        self._positions: Optional[Dict[Optional[int], int]] = None
         if use_suffix_tree and not self._eq_clauses:
-            for clause in self._sim_clauses:
-                if clause.predicate.edit_budget is not None:
-                    self._build_tree(clause.master_attr)
-                    break
+            if self.engine == "join":
+                # Imported lazily: ``matching`` imports the matcher, which
+                # imports this module — a module-level import would cycle.
+                from repro.matching.simjoin import QGramIndex
+
+                for clause in self._sim_clauses:
+                    spec = clause.join_filter()
+                    if spec is not None:
+                        self.join_index = QGramIndex(
+                            master, clause.master_attr, spec, clause.predicate
+                        )
+                        self._join_clause = clause
+                        break
+            else:
+                for clause in self._sim_clauses:
+                    if clause.predicate.edit_budget is not None:
+                        self._build_tree(clause.master_attr)
+                        break
 
     @property
     def is_exact(self) -> bool:
-        """Whether candidate retrieval is lossless (equality blocking or
-        full scans) — i.e. :meth:`matches` finds *every* premise match.
-        Suffix-tree retrieval caps candidates at top-``l`` and may drop
-        true matches; verdict-style callers must not rely on it."""
-        return self._exact is not None or not self.use_suffix_tree
+        """Whether candidate retrieval is lossless — i.e. :meth:`matches`
+        finds *every* premise match.  True for equality blocking, full
+        scans, and the join engine (whose filters are upper-bound-sound,
+        making retrieval exhaustive by construction).  Only the reference
+        engine's suffix-tree retrieval caps candidates at top-``l`` and
+        may drop true matches; verdict-style callers must not rely on it."""
+        return (
+            self._exact is not None
+            or not self.use_suffix_tree
+            or self.engine == "join"
+        )
+
+    @property
+    def verify_calls(self) -> int:
+        """Total similarity verifications so far: full premise checks plus
+        (join engine) per-distinct-value driving-predicate checks."""
+        total = self.stats["verify_calls"]
+        if self.join_index is not None:
+            total += self.join_index.stats["verify_calls"]
+        return total
+
+    def _tid_positions(self) -> Dict[Optional[int], int]:
+        positions = self._positions
+        if positions is None:
+            positions = self._positions = {
+                tid: i for i, tid in enumerate(self.master.tids())
+            }
+        return positions
 
     def _build_tree(self, master_attr: str) -> None:
         if master_attr in self._trees:
@@ -139,6 +203,16 @@ class MDBlockingIndex:
             if any(is_null(v) for v in key):
                 return []
             return self._exact.lookup(key)
+        if self.join_index is not None:
+            value = t[self._join_clause.attr]
+            if is_null(value):
+                return []
+            out: List[CTuple] = []
+            for group in self.join_index.probe_groups(value):
+                out.extend(group.tuples)
+            positions = self._tid_positions()
+            out.sort(key=lambda s: positions[s.tid])
+            return out
         if self.use_suffix_tree:
             for clause in self._sim_clauses:
                 budget = clause.predicate.edit_budget
@@ -149,15 +223,57 @@ class MDBlockingIndex:
                     return []
                 tree = self._trees[clause.master_attr]
                 sids = tree.lcs_candidates(str(value), budget, self.top_l)
-                out: List[CTuple] = []
+                out = []
                 for sid in sids:
                     out.extend(self._tree_values[clause.master_attr][sid])
                 return out
         return self.master.tuples()
 
+    def _join_matches(self, t: CTuple) -> List[CTuple]:
+        """Join-engine ``matches()``: the driving predicate is verified
+        once per distinct master value (exactly, inside the join index);
+        only the residual premise clauses run per tuple.  The result is
+        sorted into master insertion order — byte-identical to filtering
+        a full scan."""
+        value = t[self._join_clause.attr]
+        if is_null(value):
+            return []
+        residual = list(self.md._eval_order)
+        try:
+            residual.remove(self._join_clause)
+        except ValueError:  # pragma: no cover - premise always holds it
+            pass
+        out: List[CTuple] = []
+        for group in self.join_index.verified_groups(value):
+            self.stats["candidates"] += len(group.tuples)
+            if not residual:
+                out.extend(group.tuples)
+                continue
+            for s in group.tuples:
+                held = True
+                for clause in residual:
+                    self.stats["verify_calls"] += 1
+                    if not clause.holds(t, s):
+                        held = False
+                        break
+                if held:
+                    out.append(s)
+        positions = self._tid_positions()
+        out.sort(key=lambda s: positions[s.tid])
+        return out
+
     def matches(self, t: CTuple) -> List[CTuple]:
         """All master tuples whose full premise holds against *t*."""
-        return [s for s in self.candidates(t) if self.md.premise_holds(t, s)]
+        self.stats["lookups"] += 1
+        if self._exact is None and self.join_index is not None:
+            return self._join_matches(t)
+        out: List[CTuple] = []
+        for s in self.candidates(t):
+            self.stats["candidates"] += 1
+            self.stats["verify_calls"] += 1
+            if self.md.premise_holds(t, s):
+                out.append(s)
+        return out
 
     def find_match(self, t: CTuple) -> Optional[CTuple]:
         """The first (smallest master tid) premise-satisfying master tuple.
@@ -165,6 +281,11 @@ class MDBlockingIndex:
         Deterministic: candidates are ordered by master tid before
         verification, so repeated runs pick the same witness.
         """
+        if self._exact is None and self.join_index is not None:
+            matched = self._join_matches(t)
+            if not matched:
+                return None
+            return min(matched, key=lambda s: s.tid or 0)
         best: Optional[CTuple] = None
         for s in self.candidates(t):
             if self.md.premise_holds(t, s):
@@ -234,12 +355,17 @@ def build_md_indexes(
     master: Relation,
     top_l: int = 20,
     use_suffix_tree: bool = True,
+    engine: Optional[str] = None,
 ) -> Dict[str, MDBlockingIndex]:
     """Build one :class:`MDBlockingIndex` per normalized MD, keyed by name."""
     out: Dict[str, MDBlockingIndex] = {}
     for md in mds:
         for normalized in md.normalize():
             out[normalized.name] = MDBlockingIndex(
-                normalized, master, top_l=top_l, use_suffix_tree=use_suffix_tree
+                normalized,
+                master,
+                top_l=top_l,
+                use_suffix_tree=use_suffix_tree,
+                engine=engine,
             )
     return out

@@ -1,12 +1,17 @@
-"""Record matching: MD-driven matching and the SortN baseline (Exp-2)."""
+"""Record matching: MD-driven matching, the similarity-join engine
+behind it (``simjoin``), and the SortN baseline (Exp-2)."""
 
 from repro.matching.matcher import MatchResult, MDMatcher, match_after_cleaning
+from repro.matching.simjoin import ProfileCache, QGramIndex, ValueGroup
 from repro.matching.sortn import SortedNeighborhood, default_key
 
 __all__ = [
     "MDMatcher",
     "MatchResult",
+    "ProfileCache",
+    "QGramIndex",
     "SortedNeighborhood",
+    "ValueGroup",
     "default_key",
     "match_after_cleaning",
 ]

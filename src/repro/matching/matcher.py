@@ -42,6 +42,9 @@ class MDMatcher:
         Master data ``Dm``.
     top_l, use_suffix_tree:
         Blocking parameters (Section 5.2).
+    engine:
+        MD match engine override; ``None`` defers to the process-wide
+        ``REPRO_MATCH_ENGINE`` flag.
     """
 
     def __init__(
@@ -50,13 +53,16 @@ class MDMatcher:
         master: Relation,
         top_l: int = 20,
         use_suffix_tree: bool = True,
+        engine: Optional[str] = None,
     ):
         self.master = master
         self.mds: List[MD] = []
         for md in mds:
             self.mds.extend(md.normalize())
         self.indexes = [
-            MDBlockingIndex(md, master, top_l=top_l, use_suffix_tree=use_suffix_tree)
+            MDBlockingIndex(
+                md, master, top_l=top_l, use_suffix_tree=use_suffix_tree, engine=engine
+            )
             for md in self.mds
         ]
 
@@ -79,11 +85,14 @@ def match_after_cleaning(
     master: Relation,
     top_l: int = 20,
     use_suffix_tree: bool = True,
+    engine: Optional[str] = None,
 ) -> MatchResult:
     """Matches read off a (repaired) relation — UniClean's Exp-2 output.
 
     "Repairing helps matching": running the same MD premises on the
     repaired relation discovers matches the dirty data hides.
     """
-    matcher = MDMatcher(mds, master, top_l=top_l, use_suffix_tree=use_suffix_tree)
+    matcher = MDMatcher(
+        mds, master, top_l=top_l, use_suffix_tree=use_suffix_tree, engine=engine
+    )
     return matcher.match(repaired)

@@ -296,6 +296,9 @@ class CleaningSession:
                     self.master,
                     top_l=self.config.top_l,
                     use_suffix_tree=self.config.use_suffix_tree,
+                    # getattr: configs unpickled from pre-match-engine
+                    # snapshots lack the field; None defers to the flag.
+                    engine=getattr(self.config, "match_engine", None),
                 )
             )
 

@@ -53,7 +53,15 @@ Two process-wide switches, both overridable per call site:
   :func:`set_repair_engine`) routes the cRepair/eRepair/hRepair kernels
   through the original per-tuple loops instead of the ref-column
   (and numpy-accelerated) paths.  The same byte-identity contract
-  applies, enforced by ``tests/properties/test_property_repair_engines.py``.
+  applies, enforced by ``tests/properties/test_property_repair_engines.py``;
+* match engine — ``REPRO_MATCH_ENGINE=reference`` (or
+  :func:`set_match_engine`) routes MD premise matching back through the
+  per-tuple top-l suffix-tree retrieval instead of the filtered
+  inverted-index similarity join (``matching/simjoin.py``).  Unlike the
+  other pairs, the join engine is *more* exact than the reference one
+  (top-l retrieval can drop true matches); match sets are byte-identical
+  wherever the reference path is itself exhaustive, enforced by
+  ``tests/properties/test_property_match_engines.py``.
 """
 
 from __future__ import annotations
@@ -83,15 +91,18 @@ __all__ = [
     "GLOBAL_TABLE",
     "check_engine",
     "default_columnar",
+    "match_engine",
     "materializations",
     "numpy_or_none",
     "repair_engine",
     "repair_vectorized_for",
     "set_check_engine",
     "set_default_columnar",
+    "set_match_engine",
     "set_repair_engine",
     "using_backend",
     "using_engine",
+    "using_match_engine",
     "using_repair_engine",
     "vectorized_for",
 ]
@@ -103,7 +114,9 @@ __all__ = [
 _DEFAULT_COLUMNAR: bool = os.environ.get("REPRO_COLUMNAR", "1") != "0"
 _CHECK_ENGINE: str = os.environ.get("REPRO_CHECK_ENGINE", "vectorized")
 _REPAIR_ENGINE: str = os.environ.get("REPRO_REPAIR_ENGINE", "vectorized")
+_MATCH_ENGINE: str = os.environ.get("REPRO_MATCH_ENGINE", "join")
 _ENGINES = ("vectorized", "reference")
+_MATCH_ENGINES = ("join", "reference")
 
 #: Counter of on-demand ``_values``/``_conf`` dict materializations by
 #: row-views — the hot paths must never trigger one (CI regression test).
@@ -168,6 +181,23 @@ def repair_vectorized_for(relation: Any) -> bool:
     )
 
 
+def match_engine() -> str:
+    """The active MD match engine: ``"join"`` or ``"reference"``."""
+    return _MATCH_ENGINE
+
+
+def set_match_engine(name: str) -> str:
+    """Select the match engine; returns the previous one."""
+    global _MATCH_ENGINE
+    if name not in _MATCH_ENGINES:
+        raise ValueError(
+            f"unknown match engine {name!r}; expected one of {_MATCH_ENGINES}"
+        )
+    previous = _MATCH_ENGINE
+    _MATCH_ENGINE = name
+    return previous
+
+
 def numpy_or_none() -> Any:
     """The ``numpy`` module when importable, else ``None`` — repair
     kernels branch on this and keep a pure-python fallback.  Note that
@@ -205,6 +235,16 @@ def using_repair_engine(name: str) -> Iterator[None]:
         yield
     finally:
         set_repair_engine(previous)
+
+
+@contextmanager
+def using_match_engine(name: str) -> Iterator[None]:
+    """Temporarily force the match engine (tests)."""
+    previous = set_match_engine(name)
+    try:
+        yield
+    finally:
+        set_match_engine(previous)
 
 
 def materializations() -> int:
@@ -283,6 +323,24 @@ class ValueTable:
         stores are identity hits."""
         table_values = self.values
         return tuple(table_values[self.ref(v)] for v in values)
+
+    def strings(self, refs: Sequence[int]) -> List[str]:
+        """The ``str()`` forms of *refs*, aligned with the input.
+
+        Bulk string-column access for similarity-index builds: the
+        conversion runs once per *distinct* ref (string values pass
+        through untouched), so a million-row column with a few thousand
+        distinct values costs a few thousand ``str()`` calls."""
+        values = self.values
+        memo: Dict[int, str] = {}
+        out: List[str] = []
+        for ref in refs:
+            s = memo.get(ref)
+            if s is None:
+                value = values[ref]
+                s = memo[ref] = value if isinstance(value, str) else str(value)
+            out.append(s)
+        return out
 
 
 #: The process-wide resident dictionary every columnar relation shares.

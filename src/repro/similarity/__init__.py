@@ -22,16 +22,19 @@ from repro.similarity.predicates import (
     DEFAULT_REGISTRY,
     EQ,
     EQ_NORMALIZED,
+    JoinFilterSpec,
     PredicateRegistry,
     SimilarityPredicate,
     edit_sim_at_least,
     edit_within,
     jaro_winkler_at_least,
+    join_filter_for,
     qgram_jaccard_at_least,
 )
 from repro.similarity.qgrams import (
     jaccard_similarity,
     overlap_coefficient,
+    qgram_multiset_tokens,
     qgram_set,
     qgram_similarity,
     qgrams,
@@ -42,6 +45,7 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "EQ",
     "EQ_NORMALIZED",
+    "JoinFilterSpec",
     "PredicateRegistry",
     "SimilarityPredicate",
     "common_prefix_length",
@@ -55,6 +59,7 @@ __all__ = [
     "jaro_similarity",
     "jaro_winkler_at_least",
     "jaro_winkler_similarity",
+    "join_filter_for",
     "lcs_blocking_bound",
     "lcs_similarity",
     "longest_common_substring",
@@ -62,6 +67,7 @@ __all__ = [
     "overlap_coefficient",
     "passes_lcs_filter",
     "qgram_jaccard_at_least",
+    "qgram_multiset_tokens",
     "qgram_set",
     "qgram_similarity",
     "qgrams",

@@ -42,12 +42,20 @@ class SimilarityPredicate:
         When the predicate is (at least as strict as) "edit distance ≤ k",
         the value of k; lets the suffix-tree blocking prune candidates.
         ``None`` when no such bound applies.
+    qgram_q:
+        For q-gram Jaccard predicates, the gram length; ``None`` otherwise.
+    qgram_threshold:
+        For q-gram Jaccard predicates, the similarity threshold; ``None``
+        otherwise.  Together with ``qgram_q`` this lets the similarity-join
+        engine derive exact prefix/size/overlap filter bounds.
     """
 
     name: str
     test: Callable[[Any, Any], bool] = field(compare=False)
     is_equality: bool = False
     edit_budget: Optional[int] = None
+    qgram_q: Optional[int] = None
+    qgram_threshold: Optional[float] = None
 
     def __call__(self, left: Any, right: Any) -> bool:
         if is_null(left) or is_null(right):
@@ -120,6 +128,8 @@ def qgram_jaccard_at_least(threshold: float, q: int = 2) -> SimilarityPredicate:
     return SimilarityPredicate(
         f"qgram{q}>={threshold:g}",
         lambda a, b: qgram_similarity(_as_str(a), _as_str(b), q=q) >= threshold,
+        qgram_q=q,
+        qgram_threshold=threshold,
     )
 
 
@@ -185,3 +195,56 @@ def _predicate_by_name(name: str) -> SimilarityPredicate:
     """Unpickling hook: resolve a predicate through the default registry
     (parametric names like ``edit<=2`` are parsed on demand)."""
     return DEFAULT_REGISTRY.get(name)
+
+
+@dataclass(frozen=True)
+class JoinFilterSpec:
+    """Filter parameters the similarity-join engine derives from a predicate.
+
+    ``kind`` selects the bound family:
+
+    * ``"edit"`` — the predicate guarantees ``edit_distance <= k``; the
+      engine uses the q-gram count bound (shared grams >=
+      ``max(|G_u|, |G_v|) - k*q``), a ±k length window and a ``k*q + 1``
+      token prefix.
+    * ``"jaccard"`` — the predicate is q-gram Jaccard >= t; the engine
+      uses the ``t/(1+t)`` overlap bound, the ``[t*a, a/t]`` size window
+      and the matching prefix lengths, and can even *verify* from the
+      indexed gram sets without re-tokenizing.
+
+    Every bound is a necessary condition for the predicate to hold, so the
+    filter pipeline is lossless; survivors are confirmed with the exact
+    predicate (or exact gram-set arithmetic), keeping match sets
+    byte-identical to a full scan.
+    """
+
+    kind: str
+    q: int
+    edit_budget: Optional[int] = None
+    threshold: Optional[float] = None
+
+
+#: Gram length used for edit-bound filtering (the Jaccard family carries
+#: its own q in the predicate).
+EDIT_FILTER_Q = 2
+
+
+def join_filter_for(predicate: SimilarityPredicate) -> Optional[JoinFilterSpec]:
+    """The :class:`JoinFilterSpec` for *predicate*, or ``None``.
+
+    ``None`` means the similarity-join engine has no usable bound family
+    for this predicate (e.g. Jaro–Winkler) and must fall back to a full
+    scan — still exact, just unfiltered.  Equality predicates return
+    ``None`` too: they are served by the hash-based :class:`ExactIndex`.
+    """
+    if predicate.is_equality:
+        return None
+    if predicate.qgram_q is not None and predicate.qgram_threshold is not None:
+        if predicate.qgram_threshold <= 0.0:
+            return None  # J >= 0 admits everything; no filter possible
+        return JoinFilterSpec(
+            kind="jaccard", q=predicate.qgram_q, threshold=predicate.qgram_threshold
+        )
+    if predicate.edit_budget is not None:
+        return JoinFilterSpec(kind="edit", q=EDIT_FILTER_Q, edit_budget=predicate.edit_budget)
+    return None

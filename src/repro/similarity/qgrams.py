@@ -7,8 +7,15 @@ blocking and similarity joins (Xiao et al. 2011, cited by the paper).
 
 from __future__ import annotations
 
+import math
 from collections import Counter
-from typing import FrozenSet, Sequence, Set
+from typing import FrozenSet, Sequence, Set, Tuple
+
+#: Slack for the float arithmetic in the Jaccard filter bounds below.
+#: Bounds are only ever *relaxed* by it (windows widen, thresholds drop),
+#: so rounding can never over-prune; the final predicate call restores
+#: exactness.
+FILTER_EPS = 1e-9
 
 
 def qgrams(s: str, q: int = 2, pad: bool = True, pad_char: str = "#") -> Counter:
@@ -81,3 +88,76 @@ def overlap_coefficient(a: Set, b: Set) -> float:
     if not a or not b:
         return 1.0 if not a and not b else 0.0
     return len(a & b) / min(len(a), len(b))
+
+
+# ----------------------------------------------------------------------
+# Filter-bound helpers for the set-based similarity join
+# (``matching/simjoin.py``).  All bounds are *necessary* conditions —
+# upper bounds on what a true match can violate — so pruning with them is
+# lossless; survivors are re-verified with the exact predicate.
+# ----------------------------------------------------------------------
+
+
+def qgram_multiset_tokens(s: str, q: int = 2, pad: bool = True) -> Tuple[Tuple[str, int], ...]:
+    """The padded q-gram *multiset* of *s* encoded as a token set.
+
+    Each gram occurrence becomes a distinct ``(gram, occurrence#)`` token,
+    the standard trick that lets multiset overlap be computed with plain
+    set machinery (an inverted index keyed by tokens).  With padding and
+    ``q >= 2`` the token count is exactly ``len(s) + q - 1``.
+    """
+    counts = qgrams(s, q=q, pad=pad)
+    return tuple((gram, occ) for gram, n in counts.items() for occ in range(n))
+
+
+def qgram_profile_size(length: int, q: int = 2) -> int:
+    """Padded multiset q-gram count of any string of *length* chars (``q >= 2``)."""
+    return length + q - 1
+
+
+def edit_overlap_bound(len_a: int, len_b: int, k: int, q: int = 2) -> int:
+    """Minimum shared (multiset) q-grams of two strings within edit distance *k*.
+
+    One edit destroys at most *q* grams, so strings with
+    ``edit_distance <= k`` share at least ``max(|G_a|, |G_b|) - k*q``
+    grams (Gravano et al. 2001).  A result ``<= 0`` means the bound
+    cannot prune for this length pair.
+    """
+    return qgram_profile_size(max(len_a, len_b), q) - k * q
+
+
+def edit_prefix_length(k: int, q: int = 2) -> int:
+    """Prefix-filter length for the edit-*k* bound: ``k*q + 1`` tokens.
+
+    If two profiles share ``>= |G| - k*q`` tokens, they must share one
+    within the first ``k*q + 1`` tokens of any fixed global token order.
+    """
+    return k * q + 1
+
+
+def jaccard_size_window(size: int, threshold: float) -> Tuple[int, int]:
+    """Admissible partner set sizes ``[lo, hi]`` for Jaccard >= *threshold*.
+
+    ``J(a, b) >= t`` forces ``t*|a| <= |b| <= |a|/t``.  *threshold* must be
+    positive (a zero threshold admits everything and cannot filter).
+    """
+    lo = math.ceil(threshold * size - FILTER_EPS)
+    hi = math.floor(size / threshold + FILTER_EPS)
+    return max(lo, 0), hi
+
+
+def jaccard_overlap_bound(size_a: int, size_b: int, threshold: float) -> int:
+    """Minimum overlap of two sets with Jaccard >= *threshold*:
+    ``ceil(t/(1+t) * (|a| + |b|))``."""
+    need = threshold * (size_a + size_b) / (1.0 + threshold)
+    return math.ceil(need - FILTER_EPS)
+
+
+def jaccard_prefix_length(size: int, threshold: float) -> int:
+    """Prefix-filter length for a set of *size* tokens under Jaccard-*t*.
+
+    The smallest possible required overlap for this set (against its
+    smallest admissible partner) is ``ceil(t * size)``; skipping more than
+    ``size - ceil(t*size)`` tokens could skip every shared one.
+    """
+    return size - math.ceil(threshold * size - FILTER_EPS) + 1

@@ -5,6 +5,7 @@ import pytest
 from repro.constraints import MD
 from repro.indexing import ExactIndex, MDBlockingIndex, build_md_indexes
 from repro.relational import NULL, Relation, Schema
+from repro.relational.columns import using_match_engine
 from repro.similarity import edit_within
 
 
@@ -99,3 +100,71 @@ class TestMDBlockingIndex:
         indexes = build_md_indexes([md], master)
         assert len(indexes) == 2
         assert all(index.md.is_normalized for index in indexes.values())
+
+
+class TestTopLDroppedMatchRegression:
+    """The lossy-default regression: top-``l`` LCS retrieval can silently
+    drop a true match when ``l`` decoys out-rank it on LCS length.  The
+    join engine — now the default — is exhaustive on the same workload.
+    """
+
+    @pytest.fixture()
+    def schema(self) -> Schema:
+        return Schema("R", ["name", "phone"])
+
+    @pytest.fixture()
+    def master(self, schema) -> Relation:
+        # Six decoys contain the probe "abcdefgh" verbatim (LCS 8, edit
+        # distance huge); the single true edit<=1 match "abcdefgx" only
+        # reaches LCS 7, so top-l=4 retrieval keeps decoys exclusively.
+        rows = [
+            {"name": f"abcdefgh suffix {i:02d}", "phone": str(i)} for i in range(6)
+        ]
+        rows.append({"name": "abcdefgx", "phone": "99"})
+        return Relation.from_dicts(schema, rows)
+
+    @pytest.fixture()
+    def md(self, schema) -> MD:
+        return MD(schema, schema, [("name", "name", edit_within(1))], [("phone", "phone")])
+
+    @pytest.fixture()
+    def probe(self, schema):
+        return Relation.from_dicts(
+            schema, [{"name": "abcdefgh", "phone": "p"}]
+        ).by_tid(0)
+
+    def test_reference_engine_drops_the_true_match(self, md, master, probe):
+        index = MDBlockingIndex(md, master, top_l=4, engine="reference")
+        assert not index.is_exact
+        assert index.matches(probe) == []  # silently lossy
+
+    def test_join_engine_finds_it_and_is_exact(self, md, master, probe):
+        index = MDBlockingIndex(md, master, top_l=4, engine="join")
+        assert index.is_exact
+        assert [s.tid for s in index.matches(probe)] == [6]
+
+    def test_exhaustive_scan_agrees_with_join(self, md, master, probe):
+        scan = MDBlockingIndex(md, master, use_suffix_tree=False, engine="reference")
+        join = MDBlockingIndex(md, master, engine="join")
+        assert [s.tid for s in join.matches(probe)] == [
+            s.tid for s in scan.matches(probe)
+        ]
+
+    def test_join_is_the_default_engine(self, md, master, probe):
+        with using_match_engine("join"):
+            index = MDBlockingIndex(md, master, top_l=4)
+            assert index.engine == "join"
+            assert index.is_exact
+            assert [s.tid for s in index.matches(probe)] == [6]
+
+    def test_warm_cache_round_trip_under_join(self, md, master, probe):
+        index = MDBlockingIndex(md, master, engine="join")
+        first = index.cached_matches(probe)
+        entries = index.cache_entries()
+        fresh = MDBlockingIndex(md, master, engine="join")
+        fresh.warm_cache(entries)
+        assert [s.tid for s in fresh.cached_matches(probe)] == [
+            s.tid for s in first
+        ]
+        # the warmed cache answered without a new probe
+        assert fresh.join_index.stats["probes"] == 0
