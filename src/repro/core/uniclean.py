@@ -17,7 +17,7 @@ three algorithms consecutively:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Sequence
 
 from repro.analysis.consistency import assert_consistent
@@ -51,9 +51,9 @@ class UniCleanConfig:
         MD match engine for blocking indexes: ``"join"`` (filtered
         inverted-index similarity join, exact) or ``"reference"``
         (top-``l`` suffix-tree retrieval).  ``None`` defers to the
-        process-wide ``REPRO_MATCH_ENGINE`` flag.  Read with ``getattr``
-        defaults everywhere: configs pickled before this field existed
-        (persisted snapshots) must keep loading.
+        process-wide ``REPRO_MATCH_ENGINE`` flag.  Configs pickled
+        before this field existed (persisted snapshots) keep loading:
+        :meth:`__setstate__` fills absent fields with their defaults.
     use_violation_index:
         Drive all three phases from the incremental
         :class:`~repro.indexing.violation_index.ViolationIndex` (dirty
@@ -78,6 +78,21 @@ class UniCleanConfig:
     run_crepair: bool = True
     run_erepair: bool = True
     run_hrepair: bool = True
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        """Upgrade configs pickled before a field existed.
+
+        Snapshots and checkpoints persist the config by pickling; every
+        new engine flag added since (``match_engine`` today, any future
+        field tomorrow) would otherwise be missing from old payloads and
+        every reader would need a per-field ``getattr`` shim.  Centralize
+        the forward-compat here instead: absent fields take their
+        dataclass defaults, unknown (newer-writer) fields are kept as-is.
+        """
+        for f in fields(self):
+            if f.name not in state:
+                state[f.name] = f.default
+        self.__dict__.update(state)
 
 
 @dataclass

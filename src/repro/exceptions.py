@@ -57,6 +57,36 @@ class SnapshotCorrupt(SnapshotError):
     """
 
 
+class ServiceError(ReproError):
+    """An error surfaced by the online cleaning service
+    (:mod:`repro.pipeline.service`)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """A write was refused because the tenant's request queue is at its
+    high-water mark and the caller declined to block (``block=False``)
+    or its blocking timeout expired.
+
+    This is the service's bounded-backpressure contract: a queue never
+    grows without bound — producers are throttled at submission time
+    instead of the consumer drowning.
+    """
+
+
+class ServiceClosed(ServiceError):
+    """A write was submitted to a service that is closing or closed.
+
+    ``CleaningService.close(drain=True)`` refuses new writes while the
+    buffered tail drains; ``drain=False`` additionally fails every
+    pending ticket with this error.
+    """
+
+
+class UnknownTenant(ServiceError):
+    """A request named a tenant the :class:`SessionRegistry` does not
+    hold."""
+
+
 class NonTerminationError(CleaningError):
     """A bounded cleaning process exceeded its step budget.
 

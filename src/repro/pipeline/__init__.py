@@ -17,19 +17,28 @@
 * :mod:`~repro.pipeline.supervision` /
   :mod:`~repro.pipeline.faults` — worker supervision (timeouts,
   bounded retries, respawn, serial fallback) and the deterministic
-  fault-injection harness that exercises it.
+  fault-injection harness that exercises it;
+* :mod:`~repro.pipeline.service` — the online
+  :class:`CleaningService`: an asynchronous, multi-tenant request queue
+  over sessions (micro-batch coalescing under a :class:`FlushPolicy`,
+  bounded backpressure, snapshot-isolated reads, checkpointed
+  recovery).
 
 See the "Sessions and deltas", "Sharding", "Incremental re-planning",
-"Snapshots and recovery" and "Fault tolerance and recovery" sections of
-``docs/architecture.md``.
+"Snapshots and recovery", "Fault tolerance and recovery" and "Online
+cleaning service" sections of ``docs/architecture.md``.
 """
 
 from repro.exceptions import (
     RetriesExhausted,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
     ShardTimeout,
     SnapshotCorrupt,
     SnapshotError,
     TornFrame,
+    UnknownTenant,
     WorkerFailure,
 )
 from repro.pipeline.changeset import (
@@ -41,6 +50,12 @@ from repro.pipeline.changeset import (
     KEEP,
 )
 from repro.pipeline.faults import FaultInjector, FaultSpec, InjectedFault
+from repro.pipeline.service import (
+    CleaningService,
+    FlushPolicy,
+    SessionRegistry,
+    WriteTicket,
+)
 from repro.pipeline.session import ApplyResult, CleaningSession
 from repro.pipeline.sharding import (
     ShardedCleaningSession,
@@ -55,15 +70,21 @@ __all__ = [
     "ApplyResult",
     "CellEdit",
     "Changeset",
+    "CleaningService",
     "CleaningSession",
     "Delete",
     "FaultInjector",
     "FaultSpec",
+    "FlushPolicy",
     "Insert",
     "InjectedFault",
     "KEEP",
     "RetriesExhausted",
     "SNAPSHOT_VERSION",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceOverloaded",
+    "SessionRegistry",
     "ShardPlan",
     "ShardPlanner",
     "ShardTimeout",
@@ -72,5 +93,7 @@ __all__ = [
     "SnapshotError",
     "SupervisionPolicy",
     "TornFrame",
+    "UnknownTenant",
     "WorkerFailure",
+    "WriteTicket",
 ]

@@ -1,0 +1,804 @@
+"""The online cleaning service: concurrent clients over live sessions.
+
+:class:`~repro.pipeline.session.CleaningSession` and
+:class:`~repro.pipeline.sharding.ShardedCleaningSession` are synchronous
+and single-caller: one thread owns the session and calls ``apply()``.
+The UniClean workload, though, is inherently a *serving* one — deltas
+arrive continuously from many producers and the repaired relation must
+stay queryable throughout.  This module wraps sessions behind an
+asynchronous request queue, in the shape dynamic query-evaluation work
+("Answering FO+MOD queries under updates", PAPERS.md) argues for:
+bounded per-update work against maintained state, here stretched to a
+multi-tenant process with failure recovery.
+
+Shape
+-----
+* :class:`CleaningService` owns one **consumer thread**.  Producers call
+  :meth:`~CleaningService.submit`, which enqueues a
+  :class:`WriteTicket` and returns immediately; the consumer coalesces
+  queued changesets per tenant into micro-batches under a
+  :class:`FlushPolicy` (flush at ``max_batch`` tickets, or when the
+  oldest has lingered ``max_linger`` seconds) and applies each batch via
+  the session's ``apply_many`` — one merged delta, **≤ 1 re-plan per
+  batch**, exactly the PR 4 ``buffer()``/``flush()`` plumbing driven
+  from a queue.
+* **Acknowledgment order is the serial order.**  Tickets of one tenant
+  are applied strictly in submission (FIFO) order, and
+  ``apply_many(batch) ≡ apply(δ₁); …; apply(δₙ)`` (both equal a
+  from-scratch clean of the fully edited base), so the service's final
+  state is byte-identical to a serial replay of the acknowledged
+  changesets in acknowledgment order — the equivalence the
+  ``service`` scenario of ``benchmarks/perf_report.py`` asserts.
+* **Snapshot-isolated reads**: :meth:`~CleaningService.read` serves a
+  detached clone of the working relation taken at the last batch
+  commit.  Readers never observe a half-applied batch, and a read
+  between commits costs nothing (the clone is cached per commit
+  version, cut only when a reader actually asks).
+* **Bounded backpressure**: each tenant's queue has a ``high_water``
+  mark.  At the mark, :meth:`~CleaningService.submit` blocks (optionally
+  with a timeout) or raises
+  :class:`~repro.exceptions.ServiceOverloaded` (``block=False``) —
+  producers throttle at the edge instead of the queue growing without
+  bound.
+* **Multi-tenant**: a :class:`SessionRegistry` holds many independent
+  dataset/rule-set sessions per process.  The consumer round-robins
+  across tenants with due work, so one firehose tenant cannot starve
+  the others; a poisoned tenant never affects its neighbours.
+* **Recovery** (sharded tenants with a ``checkpoint_dir``): a typed
+  worker failure that poisons the session (PR 6 semantics) triggers the
+  checkpointed-recovery machinery — the dead session is force-killed,
+  the newest validating checkpoint restored
+  (:meth:`ShardedCleaningSession.restore_latest` semantics), the
+  acknowledged changesets since that checkpoint replayed from the
+  service's ledger, and then the failed batch and the unacknowledged
+  tail re-applied.  Producers only observe extra latency; the
+  acknowledged prefix is never lost and the converged state equals the
+  never-faulted serial replay.
+
+``close(drain=True)`` refuses new writes, drains every queued ticket,
+then force-kills the sessions (hung workers cannot block shutdown —
+``ShardedCleaningSession.close`` semantics); ``drain=False`` fails the
+pending tail with :class:`~repro.exceptions.ServiceClosed` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.exceptions import (
+    DataError,
+    SchemaError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    SnapshotError,
+    TornFrame,
+    UnknownTenant,
+    WorkerFailure,
+)
+from repro.pipeline.changeset import Changeset
+from repro.pipeline.faults import InjectedFault
+from repro.pipeline.session import ApplyResult
+from repro.relational.relation import Relation
+
+__all__ = [
+    "CleaningService",
+    "FlushPolicy",
+    "SessionRegistry",
+    "WriteTicket",
+]
+
+#: The exception types that poison a session (mirrors
+#: ``ShardedCleaningSession._absorb_failure``): after one of these the
+#: coordinator refuses further work until a clean() or restore.
+_POISONING = (WorkerFailure, TornFrame, InjectedFault)
+
+
+@dataclass(frozen=True)
+class FlushPolicy:
+    """When the consumer cuts a tenant's queued tickets into a batch.
+
+    A batch flushes as soon as **either** bound is hit:
+
+    ``max_batch``
+        Queue length at which the batch is full (coalescing bound).
+    ``max_linger``
+        Seconds the *oldest* queued ticket may wait before the batch
+        flushes regardless of size (latency bound).  ``0`` flushes every
+        ticket immediately — no coalescing, minimum latency.
+    """
+
+    max_batch: int = 32
+    max_linger: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_linger < 0:
+            raise ValueError(
+                f"max_linger must be >= 0, got {self.max_linger}"
+            )
+
+
+class WriteTicket:
+    """One submitted changeset: a future the producer can wait on.
+
+    ``result()`` blocks until the consumer acknowledged the write and
+    returns the batch's :class:`~repro.pipeline.session.ApplyResult`
+    (shared by every ticket coalesced into the batch; ``None`` for an
+    op-less changeset — the ``apply_many`` empty-batch contract), or
+    re-raises the failure that killed it.  ``submitted_at``/``acked_at``
+    are ``time.monotonic`` stamps; ``latency`` is their difference —
+    what the service benchmark aggregates into p50/p99.
+    """
+
+    __slots__ = (
+        "tenant", "changeset", "seq", "submitted_at", "acked_at",
+        "ack_seq", "_event", "_result", "_error",
+    )
+
+    def __init__(self, tenant: str, changeset: Changeset, seq: int):
+        self.tenant = tenant
+        self.changeset = changeset
+        #: Per-tenant submission sequence number (FIFO order).
+        self.seq = seq
+        self.submitted_at = time.monotonic()
+        self.acked_at: Optional[float] = None
+        #: Per-tenant acknowledgment index (== serial-replay position).
+        self.ack_seq: Optional[int] = None
+        self._event = threading.Event()
+        self._result: Optional[ApplyResult] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether the ticket was acknowledged or failed."""
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Optional[ApplyResult]:
+        """Block until done; return the batch result or re-raise."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"ticket #{self.seq} of tenant {self.tenant!r} not "
+                f"acknowledged within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit→ack seconds (``None`` until acknowledged)."""
+        if self.acked_at is None:
+            return None
+        return self.acked_at - self.submitted_at
+
+    # -- consumer side -------------------------------------------------
+    def _resolve(self, result: Optional[ApplyResult], ack_seq: int) -> None:
+        self._result = result
+        self.ack_seq = ack_seq
+        self.acked_at = time.monotonic()
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.acked_at = time.monotonic()
+        self._event.set()
+
+
+class _Tenant:
+    """Everything the service holds for one registered session."""
+
+    def __init__(
+        self,
+        name: str,
+        session: Any,
+        high_water: int,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
+        max_recoveries: int = 1,
+    ):
+        self.name = name
+        self.session = session
+        self.high_water = high_water
+        self.pending: Deque[WriteTicket] = deque()
+        #: Serializes batch application against snapshot cuts.
+        self.commit_lock = threading.Lock()
+        #: Bumped once per committed batch; the snapshot cache key.
+        self.version = 0
+        self._snapshot: Optional[Relation] = None
+        self._snapshot_version = -1
+        self.next_seq = 0
+        self.next_ack = 0
+        #: Unrecoverable failure: set once, refuses every later submit.
+        self.poisoned: Optional[BaseException] = None
+
+        # -- recovery state (sharded tenants with a checkpoint_dir) ----
+        from pathlib import Path
+
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_retain = checkpoint_retain
+        self.max_recoveries = max_recoveries
+        self.recoveries_used = 0
+        self._batches_since_checkpoint = 0
+        #: Acknowledged changesets since the oldest retained checkpoint,
+        #: in acknowledgment order; ``ledger_base`` is the absolute ack
+        #: index of ``ledger[0]`` (entries below it were pruned with
+        #: their checkpoints).
+        self.ledger: List[Changeset] = []
+        self.ledger_base = 0
+        #: checkpoint seq → absolute ack index it covers (its restore
+        #: replays the ledger from there).
+        self.checkpoint_marks: Dict[int, int] = {}
+
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "acked": 0,
+            "failed": 0,
+            "batches": 0,
+            "overloads": 0,
+            "recoveries": 0,
+            "replayed": 0,
+            "checkpoints_written": 0,
+            "snapshots_cut": 0,
+            "reads": 0,
+        }
+
+    @property
+    def recovery_enabled(self) -> bool:
+        return (
+            self.checkpoint_dir is not None
+            and hasattr(self.session, "restore_latest")
+        )
+
+
+class SessionRegistry:
+    """Thread-safe name → session map for a multi-tenant service.
+
+    Register a session **after** its initial ``clean()`` — the service
+    serves reads from the working relation, so there must be one.  Each
+    tenant optionally carries its own recovery knobs (``checkpoint_dir``
+    + ``checkpoint_every``), honoured only for sessions that expose the
+    checkpointed-restore machinery (``ShardedCleaningSession``).
+    """
+
+    def __init__(self):
+        self._tenants: Dict[str, _Tenant] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        name: str,
+        session: Any,
+        high_water: int = 256,
+        checkpoint_dir=None,
+        checkpoint_every: int = 0,
+        checkpoint_retain: int = 3,
+        max_recoveries: int = 1,
+    ) -> _Tenant:
+        if getattr(session, "working", None) is None:
+            raise DataError(
+                f"tenant {name!r}: register sessions after their initial "
+                "clean() — the service serves reads from the working "
+                "relation"
+            )
+        if high_water < 1:
+            raise ValueError(f"high_water must be >= 1, got {high_water}")
+        tenant = _Tenant(
+            name, session, high_water,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            checkpoint_retain=checkpoint_retain,
+            max_recoveries=max_recoveries,
+        )
+        with self._lock:
+            if name in self._tenants:
+                raise ValueError(f"tenant {name!r} is already registered")
+            self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> _Tenant:
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenant(f"no tenant {name!r} is registered")
+        return tenant
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tenants
+
+
+class CleaningService:
+    """An asynchronous, multi-tenant front end over cleaning sessions.
+
+    Parameters
+    ----------
+    registry:
+        The tenant map (one is created when omitted); tenants can also
+        be registered through :meth:`register`.
+    flush_policy:
+        Micro-batch bounds (see :class:`FlushPolicy`).
+
+    Examples
+    --------
+    >>> service = CleaningService()                        # doctest: +SKIP
+    >>> service.register("hosp", session)                  # doctest: +SKIP
+    >>> ticket = service.submit("hosp", delta)             # doctest: +SKIP
+    >>> ticket.result().clean                              # doctest: +SKIP
+    True
+    >>> service.read("hosp").by_tid(3)["city"]             # doctest: +SKIP
+    'Edinburgh'
+    >>> service.close()                                    # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        flush_policy: Optional[FlushPolicy] = None,
+    ):
+        self.registry = registry if registry is not None else SessionRegistry()
+        self.flush_policy = (
+            flush_policy if flush_policy is not None else FlushPolicy()
+        )
+        self._cond = threading.Condition()
+        self._accepting = True
+        self._stopping = False
+        #: Round-robin cursor: index into the sorted tenant names of the
+        #: tenant served *last*, so service resumes after it.
+        self._rr = -1
+        self._consumer = threading.Thread(
+            target=self._consume, name="cleaning-service", daemon=True
+        )
+        self._consumer.start()
+
+    # ------------------------------------------------------------------
+    # Producer API
+    # ------------------------------------------------------------------
+    def register(self, name: str, session: Any, **knobs: Any) -> None:
+        """Register *session* (already cleaned) under *name*.
+
+        Keyword knobs are forwarded to :meth:`SessionRegistry.register`
+        (``high_water``, ``checkpoint_dir``, ``checkpoint_every``,
+        ``checkpoint_retain``, ``max_recoveries``).  When recovery is
+        enabled and the checkpoint directory holds no checkpoint yet, an
+        initial one is written immediately so ``restore_latest`` always
+        has a floor to come back to.
+        """
+        tenant = self.registry.register(name, session, **knobs)
+        if tenant.recovery_enabled:
+            from repro.pipeline import snapshot
+
+            if not snapshot.list_checkpoints(tenant.checkpoint_dir):
+                self._write_checkpoint(tenant)
+        with self._cond:
+            self._cond.notify_all()
+
+    def submit(
+        self,
+        tenant_name: str,
+        changeset: Changeset,
+        block: bool = True,
+        timeout: Optional[float] = None,
+    ) -> WriteTicket:
+        """Enqueue *changeset* for *tenant_name*; returns a ticket.
+
+        Blocks while the tenant's queue is at its high-water mark
+        (bounded backpressure); ``block=False`` — or an expired
+        *timeout* — raises
+        :class:`~repro.exceptions.ServiceOverloaded` instead.  Raises
+        :class:`~repro.exceptions.ServiceClosed` once :meth:`close` has
+        begun, and :class:`~repro.exceptions.ServiceError` (with the
+        poisoning failure as ``__cause__``) for a tenant that died
+        unrecoverably.
+        """
+        tenant = self.registry.get(tenant_name)
+        deadline = (
+            time.monotonic() + timeout
+            if block and timeout is not None else None
+        )
+        with self._cond:
+            while True:
+                if not self._accepting:
+                    raise ServiceClosed(
+                        f"the cleaning service is "
+                        f"{'closing' if self._stopping else 'closed'}"
+                    )
+                if tenant.poisoned is not None:
+                    error = ServiceError(
+                        f"tenant {tenant_name!r} is poisoned by an "
+                        f"unrecovered failure: {tenant.poisoned}"
+                    )
+                    error.__cause__ = tenant.poisoned
+                    raise error
+                if len(tenant.pending) < tenant.high_water:
+                    break
+                if not block:
+                    tenant.stats["overloads"] += 1
+                    raise ServiceOverloaded(
+                        f"tenant {tenant_name!r} queue is at its "
+                        f"high-water mark ({tenant.high_water})"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    tenant.stats["overloads"] += 1
+                    raise ServiceOverloaded(
+                        f"tenant {tenant_name!r} queue stayed at its "
+                        f"high-water mark ({tenant.high_water}) for "
+                        f"{timeout}s"
+                    )
+                self._cond.wait(remaining)
+            ticket = WriteTicket(tenant_name, changeset, tenant.next_seq)
+            tenant.next_seq += 1
+            tenant.pending.append(ticket)
+            tenant.stats["submitted"] += 1
+            self._cond.notify_all()
+        return ticket
+
+    def read(self, tenant_name: str) -> Relation:
+        """A snapshot-isolated view of the tenant's working relation.
+
+        The returned relation is a detached clone cut at the last batch
+        commit: it never mutates under the reader, and a batch in flight
+        is never visible half-applied.  Consecutive reads between
+        commits share one cached clone; a read after a commit waits only
+        if a batch is mid-apply at that moment (the clone is cut under
+        the tenant's commit lock).
+        """
+        tenant = self.registry.get(tenant_name)
+        tenant.stats["reads"] += 1
+        snapshot = tenant._snapshot
+        if snapshot is not None and tenant._snapshot_version == tenant.version:
+            return snapshot
+        with tenant.commit_lock:
+            if tenant._snapshot_version != tenant.version:
+                working = tenant.session.working
+                if working is None:
+                    raise DataError(
+                        f"tenant {tenant_name!r} has no working relation "
+                        "(session closed?)"
+                    )
+                tenant._snapshot = working.clone()
+                tenant._snapshot_version = tenant.version
+                tenant.stats["snapshots_cut"] += 1
+            return tenant._snapshot
+
+    def query(self, tenant_name: str, fn: Callable[[Relation], Any]) -> Any:
+        """Run *fn* against the tenant's snapshot view and return its
+        result — convenience for point reads:
+        ``service.query("hosp", lambda r: r.by_tid(3)["city"])``."""
+        return fn(self.read(tenant_name))
+
+    def stats(self, tenant_name: str) -> Dict[str, int]:
+        """A copy of the tenant's counters (submissions, acks, batches,
+        overloads, recoveries, replays, checkpoints, reads)."""
+        tenant = self.registry.get(tenant_name)
+        with self._cond:
+            out = dict(tenant.stats)
+            out["queue_depth"] = len(tenant.pending)
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the service: refuse new writes, settle the queue, then
+        force-kill every session.
+
+        ``drain=True`` applies every queued ticket first (producers
+        blocked in :meth:`submit` are woken with
+        :class:`~repro.exceptions.ServiceClosed`); ``drain=False`` fails
+        the pending tail with ``ServiceClosed`` immediately.  In both
+        cases every tenant session is then ``close()``d — the sharded
+        close force-kills worker processes, so a hung worker cannot
+        block shutdown.  Idempotent: a second ``close`` is a no-op.
+
+        *timeout* bounds the wait for the consumer thread; on expiry the
+        remaining tail is failed with ``ServiceClosed`` and sessions are
+        killed anyway.
+        """
+        with self._cond:
+            already = not self._accepting and self._stopping
+            self._accepting = False
+            self._stopping = True
+            if not drain:
+                self._fail_pending_locked(ServiceClosed(
+                    "the cleaning service was closed without draining"
+                ))
+            self._cond.notify_all()
+        if already and not self._consumer.is_alive():
+            return
+        self._consumer.join(timeout)
+        with self._cond:
+            if self._consumer.is_alive():
+                # Drain timed out (e.g. a wedged session): abandon the
+                # tail so producers are not left waiting forever.
+                self._fail_pending_locked(ServiceClosed(
+                    f"the cleaning service drain did not finish within "
+                    f"{timeout}s"
+                ))
+        for name in self.registry.names():
+            tenant = self.registry.get(name)
+            close = getattr(tenant.session, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "CleaningService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _fail_pending_locked(self, error: BaseException) -> None:
+        for name in self.registry.names():
+            tenant = self.registry.get(name)
+            while tenant.pending:
+                ticket = tenant.pending.popleft()
+                tenant.stats["failed"] += 1
+                ticket._fail(error)
+
+    # ------------------------------------------------------------------
+    # Consumer
+    # ------------------------------------------------------------------
+    def _consume(self) -> None:
+        while True:
+            with self._cond:
+                batch: Optional[Tuple[_Tenant, List[WriteTicket]]] = None
+                while batch is None:
+                    batch, wait = self._next_batch_locked()
+                    if batch is not None:
+                        break
+                    if self._stopping:
+                        return  # nothing pending anywhere: drained
+                    self._cond.wait(wait)
+            tenant, tickets = batch
+            try:
+                self._apply_batch(tenant, tickets)
+            finally:
+                with self._cond:
+                    self._cond.notify_all()  # wake backpressured producers
+
+    def _next_batch_locked(
+        self,
+    ) -> Tuple[Optional[Tuple[_Tenant, List[WriteTicket]]], Optional[float]]:
+        """Pick the next due tenant (round-robin) and cut its batch.
+
+        Returns ``(batch, None)`` when a tenant is due, else
+        ``(None, wait)`` where *wait* is the seconds until the earliest
+        linger deadline (``None`` = nothing queued at all).
+        """
+        names = sorted(self.registry.names())
+        if not names:
+            return None, None
+        policy = self.flush_policy
+        now = time.monotonic()
+        wait: Optional[float] = None
+        n = len(names)
+        start = (self._rr + 1) % n
+        for offset in range(n):
+            index = (start + offset) % n
+            tenant = self.registry.get(names[index])
+            if not tenant.pending or tenant.poisoned is not None:
+                continue
+            age = now - tenant.pending[0].submitted_at
+            due = (
+                len(tenant.pending) >= policy.max_batch
+                or age >= policy.max_linger
+                or self._stopping  # draining flushes regardless of linger
+            )
+            if due:
+                self._rr = index
+                tickets = [
+                    tenant.pending.popleft()
+                    for _ in range(min(policy.max_batch, len(tenant.pending)))
+                ]
+                return (tenant, tickets), None
+            remaining = policy.max_linger - age
+            wait = remaining if wait is None else min(wait, remaining)
+        return None, wait
+
+    # -- batch application ---------------------------------------------
+    def _apply_batch(self, tenant: _Tenant, tickets: List[WriteTicket]) -> None:
+        changesets = [t.changeset for t in tickets]
+        with tenant.commit_lock:
+            try:
+                result = tenant.session.apply_many(changesets)
+            except (DataError, SchemaError):
+                # A bad changeset (unknown tid, bad confidence):
+                # apply_many validates before mutating, so the session
+                # is untouched — isolate the offender per ticket instead
+                # of failing innocent writers coalesced into the batch.
+                self._apply_individually(tenant, tickets)
+                return
+            except _POISONING as exc:
+                result = self._recover(tenant, tickets, exc)
+                if result is _FAILED:
+                    return
+            self._commit(tenant, tickets, result)
+
+    def _apply_individually(
+        self, tenant: _Tenant, tickets: List[WriteTicket]
+    ) -> None:
+        """Per-ticket fallback after a validation error: apply each
+        changeset alone so exactly the invalid ones fail.  Equivalent to
+        the coalesced batch (state depends only on the applied deltas),
+        at one replay per surviving ticket."""
+        for ticket in tickets:
+            try:
+                result = tenant.session.apply_many([ticket.changeset])
+            except (DataError, SchemaError) as exc:
+                tenant.stats["failed"] += 1
+                ticket._fail(exc)
+            except _POISONING as exc:
+                result = self._recover(tenant, [ticket], exc)
+                if result is not _FAILED:
+                    self._commit(tenant, [ticket], result)
+            else:
+                self._commit(tenant, [ticket], result)
+
+    def _commit(
+        self,
+        tenant: _Tenant,
+        tickets: List[WriteTicket],
+        result: Optional[ApplyResult],
+    ) -> None:
+        """Bookkeeping after a successful apply (still under the commit
+        lock): bump the snapshot version, extend the ledger, tick the
+        checkpoint policy, acknowledge the tickets."""
+        applied = [t for t in tickets if t.changeset.ops]
+        if applied:
+            tenant.version += 1
+            tenant.stats["batches"] += 1
+            if tenant.recovery_enabled:
+                tenant.ledger.extend(t.changeset for t in applied)
+                tenant._batches_since_checkpoint += 1
+                if (
+                    tenant.checkpoint_every > 0
+                    and tenant._batches_since_checkpoint
+                    >= tenant.checkpoint_every
+                ):
+                    self._write_checkpoint(tenant)
+        for ticket in tickets:
+            tenant.stats["acked"] += 1
+            ticket._resolve(result if ticket.changeset.ops else None,
+                            tenant.next_ack)
+            tenant.next_ack += 1
+
+    # -- checkpoints and recovery --------------------------------------
+    def _write_checkpoint(self, tenant: _Tenant) -> None:
+        """Checkpoint the tenant's session and prune the ledger to the
+        oldest surviving checkpoint's mark."""
+        from repro.pipeline import snapshot
+
+        target = snapshot.save_checkpoint(
+            tenant.session, tenant.checkpoint_dir,
+            retain=tenant.checkpoint_retain,
+        )
+        seq = int(target.name[len(snapshot.CHECKPOINT_PREFIX):])
+        covered = tenant.ledger_base + len(tenant.ledger)
+        tenant.checkpoint_marks[seq] = covered
+        tenant._batches_since_checkpoint = 0
+        tenant.stats["checkpoints_written"] += 1
+        surviving = {
+            int(path.name[len(snapshot.CHECKPOINT_PREFIX):])
+            for path in snapshot.list_checkpoints(tenant.checkpoint_dir)
+        }
+        tenant.checkpoint_marks = {
+            s: mark for s, mark in tenant.checkpoint_marks.items()
+            if s in surviving
+        }
+        floor = min(tenant.checkpoint_marks.values(), default=covered)
+        if floor > tenant.ledger_base:
+            del tenant.ledger[: floor - tenant.ledger_base]
+            tenant.ledger_base = floor
+
+    _sentinel_failed = object()
+
+    def _recover(
+        self,
+        tenant: _Tenant,
+        tickets: List[WriteTicket],
+        failure: BaseException,
+    ) -> Any:
+        """Bring a poisoned tenant back from its newest checkpoint.
+
+        Walks the retained checkpoints newest-to-oldest (exactly
+        ``restore_latest``), replays the acknowledged ledger tail the
+        restored checkpoint does not cover, swaps the session, and
+        re-applies the failed batch.  Returns the re-applied batch's
+        result, or the ``_FAILED`` sentinel after poisoning the tenant
+        (recovery disabled, exhausted, or itself failing) — in which
+        case the batch tickets and the whole pending tail are failed.
+        """
+        if (
+            not tenant.recovery_enabled
+            or tenant.recoveries_used >= tenant.max_recoveries
+        ):
+            self._poison(tenant, tickets, failure)
+            return _FAILED
+        tenant.recoveries_used += 1
+        tenant.stats["recoveries"] += 1
+        try:
+            tenant.session.close()  # force-kill the poisoned pool
+            restored, covered = self._restore_latest(tenant)
+            replay = tenant.ledger[covered - tenant.ledger_base:]
+            if replay:
+                tenant.stats["replayed"] += len(replay)
+                restored.apply_many(list(replay))
+            tenant.session = restored
+            result = restored.apply_many([t.changeset for t in tickets])
+        except Exception as exc:  # recovery itself failed: poison
+            exc.__cause__ = failure
+            self._poison(tenant, tickets, exc)
+            return _FAILED
+        return result
+
+    def _restore_latest(self, tenant: _Tenant) -> Tuple[Any, int]:
+        """``restore_latest`` that also reports the restored
+        checkpoint's ledger mark: newest-to-oldest, skipping anything
+        that fails validation — but only checkpoints *this service*
+        wrote (their marks are known; an alien checkpoint's coverage
+        is not, so replaying over it could diverge silently)."""
+        from repro.pipeline import snapshot
+
+        last_error: Optional[Exception] = None
+        for path in reversed(snapshot.list_checkpoints(tenant.checkpoint_dir)):
+            seq = int(path.name[len(snapshot.CHECKPOINT_PREFIX):])
+            mark = tenant.checkpoint_marks.get(seq)
+            if mark is None:
+                continue
+            try:
+                session = type(tenant.session).restore(
+                    path, n_workers=tenant.session.n_workers,
+                    supervision=tenant.session.supervision,
+                )
+            except SnapshotError as exc:
+                last_error = exc
+                continue
+            return session, mark
+        raise SnapshotError(
+            f"tenant {tenant.name!r}: no restorable checkpoint with a "
+            f"known ledger mark under {tenant.checkpoint_dir}"
+            + (f" (newest failure: {last_error})" if last_error else "")
+        ) from last_error
+
+    def _poison(
+        self,
+        tenant: _Tenant,
+        tickets: List[WriteTicket],
+        failure: BaseException,
+    ) -> None:
+        """Mark the tenant dead and fail its in-flight and queued
+        tickets; other tenants are untouched."""
+        with self._cond:
+            tenant.poisoned = failure
+            for ticket in tickets:
+                tenant.stats["failed"] += 1
+                ticket._fail(failure)
+            while tenant.pending:
+                ticket = tenant.pending.popleft()
+                tenant.stats["failed"] += 1
+                ticket._fail(failure)
+            self._cond.notify_all()
+
+
+#: Sentinel: the batch was failed (tickets already resolved) — nothing
+#: to commit.
+_FAILED = CleaningService._sentinel_failed

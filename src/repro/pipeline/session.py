@@ -296,9 +296,9 @@ class CleaningSession:
                     self.master,
                     top_l=self.config.top_l,
                     use_suffix_tree=self.config.use_suffix_tree,
-                    # getattr: configs unpickled from pre-match-engine
-                    # snapshots lack the field; None defers to the flag.
-                    engine=getattr(self.config, "match_engine", None),
+                    # Configs from pre-match-engine snapshots are already
+                    # upgraded by UniCleanConfig.__setstate__.
+                    engine=self.config.match_engine,
                 )
             )
 
@@ -733,7 +733,7 @@ class CleaningSession:
 
     def apply_many(
         self, changesets: Sequence[Changeset]
-    ) -> ApplyResult:
+    ) -> Optional[ApplyResult]:
         """Apply several changesets as one merged micro-batch.
 
         Exactly ``apply(Changeset.concat(changesets))``: ops execute in
@@ -742,8 +742,19 @@ class CleaningSession:
         state a full ``clean()`` of the fully edited base produces.  This
         is the unsharded counterpart of
         :meth:`~repro.pipeline.sharding.ShardedCleaningSession.apply_many`.
+
+        An **empty batch** — no changesets, or changesets carrying no
+        ops — is a contractual no-op: returns ``None`` and touches no
+        session state (no replay, no fix-log/cost/verdict mutation).
+        Callers coalescing deltas (``flush()``, the online service) rely
+        on this instead of a degenerate zero-op replay.
         """
-        return self.apply(Changeset.concat(changesets))
+        if self.working is None or self.base is None:
+            raise DataError("CleaningSession.apply_many() requires a prior clean()")
+        merged = Changeset.concat(changesets)
+        if not merged.ops:
+            return None
+        return self.apply(merged)
 
     def _full_replay(self, timings: Dict[str, float]) -> ApplyResult:
         """Exact fallback: re-clean the edited base inside the session.

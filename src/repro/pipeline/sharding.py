@@ -1003,7 +1003,7 @@ class _ProcessRunner:
         try:
             future = slot.submit(_process_call, blob)
         except WorkerFailure as exc:
-            slot.kill()
+            slot.kill(primary=exc)
             raise SlotFailure(exc, hard=True)
         return index, future, plan
 
@@ -1017,10 +1017,10 @@ class _ProcessRunner:
             response = slot.result(future, self.policy.timeout)
         except ShardTimeout as exc:
             self.dispatch_timeouts += 1
-            slot.kill()  # never leave a hung worker behind
+            slot.kill(primary=exc)  # never leave a hung worker behind
             raise SlotFailure(exc, hard=True)
         except WorkerFailure as exc:
-            slot.kill()
+            slot.kill(primary=exc)
             raise SlotFailure(exc, hard=True)
         if plan is not None and plan.torn_response:
             response = faults.mangle(response)
@@ -1071,15 +1071,15 @@ class _ProcessRunner:
             submitted = None
             budget[0] += 1
             if budget[0] > self.policy.max_retries:
-                slot.kill()
+                slot.kill(primary=pending.error)
                 if self.policy.serial_fallback:
                     self._escalate(slot, indices, calls, results)
                     return
-                raise self._final_error(pending) from pending.error
+                self._raise_final(pending)
             self.dispatch_retries += 1
             if pending.hard:
                 self.worker_respawns += 1
-                slot.respawn()
+                slot.respawn(primary=pending.error)
             self.policy.sleep(budget[0] - 1)
             if pending.hard:
                 try:
@@ -1181,15 +1181,15 @@ class _ProcessRunner:
                     pending = exc
             used += 1
             if used > self.policy.max_retries:
-                slot.kill()
+                slot.kill(primary=pending.error)
                 if self.policy.serial_fallback:
                     self._escalate_broadcast(slot, call)
                     return
-                raise self._final_error(pending) from pending.error
+                self._raise_final(pending)
             self.dispatch_retries += 1
             if pending.hard:
                 self.worker_respawns += 1
-                slot.respawn()
+                slot.respawn(primary=pending.error)
             self.policy.sleep(used - 1)
             # "reset" wipes every session anyway — skip the rebuild.
             if pending.hard and call[1] != "reset":
@@ -1212,14 +1212,19 @@ class _ProcessRunner:
         # The shared fallback state receives the broadcast itself exactly
         # once, at the end of broadcast().
 
-    def _final_error(self, failure: SlotFailure) -> BaseException:
+    def _raise_final(self, failure: SlotFailure) -> None:
+        """Surface the budget-exhaustion failure.  With retries enabled
+        the wrapper chains the last underlying error as ``__cause__``;
+        with ``max_retries=0`` the direct error is raised bare — never
+        ``raise x from x``, which would knot the cause chain into a
+        cycle (and clobber the error's own ``__cause__``)."""
         if self.policy.max_retries > 0:
-            return RetriesExhausted(
+            raise RetriesExhausted(
                 f"dispatch retries exhausted "
                 f"(max_retries={self.policy.max_retries}) and the "
                 f"supervision policy forbids the serial fallback"
-            )
-        return failure.error
+            ) from failure.error
+        raise failure.error
 
 
 # ----------------------------------------------------------------------
@@ -1530,10 +1535,17 @@ class ShardedCleaningSession:
         ``is_clean`` raise afterwards; a fresh ``clean()`` restarts the
         session lifecycle.  Changesets still sitting in the
         :meth:`buffer` queue are discarded.
+
+        Idempotent and failure-safe: a second ``close()``, or a
+        ``close()`` on a poisoned session whose workers already died,
+        is a no-op that never raises — slot teardown force-kills
+        best-effort and swallows cleanup errors from already-dead pools
+        (they only surface, chained, during *failure-path* respawns;
+        see :meth:`SupervisedSlot.kill`).
         """
-        if self._runner is not None:
-            self._runner.close()
-            self._runner = None
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
         self._session_ids = set()
         self._pending = []
         self._closed = True
@@ -1901,21 +1913,29 @@ class ShardedCleaningSession:
 
     def flush(self) -> Optional[ApplyResult]:
         """Apply the buffered changesets via :meth:`apply_many` (one
-        fan-out round-trip); ``None`` when the buffer is empty."""
+        fan-out round-trip).
+
+        An empty buffer — or a buffer of changesets that carry no ops —
+        is a contractual **no-op**: returns ``None``, dispatches nothing,
+        leaves the plan and every ``stats`` counter untouched, and does
+        not count toward the checkpoint policy.  (Same contract as
+        ``apply_many([])``.)
+        """
         if not self._pending:
             return None
         pending, self._pending = self._pending, []
         return self.apply_many(pending)
 
-    def apply(self, changeset: Changeset) -> ApplyResult:
+    def apply(self, changeset: Changeset) -> Optional[ApplyResult]:
         """Re-clean under *changeset*; byte-identical to an unsharded
         ``CleaningSession.apply`` of the same delta.  See
-        :meth:`apply_many` for the batched form."""
+        :meth:`apply_many` for the batched form (and for the ``None``
+        no-op contract on an op-less changeset)."""
         return self.apply_many([changeset])
 
     def apply_many(
         self, changesets: Union[Changeset, Sequence[Changeset]]
-    ) -> ApplyResult:
+    ) -> Optional[ApplyResult]:
         """Apply several changesets as **one** micro-batch — exactly
         ``apply(Changeset.concat(changesets))``.
 
@@ -1927,6 +1947,12 @@ class ShardedCleaningSession:
         shards' sessions reused (see the module docstring).  Everything
         else attempts the scoped path per shard, falling back exactly
         when the unsharded session would.
+
+        An **empty batch** (no changesets, or only op-less changesets)
+        is a contractual no-op: returns ``None`` after the usual
+        lifecycle checks, with no dispatch, no plan change, no ``stats``
+        mutation and no checkpoint-policy tick — never a degenerate
+        zero-op scoped apply.
         """
         if isinstance(changesets, Changeset):
             changesets = [changesets]
@@ -1937,6 +1963,8 @@ class ShardedCleaningSession:
                 "ShardedCleaningSession.apply() requires a prior clean() "
                 "(and a session that has not been close()d)"
             )
+        if not changeset.ops:
+            return None
         changeset.validate_against(self.base)
         started = time.perf_counter()
 

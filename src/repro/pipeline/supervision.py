@@ -148,28 +148,52 @@ class SupervisedSlot:
                 f"worker process of slot {self.index} died: {exc}"
             ) from exc
 
-    def kill(self) -> None:
+    def kill(self, primary: Optional[BaseException] = None) -> None:
         """Tear the slot's executor down without ever blocking on a hung
         worker: grab the worker pids first, shut down without waiting,
-        then kill any survivor outright."""
+        then kill any survivor outright.
+
+        *primary* is the worker failure that triggered the force-kill,
+        when there is one.  Cleanup itself can fail (an executor whose
+        management thread already crashed, an unkillable process);
+        swallowing that silently is fine on the **shutdown** path
+        (``close()`` on an already-dead pool must stay a no-op), but on
+        the **failure** path it used to lose the evidence entirely.  So:
+        with no *primary* (plain shutdown) cleanup errors are suppressed;
+        with a *primary* they are re-raised as a
+        :class:`~repro.exceptions.WorkerFailure` whose ``__cause__`` is
+        the primary failure — the original fault is chained, never
+        swallowed — and the cleanup error itself rides along as
+        ``cleanup_error``.
+        """
         executor = self._executor
         self._executor = None
         if executor is None:
             return
+        cleanup_error: Optional[BaseException] = None
         processes = list(getattr(executor, "_processes", {}).values())
         try:
             executor.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+        except Exception as exc:
+            cleanup_error = exc
         for process in processes:
             try:
                 if process.is_alive():
                     process.kill()
                 process.join(timeout=5)
-            except Exception:
-                pass
+            except Exception as exc:
+                if cleanup_error is None:
+                    cleanup_error = exc
+        if cleanup_error is not None and primary is not None:
+            error = WorkerFailure(
+                f"worker slot {self.index} failed to shut down cleanly "
+                f"while recovering from a worker failure: {cleanup_error}"
+            )
+            error.cleanup_error = cleanup_error
+            raise error from primary
 
-    def respawn(self) -> None:
+    def respawn(self, primary: Optional[BaseException] = None) -> None:
         """Kill the current executor; the next :meth:`submit` spawns a
-        fresh one (whose initializer rebuilds the worker state spec)."""
-        self.kill()
+        fresh one (whose initializer rebuilds the worker state spec).
+        *primary* is chained exactly as in :meth:`kill`."""
+        self.kill(primary)

@@ -175,3 +175,52 @@ class TestIndexedEngineEquivalence:
         assert self._fingerprint(indexed.fix_log) == self._fingerprint(legacy.fix_log)
         assert not indexed.repaired.diff(legacy.repaired)
         assert indexed.clean and legacy.clean
+
+
+class TestConfigForwardCompat:
+    """``UniCleanConfig.__setstate__``: pickles written before a field
+    existed keep loading, with the absent fields taking their dataclass
+    defaults — the one upgrade hook replacing per-reader getattr shims."""
+
+    def test_pickle_roundtrip_is_identity(self):
+        import pickle
+
+        config = UniCleanConfig(eta=1.0, match_engine="join", top_l=7)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_missing_fields_take_defaults(self):
+        """Simulate payloads from every prior era: strip one engine flag
+        at a time (and then all of them) and restore."""
+        import pickle
+
+        defaults = UniCleanConfig()
+        flags = [
+            "match_engine",        # added with the similarity-join engine
+            "use_violation_index", # added with the violation index
+            "use_suffix_tree",
+            "run_crepair",
+            "run_erepair",
+            "run_hrepair",
+        ]
+        for missing in [[f] for f in flags] + [flags]:
+            config = UniCleanConfig(eta=1.0, delta1=5)
+            for name in missing:
+                del config.__dict__[name]  # forge a pre-<field> pickle
+            restored = pickle.loads(pickle.dumps(config))
+            for name in missing:
+                assert getattr(restored, name) == getattr(defaults, name)
+            assert restored.eta == 1.0 and restored.delta1 == 5
+
+    def test_setstate_fills_every_field_from_empty(self):
+        config = UniCleanConfig.__new__(UniCleanConfig)
+        config.__setstate__({})
+        assert config == UniCleanConfig()
+
+    def test_unknown_newer_fields_survive(self):
+        """A payload written by a *newer* build keeps its extra keys —
+        downgrade reads stay lossless on the fields both sides know."""
+        config = UniCleanConfig.__new__(UniCleanConfig)
+        config.__setstate__({"eta": 0.9, "future_flag": 42})
+        assert config.eta == 0.9
+        assert config.__dict__["future_flag"] == 42
+        assert config.use_violation_index is True

@@ -620,3 +620,139 @@ class TestSerialRunnerFaults:
                 session.apply(delta)
         assert observables(session) == reference["final"]
         session.close()
+
+
+# ----------------------------------------------------------------------
+# Cleanup-failure chaining and close-after-poison (PR 10 satellites)
+# ----------------------------------------------------------------------
+class TestCleanupFailureChaining:
+    """``SupervisedSlot.kill`` must never swallow evidence: on the
+    failure path a cleanup error is re-raised as a ``WorkerFailure``
+    whose ``__cause__`` is the primary worker failure; on the shutdown
+    path (no primary) a dead pool stays a silent no-op."""
+
+    def _broken_slot(self):
+        from repro.pipeline.supervision import SupervisedSlot
+
+        class _BrokenExecutor:
+            _processes = {}
+
+            def shutdown(self, wait=False, cancel_futures=False):
+                raise RuntimeError("management thread already dead")
+
+        slot = SupervisedSlot(0, factory=lambda: None)
+        slot._executor = _BrokenExecutor()
+        return slot
+
+    def test_failure_path_chains_primary_as_cause(self):
+        slot = self._broken_slot()
+        primary = WorkerFailure("worker process of slot 0 died")
+        with pytest.raises(WorkerFailure) as err:
+            slot.kill(primary=primary)
+        assert err.value is not primary
+        assert err.value.__cause__ is primary  # never swallowed
+        assert isinstance(err.value.cleanup_error, RuntimeError)
+        assert "management thread already dead" in str(err.value)
+
+    def test_respawn_chains_exactly_like_kill(self):
+        slot = self._broken_slot()
+        primary = ShardTimeout("slot 0 exceeded the per-dispatch timeout")
+        with pytest.raises(WorkerFailure) as err:
+            slot.respawn(primary=primary)
+        assert err.value.__cause__ is primary
+
+    def test_shutdown_path_stays_a_silent_noop(self):
+        slot = self._broken_slot()
+        slot.kill()  # no primary: cleanup failure suppressed
+        assert slot._executor is None
+        slot.kill()  # and an already-torn-down slot is a no-op
+
+    def test_injected_failure_chain_reaches_the_caller(self):
+        """End to end: the caller's exception chain bottoms out at the
+        typed worker failure — and is **acyclic**.  Regression for the
+        ``max_retries=0`` path, which used to ``raise x from x`` and
+        knot ``__cause__`` into a self-cycle."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash",
+                       method="apply_shard", times=1)]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=0, serial_fallback=False
+            )
+        )
+        session.clean(dirty())
+        with injected(injector):
+            with pytest.raises(WorkerFailure) as err:
+                session.apply(deltas(1)[0])
+        chain, exc = [], err.value
+        while exc is not None:
+            assert exc not in chain, "__cause__ chain has a cycle"
+            chain.append(exc)
+            exc = exc.__cause__
+        assert any(isinstance(e, WorkerFailure) for e in chain)
+        session.close()
+
+    def test_retries_exhausted_chains_the_last_failure(self):
+        """With retries enabled the ``RetriesExhausted`` wrapper carries
+        the last underlying failure as ``__cause__``."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash",
+                       method="apply_shard", times=1000)]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=1, backoff_base=0.01,
+                serial_fallback=False,
+            )
+        )
+        session.clean(dirty())
+        with injected(injector):
+            with pytest.raises(RetriesExhausted) as err:
+                session.apply(deltas(1)[0])
+        assert isinstance(err.value.__cause__, WorkerFailure)
+        assert err.value.__cause__ is not err.value
+        session.close()
+
+
+class TestCloseAfterPoison:
+    def test_close_after_poison_is_a_safe_noop(self):
+        """Double-close and close-after-poison never raise from an
+        already-dead pool, and leak no worker processes."""
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="crash",
+                       method="apply_shard")]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=60.0, max_retries=0, serial_fallback=False
+            )
+        )
+        session.clean(dirty())
+        pids = _worker_pids(session)
+        assert pids
+        with injected(injector):
+            with pytest.raises(WorkerFailure):
+                session.apply(deltas(1)[0])
+        session.close()  # poisoned session: close still succeeds
+        session.close()  # ... and a second close is a no-op
+        _assert_dead(pids)
+
+    def test_close_after_hung_worker_poison_is_safe(self):
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="hang",
+                       method="apply_shard", seconds=120.0)]
+        )
+        session = make_session(
+            supervision=SupervisionPolicy(
+                timeout=0.5, max_retries=0, serial_fallback=False
+            )
+        )
+        session.clean(dirty())
+        pids = _worker_pids(session)
+        with injected(injector):
+            with pytest.raises(ShardTimeout):
+                session.apply(deltas(1)[0])
+        session.close()
+        session.close()
+        _assert_dead(pids)

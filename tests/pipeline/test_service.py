@@ -1,0 +1,568 @@
+"""The online cleaning service: queueing, batching, isolation, recovery.
+
+The load-bearing invariant throughout: whatever the interleaving of
+concurrent writers, coalescing, backpressure and mid-stream recovery,
+the service's final state is **byte-identical** to a serial replay of
+the acknowledged changesets in acknowledgment order on a fresh session
+— the service may batch and recover, never reorder or lose.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_partitioned
+from repro.exceptions import (
+    DataError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    UnknownTenant,
+)
+from repro.pipeline import (
+    Changeset,
+    CleaningService,
+    CleaningSession,
+    FaultInjector,
+    FaultSpec,
+    FlushPolicy,
+    SessionRegistry,
+    ShardedCleaningSession,
+    SupervisionPolicy,
+)
+from repro.pipeline import snapshot
+from repro.pipeline.faults import injected
+
+SIZE = 48
+N_BLOCKS = 6
+SEED = 13
+
+_DATA = generate_partitioned(size=SIZE, n_blocks=N_BLOCKS, seed=SEED)
+_TIDS = sorted(_DATA.dirty.tids())
+
+FAST = SupervisionPolicy(
+    timeout=60.0, max_retries=2, backoff_base=0.01, backoff_max=0.05
+)
+#: No retries, no fallback: the injected fault escapes and poisons.
+POISON = SupervisionPolicy(timeout=60.0, max_retries=0, serial_fallback=False)
+
+
+def make_session(**kwargs):
+    kwargs.setdefault("n_workers", 1)
+    kwargs.setdefault("n_shards", 4)
+    kwargs.setdefault("supervision", FAST)
+    return ShardedCleaningSession(
+        cfds=_DATA.cfds, mds=_DATA.mds, master=_DATA.master, **kwargs
+    )
+
+
+def cleaned_session(**kwargs):
+    session = make_session(**kwargs)
+    session.clean(_DATA.dirty.clone())
+    return session
+
+
+def edit(i, value):
+    # "score" is outside every rule's scope and conf=1.0 marks a user
+    # assertion, so the re-clean keeps the write instead of repairing it
+    # back to the master value — distinct writes stay distinguishable in
+    # the final state.
+    return Changeset().edit(_TIDS[i % len(_TIDS)], "score", value, conf=1.0)
+
+
+def state(relation):
+    names = relation.schema.names
+    return [
+        (t.tid, tuple(repr(t[a]) for a in names),
+         tuple(t.conf(a) for a in names))
+        for t in relation
+    ]
+
+
+def serial_replay(changesets):
+    """State of a fresh session after replaying *changesets* in order."""
+    session = cleaned_session()
+    for changeset in changesets:
+        if changeset.ops:
+            session.apply(changeset)
+    result = state(session.working)
+    session.close()
+    return result
+
+
+def _worker_pids(session):
+    runner = session._runner
+    if runner is None or not hasattr(runner, "_slots"):
+        return []
+    pids = []
+    for slot in runner._slots:
+        executor = slot._executor
+        if executor is not None and executor._processes:
+            pids.extend(executor._processes.keys())
+    return pids
+
+
+def _assert_dead(pids):
+    import os
+
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        alive = []
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except OSError:
+                continue
+            alive.append(pid)
+        if not alive:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"worker processes leaked: {alive}")
+
+
+# ----------------------------------------------------------------------
+# Flush policy and registry
+# ----------------------------------------------------------------------
+class TestFlushPolicy:
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            FlushPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            FlushPolicy(max_linger=-1.0)
+
+    def test_defaults(self):
+        policy = FlushPolicy()
+        assert policy.max_batch >= 1 and policy.max_linger >= 0
+
+
+class TestRegistry:
+    def test_unknown_tenant(self):
+        registry = SessionRegistry()
+        with pytest.raises(UnknownTenant):
+            registry.get("nope")
+
+    def test_duplicate_register_refused(self):
+        session = cleaned_session()
+        try:
+            registry = SessionRegistry()
+            registry.register("a", session)
+            with pytest.raises(ValueError, match="already registered"):
+                registry.register("a", session)
+            assert "a" in registry and len(registry) == 1
+        finally:
+            session.close()
+
+    def test_uncleaned_session_refused(self):
+        session = make_session()
+        try:
+            with pytest.raises(DataError, match="initial clean"):
+                SessionRegistry().register("a", session)
+        finally:
+            session.close()
+
+    def test_service_submit_unknown_tenant(self):
+        with CleaningService() as service:
+            with pytest.raises(UnknownTenant):
+                service.submit("ghost", edit(0, "x"))
+            with pytest.raises(UnknownTenant):
+                service.read("ghost")
+
+
+# ----------------------------------------------------------------------
+# Writes: acknowledgment, coalescing, equivalence
+# ----------------------------------------------------------------------
+class TestWrites:
+    def test_single_writer_equivalence_and_ack_order(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=4, max_linger=0.01)
+        )
+        service.register("t", session)
+        tickets = [service.submit("t", edit(i, f"v{i}")) for i in range(8)]
+        results = [t.result(timeout=60) for t in tickets]
+        assert all(r is not None for r in results)
+        assert [t.ack_seq for t in tickets] == list(range(8))
+        assert all(t.latency is not None and t.latency >= 0 for t in tickets)
+        final = state(service.read("t"))
+        service.close()
+        assert final == serial_replay([t.changeset for t in tickets])
+
+    def test_coalescing_batches_fewer_than_submits(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=8, max_linger=0.2)
+        )
+        service.register("t", session)
+        tickets = [service.submit("t", edit(i, f"v{i}")) for i in range(8)]
+        for ticket in tickets:
+            ticket.result(timeout=60)
+        stats = service.stats("t")
+        service.close()
+        # 8 writes, linger long enough to coalesce: strictly fewer batches
+        # than submits, so strictly fewer re-plans than serial applies.
+        assert stats["acked"] == 8
+        assert 1 <= stats["batches"] < 8
+
+    def test_empty_changeset_acks_with_none(self):
+        session = cleaned_session()
+        with CleaningService() as service:
+            service.register("t", session)
+            ticket = service.submit("t", Changeset())
+            assert ticket.result(timeout=60) is None
+            assert ticket.ack_seq == 0
+            # an op-less write commits nothing: no batch, no version bump
+            assert service.stats("t")["batches"] == 0
+
+    def test_concurrent_writers_linearize(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=4, max_linger=0.005)
+        )
+        service.register("t", session)
+        per_writer = 6
+        all_tickets = []
+        lock = threading.Lock()
+
+        def writer(w):
+            for i in range(per_writer):
+                # Writers contend on the same tids: final value depends
+                # on acknowledgment order, which the replay must honour.
+                ticket = service.submit("t", edit(i, f"w{w}-{i}"))
+                with lock:
+                    all_tickets.append(ticket)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for ticket in all_tickets:
+            assert ticket.result(timeout=60) is not None
+        acks = sorted(t.ack_seq for t in all_tickets)
+        assert acks == list(range(4 * per_writer))  # dense, no gaps
+        final = state(service.read("t"))
+        service.close()
+        ordered = sorted(all_tickets, key=lambda t: t.ack_seq)
+        assert final == serial_replay([t.changeset for t in ordered])
+
+    def test_plain_cleaning_session_tenant(self):
+        session = CleaningSession(
+            cfds=_DATA.cfds, mds=_DATA.mds, master=_DATA.master
+        )
+        session.clean(_DATA.dirty.clone())
+        with CleaningService() as service:
+            service.register("t", session)
+            ticket = service.submit("t", edit(0, "plain"))
+            assert ticket.result(timeout=60) is not None
+            assert state(service.read("t")) == serial_replay(
+                [ticket.changeset]
+            )
+
+    def test_invalid_changeset_isolated_from_batch_mates(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=8, max_linger=0.2)
+        )
+        service.register("t", session)
+        good1 = service.submit("t", edit(0, "good-one"))
+        bad = service.submit(
+            "t", Changeset().edit(999_999, "name", "ghost-tid")
+        )
+        good2 = service.submit("t", edit(1, "good-two"))
+        assert good1.result(timeout=60) is not None
+        assert good2.result(timeout=60) is not None
+        with pytest.raises(DataError):
+            bad.result(timeout=60)
+        final = state(service.read("t"))
+        stats = service.stats("t")
+        service.close()
+        # only the offending ticket failed; the survivors applied in order
+        assert stats["failed"] == 1 and stats["acked"] == 2
+        assert final == serial_replay([good1.changeset, good2.changeset])
+
+
+# ----------------------------------------------------------------------
+# Reads: snapshot isolation
+# ----------------------------------------------------------------------
+class TestReads:
+    def test_read_is_detached_and_cached_per_commit(self):
+        session = cleaned_session()
+        with CleaningService() as service:
+            service.register("t", session)
+            before = service.read("t")
+            assert before is service.read("t")  # cached between commits
+            assert before is not session.working
+            baseline = state(before)
+            service.submit("t", edit(0, "after-read")).result(timeout=60)
+            after = service.read("t")
+            assert after is not before
+            # the old snapshot never mutated under the reader
+            assert state(before) == baseline
+            assert state(after) != baseline
+
+    def test_readers_never_see_half_applied_batches(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=2, max_linger=0.005)
+        )
+        service.register("t", session)
+        service.read("t")  # warm the snapshot cache
+        stop = threading.Event()
+        versions = []
+
+        def reader():
+            while not stop.is_set():
+                versions.append(state(service.read("t")))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        tickets = [service.submit("t", edit(i, f"r{i}")) for i in range(10)]
+        for ticket in tickets:
+            ticket.result(timeout=60)
+        stop.set()
+        thread.join()
+        service.close()
+        # every observed state is some committed prefix's serial replay
+        prefixes = {tuple(serial_replay([]))}
+        ordered = sorted(tickets, key=lambda t: t.ack_seq)
+        for cut in range(1, len(ordered) + 1):
+            prefixes.add(
+                tuple(serial_replay([t.changeset for t in ordered[:cut]]))
+            )
+        for observed in versions:
+            assert tuple(observed) in prefixes
+
+    def test_query_helper(self):
+        session = cleaned_session()
+        with CleaningService() as service:
+            service.register("t", session)
+            count = service.query("t", lambda r: sum(1 for _ in r))
+            assert count == SIZE
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_nonblocking_overload_raises(self):
+        session = cleaned_session()
+        # Max linger keeps the consumer from draining while we overfill.
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=64, max_linger=30.0)
+        )
+        service.register("t", session, high_water=3)
+        tickets = [
+            service.submit("t", edit(i, f"b{i}"), block=False)
+            for i in range(3)
+        ]
+        with pytest.raises(ServiceOverloaded):
+            service.submit("t", edit(3, "overflow"), block=False)
+        assert service.stats("t")["overloads"] == 1
+        service.close()  # drains the queued three
+        for ticket in tickets:
+            assert ticket.result(timeout=60) is not None
+
+    def test_blocking_timeout_expires(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=64, max_linger=30.0)
+        )
+        service.register("t", session, high_water=1)
+        service.submit("t", edit(0, "head"))
+        start = time.monotonic()
+        with pytest.raises(ServiceOverloaded):
+            service.submit("t", edit(1, "tail"), timeout=0.2)
+        assert time.monotonic() - start >= 0.15
+        service.close()
+
+    def test_blocked_producer_resumes_when_drained(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=1, max_linger=30.0)
+        )
+        service.register("t", session, high_water=1)
+        # max_batch=1 flushes the head immediately, freeing the slot, so
+        # a blocked second submit must eventually get through.
+        first = service.submit("t", edit(0, "first"))
+        second = service.submit("t", edit(1, "second"), timeout=60)
+        assert first.result(timeout=60) is not None
+        assert second.result(timeout=60) is not None
+        assert second.ack_seq == first.ack_seq + 1
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Multi-tenancy
+# ----------------------------------------------------------------------
+class TestMultiTenant:
+    def test_tenants_are_independent(self):
+        a, b = cleaned_session(), cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=4, max_linger=0.005)
+        )
+        service.register("a", a)
+        service.register("b", b)
+        ta = [service.submit("a", edit(i, f"a{i}")) for i in range(5)]
+        tb = [service.submit("b", edit(i, f"b{i}")) for i in range(5)]
+        for ticket in ta + tb:
+            ticket.result(timeout=60)
+        fa, fb = state(service.read("a")), state(service.read("b"))
+        service.close()
+        assert fa == serial_replay([t.changeset for t in ta])
+        assert fb == serial_replay([t.changeset for t in tb])
+        assert fa != fb
+
+    def test_poisoned_tenant_leaves_neighbour_alive(self):
+        sick = cleaned_session(n_workers=2, supervision=POISON)
+        healthy = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=2, max_linger=0.005)
+        )
+        service.register("sick", sick)  # no checkpoint_dir: unrecoverable
+        service.register("healthy", healthy)
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="error",
+                       method="apply_shard", times=1)]
+        )
+        with injected(injector):
+            doomed = service.submit("sick", edit(0, "doomed"))
+            with pytest.raises(Exception):
+                doomed.result(timeout=60)
+        # the poisoned tenant refuses new writes, cause chained
+        with pytest.raises(ServiceError) as info:
+            service.submit("sick", edit(1, "after"))
+        assert info.value.__cause__ is not None
+        # the neighbour is untouched
+        ok = service.submit("healthy", edit(0, "fine"))
+        assert ok.result(timeout=60) is not None
+        assert state(service.read("healthy")) == serial_replay(
+            [ok.changeset]
+        )
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_mid_stream_poison_recovers_and_converges(self, tmp_path):
+        session = cleaned_session(n_workers=2, supervision=POISON)
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=2, max_linger=0.005)
+        )
+        # checkpoint_every=2 leaves acknowledged batches between the
+        # newest checkpoint and the failure — the ledger replay path.
+        service.register(
+            "t", session, checkpoint_dir=tmp_path,
+            checkpoint_every=2, max_recoveries=2,
+        )
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="error",
+                       method="apply_shard", after=2, times=1)]
+        )
+        with injected(injector):
+            tickets = [service.submit("t", edit(i, f"v{i}"))
+                       for i in range(10)]
+            for ticket in tickets:
+                assert ticket.result(timeout=120) is not None
+        stats = service.stats("t")
+        final = state(service.read("t"))
+        service.close()
+        assert stats["recoveries"] == 1
+        assert stats["acked"] == 10 and stats["failed"] == 0
+        ordered = sorted(tickets, key=lambda t: t.ack_seq)
+        assert final == serial_replay([t.changeset for t in ordered])
+
+    def test_register_writes_initial_checkpoint(self, tmp_path):
+        session = cleaned_session(n_workers=2, supervision=POISON)
+        with CleaningService() as service:
+            service.register("t", session, checkpoint_dir=tmp_path)
+            assert len(snapshot.list_checkpoints(tmp_path)) == 1
+
+    def test_recovery_exhaustion_poisons(self, tmp_path):
+        session = cleaned_session(n_workers=2, supervision=POISON)
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=8, max_linger=0.2)
+        )
+        service.register(
+            "t", session, checkpoint_dir=tmp_path,
+            checkpoint_every=1, max_recoveries=0,
+        )
+        injector = FaultInjector(
+            [FaultSpec(point="dispatch", kind="error",
+                       method="apply_shard", times=1)]
+        )
+        with injected(injector):
+            doomed = service.submit("t", edit(0, "doomed"))
+            with pytest.raises(Exception):
+                doomed.result(timeout=60)
+        with pytest.raises(ServiceError):
+            service.submit("t", edit(1, "after"))
+        assert service.stats("t")["recoveries"] == 0
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_close_drains_then_kills_workers(self):
+        session = cleaned_session(n_workers=2)
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=64, max_linger=30.0)
+        )
+        service.register("t", session)
+        tickets = [service.submit("t", edit(i, f"d{i}")) for i in range(4)]
+        pids = _worker_pids(session)
+        assert pids
+        service.close()  # drain=True despite the 30s linger
+        for ticket in tickets:
+            assert ticket.result(timeout=1) is not None
+        _assert_dead(pids)
+
+    def test_close_without_drain_fails_pending(self):
+        session = cleaned_session()
+        service = CleaningService(
+            flush_policy=FlushPolicy(max_batch=64, max_linger=30.0)
+        )
+        service.register("t", session)
+        tickets = [service.submit("t", edit(i, f"x{i}")) for i in range(4)]
+        service.close(drain=False)
+        failed = 0
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=5)
+            except ServiceClosed:
+                failed += 1
+        # the consumer may have batched a prefix before close() landed,
+        # but nothing is left un-resolved and the tail is failed closed
+        assert all(t.done() for t in tickets)
+        assert failed >= 1
+
+    def test_submit_after_close_raises(self):
+        session = cleaned_session()
+        service = CleaningService()
+        service.register("t", session)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit("t", edit(0, "late"))
+
+    def test_close_is_idempotent(self):
+        session = cleaned_session()
+        service = CleaningService()
+        service.register("t", session)
+        service.close()
+        service.close()
+        service.close(drain=False)
+
+    def test_context_manager(self):
+        session = cleaned_session(n_workers=2)
+        with CleaningService() as service:
+            service.register("t", session)
+            service.submit("t", edit(0, "ctx")).result(timeout=60)
+            pids = _worker_pids(session)
+        _assert_dead(pids)

@@ -172,6 +172,34 @@ class TestApply:
         assert "affected" in text and "clean=" in text
 
 
+class TestApplyManyContract:
+    """The empty-batch no-op contract: nothing in, nothing happens."""
+
+    def test_empty_list_returns_none(self, session):
+        session.clean(build_relation(DIRTY))
+        before = state(session.working)
+        assert session.apply_many([]) is None
+        assert state(session.working) == before
+
+    def test_opless_changesets_return_none(self, session):
+        session.clean(build_relation(DIRTY))
+        before = state(session.working)
+        assert session.apply_many([Changeset(), Changeset()]) is None
+        assert state(session.working) == before
+
+    def test_requires_clean_first_even_when_empty(self, session):
+        with pytest.raises(DataError):
+            session.apply_many([])
+
+    def test_nonempty_batch_still_applies(self, session):
+        session.clean(build_relation(DIRTY))
+        out = session.apply_many(
+            [Changeset(), Changeset().edit(0, "B", "b9"), Changeset()]
+        )
+        assert out is not None
+        assert state(out.repaired) == scratch_state(session.base, session.config)
+
+
 class TestSharedState:
     def test_md_indexes_persist_across_cleans(self, session):
         session.clean(build_relation(DIRTY))

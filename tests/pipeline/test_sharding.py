@@ -456,6 +456,46 @@ class TestReviewRegressions:
         with pytest.raises(ValueError):
             sharded.clean(relation)
 
+    def test_empty_batch_is_a_contractual_noop(self):
+        """``flush()`` on an empty buffer, ``apply_many([])`` and op-less
+        changesets return ``None`` with no dispatch, no plan change and
+        no stats mutation — a poller on an idle queue costs nothing."""
+        ds = generate_partitioned(size=40, n_blocks=2, seed=9)
+        sharded = ShardedCleaningSession(
+            cfds=ds.cfds, mds=ds.mds, master=ds.master,
+            config=UniCleanConfig(eta=1.0), n_shards=2,
+        )
+        sharded.clean(ds.dirty)
+        plan_before = sharded.plan
+        stats_before = dict(sharded.stats)
+        checkpoint_tick_before = sharded._ops_since_checkpoint
+        assert sharded.flush() is None
+        assert sharded.apply_many([]) is None
+        assert sharded.apply_many([Changeset(), Changeset()]) is None
+        assert sharded.apply(Changeset()) is None
+        sharded.buffer(Changeset())
+        assert sharded.flush() is None  # buffered op-less set: still a no-op
+        assert sharded.plan is plan_before
+        assert dict(sharded.stats) == stats_before
+        assert sharded._ops_since_checkpoint == checkpoint_tick_before
+        sharded.close()
+
+    def test_close_is_idempotent(self):
+        ds = generate_partitioned(size=40, n_blocks=2, seed=9)
+        sharded = ShardedCleaningSession(
+            cfds=ds.cfds, mds=ds.mds, master=ds.master,
+            config=UniCleanConfig(eta=1.0), n_shards=2,
+        )
+        sharded.clean(ds.dirty)
+        sharded.close()
+        sharded.close()  # second close on a dead session: safe no-op
+        sharded.close()
+
+    def test_close_before_clean_is_a_noop(self):
+        sharded = ShardedCleaningSession(config=UniCleanConfig(eta=1.0))
+        sharded.close()
+        sharded.close()
+
     def test_use_after_close_raises_cleanly(self):
         ds = generate_partitioned(size=40, n_blocks=2, seed=9)
         sharded = ShardedCleaningSession(
